@@ -1,0 +1,59 @@
+//! Criterion benches for the DESIGN.md §6 ablations, *time* axis (the
+//! quality axis is the `ablation_quality` binary):
+//!
+//! - `ablation_init`: EM wall time per initialization strategy;
+//! - `ablation_mstep`: weighted-MLE vs weighted-moments M-step;
+//! - `ablation_reduce`: mixture-reduction strategies inside the SSTA sum.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lvf2::cells::Scenario;
+use lvf2::fit::{fit_lvf2, FitConfig, InitStrategy, MStep};
+use lvf2::ssta::{ReductionStrategy, TimingDist};
+use lvf2::stats::{Lvf2, Moments, SkewNormal};
+
+fn bench_ablations(c: &mut Criterion) {
+    let xs = Scenario::Saddle.sample(2000, 9);
+
+    let mut init = c.benchmark_group("ablation_init");
+    init.sample_size(10);
+    for (name, strategy) in [
+        ("kmeans", InitStrategy::KMeansMoments),
+        ("scale_split", InitStrategy::ScaleSplit),
+        ("best_of_both", InitStrategy::Best),
+    ] {
+        let cfg = FitConfig::fast().with_init(strategy);
+        init.bench_function(name, |b| {
+            b.iter_batched(|| xs.clone(), |d| fit_lvf2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+        });
+    }
+    init.finish();
+
+    let mut mstep = c.benchmark_group("ablation_mstep");
+    mstep.sample_size(10);
+    for (name, m) in [("weighted_mle", MStep::WeightedMle), ("weighted_moments", MStep::WeightedMoments)] {
+        let cfg = FitConfig::default().with_m_step(m).with_init(InitStrategy::KMeansMoments);
+        mstep.bench_function(name, |b| {
+            b.iter_batched(|| xs.clone(), |d| fit_lvf2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+        });
+    }
+    mstep.finish();
+
+    let sn1 = SkewNormal::from_moments(Moments::new(0.10, 0.008, 0.5)).unwrap();
+    let sn2 = SkewNormal::from_moments(Moments::new(0.13, 0.010, -0.2)).unwrap();
+    let stage = TimingDist::Lvf2(Lvf2::new(0.4, sn1, sn2).unwrap());
+    let mut reduce = c.benchmark_group("ablation_reduce");
+    for (name, strategy) in [
+        ("moment_pairwise", ReductionStrategy::MomentPreservingPairwise),
+        ("topk_truncate", ReductionStrategy::TopKByWeight),
+    ] {
+        reduce.bench_function(name, |b| b.iter(|| stage.sum_with(&stage, strategy).unwrap()));
+    }
+    reduce.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

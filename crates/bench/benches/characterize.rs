@@ -1,0 +1,35 @@
+//! Criterion bench: Monte-Carlo characterization throughput — the cost of
+//! one (slew, load) condition at various sample counts, and a full small
+//! grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2::mc::{McEngine, RegimeCompetitionArc, VariationSpace};
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc_condition");
+    for n in [1000usize, 4000, 16000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let engine = McEngine::new(VariationSpace::tt_22nm(), n, 7);
+            let arc = RegimeCompetitionArc::balanced_bimodal();
+            b.iter(|| engine.simulate(&arc, 0.02, 0.05));
+        });
+    }
+    g.finish();
+
+    let mut full = c.benchmark_group("characterize_arc");
+    full.sample_size(10);
+    full.bench_function("nand2_3x3_1000", |b| {
+        let spec = TimingArcSpec::of(CellType::Nand2, 0);
+        let grid = SlewLoadGrid::small_3x3();
+        b.iter(|| characterize_arc(&spec, &grid, 1000));
+    });
+    full.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_characterize
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches: fitting throughput of the four model families on a
+//! bimodal 2000-sample distribution (the per-condition workload of library
+//! characterization).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lvf2::cells::Scenario;
+use lvf2::fit::{fit_lesn, fit_lvf, fit_lvf2, fit_norm2, FitConfig, MStep};
+
+fn bench_fits(c: &mut Criterion) {
+    let xs = Scenario::TwoPeaks.sample(2000, 7);
+    let cfg = FitConfig::default();
+    let fast = FitConfig::fast();
+
+    let mut group = c.benchmark_group("fit");
+    group.bench_function("lvf_method_of_moments", |b| {
+        b.iter_batched(|| xs.clone(), |d| fit_lvf(&d, &cfg).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("norm2_em", |b| {
+        b.iter_batched(|| xs.clone(), |d| fit_norm2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("lesn_moment_match", |b| {
+        b.iter_batched(|| xs.clone(), |d| fit_lesn(&d, &cfg).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("lvf2_em_weighted_mle", |b| {
+        b.iter_batched(|| xs.clone(), |d| fit_lvf2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("lvf2_em_weighted_moments", |b| {
+        b.iter_batched(
+            || xs.clone(),
+            |d| fit_lvf2(&d, &fast.clone().with_m_step(MStep::WeightedMoments)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fits
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches: Liberty write/parse throughput for an 8×8 LVF² grid —
+//! the I/O cost a library vendor pays per timing arc.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
+use lvf2::liberty::{parse_library, write_library, BaseKind, Library, TimingModelGrid};
+use lvf2::stats::{Lvf2, Moments, SkewNormal};
+
+fn demo_library() -> Library {
+    let sn = |m: f64, s: f64, g: f64| SkewNormal::from_moments(Moments::new(m, s, g)).unwrap();
+    let slews: Vec<f64> = (0..8).map(|i| 0.001 * (1 << i) as f64).collect();
+    let loads: Vec<f64> = (0..8).map(|j| 0.002 * (1 << j) as f64).collect();
+    let models: Vec<Vec<Lvf2>> = (0..8)
+        .map(|i| {
+            (0..8)
+                .map(|j| {
+                    let b = 0.1 + 0.01 * (i + j) as f64;
+                    Lvf2::new(0.3, sn(b, 0.005, 0.3), sn(b * 1.3, 0.008, -0.2)).unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    let grid = TimingModelGrid {
+        base: BaseKind::CellRise,
+        index_1: slews,
+        index_2: loads,
+        nominal: (0..8).map(|i| (0..8).map(|j| 0.1 + 0.01 * (i + j) as f64).collect()).collect(),
+        models,
+    };
+    let mut lib = Library::new("bench");
+    lib.cells.push(Cell {
+        name: "C".into(),
+        pins: vec![Pin {
+            name: "Y".into(),
+            direction: "output".into(),
+            timings: vec![TimingGroup { related_pin: "A".into(), tables: grid.to_tables("t8"), ..Default::default() }],
+        }],
+    });
+    lib
+}
+
+fn bench_io(c: &mut Criterion) {
+    let lib = demo_library();
+    let text = write_library(&lib);
+    let mut g = c.benchmark_group("liberty");
+    g.bench_function("write_8x8_lvf2_arc", |b| b.iter(|| write_library(&lib)));
+    g.bench_function("parse_8x8_lvf2_arc", |b| b.iter(|| parse_library(&text).unwrap()));
+    g.bench_function("decode_grid", |b| {
+        let parsed = parse_library(&text).unwrap();
+        let timing = parsed.cells[0].pins[0].timings[0].clone();
+        b.iter(|| TimingModelGrid::from_timing(&timing, BaseKind::CellRise).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_io
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches: throughput of the statistical `sum` and `max`
+//! operators per model family (the inner ops of block-based SSTA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvf2::ssta::TimingDist;
+use lvf2::stats::{Lesn, Lvf2, Moments, Norm2, Normal, SkewNormal};
+
+fn dists() -> (TimingDist, TimingDist, TimingDist, TimingDist) {
+    let sn1 = SkewNormal::from_moments(Moments::new(0.10, 0.008, 0.5)).unwrap();
+    let sn2 = SkewNormal::from_moments(Moments::new(0.13, 0.010, -0.2)).unwrap();
+    (
+        TimingDist::Lvf(sn1),
+        TimingDist::Norm2(
+            Norm2::new(0.4, Normal::new(0.10, 0.008).unwrap(), Normal::new(0.13, 0.01).unwrap())
+                .unwrap(),
+        ),
+        TimingDist::Lesn(Lesn::from_log_params(-2.2, 0.1, 1.5, -0.3).unwrap()),
+        TimingDist::Lvf2(Lvf2::new(0.4, sn1, sn2).unwrap()),
+    )
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let (lvf, norm2, lesn, lvf2) = dists();
+    let mut sum = c.benchmark_group("ssta_sum");
+    sum.bench_function("lvf", |b| b.iter(|| lvf.sum(&lvf).unwrap()));
+    sum.bench_function("norm2", |b| b.iter(|| norm2.sum(&norm2).unwrap()));
+    sum.bench_function("lesn", |b| b.iter(|| lesn.sum(&lesn).unwrap()));
+    sum.bench_function("lvf2", |b| b.iter(|| lvf2.sum(&lvf2).unwrap()));
+    sum.finish();
+
+    let mut max = c.benchmark_group("ssta_max");
+    max.sample_size(10);
+    max.bench_function("lvf", |b| b.iter(|| lvf.max(&lvf).unwrap()));
+    max.bench_function("norm2", |b| b.iter(|| norm2.max(&norm2).unwrap()));
+    max.bench_function("lvf2", |b| b.iter(|| lvf2.max(&lvf2).unwrap()));
+    max.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops
+}
+criterion_main!(benches);

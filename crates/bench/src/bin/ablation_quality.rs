@@ -1,0 +1,110 @@
+//! Quality ablations for the design choices called out in DESIGN.md §6:
+//!
+//! 1. EM initialization: k-means+moments vs scale-split vs best-of-both;
+//! 2. M-step: weighted MLE (paper) vs weighted method of moments (fast);
+//! 3. Mixture-order reduction in the SSTA sum: moment-preserving pairwise
+//!    merge vs top-K truncation;
+//! 4. Latin Hypercube vs plain Monte-Carlo sampling (the paper uses LHS).
+//!
+//! `cargo run -p lvf2-bench --bin ablation_quality --release [-- --samples 20000]`
+
+use lvf2::binning::{score_model, GoldenReference};
+use lvf2::cells::Scenario;
+use lvf2::fit::{fit_lvf2, FitConfig, InitStrategy, MStep};
+use lvf2::ssta::{ReductionStrategy, TimingDist};
+use lvf2::stats::Distribution;
+use lvf2_bench::arg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = arg("--samples", 20_000);
+
+    // --- Ablation 1: initialization strategy -------------------------------
+    println!("=== Ablation 1: EM initialization (CDF RMSE of the LVF2 fit) ===");
+    println!("{:<14} {:>12} {:>12} {:>12}", "scenario", "kmeans", "scale-split", "best");
+    for scenario in Scenario::ALL {
+        let xs = scenario.sample(samples, 101);
+        let golden = GoldenReference::from_samples(&xs)?;
+        let mut row = Vec::new();
+        for init in [InitStrategy::KMeansMoments, InitStrategy::ScaleSplit, InitStrategy::Best] {
+            let cfg = FitConfig::default().with_init(init);
+            let m = fit_lvf2(&xs, &cfg)?.model;
+            row.push(score_model(&m, &golden).cdf_rmse);
+        }
+        println!(
+            "{:<14} {:>12.5} {:>12.5} {:>12.5}",
+            scenario.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+
+    // --- Ablation 2: M-step strategy ----------------------------------------
+    println!("\n=== Ablation 2: M-step (log-likelihood; higher is better) ===");
+    println!("{:<14} {:>16} {:>16} {:>10}", "scenario", "weighted MLE", "weighted moments", "Δll/n");
+    for scenario in Scenario::ALL {
+        let xs = scenario.sample(samples, 102);
+        let mle = fit_lvf2(&xs, &FitConfig::default().with_m_step(MStep::WeightedMle))?;
+        let mom = fit_lvf2(&xs, &FitConfig::default().with_m_step(MStep::WeightedMoments))?;
+        println!(
+            "{:<14} {:>16.1} {:>16.1} {:>10.5}",
+            scenario.name(),
+            mle.report.log_likelihood,
+            mom.report.log_likelihood,
+            (mle.report.log_likelihood - mom.report.log_likelihood) / xs.len() as f64
+        );
+    }
+
+    // --- Ablation 3: mixture-order reduction --------------------------------
+    println!("\n=== Ablation 3: SSTA sum reduction (8-stage sum of a bimodal arc) ===");
+    let xs = Scenario::TwoPeaks.sample(samples, 103);
+    let stage = fit_lvf2(&xs, &FitConfig::default())?.model;
+    // Golden: elementwise 8-fold sum of independent draws from the stage model.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    let golden_samples: Vec<f64> = (0..samples)
+        .map(|_| (0..8).map(|_| stage.sample(&mut rng)).sum::<f64>())
+        .collect();
+    let golden = GoldenReference::from_samples(&golden_samples)?;
+    for (name, strategy) in [
+        ("moment-preserving pairwise", ReductionStrategy::MomentPreservingPairwise),
+        ("top-K by weight", ReductionStrategy::TopKByWeight),
+    ] {
+        let mut acc = TimingDist::Lvf2(stage);
+        for _ in 1..8 {
+            acc = acc.sum_with(&TimingDist::Lvf2(stage), strategy)?;
+        }
+        let s = score_model(&acc, &golden);
+        println!(
+            "{name:<28} binning error {:.5}  cdf rmse {:.5}  mean drift {:.2e}",
+            s.binning_error,
+            s.cdf_rmse,
+            (acc.mean() - golden_samples.iter().sum::<f64>() / samples as f64).abs()
+        );
+    }
+    // --- Ablation 4: LHS vs plain Monte Carlo -------------------------------
+    println!("\n=== Ablation 4: LHS vs plain MC (moment error of the golden reference) ===");
+    use lvf2::mc::{McEngine, RegimeCompetitionArc, SamplingScheme, VariationSpace};
+    let arc = RegimeCompetitionArc::dominated();
+    let n = 2000;
+    let trials = 12;
+    let mut err = [0.0f64; 2];
+    // Reference mean from one very large LHS run.
+    let big = McEngine::new(VariationSpace::tt_22nm(), 200_000, 999).simulate(&arc, 0.02, 0.05);
+    let ref_mean = lvf2::stats::sample_mean(&big.delays);
+    for trial in 0..trials {
+        for (slot, scheme) in [(0usize, SamplingScheme::LatinHypercube), (1, SamplingScheme::Plain)] {
+            let e = McEngine::new(VariationSpace::tt_22nm(), n, 7000 + trial)
+                .with_scheme(scheme)
+                .simulate(&arc, 0.02, 0.05);
+            err[slot] += (lvf2::stats::sample_mean(&e.delays) - ref_mean).abs();
+        }
+    }
+    println!(
+        "mean-estimation |error| over {trials} trials of n={n}:  LHS {:.3e}  plain MC {:.3e}  ({:.1}x tighter)",
+        err[0] / trials as f64,
+        err[1] / trials as f64,
+        err[1] / err[0]
+    );
+    Ok(())
+}

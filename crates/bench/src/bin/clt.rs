@@ -1,0 +1,46 @@
+//! §3.4 demonstration: Berry–Esseen convergence of accumulated FO4-chain
+//! delay to Gaussian at the O(1/√n) rate (Theorem 1, Corollaries 2–3).
+//!
+//! `cargo run -p lvf2-bench --bin clt --release [-- --stages 32 --samples 8000]`
+
+use lvf2::ssta::circuits::fo4_chain;
+use lvf2::ssta::clt::{berry_esseen_bound, standardized_abs_third_moment, sup_gap_to_normal};
+use lvf2::ssta::golden::cumulative_path;
+use lvf2_bench::arg;
+
+fn main() {
+    let n_stages: usize = arg("--stages", 32);
+    let samples: usize = arg("--samples", 8000);
+    let seed: u64 = arg("--seed", 5);
+
+    let stages = fo4_chain(n_stages, samples, seed);
+    let sample_stages: Vec<Vec<f64>> = stages.iter().map(|s| s.delays.clone()).collect();
+    let cum = cumulative_path(&sample_stages);
+    let rho = standardized_abs_third_moment(&stages[0].delays);
+    println!("FO4 chain, {n_stages} stages, {samples} samples/stage");
+    println!("standardized E|Y|^3 of one stage: ρ = {rho:.3}\n");
+    println!(
+        "{:>6} {:>14} {:>16} {:>10}",
+        "n", "sup|Fn - Φ|", "C·ρ/√n (bound)", "√n · gap"
+    );
+    for (idx, c) in cum.iter().enumerate() {
+        let n = idx + 1;
+        let gap = sup_gap_to_normal(c);
+        let bound = berry_esseen_bound(rho, n);
+        println!("{n:>6} {gap:>14.5} {bound:>16.5} {:>10.4}", gap * (n as f64).sqrt());
+    }
+    println!("\n√n·gap staying roughly flat confirms the O(1/√n) convergence rate of");
+    println!("Corollary 2 — the reason LVF²'s advantage decays on deep paths (§3.4).");
+
+    // Counterpoint: spatially correlated stages do NOT Gaussianize — the
+    // shared field never averages out (Berry–Esseen needs independence).
+    let corr_stages = lvf2::ssta::circuits::correlated_fo4_chain(n_stages, samples, 1.0, 50.0, seed);
+    let corr_cum = cumulative_path(
+        &corr_stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>(),
+    );
+    let g1 = sup_gap_to_normal(&corr_cum[0]);
+    let gn = sup_gap_to_normal(corr_cum.last().expect("stages"));
+    println!("\nwith spatial correlation (L ≫ pitch): sup-gap stays at {gn:.4} after {n_stages}");
+    println!("stages (vs {g1:.4} at one stage) — correlated paths keep their non-Gaussian");
+    println!("shape, which is where LVF² keeps paying even at depth.");
+}

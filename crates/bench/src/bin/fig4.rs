@@ -1,0 +1,84 @@
+//! Regenerates **Figure 4**: the 8×8 heatmaps of LVF²'s CDF-RMSE error
+//! reduction for NAND2 delay (a) and transition (b) timing, showing the
+//! diagonal multi-Gaussian accuracy pattern.
+//!
+//! `cargo run -p lvf2-bench --bin fig4 --release [-- --samples 4000 --arc 0]`
+
+use lvf2::binning::{score_model, GoldenReference};
+use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2::fit::{fit_lvf, fit_lvf2, FitConfig};
+use lvf2_bench::arg;
+
+fn reduction(data: &[f64], cfg: &FitConfig) -> f64 {
+    let golden = GoldenReference::from_samples(data).expect("golden");
+    let lvf = fit_lvf(data, cfg).expect("lvf fit").model;
+    let lvf2 = fit_lvf2(data, cfg).expect("lvf2 fit").model;
+    lvf2::binning::error_reduction(
+        score_model(&lvf, &golden).cdf_rmse,
+        score_model(&lvf2, &golden).cdf_rmse,
+    )
+}
+
+fn print_heatmap(title: &str, grid: &SlewLoadGrid, values: &[Vec<f64>]) {
+    println!("\n{title} (LVF2 CDF-RMSE error reduction, x)");
+    print!("{:>12}", "load(pF)\\slew");
+    for &s in grid.slews() {
+        print!("{s:>9.5}");
+    }
+    println!();
+    // Figure 4 draws loads on the vertical axis.
+    for j in 0..grid.loads().len() {
+        print!("{:>12.5}", grid.loads()[j]);
+        for row in values.iter() {
+            print!("{:>9.1}", row[j]);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let samples: usize = arg("--samples", 4000);
+    let arc_index: usize = arg("--arc", 0);
+    let cfg = FitConfig::fast();
+    let grid = SlewLoadGrid::paper_8x8();
+    let spec = TimingArcSpec::of(CellType::Nand2, arc_index);
+    println!("characterizing {spec} ({samples} samples per condition)…");
+    let ch = characterize_arc(&spec, &grid, samples);
+
+    let mut delay = vec![vec![0.0f64; 8]; 8];
+    let mut trans = vec![vec![0.0f64; 8]; 8];
+    for i in 0..8 {
+        for j in 0..8 {
+            let c = ch.at(i, j);
+            delay[i][j] = reduction(&c.delays, &cfg);
+            trans[i][j] = reduction(&c.transitions, &cfg);
+        }
+    }
+    print_heatmap("(a) NAND2 Delay Timing", &grid, &delay);
+    print_heatmap("(b) NAND2 Transition Timing", &grid, &trans);
+
+    // Quantify the diagonal pattern: geometric-mean reduction at even vs odd
+    // (i+j) parity. Contested (even) positions should dominate.
+    for (name, values) in [("delay", &delay), ("transition", &trans)] {
+        let (mut even, mut odd) = (Vec::new(), Vec::new());
+        for (i, row) in values.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if (i + j) % 2 == 0 {
+                    even.push(v);
+                } else {
+                    odd.push(v);
+                }
+            }
+        }
+        println!(
+            "{name}: geo-mean reduction {:.2}x at contested (i+j even) vs {:.2}x at dominated (odd) positions",
+            lvf2_bench::geo_mean(&even),
+            lvf2_bench::geo_mean(&odd)
+        );
+    }
+    println!(
+        "\nthe multi-Gaussian phenomenon (large reductions) appears where i+j is even —\n\
+         the diagonal pattern of Figure 4: evenly-matched variation mechanisms at (i,j),\n\
+         one dominating at (i±1,j)/(i,j±1), contested again at (i±1,j±1)."
+    );
+}

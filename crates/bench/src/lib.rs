@@ -1,0 +1,84 @@
+//! Shared plumbing for the experiment binaries that regenerate every table
+//! and figure of the paper.
+//!
+//! Each binary prints the same rows/series the paper reports; see
+//! `EXPERIMENTS.md` at the repository root for the experiment ↔ binary map
+//! and the recorded paper-vs-measured comparison.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — scenario binning-error reductions |
+//! | `table2` | Table 2 — per-cell-type binning / 3σ-yield reductions |
+//! | `fig3` | Figure 3 — PDF fits + LVF² decomposition (CSV curves) |
+//! | `fig4` | Figure 4 — 8×8 CDF-RMSE-reduction heatmaps (NAND2) |
+//! | `fig5` | Figure 5 — binning-error reduction along two critical paths |
+//! | `clt` | §3.4 — Berry–Esseen convergence of the FO4 chain |
+//! | `ablation_quality` | DESIGN.md ablations — init / M-step / reduction quality |
+
+/// Returns the value following `--name` in the process arguments, parsed.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                if let Ok(parsed) = v.parse::<T>() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// `true` when the bare flag `--name` is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Geometric mean of strictly positive values (the right average for
+/// error-reduction *ratios*).
+///
+/// # Example
+///
+/// ```
+/// let g = lvf2_bench::geo_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.max(1e-9).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Formats a reduction multiple the way the paper prints them.
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_ratios() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn fmt_x_widths() {
+        assert_eq!(fmt_x(7.7432), "7.74");
+        assert_eq!(fmt_x(123.4), "123");
+    }
+
+    #[test]
+    fn arg_falls_back_to_default() {
+        assert_eq!(arg::<usize>("--definitely-not-passed", 42), 42);
+        assert!(!flag("--definitely-not-passed"));
+    }
+}

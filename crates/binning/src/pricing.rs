@@ -1,0 +1,114 @@
+//! The Figure 2 speed-binning economics: per-bin prices, usable yield and
+//! expected revenue.
+
+/// A chip price profile over speed bins (Figure 2).
+///
+/// Bin 0 is the *fastest* usable bin; prices decrease as performance drops.
+/// Chips faster than `T_min` are considered faulty (excess subthreshold
+/// leakage) and chips slower than `T_max` miss the design target — both sell
+/// for nothing.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_binning::PriceProfile;
+///
+/// let profile = PriceProfile::new(vec![100.0, 80.0, 55.0]);
+/// // All mass in the best bin:
+/// let rev = profile.expected_revenue(&[0.0, 1.0, 0.0, 0.0, 0.0]);
+/// assert!((rev - 100.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceProfile {
+    prices: Vec<f64>,
+}
+
+impl PriceProfile {
+    /// Creates a profile from the usable bins' prices, fastest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prices` is empty or any price is negative.
+    pub fn new(prices: Vec<f64>) -> Self {
+        assert!(!prices.is_empty(), "need at least one priced bin");
+        assert!(prices.iter().all(|p| *p >= 0.0), "prices must be non-negative");
+        PriceProfile { prices }
+    }
+
+    /// The per-bin prices, fastest usable bin first.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Expected revenue per die given bin probabilities.
+    ///
+    /// `bin_probs` must have exactly `prices.len() + 2` entries: the first is
+    /// the faulty too-fast bin (`t < T_min`), then the priced bins
+    /// fastest-first, then the too-slow reject bin (`t ≥ T_max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn expected_revenue(&self, bin_probs: &[f64]) -> f64 {
+        assert_eq!(
+            bin_probs.len(),
+            self.prices.len() + 2,
+            "bin probabilities must cover faulty + priced + reject bins"
+        );
+        self.prices
+            .iter()
+            .zip(&bin_probs[1..bin_probs.len() - 1])
+            .map(|(p, q)| p * q)
+            .sum()
+    }
+
+    /// Usable yield: probability mass in the priced bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch (see [`expected_revenue`](Self::expected_revenue)).
+    pub fn usable_yield(&self, bin_probs: &[f64]) -> f64 {
+        assert_eq!(bin_probs.len(), self.prices.len() + 2, "length mismatch");
+        bin_probs[1..bin_probs.len() - 1].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::BinSet;
+    use lvf2_stats::{Distribution, Normal};
+
+    #[test]
+    fn revenue_weights_prices_by_probability() {
+        let profile = PriceProfile::new(vec![10.0, 5.0]);
+        let rev = profile.expected_revenue(&[0.1, 0.5, 0.3, 0.1]);
+        assert!((rev - (0.5 * 10.0 + 0.3 * 5.0)).abs() < 1e-12);
+        assert!((profile.usable_yield(&[0.1, 0.5, 0.3, 0.1]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_with_binset() {
+        // 3 boundaries → 4 bins: faulty | fast | slow | reject.
+        let n = Normal::new(1.0, 0.1).unwrap();
+        let bins = BinSet::new(vec![0.7, 1.0, 1.3]);
+        let probs = bins.probabilities(|x| n.cdf(x));
+        let profile = PriceProfile::new(vec![20.0, 12.0]);
+        let rev = profile.expected_revenue(&probs);
+        // Nearly all mass is usable; fast and slow split evenly.
+        assert!(rev > 15.0 && rev < 17.0, "rev {rev}");
+        assert!(profile.usable_yield(&probs) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn yield_checks_lengths() {
+        PriceProfile::new(vec![1.0]).usable_yield(&[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_prices() {
+        PriceProfile::new(vec![-1.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for speed binning and the error metrics.
+
+use lvf2_binning::{error_reduction, BinSet};
+use lvf2_stats::{Distribution, Normal};
+use proptest::prelude::*;
+
+fn boundaries() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01..1.0f64, 1..8).prop_map(|steps| {
+        let mut b = Vec::with_capacity(steps.len());
+        let mut acc = 0.0;
+        for s in steps {
+            acc += s;
+            b.push(acc);
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn probabilities_sum_to_one_for_any_cdf(bs in boundaries(), mu in -2.0..6.0f64, sd in 0.05..2.0f64) {
+        let n = Normal::new(mu, sd).unwrap();
+        let bins = BinSet::new(bs);
+        let p = bins.probabilities(|x| n.cdf(x));
+        prop_assert_eq!(p.len(), bins.bin_count());
+        prop_assert!(p.iter().all(|&q| q >= 0.0));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_probabilities_are_a_distribution(
+        bs in boundaries(),
+        xs in proptest::collection::vec(-1.0..6.0f64, 1..300),
+    ) {
+        let bins = BinSet::new(bs);
+        let p = bins.probabilities_from_samples(&xs);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Each sample lands in exactly the bin bin_of() reports.
+        for &x in &xs {
+            let idx = bins.bin_of(x);
+            prop_assert!(p[idx] > 0.0);
+        }
+    }
+
+    #[test]
+    fn error_reduction_is_positive_and_reciprocal(a in 1e-6..1.0f64, b in 1e-6..1.0f64) {
+        let r = error_reduction(a, b);
+        let inv = error_reduction(b, a);
+        prop_assert!(r > 0.0);
+        prop_assert!((r * inv - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_bins_are_symmetric_about_the_mean(mu in -3.0..3.0f64, sd in 0.01..2.0f64) {
+        let bins = BinSet::sigma_bins(mu, sd);
+        let b = bins.boundaries();
+        for k in 0..3 {
+            prop_assert!(((b[k] - mu) + (b[6 - k] - mu)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Timing-arc specifications and their deterministic synthesis into
+//! Monte-Carlo arc models.
+//!
+//! Every arc in the library is identified by `(cell type, arc index)` and is
+//! deterministically expanded into a [`RegimeCompetitionArc`] whose
+//! electrical "personality" (mechanism separation, selector balance,
+//! checkerboard amplitude, drive scaling) derives from a splitmix64 hash of
+//! the identity — so the whole 747-arc library is reproducible from nothing
+//! but the crate itself, yet arcs differ from one another the way real
+//! layout-extracted cells do.
+
+use std::fmt;
+
+use lvf2_mc::{AlphaPowerParams, Mechanism, RegimeCompetitionArc, Selector};
+
+use crate::types::CellType;
+
+/// Signal edge at the cell output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Output rising.
+    Rise,
+    /// Output falling.
+    Fall,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Edge::Rise => "rise",
+            Edge::Fall => "fall",
+        })
+    }
+}
+
+/// Identity of a timing arc inside the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArcId {
+    /// Owning cell type.
+    pub cell: CellType,
+    /// Arc index within the type, `0..paper_arc_count()`.
+    pub index: usize,
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.cell, self.index)
+    }
+}
+
+/// A fully specified timing arc: identity, pin, edge and drive strength.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_cells::{CellType, TimingArcSpec};
+/// use lvf2_mc::{TimingArcModel, VariationSample};
+///
+/// let spec = TimingArcSpec::of(CellType::Nand2, 0);
+/// let arc = spec.synthesize();
+/// let t = arc.evaluate(&VariationSample::nominal(), 0.02, 0.05);
+/// assert!(t.delay > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingArcSpec {
+    /// Arc identity.
+    pub id: ArcId,
+    /// Input pin the arc is measured from.
+    pub input_pin: usize,
+    /// Output edge.
+    pub edge: Edge,
+    /// Drive strength (X1/X2/X4 → 1/2/4).
+    pub drive: u8,
+}
+
+impl TimingArcSpec {
+    /// The canonical spec for `(cell, index)`: pin, edge and drive are
+    /// derived from the index the way a library enumerates its arcs.
+    pub fn of(cell: CellType, index: usize) -> Self {
+        let inputs = cell.input_count();
+        let edge = if index.is_multiple_of(2) { Edge::Rise } else { Edge::Fall };
+        let input_pin = (index / 2) % inputs;
+        let drive = [1u8, 2, 4][(index / (2 * inputs)) % 3];
+        TimingArcSpec { id: ArcId { cell, index }, input_pin, edge, drive }
+    }
+
+    /// Deterministically synthesizes the Monte-Carlo arc model.
+    ///
+    /// The hash stream perturbs mechanism coefficients within physical
+    /// ranges; stack depths set the baseline delays, parallel-path counts
+    /// set how contested the regimes are, and the drive strength divides the
+    /// load-driven terms.
+    pub fn synthesize(&self) -> RegimeCompetitionArc {
+        let cell = self.id.cell;
+        let mut h = Hash::new(self);
+        let drive = self.drive as f64;
+
+        // Stacked transistors slow the stacked network.
+        let n_stack = 1.0 + 0.24 * (cell.nmos_stack() as f64 - 1.0);
+        let p_stack = 1.0 + 0.22 * (cell.pmos_stack() as f64 - 1.0);
+
+        let mut mech_a = Mechanism::nmos_limited();
+        mech_a.intrinsic *= n_stack * (0.9 + 0.3 * h.unit());
+        mech_a.slew_coef *= 0.85 + 0.35 * h.unit();
+        mech_a.load_coef = mech_a.load_coef * n_stack / drive * (0.9 + 0.25 * h.unit());
+        mech_a.alpha_scale = 0.95 + 0.25 * h.unit();
+        mech_a.w_vth_n = 0.9 + 0.3 * h.unit();
+        mech_a.trans_intrinsic *= n_stack;
+        mech_a.trans_load_coef /= drive;
+
+        let mut mech_b = Mechanism::pmos_limited();
+        // Separation between regimes: deeper/more complex cells deviate more.
+        let complexity = cell.parallel_paths() as f64 / 7.0;
+        let sep = 1.0 + 0.12 + 0.45 * complexity * h.unit();
+        mech_b.intrinsic *= p_stack * sep * (0.9 + 0.25 * h.unit());
+        mech_b.slew_coef *= 0.9 + 0.35 * h.unit();
+        mech_b.load_coef = mech_b.load_coef * p_stack / drive * (0.9 + 0.25 * h.unit());
+        mech_b.alpha_scale = 1.1 + 0.4 * h.unit();
+        mech_b.w_vth_p = 0.9 + 0.3 * h.unit();
+        // The recovery-limited regime's output edge is slower in the same
+        // proportion as its delay — this is what keeps transitions visibly
+        // multi-Gaussian (the paper sees *more* mixture structure there).
+        mech_b.trans_intrinsic *= p_stack * sep * (1.1 + 0.3 * h.unit());
+        mech_b.trans_slew_coef *= 1.0 + 0.25 * h.unit();
+        mech_b.trans_load_coef = mech_b.trans_load_coef * sep * (1.05 + 0.2 * h.unit()) / drive;
+
+        // Selector: how often the regimes are evenly matched.
+        let mut selector = Selector::contested();
+        selector.offset = (h.unit() - 0.5) * 2.4;
+        selector.checker_amp = (0.5 + 1.1 * h.unit()) * (0.55 + 0.45 * complexity);
+        let trans_bias_shift = -0.8 * h.unit();
+
+        RegimeCompetitionArc {
+            electrical: AlphaPowerParams::tt_0v8(),
+            mech_a,
+            mech_b,
+            selector,
+            trans_bias_shift,
+        }
+    }
+
+    /// A deterministic per-arc seed for decorrelating Monte-Carlo draws.
+    pub fn mc_seed(&self) -> u64 {
+        Hash::new(self).state
+    }
+}
+
+impl fmt::Display for TimingArcSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pin{} {} X{}", self.id, self.input_pin, self.edge, self.drive)
+    }
+}
+
+/// Splitmix64 stream keyed on the arc identity.
+struct Hash {
+    state: u64,
+}
+
+impl Hash {
+    fn new(spec: &TimingArcSpec) -> Self {
+        let cell_idx = CellType::ALL.iter().position(|c| *c == spec.id.cell).unwrap_or(0) as u64;
+        let mut h = Hash { state: cell_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (spec.id.index as u64) };
+        h.next();
+        Hash { state: h.next() }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_mc::{TimingArcModel, VariationSample};
+
+    #[test]
+    fn spec_derivation_cycles_through_pins_edges_drives() {
+        let s0 = TimingArcSpec::of(CellType::Nand2, 0);
+        let s1 = TimingArcSpec::of(CellType::Nand2, 1);
+        assert_eq!(s0.edge, Edge::Rise);
+        assert_eq!(s1.edge, Edge::Fall);
+        assert_eq!(s0.input_pin, 0);
+        assert_eq!(TimingArcSpec::of(CellType::Nand2, 2).input_pin, 1);
+        assert_eq!(TimingArcSpec::of(CellType::Nand2, 4).drive, 2);
+        assert_eq!(TimingArcSpec::of(CellType::Nand2, 8).drive, 4);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = TimingArcSpec::of(CellType::Xor3, 5).synthesize();
+        let b = TimingArcSpec::of(CellType::Xor3, 5).synthesize();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_arcs_have_different_personalities() {
+        let a = TimingArcSpec::of(CellType::Xor3, 5).synthesize();
+        let b = TimingArcSpec::of(CellType::Xor3, 6).synthesize();
+        assert_ne!(a, b);
+        let c = TimingArcSpec::of(CellType::Nor2, 5).synthesize();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn higher_drive_is_faster_under_load() {
+        // Same cell, arc indices picked to differ only in drive.
+        let x1 = TimingArcSpec::of(CellType::Inv, 0); // drive 1
+        let x4 = TimingArcSpec::of(CellType::Inv, 4); // drive 4 (2*inputs*2)
+        assert_eq!(x1.drive, 1);
+        assert_eq!(x4.drive, 4);
+        let v = VariationSample::nominal();
+        let load = 0.4;
+        let d1 = x1.synthesize().evaluate(&v, 0.02, load).delay;
+        let d4 = x4.synthesize().evaluate(&v, 0.02, load).delay;
+        assert!(d4 < d1, "X4 {d4} should beat X1 {d1} at heavy load");
+    }
+
+    #[test]
+    fn nand4_is_slower_than_inv() {
+        let v = VariationSample::nominal();
+        let inv = TimingArcSpec::of(CellType::Inv, 0).synthesize();
+        let nand4 = TimingArcSpec::of(CellType::Nand4, 0).synthesize();
+        let di = inv.evaluate(&v, 0.02, 0.05).delay;
+        let dn = nand4.evaluate(&v, 0.02, 0.05).delay;
+        assert!(dn > di, "NAND4 {dn} vs INV {di}");
+    }
+
+    #[test]
+    fn mc_seed_is_stable_and_distinct() {
+        let a = TimingArcSpec::of(CellType::Mux2, 3).mc_seed();
+        let b = TimingArcSpec::of(CellType::Mux2, 3).mc_seed();
+        let c = TimingArcSpec::of(CellType::Mux2, 4).mc_seed();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,132 @@
+//! The 8×8 slew–load characterization grid of Figure 4.
+
+/// An input-slew × output-load lookup grid (the index space of every LVF /
+/// LVF² table).
+///
+/// Values increase non-linearly, exactly as the paper describes ("indexed
+/// with the input slew (ns) and output load (pf), which increase
+/// non-linearly"); the load ladder is taken from Figure 4's axis labels.
+///
+/// # Example
+///
+/// ```
+/// let grid = lvf2_cells::SlewLoadGrid::paper_8x8();
+/// assert_eq!(grid.len(), 64);
+/// let (slew, load) = grid.condition(0, 0);
+/// assert!(slew > 0.0 && load > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlewLoadGrid {
+    slews: Vec<f64>,
+    loads: Vec<f64>,
+}
+
+impl SlewLoadGrid {
+    /// The paper's 8×8 grid: loads (pF) from Figure 4, slews (ns) on a
+    /// matching non-linear ladder.
+    pub fn paper_8x8() -> Self {
+        SlewLoadGrid {
+            slews: vec![0.00123, 0.00391, 0.00928, 0.02102, 0.05105, 0.12345, 0.29835, 0.71015],
+            loads: vec![0.00015, 0.00722, 0.02136, 0.04965, 0.10623, 0.21938, 0.44569, 0.89830],
+        }
+    }
+
+    /// A small 3×3 grid for fast tests.
+    pub fn small_3x3() -> Self {
+        SlewLoadGrid {
+            slews: vec![0.005, 0.02, 0.08],
+            loads: vec![0.01, 0.05, 0.2],
+        }
+    }
+
+    /// Creates a grid from explicit ladders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ladder is empty or not strictly increasing.
+    pub fn new(slews: Vec<f64>, loads: Vec<f64>) -> Self {
+        assert!(!slews.is_empty() && !loads.is_empty(), "grid must be non-empty");
+        assert!(slews.windows(2).all(|w| w[0] < w[1]), "slews must increase");
+        assert!(loads.windows(2).all(|w| w[0] < w[1]), "loads must increase");
+        SlewLoadGrid { slews, loads }
+    }
+
+    /// The slew ladder (ns).
+    pub fn slews(&self) -> &[f64] {
+        &self.slews
+    }
+
+    /// The load ladder (pF).
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Total number of (slew, load) conditions.
+    pub fn len(&self) -> usize {
+        self.slews.len() * self.loads.len()
+    }
+
+    /// `true` iff the grid has no conditions (impossible post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.slews.is_empty() || self.loads.is_empty()
+    }
+
+    /// The (slew, load) values at grid indices `(i, j)` = (slew idx, load idx).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn condition(&self, i: usize, j: usize) -> (f64, f64) {
+        (self.slews[i], self.loads[j])
+    }
+
+    /// Iterates `(i, j, slew, load)` row-major over slews then loads.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64, f64)> + '_ {
+        self.slews.iter().enumerate().flat_map(move |(i, &s)| {
+            self.loads.iter().enumerate().map(move |(j, &l)| (i, j, s, l))
+        })
+    }
+}
+
+impl Default for SlewLoadGrid {
+    fn default() -> Self {
+        SlewLoadGrid::paper_8x8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_shape() {
+        let g = SlewLoadGrid::paper_8x8();
+        assert_eq!(g.slews().len(), 8);
+        assert_eq!(g.loads().len(), 8);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.iter().count(), 64);
+    }
+
+    #[test]
+    fn ladders_strictly_increase() {
+        let g = SlewLoadGrid::paper_8x8();
+        assert!(g.slews().windows(2).all(|w| w[0] < w[1]));
+        assert!(g.loads().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn rejects_unsorted_ladder() {
+        SlewLoadGrid::new(vec![0.2, 0.1], vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn iter_order_is_row_major() {
+        let g = SlewLoadGrid::small_3x3();
+        let v: Vec<_> = g.iter().collect();
+        assert_eq!(v[0].0, 0);
+        assert_eq!(v[0].1, 0);
+        assert_eq!(v[1].1, 1); // load advances fastest
+        assert_eq!(v[3].0, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic standard-cell library for the LVF² experiments.
+//!
+//! Rebuilds the workload of the paper's §4 in the open: the same **25
+//! combinational cell types** as Table 2 (with the paper's per-type arc
+//! counts), each timing arc characterized over the **8×8 slew–load grid** of
+//! Figure 4 with the regime-competition Monte-Carlo substrate from
+//! [`lvf2_mc`]. The five representative non-Gaussian **scenarios** of
+//! Figure 3 / Table 1 are provided as ground-truth generators.
+//!
+//! # Example
+//!
+//! ```
+//! use lvf2_cells::{CellLibrary, CellType, SlewLoadGrid};
+//!
+//! let lib = CellLibrary::tsmc22_like();
+//! assert_eq!(lib.cell_types().len(), 25);
+//! assert_eq!(lib.arc_count(CellType::Nand2), 57);
+//! let grid = SlewLoadGrid::paper_8x8();
+//! assert_eq!(grid.slews().len(), 8);
+//! ```
+
+pub mod arc;
+pub mod characterize;
+pub mod grid;
+pub mod library;
+pub mod pattern;
+pub mod scenarios;
+pub mod types;
+
+pub use arc::{ArcId, Edge, TimingArcSpec};
+pub use characterize::{characterize_arc, ArcCharacterization, ConditionSamples};
+pub use grid::SlewLoadGrid;
+pub use library::CellLibrary;
+pub use pattern::{ModelClass, PatternPredictor, Probe};
+pub use scenarios::Scenario;
+pub use types::CellType;

@@ -1,0 +1,144 @@
+//! The synthetic standard-cell library: cell inventory, arc enumeration and
+//! the FO4 delay reference.
+
+use lvf2_mc::{TimingArcModel, VariationSample};
+
+use crate::arc::TimingArcSpec;
+use crate::types::CellType;
+
+/// A standard-cell library — the open-source stand-in for the paper's TSMC
+/// 22nm benchmark set.
+///
+/// The library is purely declarative (all arcs are synthesized on demand and
+/// deterministically), so it is `Clone`-cheap and needs no files on disk.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_cells::{CellLibrary, CellType};
+///
+/// let lib = CellLibrary::tsmc22_like();
+/// assert_eq!(lib.total_arc_count(), 747);
+/// let specs = lib.arc_specs(CellType::HalfAdder);
+/// assert_eq!(specs.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: String,
+}
+
+impl CellLibrary {
+    /// The benchmark library with the paper's Table 2 arc counts.
+    pub fn tsmc22_like() -> Self {
+        CellLibrary { name: "lvf2-synth-22nm".to_string() }
+    }
+
+    /// Library name (also used as the Liberty `library()` group name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The 25 cell types.
+    pub fn cell_types(&self) -> &'static [CellType] {
+        &CellType::ALL
+    }
+
+    /// Number of timing arcs for a cell type (matches Table 2).
+    pub fn arc_count(&self, cell: CellType) -> usize {
+        cell.paper_arc_count()
+    }
+
+    /// Total arcs across the library (747, as in the paper).
+    pub fn total_arc_count(&self) -> usize {
+        CellType::ALL.iter().map(|c| c.paper_arc_count()).sum()
+    }
+
+    /// All arc specs for one cell type.
+    pub fn arc_specs(&self, cell: CellType) -> Vec<TimingArcSpec> {
+        (0..self.arc_count(cell)).map(|i| TimingArcSpec::of(cell, i)).collect()
+    }
+
+    /// The first `k` arcs of a cell type — the reduced workload used by the
+    /// default Table 2 run (`--full` enables all of them).
+    pub fn arc_specs_reduced(&self, cell: CellType, k: usize) -> Vec<TimingArcSpec> {
+        (0..self.arc_count(cell).min(k)).map(|i| TimingArcSpec::of(cell, i)).collect()
+    }
+
+    /// Every arc spec in the library.
+    pub fn all_arc_specs(&self) -> Vec<TimingArcSpec> {
+        CellType::ALL.iter().flat_map(|&c| self.arc_specs(c)).collect()
+    }
+
+    /// Input capacitance of a cell's input pin (pF) — drive-proportional.
+    pub fn input_cap(&self, cell: CellType, drive: u8) -> f64 {
+        // ~1.8 fF per unit-drive input at 22nm, stacks load the input more.
+        0.0018 * drive as f64 * (1.0 + 0.15 * (cell.nmos_stack() as f64 - 1.0))
+    }
+
+    /// The nominal FO4 delay (ns): an X1 inverter driving four copies of its
+    /// own input capacitance, at a typical internal slew.
+    ///
+    /// This is the unit Figure 5's x-axis ("8-FO4", "30-FO4", "95-FO4") is
+    /// measured in.
+    pub fn fo4_delay(&self) -> f64 {
+        let spec = TimingArcSpec::of(CellType::Inv, 0);
+        let arc = spec.synthesize();
+        let load = 4.0 * self.input_cap(CellType::Inv, 1);
+        let slew = 0.02;
+        arc.evaluate(&VariationSample::nominal(), slew, load).delay
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::tsmc22_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_specs_cover_the_count() {
+        let lib = CellLibrary::tsmc22_like();
+        for &c in lib.cell_types() {
+            let specs = lib.arc_specs(c);
+            assert_eq!(specs.len(), c.paper_arc_count());
+            // Indices are 0..count and unique.
+            for (i, s) in specs.iter().enumerate() {
+                assert_eq!(s.id.index, i);
+                assert_eq!(s.id.cell, c);
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_specs_truncate() {
+        let lib = CellLibrary::tsmc22_like();
+        assert_eq!(lib.arc_specs_reduced(CellType::Xor4, 4).len(), 4);
+        assert_eq!(lib.arc_specs_reduced(CellType::HalfAdder, 100).len(), 7);
+    }
+
+    #[test]
+    fn all_arcs_total() {
+        let lib = CellLibrary::tsmc22_like();
+        assert_eq!(lib.all_arc_specs().len(), 747);
+    }
+
+    #[test]
+    fn fo4_delay_is_plausible_for_22nm() {
+        let lib = CellLibrary::tsmc22_like();
+        let fo4 = lib.fo4_delay();
+        // Tens of picoseconds at 0.8 V.
+        assert!(fo4 > 0.005 && fo4 < 0.1, "FO4 {fo4} ns");
+    }
+
+    #[test]
+    fn input_cap_scales_with_drive() {
+        let lib = CellLibrary::tsmc22_like();
+        let c1 = lib.input_cap(CellType::Inv, 1);
+        let c4 = lib.input_cap(CellType::Inv, 4);
+        assert!((c4 / c1 - 4.0).abs() < 1e-12);
+    }
+}

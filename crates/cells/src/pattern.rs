@@ -1,0 +1,230 @@
+//! Accuracy-pattern prediction — the speed-up the paper's conclusion
+//! anticipates: "assuming such an accuracy pattern can provide significant
+//! insight to speed up the statistical characterization that includes MC
+//! simulations across multiple slew-load pairs."
+//!
+//! §4.3 establishes that the multi-Gaussian phenomenon follows a diagonal
+//! (index-parity) pattern over the slew–load grid. A characterization flow
+//! can exploit that: Monte-Carlo **probe a few grid positions**, learn which
+//! parity class is contested, and **predict the model class (LVF vs LVF²)
+//! of every remaining position** without simulating it — spending the big
+//! 50k-sample budgets only where the pattern says LVF² is needed.
+
+/// A position's predicted (or observed) modelling need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelClass {
+    /// Single skew-normal suffices (LVF).
+    SingleComponent,
+    /// Multi-Gaussian behaviour — store LVF².
+    MultiComponent,
+}
+
+/// A probed grid position: indices and a multi-Gaussian score (any
+/// monotone indicator works — CDF-RMSE error reduction of LVF² vs LVF, a
+/// peak count, a mixture-separation statistic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// Slew index.
+    pub i: usize,
+    /// Load index.
+    pub j: usize,
+    /// Multi-Gaussian score (larger = more multi-Gaussian).
+    pub score: f64,
+}
+
+/// Parity-pattern predictor fitted from a handful of probes.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_cells::pattern::{ModelClass, PatternPredictor, Probe};
+///
+/// // Even-parity positions probed as strongly multi-Gaussian.
+/// let probes = [
+///     Probe { i: 0, j: 0, score: 8.0 },
+///     Probe { i: 1, j: 0, score: 1.2 },
+///     Probe { i: 1, j: 1, score: 7.0 },
+///     Probe { i: 2, j: 1, score: 1.1 },
+/// ];
+/// let p = PatternPredictor::fit(&probes, 2.0).expect("both parities probed");
+/// assert_eq!(p.predict(4, 4), ModelClass::MultiComponent); // even parity
+/// assert_eq!(p.predict(4, 5), ModelClass::SingleComponent);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternPredictor {
+    even_mean: f64,
+    odd_mean: f64,
+    threshold: f64,
+}
+
+impl PatternPredictor {
+    /// Fits the predictor: the mean score of each index-parity class.
+    ///
+    /// Returns `None` unless both parities have at least one probe — the
+    /// minimum for the diagonal pattern to be identifiable.
+    pub fn fit(probes: &[Probe], threshold: f64) -> Option<Self> {
+        let (mut es, mut en, mut os, mut on) = (0.0, 0usize, 0.0, 0usize);
+        for p in probes {
+            if (p.i + p.j) % 2 == 0 {
+                es += p.score;
+                en += 1;
+            } else {
+                os += p.score;
+                on += 1;
+            }
+        }
+        if en == 0 || on == 0 {
+            return None;
+        }
+        Some(PatternPredictor {
+            even_mean: es / en as f64,
+            odd_mean: os / on as f64,
+            threshold,
+        })
+    }
+
+    /// Mean probed score of the even-parity class.
+    pub fn even_mean(&self) -> f64 {
+        self.even_mean
+    }
+
+    /// Mean probed score of the odd-parity class.
+    pub fn odd_mean(&self) -> f64 {
+        self.odd_mean
+    }
+
+    /// Predicts the model class of an arbitrary grid position.
+    pub fn predict(&self, i: usize, j: usize) -> ModelClass {
+        let m = if (i + j).is_multiple_of(2) { self.even_mean } else { self.odd_mean };
+        if m >= self.threshold {
+            ModelClass::MultiComponent
+        } else {
+            ModelClass::SingleComponent
+        }
+    }
+
+    /// Fraction of an `rows × cols` grid predicted to need LVF² storage.
+    pub fn lvf2_fraction(&self, rows: usize, cols: usize) -> f64 {
+        let mut multi = 0usize;
+        for i in 0..rows {
+            for j in 0..cols {
+                if self.predict(i, j) == ModelClass::MultiComponent {
+                    multi += 1;
+                }
+            }
+        }
+        multi as f64 / (rows * cols) as f64
+    }
+}
+
+/// A minimal probing plan covering both parities with `2·per_parity`
+/// positions, spread across the grid.
+pub fn probe_plan(rows: usize, cols: usize, per_parity: usize) -> Vec<(usize, usize)> {
+    let mut plan = Vec::with_capacity(2 * per_parity);
+    for k in 0..per_parity {
+        let i = (k * rows.max(1)) / per_parity.max(1) % rows;
+        // Even-parity partner in row i.
+        let je = (i % 2 + 2 * ((k * cols) / (2 * per_parity.max(1)))) % cols;
+        let je = if (i + je).is_multiple_of(2) { je } else { (je + 1) % cols };
+        plan.push((i, je));
+        // Odd-parity partner.
+        let jo = (je + 1) % cols;
+        let jo = if (i + jo) % 2 == 1 { jo } else { (jo + 1) % cols };
+        plan.push((i, jo));
+    }
+    plan.sort_unstable();
+    plan.dedup();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_requires_both_parities() {
+        let only_even = [Probe { i: 0, j: 0, score: 5.0 }, Probe { i: 1, j: 1, score: 4.0 }];
+        assert!(PatternPredictor::fit(&only_even, 2.0).is_none());
+    }
+
+    #[test]
+    fn plan_covers_both_parities() {
+        for per in [1, 2, 4] {
+            let plan = probe_plan(8, 8, per);
+            assert!(plan.iter().any(|&(i, j)| (i + j) % 2 == 0), "per={per}");
+            assert!(plan.iter().any(|&(i, j)| (i + j) % 2 == 1), "per={per}");
+            assert!(plan.iter().all(|&(i, j)| i < 8 && j < 8));
+        }
+    }
+
+    #[test]
+    fn predicts_checkerboard_from_few_probes() {
+        // Ground truth: even parity multi-Gaussian (score ~6), odd not (~1.3).
+        let truth_score = |i: usize, j: usize| if (i + j).is_multiple_of(2) { 6.0 } else { 1.3 };
+        let plan = probe_plan(8, 8, 2);
+        let probes: Vec<Probe> = plan
+            .iter()
+            .map(|&(i, j)| Probe { i, j, score: truth_score(i, j) })
+            .collect();
+        let p = PatternPredictor::fit(&probes, 2.0).unwrap();
+        let mut correct = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                let want = if truth_score(i, j) >= 2.0 {
+                    ModelClass::MultiComponent
+                } else {
+                    ModelClass::SingleComponent
+                };
+                if p.predict(i, j) == want {
+                    correct += 1;
+                }
+            }
+        }
+        assert_eq!(correct, 64, "parity pattern must be perfectly recovered");
+        assert!((p.lvf2_fraction(8, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_boring_arc_predicts_all_lvf() {
+        let probes = [
+            Probe { i: 0, j: 0, score: 1.1 },
+            Probe { i: 0, j: 1, score: 1.0 },
+        ];
+        let p = PatternPredictor::fit(&probes, 2.0).unwrap();
+        assert_eq!(p.lvf2_fraction(8, 8), 0.0);
+    }
+
+    #[test]
+    fn predictor_matches_real_characterization() {
+        // Probe 2 positions per parity of a real NAND2 characterization with
+        // a cheap score (histogram peak count) and check the prediction
+        // against the observed class on the full grid.
+        use crate::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+        use lvf2_stats::Histogram;
+        let spec = TimingArcSpec::of(CellType::Nand2, 0);
+        let grid = SlewLoadGrid::paper_8x8();
+        let ch = characterize_arc(&spec, &grid, 1500);
+        let score = |i: usize, j: usize| {
+            Histogram::new(&ch.at(i, j).delays, 50).unwrap().peak_count() as f64
+        };
+        let plan = probe_plan(8, 8, 2);
+        let probes: Vec<Probe> =
+            plan.iter().map(|&(i, j)| Probe { i, j, score: score(i, j) }).collect();
+        let p = PatternPredictor::fit(&probes, 1.5).unwrap();
+        // Majority agreement with the observed peak classes.
+        let mut agree = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                let observed = if score(i, j) >= 1.5 {
+                    ModelClass::MultiComponent
+                } else {
+                    ModelClass::SingleComponent
+                };
+                if p.predict(i, j) == observed {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree >= 44, "pattern prediction agreed on only {agree}/64 positions");
+    }
+}

@@ -1,0 +1,252 @@
+//! The 25 combinational cell types of the paper's Table 2.
+
+use std::fmt;
+
+/// A combinational standard-cell type.
+///
+/// The set matches the paper's benchmark exactly: inverters/buffers, NAND,
+/// AND, NOR, OR, XOR, XNOR in widths 2–4, MUX 2–4, and full/half adders.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_cells::CellType;
+/// assert_eq!(CellType::ALL.len(), 25);
+/// assert_eq!(CellType::Nand3.to_string(), "NAND3");
+/// assert_eq!(CellType::Nand3.input_count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum CellType {
+    Inv,
+    Buff,
+    Nand2,
+    Nand3,
+    Nand4,
+    And2,
+    And3,
+    And4,
+    Nor2,
+    Nor3,
+    Nor4,
+    Or2,
+    Or3,
+    Or4,
+    Xor2,
+    Xor3,
+    Xor4,
+    Xnor2,
+    Xnor3,
+    Xnor4,
+    Mux2,
+    Mux3,
+    Mux4,
+    FullAdder,
+    HalfAdder,
+}
+
+impl CellType {
+    /// All 25 cell types, in the paper's Table 2 order.
+    pub const ALL: [CellType; 25] = [
+        CellType::Inv,
+        CellType::Buff,
+        CellType::Nand2,
+        CellType::Nand3,
+        CellType::Nand4,
+        CellType::And2,
+        CellType::And3,
+        CellType::And4,
+        CellType::Nor2,
+        CellType::Nor3,
+        CellType::Nor4,
+        CellType::Or2,
+        CellType::Or3,
+        CellType::Or4,
+        CellType::Xor2,
+        CellType::Xor3,
+        CellType::Xor4,
+        CellType::Xnor2,
+        CellType::Xnor3,
+        CellType::Xnor4,
+        CellType::Mux2,
+        CellType::Mux3,
+        CellType::Mux4,
+        CellType::FullAdder,
+        CellType::HalfAdder,
+    ];
+
+    /// Library name (Table 2 row label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellType::Inv => "INV",
+            CellType::Buff => "BUFF",
+            CellType::Nand2 => "NAND2",
+            CellType::Nand3 => "NAND3",
+            CellType::Nand4 => "NAND4",
+            CellType::And2 => "AND2",
+            CellType::And3 => "AND3",
+            CellType::And4 => "AND4",
+            CellType::Nor2 => "NOR2",
+            CellType::Nor3 => "NOR3",
+            CellType::Nor4 => "NOR4",
+            CellType::Or2 => "OR2",
+            CellType::Or3 => "OR3",
+            CellType::Or4 => "OR4",
+            CellType::Xor2 => "XOR2",
+            CellType::Xor3 => "XOR3",
+            CellType::Xor4 => "XOR4",
+            CellType::Xnor2 => "XNOR2",
+            CellType::Xnor3 => "XNOR3",
+            CellType::Xnor4 => "XNOR4",
+            CellType::Mux2 => "MUX2",
+            CellType::Mux3 => "MUX3",
+            CellType::Mux4 => "MUX4",
+            CellType::FullAdder => "FA",
+            CellType::HalfAdder => "HA",
+        }
+    }
+
+    /// Number of logic inputs.
+    pub fn input_count(&self) -> usize {
+        match self {
+            CellType::Inv | CellType::Buff => 1,
+            CellType::Nand2
+            | CellType::And2
+            | CellType::Nor2
+            | CellType::Or2
+            | CellType::Xor2
+            | CellType::Xnor2
+            | CellType::HalfAdder => 2,
+            CellType::Nand3
+            | CellType::And3
+            | CellType::Nor3
+            | CellType::Or3
+            | CellType::Xor3
+            | CellType::Xnor3
+            | CellType::Mux2
+            | CellType::FullAdder => 3,
+            CellType::Nand4 | CellType::And4 | CellType::Nor4 | CellType::Or4
+            | CellType::Xor4 | CellType::Xnor4 => 4,
+            CellType::Mux3 => 5,
+            CellType::Mux4 => 6,
+        }
+    }
+
+    /// Longest series NMOS stack in the pull-down network.
+    pub fn nmos_stack(&self) -> usize {
+        match self {
+            CellType::Inv | CellType::Buff | CellType::Nor2 | CellType::Nor3
+            | CellType::Nor4 | CellType::Or2 | CellType::Or3 | CellType::Or4 => 1,
+            CellType::Nand2 | CellType::And2 | CellType::Xor2 | CellType::Xnor2
+            | CellType::Mux2 | CellType::HalfAdder => 2,
+            CellType::Nand3 | CellType::And3 | CellType::Xor3 | CellType::Xnor3
+            | CellType::Mux3 | CellType::FullAdder => 3,
+            CellType::Nand4 | CellType::And4 | CellType::Xor4 | CellType::Xnor4
+            | CellType::Mux4 => 4,
+        }
+    }
+
+    /// Longest series PMOS stack in the pull-up network.
+    pub fn pmos_stack(&self) -> usize {
+        match self {
+            CellType::Inv | CellType::Buff | CellType::Nand2 | CellType::Nand3
+            | CellType::Nand4 | CellType::And2 | CellType::And3 | CellType::And4 => 1,
+            CellType::Nor2 | CellType::Or2 | CellType::Xor2 | CellType::Xnor2
+            | CellType::Mux2 | CellType::HalfAdder => 2,
+            CellType::Nor3 | CellType::Or3 | CellType::Xor3 | CellType::Xnor3
+            | CellType::Mux3 | CellType::FullAdder => 3,
+            CellType::Nor4 | CellType::Or4 | CellType::Xor4 | CellType::Xnor4
+            | CellType::Mux4 => 4,
+        }
+    }
+
+    /// Number of parallel discharge paths competing for the output — a proxy
+    /// for how often regime competition (multi-Gaussian behaviour) shows up.
+    pub fn parallel_paths(&self) -> usize {
+        match self {
+            CellType::Inv | CellType::Buff => 1,
+            CellType::Nand2 | CellType::And2 | CellType::Nor2 | CellType::Or2 => 2,
+            CellType::Nand3 | CellType::And3 | CellType::Nor3 | CellType::Or3 => 3,
+            CellType::Nand4 | CellType::And4 | CellType::Nor4 | CellType::Or4 => 4,
+            CellType::Xor2 | CellType::Xnor2 | CellType::HalfAdder => 4,
+            CellType::Xor3 | CellType::Xnor3 | CellType::Mux2 => 5,
+            CellType::Xor4 | CellType::Xnor4 | CellType::Mux3 => 6,
+            CellType::Mux4 | CellType::FullAdder => 7,
+        }
+    }
+
+    /// Paper Table 2 "Test Arcs Number" for this cell type.
+    pub fn paper_arc_count(&self) -> usize {
+        match self {
+            CellType::Inv => 24,
+            CellType::Buff => 21,
+            CellType::Nand2 => 57,
+            CellType::Nand3 => 39,
+            CellType::Nand4 => 28,
+            CellType::And2 => 20,
+            CellType::And3 => 22,
+            CellType::And4 => 11,
+            CellType::Nor2 => 14,
+            CellType::Nor3 => 13,
+            CellType::Nor4 => 25,
+            CellType::Or2 => 17,
+            CellType::Or3 => 12,
+            CellType::Or4 => 23,
+            CellType::Xor2 => 32,
+            CellType::Xor3 => 49,
+            CellType::Xor4 => 74,
+            CellType::Xnor2 => 30,
+            CellType::Xnor3 => 48,
+            CellType::Xnor4 => 45,
+            CellType::Mux2 => 31,
+            CellType::Mux3 => 40,
+            CellType::Mux4 => 40,
+            CellType::FullAdder => 25,
+            CellType::HalfAdder => 7,
+        }
+    }
+}
+
+impl fmt::Display for CellType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_paper_arcs() {
+        let total: usize = CellType::ALL.iter().map(|c| c.paper_arc_count()).sum();
+        assert_eq!(total, 747);
+    }
+
+    #[test]
+    fn stacks_are_physical() {
+        for c in CellType::ALL {
+            assert!(c.nmos_stack() >= 1 && c.nmos_stack() <= 4);
+            assert!(c.pmos_stack() >= 1 && c.pmos_stack() <= 4);
+            assert!(c.parallel_paths() >= 1);
+        }
+        // NAND stacks NMOS, NOR stacks PMOS.
+        assert_eq!(CellType::Nand4.nmos_stack(), 4);
+        assert_eq!(CellType::Nand4.pmos_stack(), 1);
+        assert_eq!(CellType::Nor4.pmos_stack(), 4);
+        assert_eq!(CellType::Nor4.nmos_stack(), 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = CellType::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(CellType::FullAdder.to_string(), "FA");
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the synthetic cell library.
+
+use lvf2_cells::{CellType, Scenario, SlewLoadGrid, TimingArcSpec};
+use lvf2_mc::{TimingArcModel, VariationSample};
+use proptest::prelude::*;
+
+fn cell_type() -> impl Strategy<Value = CellType> {
+    (0..CellType::ALL.len()).prop_map(|i| CellType::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_arc_synthesizes_and_evaluates(cell in cell_type(), idx in 0usize..100) {
+        let idx = idx % cell.paper_arc_count();
+        let spec = TimingArcSpec::of(cell, idx);
+        prop_assert_eq!(spec.id.cell, cell);
+        prop_assert!(spec.input_pin < cell.input_count());
+        prop_assert!([1u8, 2, 4].contains(&spec.drive));
+        let arc = spec.synthesize();
+        let t = arc.evaluate(&VariationSample::nominal(), 0.02, 0.05);
+        prop_assert!(t.delay > 0.0 && t.delay < 10.0, "delay {}", t.delay);
+        prop_assert!(t.transition > 0.0 && t.transition < 10.0);
+        // Determinism.
+        prop_assert_eq!(arc, spec.synthesize());
+    }
+
+    #[test]
+    fn arc_personalities_differ_across_indices(cell in cell_type(), a in 0usize..50, b in 0usize..50) {
+        let (a, b) = (a % cell.paper_arc_count(), b % cell.paper_arc_count());
+        prop_assume!(a != b);
+        let arc_a = TimingArcSpec::of(cell, a).synthesize();
+        let arc_b = TimingArcSpec::of(cell, b).synthesize();
+        prop_assert_ne!(arc_a, arc_b);
+    }
+
+    #[test]
+    fn scenario_samples_are_positive_and_scaled(s in 0usize..5, n in 10usize..500, seed in 0u64..100) {
+        let scenario = Scenario::ALL[s];
+        let xs = scenario.sample(n, seed);
+        prop_assert_eq!(xs.len(), n);
+        prop_assert!(xs.iter().all(|&x| x > 0.0 && x < 1.0), "delays in (0, 1) ns");
+    }
+
+    #[test]
+    fn grid_conditions_are_unique(rows in 1usize..6, cols in 1usize..6) {
+        let slews: Vec<f64> = (0..rows).map(|i| 0.001 * 2f64.powi(i as i32)).collect();
+        let loads: Vec<f64> = (0..cols).map(|j| 0.002 * 3f64.powi(j as i32)).collect();
+        let grid = SlewLoadGrid::new(slews, loads);
+        let mut seen = std::collections::HashSet::new();
+        for (i, j, s, l) in grid.iter() {
+            prop_assert!(seen.insert((i, j)));
+            prop_assert_eq!(grid.condition(i, j), (s, l));
+        }
+        prop_assert_eq!(seen.len(), grid.len());
+    }
+}

@@ -1,0 +1,425 @@
+//! Command implementations for the `lvf2` CLI.
+
+use std::error::Error;
+use std::io::Read as _;
+
+use lvf2::binning::{score_model, GoldenReference};
+use lvf2::cells::{characterize_arc, CellType, Scenario, SlewLoadGrid, TimingArcSpec};
+use lvf2::fit::select::{select_order, Criterion};
+use lvf2::fit::{fit_lvf2, FitConfig};
+use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
+use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::stats::Distribution;
+use lvf2::{fit_model, recommend_model, ModelKind};
+
+use crate::opts::Opts;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lvf2 — LVF² statistical timing toolkit
+
+USAGE:
+  lvf2 characterize --cell NAME [--arc N] [--samples N] [--grid 8x8|3x3] [--seed N] --out FILE
+  lvf2 library --cells NAME,NAME,… [--arcs N] [--samples N] [--grid 8x8|3x3] --out FILE
+  lvf2 inspect FILE [--cell NAME]
+  lvf2 fit FILE|- [--model lvf|norm2|lesn|lvf2] [--fast]
+  lvf2 select FILE|- [--max-order K] [--aic]
+  lvf2 switch FILE|- --depth N [--threshold X]
+  lvf2 yield FILE|- --target T [--draws N] [--model lvf|norm2|lvf2]
+  lvf2 sta NETLIST --clock T [--samples N] [--slew S]
+  lvf2 scenario NAME [--samples N] [--seed N]
+      NAME ∈ two-peaks | multi-peaks | saddle | minor-saddle | kurtosis
+
+Samples files are whitespace/newline-separated numbers; `-` reads stdin.";
+
+fn read_samples(path: &str) -> Result<Vec<f64>, Box<dyn Error>> {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    let mut out = Vec::new();
+    for tok in text.split_whitespace() {
+        out.push(tok.parse::<f64>().map_err(|_| format!("invalid sample `{tok}`"))?);
+    }
+    if out.is_empty() {
+        return Err("no samples found".into());
+    }
+    Ok(out)
+}
+
+fn cell_by_name(name: &str) -> Result<CellType, Box<dyn Error>> {
+    CellType::ALL
+        .iter()
+        .copied()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown cell `{name}` (try INV, NAND2, XOR3, FA, …)").into())
+}
+
+fn config(opts: &Opts) -> FitConfig {
+    if opts.flag("fast") {
+        FitConfig::fast()
+    } else {
+        FitConfig::default()
+    }
+}
+
+/// `lvf2 characterize`: Monte-Carlo characterize one arc, fit LVF² on every
+/// grid condition, write a Liberty file carrying both LVF and LVF² tables.
+pub fn characterize(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let cell = cell_by_name(opts.get("cell").ok_or("--cell is required")?)?;
+    let arc_idx: usize = opts.get_or("arc", 0)?;
+    let samples: usize = opts.get_or("samples", 4000)?;
+    let out = opts.get("out").ok_or("--out is required")?;
+    let grid = match opts.get("grid").unwrap_or("8x8") {
+        "8x8" => SlewLoadGrid::paper_8x8(),
+        "3x3" => SlewLoadGrid::small_3x3(),
+        other => return Err(format!("unknown grid `{other}` (8x8 or 3x3)").into()),
+    };
+    if arc_idx >= cell.paper_arc_count() {
+        return Err(format!("{cell} has {} arcs", cell.paper_arc_count()).into());
+    }
+    let spec = TimingArcSpec::of(cell, arc_idx);
+    eprintln!("characterizing {spec} over {}x{} grid, {samples} samples/condition…",
+        grid.slews().len(), grid.loads().len());
+    let ch = characterize_arc(&spec, &grid, samples);
+
+    let cfg = FitConfig::fast();
+    let rows = grid.slews().len();
+    let cols = grid.loads().len();
+    let mut nominal = Vec::with_capacity(rows);
+    let mut models = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let mut nrow = Vec::with_capacity(cols);
+        let mut mrow = Vec::with_capacity(cols);
+        for j in 0..cols {
+            let c = ch.at(i, j);
+            nrow.push(lvf2::stats::sample_mean(&c.delays));
+            mrow.push(fit_lvf2(&c.delays, &cfg)?.model);
+        }
+        nominal.push(nrow);
+        models.push(mrow);
+    }
+    let template = format!("delay_template_{rows}x{cols}");
+    let model_grid = TimingModelGrid {
+        base: BaseKind::CellRise,
+        index_1: grid.slews().to_vec(),
+        index_2: grid.loads().to_vec(),
+        nominal,
+        models,
+    };
+    let mut lib = Library::new("lvf2_cli");
+    lib.templates.push(LutTemplate {
+        name: template.clone(),
+        index_1: grid.slews().to_vec(),
+        index_2: grid.loads().to_vec(),
+    });
+    lib.cells.push(Cell {
+        name: format!("{}_X{}", cell.name(), spec.drive),
+        pins: vec![Pin {
+            name: "Y".into(),
+            direction: "output".into(),
+            timings: vec![TimingGroup {
+                related_pin: "A".into(),
+                tables: model_grid.to_tables(&template),
+            ..Default::default() }],
+        }],
+    });
+    std::fs::write(out, write_library(&lib))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `lvf2 library`: characterize several cells and write one Liberty file.
+pub fn library(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let names = opts.get("cells").ok_or("--cells is required (comma-separated)")?;
+    let out = opts.get("out").ok_or("--out is required")?;
+    let mut cells = Vec::new();
+    for name in names.split(',') {
+        cells.push(cell_by_name(name.trim())?);
+    }
+    let grid = match opts.get("grid").unwrap_or("8x8") {
+        "8x8" => SlewLoadGrid::paper_8x8(),
+        "3x3" => SlewLoadGrid::small_3x3(),
+        other => return Err(format!("unknown grid `{other}` (8x8 or 3x3)").into()),
+    };
+    let flow_opts = lvf2::flow::FlowOptions {
+        samples: opts.get_or("samples", 2000)?,
+        arcs_per_cell: opts.get_or("arcs", 1)?,
+        grid,
+        fit: FitConfig::fast(),
+    };
+    eprintln!("characterizing {} cell type(s)…", cells.len());
+    let lib = lvf2::flow::characterize_to_library(&cells, &flow_opts)?;
+    std::fs::write(out, write_library(&lib))?;
+    println!("wrote {out} ({} cell groups)", lib.cells.len());
+    Ok(())
+}
+
+/// `lvf2 inspect`: parse a .lib and summarize its statistical content.
+pub fn inspect(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let path = opts.positional(0).ok_or("usage: lvf2 inspect FILE")?;
+    let lib = parse_library(&std::fs::read_to_string(path)?)?;
+    println!("library `{}`: {} template(s), {} cell(s)", lib.name, lib.templates.len(), lib.cells.len());
+    for cell in &lib.cells {
+        if let Some(want) = opts.get("cell") {
+            if !cell.name.eq_ignore_ascii_case(want) {
+                continue;
+            }
+        }
+        println!("cell {}", cell.name);
+        for pin in &cell.pins {
+            for (t, timing) in pin.timings.iter().enumerate() {
+                let lvf2_tables =
+                    timing.tables.iter().filter(|t| t.kind.stat.is_lvf2_extension()).count();
+                println!(
+                    "  pin {} timing[{t}] related_pin={} tables={} (lvf2 extension: {})",
+                    pin.name,
+                    timing.related_pin,
+                    timing.tables.len(),
+                    lvf2_tables
+                );
+                for base in BaseKind::ALL {
+                    if let Ok(grid) = TimingModelGrid::from_timing(timing, base) {
+                        let mut lambdas: Vec<f64> = grid
+                            .models
+                            .iter()
+                            .flatten()
+                            .map(|m| m.lambda())
+                            .collect();
+                        lambdas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        let active = lambdas.iter().filter(|&&l| l > 0.0).count();
+                        println!(
+                            "    {}: {}x{} grid, λ>0 at {active}/{} entries (max λ = {:.3})",
+                            base.stem(),
+                            grid.index_1.len(),
+                            grid.index_2.len(),
+                            lambdas.len(),
+                            lambdas.last().copied().unwrap_or(0.0)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `lvf2 fit`: fit one model family to raw samples and score it.
+pub fn fit(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let path = opts.positional(0).ok_or("usage: lvf2 fit FILE|-")?;
+    let xs = read_samples(path)?;
+    let kind = match opts.get("model").unwrap_or("lvf2") {
+        "lvf" => ModelKind::Lvf,
+        "norm2" => ModelKind::Norm2,
+        "lesn" => ModelKind::Lesn,
+        "lvf2" => ModelKind::Lvf2,
+        other => return Err(format!("unknown model `{other}`").into()),
+    };
+    let fitted = fit_model(kind, &xs, &config(&opts))?;
+    println!(
+        "{kind}: mean={:.6} sigma={:.6} skew={:+.4} exkurt={:+.4}",
+        fitted.model.mean(),
+        fitted.model.std_dev(),
+        fitted.model.skewness(),
+        fitted.model.excess_kurtosis()
+    );
+    if let lvf2::ssta::TimingDist::Lvf2(m) = &fitted.model {
+        println!(
+            "  λ={:.4} θ1=(μ={:.6}, σ={:.6}, γ={:+.3}) θ2=(μ={:.6}, σ={:.6}, γ={:+.3})",
+            m.lambda(),
+            m.first().mean(), m.first().std_dev(), m.first().skewness(),
+            m.second().mean(), m.second().std_dev(), m.second().skewness(),
+        );
+    }
+    let golden = GoldenReference::from_samples(&xs)?;
+    let s = score_model(&fitted.model, &golden);
+    println!(
+        "  vs samples: binning_err={:.6} yield3σ_err={:.6} cdf_rmse={:.6} (ll={:.1}, {} iters, converged={})",
+        s.binning_error,
+        s.yield_3sigma_error,
+        s.cdf_rmse,
+        fitted.report.log_likelihood,
+        fitted.report.iterations,
+        fitted.report.converged
+    );
+    Ok(())
+}
+
+/// `lvf2 select`: BIC/AIC mixture-order selection.
+pub fn select(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let path = opts.positional(0).ok_or("usage: lvf2 select FILE|-")?;
+    let xs = read_samples(path)?;
+    let max_order: usize = opts.get_or("max-order", 3)?;
+    let criterion = if opts.flag("aic") { Criterion::Aic } else { Criterion::Bic };
+    let sel = select_order(&xs, max_order, criterion, &config(&opts))?;
+    println!("{:>6} {:>16} {:>16}", "order", "criterion", "log-likelihood");
+    for (k, crit, ll) in &sel.candidates {
+        let mark = if *k == sel.best_order { " <= best" } else { "" };
+        println!("{k:>6} {crit:>16.2} {ll:>16.2}{mark}");
+    }
+    println!(
+        "selection: K = {} ({})",
+        sel.best_order,
+        if sel.prefers_lvf() { "plain LVF suffices" } else { "store the mixture" }
+    );
+    Ok(())
+}
+
+/// `lvf2 switch`: the §3.4 depth-aware LVF vs LVF² recommendation.
+pub fn switch(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let path = opts.positional(0).ok_or("usage: lvf2 switch FILE|- --depth N")?;
+    let xs = read_samples(path)?;
+    let depth: usize = opts.get_or("depth", 1)?;
+    let threshold: f64 = opts.get_or("threshold", lvf2::switch::DEFAULT_THRESHOLD)?;
+    let rep = recommend_model(&xs, depth, threshold, &config(&opts))?;
+    println!(
+        "stage-level LVF2 error reduction: {:.2}x; projected at depth {}: {:.2}x (threshold {threshold})",
+        rep.stage_reduction, rep.depth, rep.depth_reduction
+    );
+    println!("recommendation: {}", rep.recommendation);
+    Ok(())
+}
+
+/// `lvf2 yield`: fit a model and estimate the deep-tail failure probability
+/// `P(delay > target)` by importance sampling (plus the plain-MC estimate on
+/// the raw samples for comparison).
+pub fn yield_cmd(args: &[String]) -> CliResult {
+    use lvf2::binning::rare::{importance_tail_probability, shifted_proposal};
+    use rand::SeedableRng;
+    let opts = Opts::parse(args);
+    let path = opts.positional(0).ok_or("usage: lvf2 yield FILE|- --target T")?;
+    let xs = read_samples(path)?;
+    let target: f64 = opts
+        .get("target")
+        .ok_or("--target is required")?
+        .parse()
+        .map_err(|_| "invalid --target")?;
+    let draws: usize = opts.get_or("draws", 50_000)?;
+    let kind = match opts.get("model").unwrap_or("lvf2") {
+        "lvf" => ModelKind::Lvf,
+        "norm2" => ModelKind::Norm2,
+        "lvf2" => ModelKind::Lvf2,
+        other => return Err(format!("unknown model `{other}` (lesn has no tail sampler)").into()),
+    };
+    let fitted = fit_model(kind, &xs, &config(&opts))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.get_or("seed", 2024u64)?);
+    let proposal = shifted_proposal(&fitted.model, target)?;
+    let est = importance_tail_probability(&fitted.model, &proposal, target, draws, &mut rng)?;
+    let raw_fail = xs.iter().filter(|&&x| x > target).count() as f64 / xs.len() as f64;
+    println!("model: {kind}; target: {target}");
+    println!(
+        "P(delay > target) = {:.3e} ± {:.1e} (IS, {draws} draws, ESS {:.0})",
+        est.probability, est.std_error, est.effective_samples
+    );
+    println!("yield = {:.6}%", 100.0 * est.yield_fraction());
+    println!(
+        "raw-sample estimate: {raw_fail:.3e} ({} samples{})",
+        xs.len(),
+        if raw_fail == 0.0 { "; tail unresolvable without IS" } else { "" }
+    );
+    Ok(())
+}
+
+/// `lvf2 sta`: run block-based SSTA on a gate-level netlist with both LVF
+/// and LVF² models, reporting per-output arrival moments and violation
+/// probabilities against a golden Monte-Carlo reference.
+pub fn sta(args: &[String]) -> CliResult {
+    use lvf2::ssta::{parse_netlist, run_sta, StaOptions};
+    let opts = Opts::parse(args);
+    let path = opts.positional(0).ok_or("usage: lvf2 sta NETLIST --clock T")?;
+    let text = std::fs::read_to_string(path)?;
+    let netlist = parse_netlist(&text)?;
+    let sta_opts = StaOptions {
+        samples: opts.get_or("samples", 2000)?,
+        slew: opts.get_or("slew", 0.03)?,
+        clock: opts.get_or("clock", 0.5)?,
+        seed: opts.get_or("seed", 1u64)?,
+        ..StaOptions::default()
+    };
+    eprintln!(
+        "{} gates, {} primary outputs; clock {} ns, {} MC samples/arc",
+        netlist.gates.len(),
+        netlist.outputs.len(),
+        sta_opts.clock,
+        sta_opts.samples
+    );
+    let report = run_sta(&netlist, &sta_opts)?;
+    println!(
+        "{:<10} {:>10} {:>10} | {:>12} {:>12} {:>12}",
+        "output", "mean (ns)", "σ (ns)", "P_viol LVF", "P_viol LVF2", "P_viol golden"
+    );
+    for ((lvf, lvf2), (net, golden)) in
+        report.lvf.iter().zip(&report.lvf2).zip(&report.golden_violation)
+    {
+        println!(
+            "{:<10} {:>10.5} {:>10.5} | {:>12.5} {:>12.5} {:>12.5}",
+            net,
+            lvf2.arrival.mean(),
+            lvf2.arrival.std_dev(),
+            lvf.violation_probability,
+            lvf2.violation_probability,
+            golden
+        );
+    }
+    Ok(())
+}
+
+/// `lvf2 scenario`: print samples of a Figure 3 scenario to stdout.
+pub fn scenario(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let name = opts.positional(0).ok_or("usage: lvf2 scenario NAME")?;
+    let samples: usize = opts.get_or("samples", 50_000)?;
+    let seed: u64 = opts.get_or("seed", 2024)?;
+    let scenario = match name.to_ascii_lowercase().as_str() {
+        "two-peaks" | "2-peaks" => Scenario::TwoPeaks,
+        "multi-peaks" => Scenario::MultiPeaks,
+        "saddle" => Scenario::Saddle,
+        "minor-saddle" => Scenario::MinorSaddle,
+        "kurtosis" => Scenario::Kurtosis,
+        other => return Err(format!("unknown scenario `{other}`").into()),
+    };
+    let mut out = String::with_capacity(samples * 10);
+    for x in scenario.sample(samples, seed) {
+        out.push_str(&format!("{x}\n"));
+    }
+    print!("{out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_lookup_is_case_insensitive() {
+        assert_eq!(cell_by_name("nand2").unwrap(), CellType::Nand2);
+        assert_eq!(cell_by_name("FA").unwrap(), CellType::FullAdder);
+        assert!(cell_by_name("NAND9").is_err());
+    }
+
+    #[test]
+    fn sample_parsing_rejects_garbage() {
+        let dir = std::env::temp_dir().join("lvf2_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.txt");
+        std::fs::write(&good, "1.0 2.0\n3.5").unwrap();
+        assert_eq!(read_samples(good.to_str().unwrap()).unwrap(), vec![1.0, 2.0, 3.5]);
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "1.0 oops").unwrap();
+        assert!(read_samples(bad.to_str().unwrap()).is_err());
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "").unwrap();
+        assert!(read_samples(empty.to_str().unwrap()).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! `lvf2` — command-line front end for the LVF² workspace.
+//!
+//! ```text
+//! lvf2 characterize --cell NAND2 --arc 0 --out nand2.lib   # MC → fit → .lib
+//! lvf2 inspect nand2.lib                                   # what's in a library
+//! lvf2 fit samples.txt --model lvf2                        # fit raw samples
+//! lvf2 select samples.txt --max-order 3                    # BIC order selection
+//! lvf2 switch samples.txt --depth 8                        # §3.4 LVF vs LVF²
+//! lvf2 scenario two-peaks --samples 50000                  # dump a Fig. 3 scenario
+//! ```
+
+use std::process::ExitCode;
+
+mod cmd;
+mod opts;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", cmd::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "characterize" => cmd::characterize(rest),
+        "library" => cmd::library(rest),
+        "inspect" => cmd::inspect(rest),
+        "fit" => cmd::fit(rest),
+        "select" => cmd::select(rest),
+        "switch" => cmd::switch(rest),
+        "scenario" => cmd::scenario(rest),
+        "yield" => cmd::yield_cmd(rest),
+        "sta" => cmd::sta(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", cmd::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", cmd::USAGE).into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

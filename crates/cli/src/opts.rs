@@ -1,0 +1,87 @@
+//! Tiny dependency-free option parsing for the CLI.
+
+/// Parsed command-line options: positionals plus `--key value` / `--flag`.
+#[derive(Debug, Default)]
+pub struct Opts {
+    positionals: Vec<String>,
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    /// Parses `args`, treating `--key value` as a pair when the following
+    /// token does not start with `--`, and as a bare flag otherwise.
+    pub fn parse(args: &[String]) -> Opts {
+        let mut o = Opts::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        o.pairs.push((key.to_string(), it.next().expect("peeked").clone()));
+                    }
+                    _ => o.flags.push(key.to_string()),
+                }
+            } else {
+                o.positionals.push(a.clone());
+            }
+        }
+        o
+    }
+
+    /// The `idx`-th positional argument.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(|s| s.as_str())
+    }
+
+    /// String value of `--key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed value of `--key`, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+
+    /// `true` when `--key` appears as a bare flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn pairs_flags_and_positionals() {
+        let o = parse("input.txt --samples 400 --full --out x.lib");
+        assert_eq!(o.positional(0), Some("input.txt"));
+        assert_eq!(o.get_or("samples", 0usize).unwrap(), 400);
+        assert!(o.flag("full"));
+        assert_eq!(o.get("out"), Some("x.lib"));
+        assert!(!o.flag("missing"));
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let o = parse("--samples abc");
+        assert!(o.get_or("samples", 0usize).is_err());
+    }
+
+    #[test]
+    fn later_values_win() {
+        let o = parse("--seed 1 --seed 2");
+        assert_eq!(o.get_or("seed", 0u64).unwrap(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end tests of the `lvf2` binary: real process invocations through
+//! the full scenario → fit → library → inspect pipeline.
+
+use std::process::Command;
+
+fn lvf2() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lvf2"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lvf2_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = lvf2().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["characterize", "library", "inspect", "fit", "select", "switch", "scenario", "yield", "sta"] {
+        assert!(text.contains(cmd), "help missing `{cmd}`");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = lvf2().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn scenario_fit_select_pipeline() {
+    let dir = tempdir();
+    let samples = dir.join("saddle.txt");
+    let out = lvf2()
+        .args(["scenario", "saddle", "--samples", "3000", "--seed", "5"])
+        .output()
+        .expect("scenario runs");
+    assert!(out.status.success());
+    std::fs::write(&samples, &out.stdout).expect("write samples");
+
+    let fit = lvf2()
+        .args(["fit", samples.to_str().expect("utf8"), "--model", "lvf2", "--fast"])
+        .output()
+        .expect("fit runs");
+    assert!(fit.status.success(), "stderr: {}", String::from_utf8_lossy(&fit.stderr));
+    let text = String::from_utf8_lossy(&fit.stdout);
+    assert!(text.contains("LVF2:") && text.contains("λ="), "fit output: {text}");
+
+    let sel = lvf2()
+        .args(["select", samples.to_str().expect("utf8"), "--max-order", "2", "--fast"])
+        .output()
+        .expect("select runs");
+    assert!(sel.status.success());
+    assert!(String::from_utf8_lossy(&sel.stdout).contains("selection: K = 2"));
+}
+
+#[test]
+fn characterize_then_inspect() {
+    let dir = tempdir();
+    let lib = dir.join("inv.lib");
+    let ch = lvf2()
+        .args([
+            "characterize", "--cell", "INV", "--arc", "0", "--grid", "3x3",
+            "--samples", "600", "--out", lib.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("characterize runs");
+    assert!(ch.status.success(), "stderr: {}", String::from_utf8_lossy(&ch.stderr));
+    assert!(lib.exists());
+
+    let ins = lvf2().args(["inspect", lib.to_str().expect("utf8")]).output().expect("inspect runs");
+    assert!(ins.status.success());
+    let text = String::from_utf8_lossy(&ins.stdout);
+    assert!(text.contains("INV_X1") && text.contains("cell_rise"), "inspect: {text}");
+}
+
+#[test]
+fn sta_runs_on_the_example_netlist() {
+    // The example netlist lives at the workspace root.
+    let netlist = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/netlists/full_adder.net");
+    let out = lvf2()
+        .args(["sta", netlist, "--clock", "0.12", "--samples", "800"])
+        .output()
+        .expect("sta runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SUM") && text.contains("COUT"), "sta output: {text}");
+}
+
+#[test]
+fn fit_rejects_garbage_input() {
+    let dir = tempdir();
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "not numbers at all").expect("write");
+    let out = lvf2().args(["fit", bad.to_str().expect("utf8")]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid sample"));
+}

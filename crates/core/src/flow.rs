@@ -1,0 +1,165 @@
+//! The end-to-end library-vendor flow: characterize a set of cells over a
+//! grid and emit one Liberty library carrying both LVF and LVF² content —
+//! the glue a characterization team would actually run.
+
+use lvf2_cells::{characterize_arc, CellLibrary, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2_fit::{fit_lvf2, FitConfig, FitError};
+use lvf2_liberty::ast::{Cell, Pin, TimingGroup};
+use lvf2_liberty::{BaseKind, Library, LutTemplate, TimingModelGrid};
+
+/// Options for [`characterize_to_library`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOptions {
+    /// Monte-Carlo samples per grid condition.
+    pub samples: usize,
+    /// Arcs characterized per cell type (a real flow does all of them; the
+    /// default keeps the demo fast).
+    pub arcs_per_cell: usize,
+    /// The slew–load grid.
+    pub grid: SlewLoadGrid,
+    /// Fit configuration.
+    pub fit: FitConfig,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            samples: 2000,
+            arcs_per_cell: 1,
+            grid: SlewLoadGrid::paper_8x8(),
+            fit: FitConfig::fast(),
+        }
+    }
+}
+
+/// Characterizes `cells` and returns a Liberty library with one cell group
+/// per (cell type, arc), each carrying the full 11-table LVF+LVF² stack for
+/// `cell_rise` (delay) and `rise_transition`.
+///
+/// # Errors
+///
+/// Propagates fit errors ([`FitError`]) from any grid condition.
+///
+/// # Example
+///
+/// ```no_run
+/// use lvf2::flow::{characterize_to_library, FlowOptions};
+/// use lvf2::cells::CellType;
+///
+/// # fn main() -> Result<(), lvf2::fit::FitError> {
+/// let lib = characterize_to_library(&[CellType::Inv, CellType::Nand2], &FlowOptions::default())?;
+/// let text = lvf2::liberty::write_library(&lib);
+/// std::fs::write("cells.lib", text).expect("write .lib");
+/// # Ok(())
+/// # }
+/// ```
+pub fn characterize_to_library(
+    cells: &[CellType],
+    opts: &FlowOptions,
+) -> Result<Library, FitError> {
+    let lib_meta = CellLibrary::tsmc22_like();
+    let template = format!(
+        "delay_template_{}x{}",
+        opts.grid.slews().len(),
+        opts.grid.loads().len()
+    );
+    let mut lib = Library::new(lib_meta.name().to_string());
+    lib.templates.push(LutTemplate {
+        name: template.clone(),
+        index_1: opts.grid.slews().to_vec(),
+        index_2: opts.grid.loads().to_vec(),
+    });
+
+    for &cell in cells {
+        for arc_idx in 0..opts.arcs_per_cell.min(cell.paper_arc_count()) {
+            let spec = TimingArcSpec::of(cell, arc_idx);
+            let ch = characterize_arc(&spec, &opts.grid, opts.samples);
+            let rows = opts.grid.slews().len();
+            let cols = opts.grid.loads().len();
+
+            let mut grids = Vec::new();
+            for (base, pick) in [
+                (BaseKind::CellRise, 0usize),
+                (BaseKind::RiseTransition, 1usize),
+            ] {
+                let mut nominal = Vec::with_capacity(rows);
+                let mut models = Vec::with_capacity(rows);
+                for i in 0..rows {
+                    let mut nrow = Vec::with_capacity(cols);
+                    let mut mrow = Vec::with_capacity(cols);
+                    for j in 0..cols {
+                        let c = ch.at(i, j);
+                        let data = if pick == 0 { &c.delays } else { &c.transitions };
+                        nrow.push(lvf2_stats::sample_mean(data));
+                        mrow.push(fit_lvf2(data, &opts.fit)?.model);
+                    }
+                    nominal.push(nrow);
+                    models.push(mrow);
+                }
+                grids.push(TimingModelGrid {
+                    base,
+                    index_1: opts.grid.slews().to_vec(),
+                    index_2: opts.grid.loads().to_vec(),
+                    nominal,
+                    models,
+                });
+            }
+
+            let mut tables = Vec::new();
+            for g in &grids {
+                tables.extend(g.to_tables(&template));
+            }
+            lib.cells.push(Cell {
+                name: format!("{}_X{}_arc{}", cell.name(), spec.drive, arc_idx),
+                pins: vec![Pin {
+                    name: "Y".into(),
+                    direction: "output".into(),
+                    timings: vec![TimingGroup { related_pin: "A".into(), tables, ..Default::default() }],
+                }],
+            });
+        }
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_liberty::{parse_library, write_library};
+    use lvf2_stats::Distribution;
+
+    #[test]
+    fn two_cell_flow_produces_readable_library() {
+        let opts = FlowOptions {
+            samples: 800,
+            grid: SlewLoadGrid::small_3x3(),
+            ..FlowOptions::default()
+        };
+        let lib = characterize_to_library(&[CellType::Inv, CellType::Xor2], &opts).unwrap();
+        assert_eq!(lib.cells.len(), 2);
+        let text = write_library(&lib);
+        let back = parse_library(&text).unwrap();
+        assert_eq!(back.cells.len(), 2);
+        // Both delay and transition grids decode from every cell.
+        for cell in &back.cells {
+            let timing = &cell.pins[0].timings[0];
+            assert_eq!(timing.tables.len(), 22, "11 tables × 2 base kinds");
+            for base in [BaseKind::CellRise, BaseKind::RiseTransition] {
+                let g = TimingModelGrid::from_timing(timing, base).unwrap();
+                assert!(g.models.iter().flatten().all(|m| m.mean() > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn arcs_per_cell_is_clamped() {
+        let opts = FlowOptions {
+            samples: 400,
+            arcs_per_cell: 100, // HA only has 7 arcs
+            grid: SlewLoadGrid::small_3x3(),
+            ..FlowOptions::default()
+        };
+        let lib = characterize_to_library(&[CellType::HalfAdder], &opts).unwrap();
+        assert_eq!(lib.cells.len(), 7);
+    }
+}

@@ -1,0 +1,61 @@
+//! # LVF² — statistical timing with a Gaussian mixture of skew-normals
+//!
+//! A from-scratch, open reproduction of *“LVF²: A Statistical Timing Model
+//! based on Gaussian Mixture for Yield Estimation and Speed Binning”*
+//! (Zhou et al., DAC 2024). LVF² models each standard-cell timing
+//! distribution as a two-component **skew-normal mixture**
+//!
+//! ```text
+//! f(x) = (1−λ)·SN(x | μ₁,σ₁,γ₁) + λ·SN(x | μ₂,σ₂,γ₂)
+//! ```
+//!
+//! fitted by EM, backward-compatible with the industrial LVF standard, and
+//! markedly more accurate for speed binning and 3σ-yield estimation when
+//! process variation makes delay PDFs multi-Gaussian.
+//!
+//! This crate is the façade over the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`stats`] | distributions (SN, ESN, LESN, Norm², LVF²), special functions |
+//! | [`fit`] | k-means, Nelder–Mead, EM fitters, moment matching |
+//! | [`mc`] | process-variation Monte Carlo (LHS, alpha-power, regime competition) |
+//! | [`cells`] | the 25-type synthetic standard-cell library and Fig. 3 scenarios |
+//! | [`liberty`] | `.lib` reader/writer with the LVF and LVF² OCV attributes |
+//! | [`ssta`] | block-based SSTA (sum/max, mixture reduction, benchmark circuits) |
+//! | [`binning`] | speed bins, yield, error metrics, pricing |
+//!
+//! plus the top-level conveniences [`ModelKind`], [`fit_model`],
+//! [`fit_all_models`], and the §3.4 [`switch`] heuristic.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lvf2::{fit_model, ModelKind};
+//! use lvf2::fit::FitConfig;
+//! use lvf2::stats::Distribution;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A bimodal cell-delay population (generated here; normally from MC).
+//! let samples = lvf2::cells::Scenario::TwoPeaks.sample(4000, 1);
+//!
+//! let fitted = fit_model(ModelKind::Lvf2, &samples, &FitConfig::default())?;
+//! println!("fitted mean = {} ns", fitted.model.mean());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lvf2_binning as binning;
+pub use lvf2_cells as cells;
+pub use lvf2_fit as fit;
+pub use lvf2_liberty as liberty;
+pub use lvf2_mc as mc;
+pub use lvf2_ssta as ssta;
+pub use lvf2_stats as stats;
+
+pub mod flow;
+pub mod model;
+pub mod switch;
+
+pub use model::{fit_all_models, fit_model, score_all, AllFits, AllScores, ModelKind};
+pub use switch::{recommend_model, SwitchReport};

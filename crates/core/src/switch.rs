@@ -1,0 +1,120 @@
+//! The §3.4 model-switch heuristic: when is LVF² worth its extra storage?
+//!
+//! By the Berry–Esseen theorem the accumulated advantage of a non-Gaussian
+//! stage model decays as `O(1/√n)` with logic depth `n`. The paper draws the
+//! practical conclusion that one should "switch from LVF² to the compatible
+//! LVF in order to save storage space and computational time" when the stage
+//! distribution is near-Gaussian or the path is deep. This module encodes
+//! that rule.
+
+use lvf2_binning::{score_model, GoldenReference};
+use lvf2_fit::{fit_lvf, fit_lvf2, FitConfig, FitError};
+
+use crate::model::ModelKind;
+
+/// Outcome of the switch analysis for one arc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchReport {
+    /// CDF-RMSE error reduction of LVF² vs LVF on the arc itself (depth 1).
+    pub stage_reduction: f64,
+    /// The reduction extrapolated to the target logic depth via `1/√n`.
+    pub depth_reduction: f64,
+    /// The depth used for the extrapolation.
+    pub depth: usize,
+    /// The recommendation.
+    pub recommendation: ModelKind,
+}
+
+/// Minimum projected error-reduction multiple for LVF² to be worth storing.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// Analyzes one arc's Monte-Carlo samples and recommends LVF or LVF² for a
+/// path of `depth` similar stages.
+///
+/// The stage-level improvement `r` is measured as the CDF-RMSE error
+/// reduction of LVF² over LVF; the projected improvement at depth `n` is
+/// `1 + (r − 1)/√n` (Corollary 2's convergence rate applied to the excess
+/// accuracy), and LVF² is recommended when it exceeds `threshold`.
+///
+/// # Errors
+///
+/// Propagates fit errors for degenerate samples.
+///
+/// # Example
+///
+/// ```
+/// use lvf2::switch::recommend_model;
+/// use lvf2::fit::FitConfig;
+/// use lvf2::ModelKind;
+///
+/// # fn main() -> Result<(), lvf2::fit::FitError> {
+/// let bimodal = lvf2::cells::Scenario::TwoPeaks.sample(6000, 2);
+/// let shallow = recommend_model(&bimodal, 2, 1.5, &FitConfig::default())?;
+/// assert_eq!(shallow.recommendation, ModelKind::Lvf2);
+///
+/// // The same arc on a (pathologically) deep path no longer justifies LVF².
+/// let deep = recommend_model(&bimodal, 500_000, 1.5, &FitConfig::default())?;
+/// assert_eq!(deep.recommendation, ModelKind::Lvf);
+/// # Ok(())
+/// # }
+/// ```
+pub fn recommend_model(
+    samples: &[f64],
+    depth: usize,
+    threshold: f64,
+    config: &FitConfig,
+) -> Result<SwitchReport, FitError> {
+    let depth = depth.max(1);
+    let golden = GoldenReference::from_samples(samples)
+        .map_err(FitError::Stats)?;
+    let lvf = fit_lvf(samples, config)?.model;
+    let lvf2 = fit_lvf2(samples, config)?.model;
+    let s_lvf = score_model(&lvf, &golden);
+    let s_lvf2 = score_model(&lvf2, &golden);
+    let stage_reduction = lvf2_binning::error_reduction(s_lvf.cdf_rmse, s_lvf2.cdf_rmse);
+    let depth_reduction = 1.0 + (stage_reduction - 1.0) / (depth as f64).sqrt();
+    let recommendation =
+        if depth_reduction > threshold { ModelKind::Lvf2 } else { ModelKind::Lvf };
+    Ok(SwitchReport { stage_reduction, depth_reduction, depth, recommendation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_cells::Scenario;
+    use lvf2_stats::Distribution;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_arcs_stay_on_lvf() {
+        let n = lvf2_stats::Normal::new(0.1, 0.01).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs = n.sample_n(&mut rng, 6000);
+        let rep = recommend_model(&xs, 1, DEFAULT_THRESHOLD, &FitConfig::default()).unwrap();
+        assert_eq!(rep.recommendation, ModelKind::Lvf, "reduction {}", rep.stage_reduction);
+    }
+
+    #[test]
+    fn bimodal_arcs_upgrade_at_shallow_depth() {
+        let xs = Scenario::Saddle.sample(6000, 8);
+        let rep = recommend_model(&xs, 1, DEFAULT_THRESHOLD, &FitConfig::default()).unwrap();
+        assert_eq!(rep.recommendation, ModelKind::Lvf2);
+        assert!(rep.stage_reduction > DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    fn depth_decays_the_recommendation() {
+        let xs = Scenario::Saddle.sample(6000, 9);
+        let shallow = recommend_model(&xs, 1, DEFAULT_THRESHOLD, &FitConfig::default()).unwrap();
+        let deep = recommend_model(&xs, 10_000, DEFAULT_THRESHOLD, &FitConfig::default()).unwrap();
+        assert!(deep.depth_reduction < shallow.depth_reduction);
+        assert_eq!(deep.recommendation, ModelKind::Lvf);
+    }
+
+    #[test]
+    fn depth_zero_is_clamped() {
+        let xs = Scenario::Kurtosis.sample(3000, 10);
+        let rep = recommend_model(&xs, 0, DEFAULT_THRESHOLD, &FitConfig::fast()).unwrap();
+        assert_eq!(rep.depth, 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the fitting crate.
+
+use std::fmt;
+
+use lvf2_stats::StatsError;
+
+/// Errors reported by the fitting routines.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::{fit_lvf, FitConfig, FitError};
+///
+/// let err = fit_lvf(&[], &FitConfig::default()).unwrap_err();
+/// assert!(matches!(err, FitError::Stats(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// A distribution constructor or estimator rejected its inputs.
+    Stats(StatsError),
+    /// The data are degenerate for the requested model (e.g. zero variance).
+    DegenerateData {
+        /// Human-readable cause.
+        why: &'static str,
+    },
+    /// The optimizer exhausted its budget without meeting the tolerance.
+    NoConvergence {
+        /// Which stage failed.
+        stage: &'static str,
+        /// Iterations spent.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Stats(e) => write!(f, "{e}"),
+            FitError::DegenerateData { why } => write!(f, "degenerate data: {why}"),
+            FitError::NoConvergence { stage, iterations } => {
+                write!(f, "stage `{stage}` did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FitError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for FitError {
+    fn from(e: StatsError) -> Self {
+        FitError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forwards_stats_error() {
+        let e = FitError::from(StatsError::EmptyMixture);
+        assert!(e.to_string().contains("mixture"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FitError>();
+    }
+}

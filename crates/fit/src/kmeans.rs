@@ -1,0 +1,192 @@
+//! One-dimensional k-means (Hartigan–Wong style Lloyd iterations), used to
+//! initialize the LVF² EM algorithm (§3.2, ref \[13\]).
+
+use crate::FitError;
+
+/// Result of a 1-D k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centers, sorted ascending.
+    pub centers: Vec<f64>,
+    /// Per-sample cluster index (into `centers`).
+    pub assignments: Vec<usize>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Collects the samples of cluster `k`.
+    pub fn cluster(&self, xs: &[f64], k: usize) -> Vec<f64> {
+        xs.iter()
+            .zip(&self.assignments)
+            .filter(|(_, &a)| a == k)
+            .map(|(&x, _)| x)
+            .collect()
+    }
+
+    /// Cluster sizes, aligned with `centers`.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs k-means on scalar data.
+///
+/// Centers are initialized at evenly spaced quantiles (deterministic — no
+/// random restarts needed in 1-D), then Lloyd-iterated until assignments
+/// stabilize or `max_iterations` is reached.
+///
+/// # Errors
+///
+/// [`FitError::DegenerateData`] when `xs` has fewer samples than `k`, or
+/// `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::kmeans1d;
+///
+/// # fn main() -> Result<(), lvf2_fit::FitError> {
+/// let xs = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+/// let r = kmeans1d(&xs, 2, 100)?;
+/// assert!((r.centers[0] - 0.1).abs() < 1e-12);
+/// assert!((r.centers[1] - 10.1).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansResult, FitError> {
+    if k == 0 || xs.len() < k {
+        return Err(FitError::DegenerateData { why: "k-means needs at least k samples" });
+    }
+    // Quantile initialization on a sorted copy.
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    let mut centers: Vec<f64> = (0..k)
+        .map(|j| {
+            let q = (j as f64 + 0.5) / k as f64;
+            sorted[((q * n as f64) as usize).min(n - 1)]
+        })
+        .collect();
+    // Collapse duplicate initial centers by nudging.
+    for j in 1..k {
+        if centers[j] <= centers[j - 1] {
+            centers[j] = centers[j - 1] + f64::EPSILON.max(1e-12 * centers[j - 1].abs());
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, &x) in xs.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, &c) in centers.iter().enumerate() {
+                let d = (x - c).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, &x) in xs.iter().enumerate() {
+            sums[assignments[i]] += x;
+            counts[assignments[i]] += 1;
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                centers[j] = sums[j] / counts[j] as f64;
+            }
+            // Empty clusters keep their center (will re-capture next round).
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    // Sort centers ascending and remap assignments accordingly.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| centers[a].partial_cmp(&centers[b]).expect("finite centers"));
+    let mut remap = vec![0usize; k];
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        remap[old_idx] = new_idx;
+    }
+    let centers = order.iter().map(|&j| centers[j]).collect();
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+    Ok(KMeansResult { centers, assignments, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_clumps() {
+        let mut xs = Vec::new();
+        for i in 0..50 {
+            xs.push(1.0 + i as f64 * 0.001);
+            xs.push(5.0 + i as f64 * 0.001);
+        }
+        let r = kmeans1d(&xs, 2, 100).unwrap();
+        assert!((r.centers[0] - 1.0245).abs() < 0.01);
+        assert!((r.centers[1] - 5.0245).abs() < 0.01);
+        assert_eq!(r.sizes(), vec![50, 50]);
+        // Every sample below 3 is cluster 0.
+        for (x, a) in xs.iter().zip(&r.assignments) {
+            assert_eq!(*a, usize::from(*x > 3.0));
+        }
+    }
+
+    #[test]
+    fn single_cluster_recovers_mean() {
+        let xs = [2.0, 4.0, 6.0];
+        let r = kmeans1d(&xs, 1, 10).unwrap();
+        assert!((r.centers[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_clusters_sorted() {
+        let xs = [0.0, 0.1, 5.0, 5.1, 9.0, 9.1];
+        let r = kmeans1d(&xs, 3, 100).unwrap();
+        assert!(r.centers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(r.sizes(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        assert!(kmeans1d(&[1.0], 2, 10).is_err());
+        assert!(kmeans1d(&[1.0, 2.0], 0, 10).is_err());
+    }
+
+    #[test]
+    fn identical_samples_terminate() {
+        let xs = [3.0; 20];
+        let r = kmeans1d(&xs, 2, 100).unwrap();
+        assert_eq!(r.assignments.len(), 20);
+        assert!(r.iterations <= 100);
+    }
+
+    #[test]
+    fn cluster_extraction_matches_assignments() {
+        let xs = [0.0, 10.0, 0.1, 10.1];
+        let r = kmeans1d(&xs, 2, 100).unwrap();
+        let c0 = r.cluster(&xs, 0);
+        assert_eq!(c0, vec![0.0, 0.1]);
+    }
+}

@@ -1,0 +1,232 @@
+//! LESN fitting — four-moment (kurtosis) matching, after ref \[7\].
+//!
+//! LESN is `exp(ESN(ξ, ω, α, τ))`. Because `ξ` is a pure scale in the data
+//! domain (`X = e^ξ · e^{ωW}`), the coefficient of variation, skewness and
+//! excess kurtosis of `X` depend only on `(ω, α, τ)`. The fit therefore:
+//!
+//! 1. matches (CV, γ, excess kurtosis) with a Nelder–Mead over
+//!    `(ln ω, α, τ)`;
+//! 2. closes the mean exactly through `ξ`.
+//!
+//! Moments come from the ESN moment generating function, so no sampling or
+//! quadrature is involved in the inner loop.
+
+use lvf2_stats::esn::ExtendedSkewNormal;
+use lvf2_stats::lognormal::LogDomain;
+use lvf2_stats::{Lesn, SampleMoments, StatsError};
+
+use crate::config::FitConfig;
+use crate::nelder_mead::{nelder_mead, NelderMeadOptions};
+use crate::report::{FitReport, Fitted};
+use crate::FitError;
+
+/// Box constraints for the shape search.
+const LN_OMEGA_RANGE: (f64, f64) = (-12.0, 0.7); // ω ∈ [6e-6, 2]
+const ALPHA_RANGE: (f64, f64) = (-40.0, 40.0);
+const TAU_RANGE: (f64, f64) = (-6.0, 6.0);
+
+/// Standardized shape statistics (CV, skewness, excess kurtosis) of
+/// `exp(ESN(0, ω, α, τ))` from its raw moments.
+fn lesn_shape(omega: f64, alpha: f64, tau: f64) -> Option<(f64, f64, f64)> {
+    let esn = ExtendedSkewNormal::new(0.0, omega, alpha, tau).ok()?;
+    let m: Vec<f64> = (1..=4).map(|k| esn.log_mgf(k as f64).exp()).collect();
+    let (m1, m2, m3, m4) = (m[0], m[1], m[2], m[3]);
+    let var = m2 - m1 * m1;
+    if !(var > 0.0) || !m4.is_finite() {
+        return None;
+    }
+    let sd = var.sqrt();
+    let cv = sd / m1;
+    let mu3 = m3 - 3.0 * m1 * m2 + 2.0 * m1.powi(3);
+    let mu4 = m4 - 4.0 * m1 * m3 + 6.0 * m1 * m1 * m2 - 3.0 * m1.powi(4);
+    Some((cv, mu3 / (var * sd), mu4 / (var * var) - 3.0))
+}
+
+/// Fits the LESN model to positive samples by four-moment matching.
+///
+/// # Errors
+///
+/// - [`FitError::Stats`] with [`StatsError::NonPositiveSample`] if any sample
+///   is ≤ 0 (LESN has positive support);
+/// - [`FitError::DegenerateData`] for zero-variance data;
+/// - [`FitError::NoConvergence`] if the shape search cannot reduce the moment
+///   residual to a usable level.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::{fit_lesn, FitConfig};
+/// use lvf2_stats::{Distribution, Lesn};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lvf2_fit::FitError> {
+/// let truth = Lesn::from_log_params(-2.0, 0.15, 2.0, -0.5)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+/// let xs = truth.sample_n(&mut rng, 20_000);
+/// let fit = fit_lesn(&xs, &FitConfig::default())?;
+/// assert!((fit.model.mean() - truth.mean()).abs() / truth.mean() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_lesn(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lesn>, FitError> {
+    if let Some(&bad) = samples.iter().find(|&&x| !(x > 0.0)) {
+        return Err(FitError::Stats(StatsError::NonPositiveSample { value: bad }));
+    }
+    let data = SampleMoments::from_samples(samples)?;
+    if data.variance <= 0.0 {
+        return Err(FitError::DegenerateData { why: "zero sample variance" });
+    }
+
+    // Initial guess: method-of-moments skew-normal on the log data, τ = 0.
+    let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+    let lm = SampleMoments::from_samples(&logs)?;
+    let sn0 = lvf2_stats::SkewNormal::from_moments_clamped(lm.to_moments())?;
+    let x0 = [
+        sn0.omega().ln().clamp(LN_OMEGA_RANGE.0, LN_OMEGA_RANGE.1),
+        sn0.alpha().clamp(ALPHA_RANGE.0, ALPHA_RANGE.1),
+        0.0,
+    ];
+    let mut fitted = fit_lesn_moments(data.to_four_moments(), Some(x0), config)?;
+    let ll: f64 =
+        samples.iter().map(|&x| lvf2_stats::Distribution::ln_pdf(&fitted.model, x)).sum();
+    fitted.report.log_likelihood = ll;
+    Ok(fitted)
+}
+
+/// Fits a LESN directly to target moments (mean, σ, skewness, excess
+/// kurtosis) — used by SSTA propagation, where the four cumulants of a sum
+/// of independent stage delays are known analytically.
+///
+/// `x0` optionally seeds the `(ln ω, α, τ)` shape search; pass `None` to use
+/// a log-normal-based guess.
+///
+/// # Errors
+///
+/// [`FitError::DegenerateData`] for non-positive mean or σ,
+/// [`FitError::NoConvergence`] if the shape search finds no finite residual.
+pub fn fit_lesn_moments(
+    target: lvf2_stats::moments::FourMoments,
+    x0: Option<[f64; 3]>,
+    config: &FitConfig,
+) -> Result<Fitted<Lesn>, FitError> {
+    if !(target.mean > 0.0) || !(target.sigma > 0.0) {
+        return Err(FitError::DegenerateData { why: "lesn needs positive mean and sigma" });
+    }
+    let target_cv = target.sigma / target.mean;
+    let target_skew = target.skewness;
+    let target_kurt = target.excess_kurtosis;
+    let x0 = x0.unwrap_or_else(|| {
+        // Log-normal-compatible start: ω from CV, symmetric (α = τ = 0).
+        let w = (1.0 + target_cv * target_cv).ln().sqrt();
+        [w.ln().clamp(LN_OMEGA_RANGE.0, LN_OMEGA_RANGE.1), 0.5, 0.0]
+    });
+
+    // Shape search: weighted residual over (CV, γ, excess kurtosis). CV is
+    // relative; γ and κ are absolute with a mild damping on κ, whose sample
+    // noise is largest.
+    let objective = |p: &[f64]| -> f64 {
+        let (lw, alpha, tau) = (p[0], p[1], p[2]);
+        if !(LN_OMEGA_RANGE.0..=LN_OMEGA_RANGE.1).contains(&lw)
+            || !(ALPHA_RANGE.0..=ALPHA_RANGE.1).contains(&alpha)
+            || !(TAU_RANGE.0..=TAU_RANGE.1).contains(&tau)
+        {
+            return f64::INFINITY;
+        }
+        match lesn_shape(lw.exp(), alpha, tau) {
+            Some((cv, skew, kurt)) => {
+                let e1 = (cv - target_cv) / target_cv;
+                let e2 = skew - target_skew;
+                let e3 = kurt - target_kurt;
+                e1 * e1 + e2 * e2 + 0.25 * e3 * e3
+            }
+            None => f64::INFINITY,
+        }
+    };
+    let opts = NelderMeadOptions {
+        max_evals: config.inner_evals.max(300),
+        f_tolerance: 1e-14,
+        x_tolerance: 1e-10,
+        initial_step: 0.15,
+    };
+    let r = nelder_mead(objective, &x0, &opts);
+    if !r.fx.is_finite() {
+        return Err(FitError::NoConvergence { stage: "lesn shape search", iterations: r.evals });
+    }
+
+    // Close the mean exactly with ξ.
+    let (omega, alpha, tau) = (r.x[0].exp(), r.x[1], r.x[2]);
+    let esn0 = ExtendedSkewNormal::new(0.0, omega, alpha, tau)?;
+    let m1 = esn0.log_mgf(1.0).exp();
+    let xi = (target.mean / m1).ln();
+    let model = LogDomain::new(ExtendedSkewNormal::new(xi, omega, alpha, tau)?);
+    Ok(Fitted::new(
+        model,
+        FitReport { log_likelihood: f64::NAN, iterations: r.evals, converged: r.converged },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_stats::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_depends_only_on_omega_alpha_tau() {
+        // ξ is pure scale: CV/γ/κ of exp(ESN) must not change with ξ.
+        let a = lesn_shape(0.3, 2.0, -0.5).unwrap();
+        let esn = ExtendedSkewNormal::new(1.7, 0.3, 2.0, -0.5).unwrap();
+        let lesn = LogDomain::new(esn);
+        let cv = lesn.std_dev() / lesn.mean();
+        assert!((a.0 - cv).abs() < 1e-10);
+        assert!((a.1 - lesn.skewness()).abs() < 1e-8);
+        assert!((a.2 - lesn.excess_kurtosis()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_four_moments() {
+        let truth = Lesn::from_log_params(-2.0, 0.2, 3.0, -1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let xs = truth.sample_n(&mut rng, 50_000);
+        let fit = fit_lesn(&xs, &FitConfig::default()).unwrap();
+        let data = SampleMoments::from_samples(&xs).unwrap();
+        assert!((fit.model.mean() - data.mean).abs() / data.mean < 1e-6, "mean is exact");
+        assert!(
+            (fit.model.std_dev() - data.std_dev()).abs() / data.std_dev() < 0.02,
+            "σ {} vs {}",
+            fit.model.std_dev(),
+            data.std_dev()
+        );
+        assert!(
+            (fit.model.skewness() - data.skewness).abs() < 0.05,
+            "γ {} vs {}",
+            fit.model.skewness(),
+            data.skewness
+        );
+        assert!(
+            (fit.model.excess_kurtosis() - data.excess_kurtosis).abs() < 0.3,
+            "κ {} vs {}",
+            fit.model.excess_kurtosis(),
+            data.excess_kurtosis
+        );
+    }
+
+    #[test]
+    fn rejects_nonpositive_samples() {
+        let err = fit_lesn(&[0.5, -0.1, 0.7], &FitConfig::default()).unwrap_err();
+        assert!(matches!(err, FitError::Stats(StatsError::NonPositiveSample { .. })));
+        assert!(fit_lesn(&[0.0, 1.0], &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn lognormal_data_fits_cleanly() {
+        // τ and α should stay small-ish; moments should match well.
+        let truth = lvf2_stats::LogNormal::from_log_params(-1.0, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let xs = truth.sample_n(&mut rng, 30_000);
+        let fit = fit_lesn(&xs, &FitConfig::default()).unwrap();
+        let data = SampleMoments::from_samples(&xs).unwrap();
+        assert!((fit.model.skewness() - data.skewness).abs() < 0.08);
+    }
+}

@@ -1,0 +1,351 @@
+//! LVF² fitting — the paper's §3.2 EM algorithm for a two-skew-normal
+//! mixture.
+//!
+//! - **Initialization**: k-means into two clusters (ref \[13\]) + method of
+//!   moments per cluster (ref \[14\]); λ from cluster sizes.
+//! - **E-step**: responsibilities `zᵢ` of Eq. (6), computed in log-space.
+//! - **M-step**: Eq. (9) has no closed form for skew-normal components, so
+//!   each component maximizes its responsibility-weighted log-likelihood with
+//!   a bounded Nelder–Mead over `(ξ, ln ω, α)` (an ECM step). The faster
+//!   [`MStep::WeightedMoments`] variant replaces MLE with weighted method of
+//!   moments.
+//! - **Termination**: mean incomplete-data log-likelihood improvement below
+//!   `tolerance`, or the iteration cap.
+
+use lvf2_stats::{Distribution, Lvf2, Moments, SampleMoments, SkewNormal};
+
+use crate::config::{FitConfig, InitStrategy, MStep};
+use crate::kmeans::kmeans1d;
+use crate::nelder_mead::{nelder_mead, NelderMeadOptions};
+use crate::report::{FitReport, Fitted};
+use crate::weighted::weighted_moments;
+use crate::FitError;
+
+/// Largest |α| the M-step will consider; beyond this the skew-normal shape is
+/// numerically indistinguishable from the half-normal limit.
+const ALPHA_BOUND: f64 = 60.0;
+
+/// Fits the LVF² model (Eq. 4) to samples with the EM algorithm of §3.2.
+///
+/// The fit is deterministic for a given `(samples, config)` pair. The
+/// returned λ is always in `[min_weight, 1 − min_weight]`; exact-LVF models
+/// (λ = 0) are produced by [`lvf2_stats::Lvf2::from_lvf`], not by this fitter.
+///
+/// # Errors
+///
+/// [`FitError::Stats`] / [`FitError::DegenerateData`] for inputs that cannot
+/// support a two-component fit (fewer than 8 samples, zero variance).
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::{fit_lvf2, FitConfig};
+/// use lvf2_stats::{Distribution, Lvf2, Moments, SkewNormal};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lvf2_fit::FitError> {
+/// let truth = Lvf2::new(
+///     0.3,
+///     SkewNormal::from_moments(Moments::new(0.10, 0.008, 0.5))?,
+///     SkewNormal::from_moments(Moments::new(0.14, 0.010, -0.2))?,
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let xs = truth.sample_n(&mut rng, 5000);
+/// let fit = fit_lvf2(&xs, &FitConfig::default())?;
+/// assert!((fit.model.mean() - truth.mean()).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, FitError> {
+    let global = SampleMoments::from_samples(samples)?;
+    if global.variance <= 0.0 {
+        return Err(FitError::DegenerateData { why: "zero sample variance" });
+    }
+    if samples.len() < 8 {
+        return Err(FitError::DegenerateData { why: "need at least 8 samples for LVF2" });
+    }
+    let sigma_floor = config.min_sigma_ratio * global.std_dev();
+
+    // --- Initialization candidates ------------------------------------------
+    // (a) k-means + method of moments (§3.2) — finds separated peaks;
+    // (b) a same-center narrow/wide split — finds kurtosis-style mixtures
+    //     that a location-based clustering cannot see.
+    let mut inits: Vec<(SkewNormal, SkewNormal, f64)> = Vec::with_capacity(2);
+    let km = kmeans1d(samples, 2, config.kmeans_iterations)?;
+    let sizes = km.sizes();
+    let n = samples.len();
+    let m = global.to_moments();
+    let want_kmeans = matches!(config.init, InitStrategy::Best | InitStrategy::KMeansMoments);
+    let want_scale = matches!(config.init, InitStrategy::Best | InitStrategy::ScaleSplit);
+    if want_kmeans && sizes[0] >= 4 && sizes[1] >= 4 {
+        inits.push((
+            cluster_skew_normal(&km.cluster(samples, 0), sigma_floor)?,
+            cluster_skew_normal(&km.cluster(samples, 1), sigma_floor)?,
+            sizes[1] as f64 / n as f64,
+        ));
+    } else if want_kmeans {
+        // Degenerate split: seed two copies of the global fit, offset ±σ/2.
+        inits.push((
+            SkewNormal::from_moments_clamped(Moments::new(m.mean - 0.5 * m.sigma, m.sigma, m.skewness))?,
+            SkewNormal::from_moments_clamped(Moments::new(m.mean + 0.5 * m.sigma, m.sigma, m.skewness))?,
+            0.5,
+        ));
+    }
+    if want_scale {
+        inits.push((
+            SkewNormal::from_moments_clamped(Moments::new(m.mean, 0.55 * m.sigma, m.skewness))?,
+            SkewNormal::from_moments_clamped(Moments::new(m.mean, 1.6 * m.sigma, m.skewness))?,
+            0.35,
+        ));
+    }
+
+    let mut best: Option<(Lvf2, FitReport)> = None;
+    for (c1, c2, l0) in inits {
+        let (model, report) = run_em(samples, c1, c2, l0, sigma_floor, config)?;
+        let better = match &best {
+            None => true,
+            Some((_, b)) => report.log_likelihood > b.log_likelihood,
+        };
+        if better {
+            best = Some((model, report));
+        }
+    }
+    let (model, report) = best.expect("at least one initialization ran");
+    Ok(Fitted::new(model, report))
+}
+
+/// One EM run from a fixed initialization.
+fn run_em(
+    samples: &[f64],
+    mut comp1: SkewNormal,
+    mut comp2: SkewNormal,
+    lambda0: f64,
+    sigma_floor: f64,
+    config: &FitConfig,
+) -> Result<(Lvf2, FitReport), FitError> {
+    let n = samples.len();
+    let mut lambda = lambda0.clamp(config.min_weight, 1.0 - config.min_weight);
+
+    // --- EM loop -------------------------------------------------------------
+    let mut resp1 = vec![0.0f64; n];
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+
+        // E-step (Eq. 6), in log space for tail stability.
+        ll = 0.0;
+        let l1 = (1.0 - lambda).ln();
+        let l2 = lambda.ln();
+        for (i, &x) in samples.iter().enumerate() {
+            let a = l1 + comp1.ln_pdf(x);
+            let b = l2 + comp2.ln_pdf(x);
+            let m = a.max(b);
+            if m.is_finite() {
+                let log_tot = m + ((a - m).exp() + (b - m).exp()).ln();
+                resp1[i] = (a - log_tot).exp();
+                ll += log_tot;
+            } else {
+                resp1[i] = 0.5;
+                ll += -745.0; // both densities underflowed; cap the penalty
+            }
+        }
+
+        // λ update: λ = Σ(1 − zᵢ)/n.
+        let w1: f64 = resp1.iter().sum();
+        lambda = ((n as f64 - w1) / n as f64).clamp(config.min_weight, 1.0 - config.min_weight);
+
+        // M-step per component.
+        let resp2: Vec<f64> = resp1.iter().map(|z| 1.0 - z).collect();
+        comp1 = m_step_component(samples, &resp1, comp1, sigma_floor, config);
+        comp2 = m_step_component(samples, &resp2, comp2, sigma_floor, config);
+
+        if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    // Canonical order: component 1 has the smaller mean (stable reporting).
+    if comp1.mean() > comp2.mean() {
+        std::mem::swap(&mut comp1, &mut comp2);
+        lambda = 1.0 - lambda;
+    }
+
+    let model = Lvf2::new(lambda, comp1, comp2)?;
+    Ok((model, FitReport { log_likelihood: ll, iterations, converged }))
+}
+
+/// Skew-normal for one k-means cluster by (clamped) method of moments.
+fn cluster_skew_normal(cluster: &[f64], sigma_floor: f64) -> Result<SkewNormal, FitError> {
+    let m = SampleMoments::from_samples(cluster)?;
+    let sigma = m.std_dev().max(sigma_floor);
+    Ok(SkewNormal::from_moments_clamped(Moments::new(m.mean, sigma, m.skewness))?)
+}
+
+/// One M-step for a single component under `weights` (shared with the
+/// K-component generalization in `mixture_em`).
+pub(crate) fn m_step_component(
+    xs: &[f64],
+    weights: &[f64],
+    current: SkewNormal,
+    sigma_floor: f64,
+    config: &FitConfig,
+) -> SkewNormal {
+    match config.m_step {
+        MStep::WeightedMoments => match weighted_moments(xs, weights) {
+            Some(m) => {
+                let m = Moments::new(m.mean, m.sigma.max(sigma_floor), m.skewness);
+                SkewNormal::from_moments_clamped(m).unwrap_or(current)
+            }
+            None => current,
+        },
+        MStep::WeightedMle => {
+            // Maximize Σ wᵢ ln f_SN(xᵢ; ξ, e^{lw}, α) with Nelder–Mead.
+            let objective = |p: &[f64]| -> f64 {
+                let (xi, lw, alpha) = (p[0], p[1], p[2]);
+                if !xi.is_finite() || !lw.is_finite() || alpha.abs() > ALPHA_BOUND {
+                    return f64::INFINITY;
+                }
+                let omega = lw.exp();
+                if omega < sigma_floor * 0.1 || !omega.is_finite() {
+                    return f64::INFINITY;
+                }
+                let Ok(sn) = SkewNormal::new(xi, omega, alpha) else {
+                    return f64::INFINITY;
+                };
+                let mut nll = 0.0;
+                for (&x, &w) in xs.iter().zip(weights) {
+                    if w > 1e-12 {
+                        nll -= w * sn.ln_pdf(x);
+                    }
+                }
+                if nll.is_finite() {
+                    nll
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let x0 = [current.xi(), current.omega().ln(), current.alpha()];
+            let opts = NelderMeadOptions {
+                max_evals: config.inner_evals,
+                f_tolerance: 1e-8,
+                x_tolerance: 1e-8,
+                initial_step: 0.05,
+            };
+            let r = nelder_mead(objective, &x0, &opts);
+            if r.fx.is_finite() {
+                SkewNormal::new(r.x[0], r.x[1].exp(), r.x[2]).unwrap_or(current)
+            } else {
+                current
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bimodal_truth() -> Lvf2 {
+        Lvf2::new(
+            0.35,
+            SkewNormal::from_moments(Moments::new(1.0, 0.05, 0.45)).unwrap(),
+            SkewNormal::from_moments(Moments::new(1.35, 0.08, -0.25)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_bimodal_mixture() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(10);
+        let xs = truth.sample_n(&mut rng, 10_000);
+        let fit = fit_lvf2(&xs, &FitConfig::default()).unwrap();
+        let m = &fit.model;
+        assert!((m.lambda() - 0.35).abs() < 0.05, "λ {}", m.lambda());
+        assert!((m.first().mean() - 1.0).abs() < 0.02, "μ1 {}", m.first().mean());
+        assert!((m.second().mean() - 1.35).abs() < 0.03, "μ2 {}", m.second().mean());
+        assert!((m.mean() - truth.mean()).abs() < 0.01);
+        assert!((m.std_dev() - truth.std_dev()).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_moments_mstep_also_recovers() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs = truth.sample_n(&mut rng, 10_000);
+        let cfg = FitConfig::default().with_m_step(MStep::WeightedMoments);
+        let fit = fit_lvf2(&xs, &cfg).unwrap();
+        assert!((fit.model.mean() - truth.mean()).abs() < 0.01);
+        assert!((fit.model.lambda() - 0.35).abs() < 0.08);
+    }
+
+    #[test]
+    fn mle_mstep_beats_or_matches_moments_mstep_in_likelihood() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs = truth.sample_n(&mut rng, 4000);
+        let mle = fit_lvf2(&xs, &FitConfig::default()).unwrap();
+        let mom =
+            fit_lvf2(&xs, &FitConfig::default().with_m_step(MStep::WeightedMoments)).unwrap();
+        assert!(
+            mle.report.log_likelihood >= mom.report.log_likelihood - 1.0,
+            "MLE ll {} < moments ll {}",
+            mle.report.log_likelihood,
+            mom.report.log_likelihood
+        );
+    }
+
+    #[test]
+    fn unimodal_data_degrades_gracefully() {
+        let truth = SkewNormal::from_moments(Moments::new(2.0, 0.2, 0.5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs = truth.sample_n(&mut rng, 5000);
+        let fit = fit_lvf2(&xs, &FitConfig::default()).unwrap();
+        // The mixture should still match the overall shape.
+        assert!((fit.model.mean() - truth.mean()).abs() < 0.01);
+        assert!((fit.model.std_dev() - truth.std_dev()).abs() < 0.01);
+    }
+
+    #[test]
+    fn components_sorted_by_mean() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(14);
+        let xs = truth.sample_n(&mut rng, 3000);
+        let fit = fit_lvf2(&xs, &FitConfig::default()).unwrap();
+        assert!(fit.model.first().mean() <= fit.model.second().mean());
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(15);
+        let xs = truth.sample_n(&mut rng, 2000);
+        let a = fit_lvf2(&xs, &FitConfig::default()).unwrap();
+        let b = fit_lvf2(&xs, &FitConfig::default()).unwrap();
+        assert_eq!(a.model.lambda(), b.model.lambda());
+        assert_eq!(a.model.first(), b.model.first());
+    }
+
+    #[test]
+    fn rejects_tiny_or_constant_input() {
+        assert!(fit_lvf2(&[1.0, 2.0, 3.0], &FitConfig::default()).is_err());
+        assert!(fit_lvf2(&[5.0; 100], &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn log_likelihood_improves_with_iterations() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(16);
+        let xs = truth.sample_n(&mut rng, 3000);
+        let short = fit_lvf2(&xs, &FitConfig::default().with_max_iterations(2)).unwrap();
+        let long = fit_lvf2(&xs, &FitConfig::default().with_max_iterations(50)).unwrap();
+        assert!(long.report.log_likelihood >= short.report.log_likelihood - 1e-6);
+    }
+}

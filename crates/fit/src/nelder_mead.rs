@@ -1,0 +1,259 @@
+//! A dependency-free Nelder–Mead downhill-simplex minimizer.
+//!
+//! Powers the LVF² M-step (weighted skew-normal MLE has no closed form) and
+//! the LESN four-moment matching. Standard reflection/expansion/contraction/
+//! shrink with adaptive coefficients for the low dimensions (2–4) used here.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's objective spread falls below this.
+    pub f_tolerance: f64,
+    /// Stop when the simplex's largest vertex distance falls below this.
+    pub x_tolerance: f64,
+    /// Initial simplex step per coordinate (relative to `|x| + 1`).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 400,
+            f_tolerance: 1e-10,
+            x_tolerance: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Objective evaluations used.
+    pub evals: usize,
+    /// Whether a tolerance was met (vs. budget exhaustion).
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0`.
+///
+/// The objective may return `f64::INFINITY` to reject out-of-bounds points
+/// (the simplex contracts away from them), which is how callers impose box
+/// constraints.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::{nelder_mead, NelderMeadOptions};
+///
+/// // Rosenbrock, minimum at (1, 1).
+/// let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+/// let r = nelder_mead(f, &[-1.2, 1.0], &NelderMeadOptions { max_evals: 4000, ..Default::default() });
+/// assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3);
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> NelderMeadResult {
+    let n = x0.len();
+    assert!(n >= 1, "nelder_mead requires at least one dimension");
+    // Adaptive coefficients (Gao & Han 2012) — better for n > 2, identical to
+    // the classic values at n = 2.
+    let nf = n as f64;
+    let alpha = 1.0;
+    let beta = 1.0 + 2.0 / nf;
+    let gamma = 0.75 - 1.0 / (2.0 * nf);
+    let delta = 1.0 - 1.0 / nf;
+
+    let mut evals = 0usize;
+    let eval = |x: &[f64], f: &mut F, evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let step = opts.initial_step * (v[i].abs() + 1.0);
+        v[i] += step;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut f, &mut evals)).collect();
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        // Order the simplex by objective.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN stored"));
+        let reorder = |s: &[Vec<f64>], v: &[f64], idx: &[usize]| {
+            (
+                idx.iter().map(|&i| s[i].clone()).collect::<Vec<_>>(),
+                idx.iter().map(|&i| v[i]).collect::<Vec<_>>(),
+            )
+        };
+        let (s, v) = reorder(&simplex, &values, &idx);
+        simplex = s;
+        values = v;
+
+        // Convergence checks.
+        let f_spread = values[n] - values[0];
+        let x_spread = simplex[1..]
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[0])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if f_spread.abs() < opts.f_tolerance || x_spread < opts.x_tolerance {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for v in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / nf;
+            }
+        }
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let xr = lerp(&centroid, &simplex[n], -alpha);
+        let fr = eval(&xr, &mut f, &mut evals);
+        if fr < values[0] {
+            // Expansion.
+            let xe = lerp(&centroid, &simplex[n], -beta);
+            let fe = eval(&xe, &mut f, &mut evals);
+            if fe < fr {
+                simplex[n] = xe;
+                values[n] = fe;
+            } else {
+                simplex[n] = xr;
+                values[n] = fr;
+            }
+        } else if fr < values[n - 1] {
+            simplex[n] = xr;
+            values[n] = fr;
+        } else {
+            // Contraction (outside if the reflected point improved on the
+            // worst, inside otherwise).
+            let (xc, fc) = if fr < values[n] {
+                let xc = lerp(&centroid, &simplex[n], -gamma);
+                let fc = eval(&xc, &mut f, &mut evals);
+                (xc, fc)
+            } else {
+                let xc = lerp(&centroid, &simplex[n], gamma);
+                let fc = eval(&xc, &mut f, &mut evals);
+                (xc, fc)
+            };
+            if fc < values[n].min(fr) {
+                simplex[n] = xc;
+                values[n] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for i in 1..=n {
+                    simplex[i] = lerp(&simplex[0], &simplex[i], delta);
+                    values[i] = eval(&simplex[i], &mut f, &mut evals);
+                }
+            }
+        }
+    }
+
+    // Return the best vertex.
+    let (mut best, mut best_v) = (0, values[0]);
+    for (i, &v) in values.iter().enumerate() {
+        if v < best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    NelderMeadResult { x: simplex[best].clone(), fx: best_v, evals, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 2.0).abs() < 1e-4);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let r = nelder_mead(|x| (x[0] - 1.5).powi(2), &[10.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_infinity_barriers() {
+        // Constrained minimum at x = 1 (unconstrained would be x = 0).
+        let f = |x: &[f64]| {
+            if x[0] < 1.0 {
+                f64::INFINITY
+            } else {
+                x[0] * x[0]
+            }
+        };
+        let r = nelder_mead(f, &[5.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x={}", r.x[0]);
+        assert!(r.fx.is_finite());
+    }
+
+    #[test]
+    fn four_dimensional_sum_of_squares() {
+        let f = |x: &[f64]| x.iter().enumerate().map(|(i, v)| (v - i as f64).powi(2)).sum();
+        let r = nelder_mead(
+            f,
+            &[5.0, 5.0, 5.0, 5.0],
+            &NelderMeadOptions { max_evals: 2000, ..Default::default() },
+        );
+        for (i, v) in r.x.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-3, "dim {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let r = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &NelderMeadOptions { max_evals: 10, ..Default::default() },
+        );
+        assert!(!r.converged);
+        assert!(r.evals >= 10);
+    }
+
+    #[test]
+    fn nan_objective_treated_as_rejection() {
+        let f = |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { (x[0] - 2.0).powi(2) };
+        let r = nelder_mead(f, &[1.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Information-criterion model selection: is the extra LVF² storage
+//! justified for this arc?
+//!
+//! The §3.4 switch heuristic projects the accuracy benefit over logic depth;
+//! this module answers the orthogonal statistical question — does the data
+//! itself support the richer model? — with AIC/BIC, the standard guard
+//! against fitting mixture components to noise.
+
+
+use crate::config::FitConfig;
+use crate::lvf::fit_lvf;
+use crate::lvf2::fit_lvf2;
+use crate::mixture_em::fit_sn_mixture;
+use crate::FitError;
+
+/// Which information criterion to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Criterion {
+    /// Akaike: `2k − 2·ll` (lenient — favours accuracy).
+    Aic,
+    /// Bayesian: `k·ln n − 2·ll` (strict — favours parsimony; the default,
+    /// since an LVF² table costs real library storage).
+    #[default]
+    Bic,
+}
+
+impl Criterion {
+    /// The criterion value for a fit with `params` free parameters,
+    /// log-likelihood `ll`, and `n` samples.
+    pub fn value(&self, params: usize, ll: f64, n: usize) -> f64 {
+        match self {
+            Criterion::Aic => 2.0 * params as f64 - 2.0 * ll,
+            Criterion::Bic => params as f64 * (n as f64).ln() - 2.0 * ll,
+        }
+    }
+}
+
+/// Result of comparing mixture orders on one sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSelection {
+    /// Criterion used.
+    pub criterion: Criterion,
+    /// `(order, criterion value, log-likelihood)` per candidate, ascending
+    /// order.
+    pub candidates: Vec<(usize, f64, f64)>,
+    /// The order with the smallest criterion value.
+    pub best_order: usize,
+}
+
+impl OrderSelection {
+    /// `true` when the plain LVF model (order 1) is preferred.
+    pub fn prefers_lvf(&self) -> bool {
+        self.best_order == 1
+    }
+}
+
+/// Free-parameter count of a K-component skew-normal mixture:
+/// `3K` component parameters + `K − 1` weights.
+pub fn mixture_param_count(k: usize) -> usize {
+    3 * k + k.saturating_sub(1)
+}
+
+/// Fits mixture orders `1..=max_order` and selects the best by `criterion`.
+///
+/// Order 1 uses the exact LVF method-of-moments fit (what a library would
+/// store); higher orders use the EM fitters.
+///
+/// # Errors
+///
+/// Propagates fit errors; `max_order` must be at least 1.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::select::{select_order, Criterion};
+/// use lvf2_fit::FitConfig;
+/// use lvf2_stats::Distribution;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lvf2_fit::FitError> {
+/// // Unimodal data: BIC must not hallucinate a second component.
+/// let n = lvf2_stats::Normal::new(1.0, 0.1)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let xs = n.sample_n(&mut rng, 3000);
+/// let sel = select_order(&xs, 2, Criterion::Bic, &FitConfig::fast())?;
+/// assert!(sel.prefers_lvf());
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_order(
+    samples: &[f64],
+    max_order: usize,
+    criterion: Criterion,
+    config: &FitConfig,
+) -> Result<OrderSelection, FitError> {
+    if max_order == 0 {
+        return Err(FitError::DegenerateData { why: "max_order must be at least 1" });
+    }
+    let n = samples.len();
+    let mut candidates = Vec::with_capacity(max_order);
+    for k in 1..=max_order {
+        let ll = match k {
+            1 => fit_lvf(samples, config)?.report.log_likelihood,
+            2 => fit_lvf2(samples, config)?.report.log_likelihood,
+            _ => fit_sn_mixture(samples, k, config)?.report.log_likelihood,
+        };
+        candidates.push((k, criterion.value(mixture_param_count(k), ll, n), ll));
+    }
+    let best_order = candidates
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite criterion"))
+        .expect("at least one candidate")
+        .0;
+    Ok(OrderSelection { criterion, candidates, best_order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_stats::{Distribution, Lvf2, Moments, Normal, SkewNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(mixture_param_count(1), 3);
+        assert_eq!(mixture_param_count(2), 7); // the paper's 7 new attributes
+        assert_eq!(mixture_param_count(3), 11);
+    }
+
+    #[test]
+    fn bimodal_data_selects_order_two() {
+        let truth = Lvf2::new(
+            0.4,
+            SkewNormal::from_moments(Moments::new(1.0, 0.05, 0.4)).unwrap(),
+            SkewNormal::from_moments(Moments::new(1.35, 0.07, -0.2)).unwrap(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let xs = truth.sample_n(&mut rng, 6000);
+        let sel = select_order(&xs, 3, Criterion::Bic, &FitConfig::fast()).unwrap();
+        assert!(sel.best_order >= 2, "best order {}", sel.best_order);
+        assert!(!sel.prefers_lvf());
+    }
+
+    #[test]
+    fn gaussian_data_prefers_lvf_under_bic() {
+        let n = Normal::new(2.0, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        let xs = n.sample_n(&mut rng, 4000);
+        let sel = select_order(&xs, 2, Criterion::Bic, &FitConfig::fast()).unwrap();
+        assert!(sel.prefers_lvf(), "candidates: {:?}", sel.candidates);
+    }
+
+    #[test]
+    fn aic_is_more_lenient_than_bic() {
+        // Same ll values: AIC penalizes less at large n.
+        let aic = Criterion::Aic.value(7, -100.0, 10_000);
+        let bic = Criterion::Bic.value(7, -100.0, 10_000);
+        assert!(aic < bic);
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_in_order() {
+        let truth = Lvf2::new(
+            0.5,
+            SkewNormal::from_moments(Moments::new(1.0, 0.05, 0.0)).unwrap(),
+            SkewNormal::from_moments(Moments::new(1.3, 0.05, 0.0)).unwrap(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        let xs = truth.sample_n(&mut rng, 4000);
+        let sel = select_order(&xs, 3, Criterion::Aic, &FitConfig::fast()).unwrap();
+        // Richer families should not fit (much) worse.
+        let lls: Vec<f64> = sel.candidates.iter().map(|c| c.2).collect();
+        assert!(lls[1] >= lls[0] - 1.0, "k=2 ll {} vs k=1 ll {}", lls[1], lls[0]);
+    }
+
+    #[test]
+    fn zero_order_is_rejected() {
+        assert!(select_order(&[1.0; 100], 0, Criterion::Bic, &FitConfig::fast()).is_err());
+    }
+}

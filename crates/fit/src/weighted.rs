@@ -1,0 +1,82 @@
+//! Responsibility-weighted sample statistics used by the EM M-steps.
+
+use lvf2_stats::Moments;
+
+/// Weighted mean, variance and skewness of `xs` under non-negative weights.
+///
+/// Returns `None` when the total weight is (numerically) zero or the weighted
+/// variance collapses — the caller treats that as a degenerate component.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::weighted::weighted_moments;
+///
+/// let xs = [1.0, 2.0, 3.0];
+/// let w = [1.0, 1.0, 1.0];
+/// let m = weighted_moments(&xs, &w).unwrap();
+/// assert!((m.mean - 2.0).abs() < 1e-14);
+/// ```
+pub fn weighted_moments(xs: &[f64], weights: &[f64]) -> Option<Moments> {
+    debug_assert_eq!(xs.len(), weights.len());
+    let wsum: f64 = weights.iter().sum();
+    if !(wsum > 1e-12) {
+        return None;
+    }
+    let mean = xs.iter().zip(weights).map(|(x, w)| w * x).sum::<f64>() / wsum;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    for (&x, &w) in xs.iter().zip(weights) {
+        let d = x - mean;
+        m2 += w * d * d;
+        m3 += w * d * d * d;
+    }
+    m2 /= wsum;
+    m3 /= wsum;
+    if !(m2 > 0.0) {
+        return None;
+    }
+    let sigma = m2.sqrt();
+    Some(Moments::new(mean, sigma, m3 / (m2 * sigma)))
+}
+
+/// Weighted log-likelihood `Σ wᵢ · ln f(xᵢ)` for an arbitrary log-density.
+pub fn weighted_log_likelihood<F: Fn(f64) -> f64>(xs: &[f64], weights: &[f64], ln_pdf: F) -> f64 {
+    xs.iter().zip(weights).map(|(&x, &w)| if w > 0.0 { w * ln_pdf(x) } else { 0.0 }).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_match_plain_moments() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() + 0.1 * i as f64).collect();
+        let w = vec![0.5; 100];
+        let wm = weighted_moments(&xs, &w).unwrap();
+        let sm = lvf2_stats::SampleMoments::from_samples(&xs).unwrap();
+        assert!((wm.mean - sm.mean).abs() < 1e-12);
+        assert!((wm.sigma - sm.std_dev()).abs() < 1e-12);
+        assert!((wm.skewness - sm.skewness).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_weight_is_degenerate() {
+        assert!(weighted_moments(&[1.0, 2.0], &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn concentrated_weights_pick_subset() {
+        let xs = [0.0, 100.0, 1.0, 2.0];
+        let w = [1.0, 0.0, 1.0, 1.0];
+        let m = weighted_moments(&xs, &w).unwrap();
+        assert!((m.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_ll_skips_zero_weights() {
+        // ln_pdf would be -inf at x=0; the zero weight must mask it.
+        let ll = weighted_log_likelihood(&[0.0, 1.0], &[0.0, 2.0], |x| x.ln());
+        assert_eq!(ll, 0.0);
+    }
+}

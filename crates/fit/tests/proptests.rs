@@ -1,0 +1,59 @@
+//! Property-based tests for the fitting stack.
+
+use lvf2_fit::{fit_lvf, kmeans1d, nelder_mead, FitConfig, NelderMeadOptions};
+use lvf2_stats::Distribution;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_assignments_are_valid_and_centers_sorted(
+        xs in proptest::collection::vec(-10.0..10.0f64, 4..120),
+        k in 1usize..4,
+    ) {
+        prop_assume!(xs.len() >= k);
+        let r = kmeans1d(&xs, k, 50).expect("enough samples");
+        prop_assert_eq!(r.assignments.len(), xs.len());
+        prop_assert!(r.assignments.iter().all(|&a| a < k));
+        prop_assert!(r.centers.windows(2).all(|w| w[0] <= w[1]));
+        // Each sample is assigned to its nearest center.
+        for (x, &a) in xs.iter().zip(&r.assignments) {
+            for (j, c) in r.centers.iter().enumerate() {
+                prop_assert!(
+                    (x - r.centers[a]).abs() <= (x - c).abs() + 1e-9,
+                    "sample {x} assigned to {a} but {j} is closer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nelder_mead_never_worse_than_start(
+        x0 in proptest::collection::vec(-5.0..5.0f64, 1..4),
+        a in 0.1..5.0f64,
+    ) {
+        let f = move |x: &[f64]| x.iter().map(|v| a * v * v).sum::<f64>() + 1.0;
+        let start = f(&x0);
+        let r = nelder_mead(f, &x0, &NelderMeadOptions::default());
+        prop_assert!(r.fx <= start + 1e-12);
+        prop_assert!(r.fx >= 1.0 - 1e-9, "objective minimum is 1");
+    }
+
+    #[test]
+    fn lvf_fit_matches_first_two_sample_moments(
+        seedish in 0u64..1000,
+        mean in 0.1..5.0f64,
+        sd in 0.01..0.5f64,
+    ) {
+        use rand::SeedableRng;
+        let truth = lvf2_stats::Normal::new(mean, sd).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seedish);
+        let xs = truth.sample_n(&mut rng, 500);
+        let fit = fit_lvf(&xs, &FitConfig::default()).expect("fits");
+        // Method of moments matches the sample mean/σ exactly.
+        let sm = lvf2_stats::SampleMoments::from_samples(&xs).unwrap();
+        prop_assert!((fit.model.mean() - sm.mean).abs() < 1e-9);
+        prop_assert!((fit.model.std_dev() - sm.std_dev()).abs() < 1e-9);
+    }
+}

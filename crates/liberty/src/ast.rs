@@ -1,0 +1,385 @@
+//! Liberty AST: library / cell / pin / timing groups and lookup tables.
+
+use std::fmt;
+
+/// The measured quantity a table describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseKind {
+    /// Propagation delay, output rising (`cell_rise`).
+    CellRise,
+    /// Propagation delay, output falling (`cell_fall`).
+    CellFall,
+    /// Output transition, rising (`rise_transition`).
+    RiseTransition,
+    /// Output transition, falling (`fall_transition`).
+    FallTransition,
+}
+
+impl BaseKind {
+    /// All four base kinds.
+    pub const ALL: [BaseKind; 4] =
+        [BaseKind::CellRise, BaseKind::CellFall, BaseKind::RiseTransition, BaseKind::FallTransition];
+
+    /// Liberty attribute stem (`cell_rise`, …).
+    pub fn stem(&self) -> &'static str {
+        match self {
+            BaseKind::CellRise => "cell_rise",
+            BaseKind::CellFall => "cell_fall",
+            BaseKind::RiseTransition => "rise_transition",
+            BaseKind::FallTransition => "fall_transition",
+        }
+    }
+
+    /// `true` for the two delay kinds.
+    pub fn is_delay(&self) -> bool {
+        matches!(self, BaseKind::CellRise | BaseKind::CellFall)
+    }
+}
+
+/// The statistical role of a table within one base kind.
+///
+/// `Nominal` plus the three component-less `ocv_*` moments are classic LVF
+/// (§2.2). The component-indexed variants are the LVF² extension (§3.3):
+/// the paper defines components 1 and 2, and notes the naming convention
+/// extends to more — this type supports any component index up to
+/// [`StatKind::MAX_COMPONENTS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatKind {
+    /// The nominal LUT (attribute is the bare stem).
+    Nominal,
+    /// `ocv_mean_shift_<stem>` (LVF, `None`) or `ocv_mean_shift<k>_<stem>`
+    /// (component `k`). Component 1 defaults to the LVF table.
+    MeanShift(Option<u8>),
+    /// `ocv_std_dev_<stem>` or `ocv_std_dev<k>_<stem>`.
+    StdDev(Option<u8>),
+    /// `ocv_skewness_<stem>` or `ocv_skewness<k>_<stem>`.
+    Skewness(Option<u8>),
+    /// `ocv_weight<k>_<stem>` — the weight of component `k ≥ 2`
+    /// (component 1 carries the remaining mass). Defaults to all zeros.
+    Weight(u8),
+}
+
+impl StatKind {
+    /// Largest component index the naming convention is parsed/emitted for.
+    pub const MAX_COMPONENTS: u8 = 9;
+
+    /// The eleven roles of the paper: nominal + three LVF moments + the
+    /// seven LVF² attributes (components 1 and 2).
+    pub const ALL: [StatKind; 11] = [
+        StatKind::Nominal,
+        StatKind::MeanShift(None),
+        StatKind::StdDev(None),
+        StatKind::Skewness(None),
+        StatKind::MeanShift(Some(1)),
+        StatKind::StdDev(Some(1)),
+        StatKind::Skewness(Some(1)),
+        StatKind::Weight(2),
+        StatKind::MeanShift(Some(2)),
+        StatKind::StdDev(Some(2)),
+        StatKind::Skewness(Some(2)),
+    ];
+
+    /// The roles needed to store a K-component mixture: the eleven standard
+    /// ones plus `ocv_{weight,mean_shift,std_dev,skewness}<k>` for `k ≥ 3`.
+    pub fn all_for(components: u8) -> Vec<StatKind> {
+        let mut v = StatKind::ALL.to_vec();
+        for k in 3..=components.min(StatKind::MAX_COMPONENTS) {
+            v.push(StatKind::Weight(k));
+            v.push(StatKind::MeanShift(Some(k)));
+            v.push(StatKind::StdDev(Some(k)));
+            v.push(StatKind::Skewness(Some(k)));
+        }
+        v
+    }
+
+    /// `ocv_…` prefix for this role (empty for nominal).
+    pub fn prefix(&self) -> String {
+        fn idx(k: &Option<u8>) -> String {
+            k.map(|v| v.to_string()).unwrap_or_default()
+        }
+        match self {
+            StatKind::Nominal => String::new(),
+            StatKind::MeanShift(k) => format!("ocv_mean_shift{}_", idx(k)),
+            StatKind::StdDev(k) => format!("ocv_std_dev{}_", idx(k)),
+            StatKind::Skewness(k) => format!("ocv_skewness{}_", idx(k)),
+            StatKind::Weight(k) => format!("ocv_weight{k}_"),
+        }
+    }
+
+    /// `true` for the LVF²-extension roles (anything component-indexed).
+    pub fn is_lvf2_extension(&self) -> bool {
+        !matches!(
+            self,
+            StatKind::Nominal
+                | StatKind::MeanShift(None)
+                | StatKind::StdDev(None)
+                | StatKind::Skewness(None)
+        )
+    }
+
+    /// Parses the `ocv_…_` head of an attribute (everything before the base
+    /// stem), if it denotes a known role.
+    fn from_prefix(head: &str) -> Option<StatKind> {
+        if head.is_empty() {
+            return Some(StatKind::Nominal);
+        }
+        let head = head.strip_suffix('_')?;
+        let body = head.strip_prefix("ocv_")?;
+        let split = |s: &str, stem: &str| -> Option<Option<u8>> {
+            let rest = s.strip_prefix(stem)?;
+            if rest.is_empty() {
+                Some(None)
+            } else {
+                let k: u8 = rest.parse().ok()?;
+                (1..=StatKind::MAX_COMPONENTS).contains(&k).then_some(Some(k))
+            }
+        };
+        if let Some(k) = split(body, "mean_shift") {
+            return Some(StatKind::MeanShift(k));
+        }
+        if let Some(k) = split(body, "std_dev") {
+            return Some(StatKind::StdDev(k));
+        }
+        if let Some(k) = split(body, "skewness") {
+            return Some(StatKind::Skewness(k));
+        }
+        if let Some(Some(k)) = split(body, "weight") {
+            if k >= 2 {
+                return Some(StatKind::Weight(k));
+            }
+        }
+        None
+    }
+}
+
+/// A fully qualified table attribute: base kind + statistical role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableKind {
+    /// Measured quantity.
+    pub base: BaseKind,
+    /// Statistical role.
+    pub stat: StatKind,
+}
+
+impl TableKind {
+    /// Composes the Liberty attribute name, e.g. `ocv_weight2_cell_rise`.
+    pub fn attribute_name(&self) -> String {
+        format!("{}{}", self.stat.prefix(), self.base.stem())
+    }
+
+    /// Parses an attribute name back into a table kind. Accepts the paper's
+    /// `ocv_mean_shfit1_*` misspelling as `MeanShift(Some(1))`, and any
+    /// component index up to [`StatKind::MAX_COMPONENTS`].
+    pub fn from_attribute_name(name: &str) -> Option<TableKind> {
+        let name = name.replace("mean_shfit", "mean_shift");
+        for base in BaseKind::ALL {
+            if let Some(head) = name.strip_suffix(base.stem()) {
+                // Guard against partial stem matches like `my_cell_rise`.
+                if !head.is_empty() && !head.ends_with('_') {
+                    continue;
+                }
+                if let Some(stat) = StatKind::from_prefix(head) {
+                    return Some(TableKind { base, stat });
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for TableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.attribute_name())
+    }
+}
+
+/// A lookup-table template (`lu_table_template`) shared by the tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutTemplate {
+    /// Template name, e.g. `delay_template_8x8`.
+    pub name: String,
+    /// `index_1` values (input slew, ns).
+    pub index_1: Vec<f64>,
+    /// `index_2` values (output load, pF).
+    pub index_2: Vec<f64>,
+}
+
+/// One lookup table: kind, indices and a row-major value matrix
+/// (`values[i][j]` at slew `index_1[i]`, load `index_2[j]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingTable {
+    /// Which attribute this table is.
+    pub kind: TableKind,
+    /// Template name referenced in the attribute's argument.
+    pub template: String,
+    /// `index_1` (slew) values.
+    pub index_1: Vec<f64>,
+    /// `index_2` (load) values.
+    pub index_2: Vec<f64>,
+    /// Row-major values.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl TimingTable {
+    /// Validates rectangular shape against the indices.
+    pub fn is_consistent(&self) -> bool {
+        self.values.len() == self.index_1.len()
+            && self.values.iter().all(|row| row.len() == self.index_2.len())
+    }
+}
+
+/// A `timing () { … }` group under a pin.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimingGroup {
+    /// The `related_pin` attribute.
+    pub related_pin: String,
+    /// Optional state-dependent condition (`when : "A & !B"`); state-
+    /// dependent arcs each carry their own LVF/LVF² table stack.
+    pub when: Option<String>,
+    /// Optional `timing_sense` (`positive_unate` / `negative_unate` /
+    /// `non_unate`).
+    pub timing_sense: Option<String>,
+    /// The tables in this group.
+    pub tables: Vec<TimingTable>,
+}
+
+impl TimingGroup {
+    /// Finds the table of a given kind, if present.
+    pub fn table(&self, kind: TableKind) -> Option<&TimingTable> {
+        self.tables.iter().find(|t| t.kind == kind)
+    }
+}
+
+/// A pin group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    /// Pin name.
+    pub name: String,
+    /// `direction` attribute (`input`/`output`).
+    pub direction: String,
+    /// Timing groups.
+    pub timings: Vec<TimingGroup>,
+}
+
+/// A cell group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell name, e.g. `NAND2_X1`.
+    pub name: String,
+    /// Pins.
+    pub pins: Vec<Pin>,
+}
+
+/// A Liberty library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    /// Library name.
+    pub name: String,
+    /// Declared LUT templates.
+    pub templates: Vec<LutTemplate>,
+    /// Cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Library { name: name.into(), templates: Vec::new(), cells: Vec::new() }
+    }
+
+    /// Finds a cell by name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_name_roundtrip_all_kinds() {
+        for base in BaseKind::ALL {
+            for stat in StatKind::ALL {
+                let k = TableKind { base, stat };
+                let name = k.attribute_name();
+                assert_eq!(TableKind::from_attribute_name(&name), Some(k), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_names_match_section_3_3() {
+        let k = TableKind { base: BaseKind::CellRise, stat: StatKind::Weight(2) };
+        assert_eq!(k.attribute_name(), "ocv_weight2_cell_rise");
+        let k1 = TableKind { base: BaseKind::CellRise, stat: StatKind::MeanShift(Some(1)) };
+        assert_eq!(k1.attribute_name(), "ocv_mean_shift1_cell_rise");
+    }
+
+    #[test]
+    fn accepts_paper_misspelling() {
+        let k = TableKind::from_attribute_name("ocv_mean_shfit1_cell_rise");
+        assert_eq!(k, Some(TableKind { base: BaseKind::CellRise, stat: StatKind::MeanShift(Some(1)) }));
+    }
+
+    #[test]
+    fn unknown_attribute_is_none() {
+        assert_eq!(TableKind::from_attribute_name("rise_power"), None);
+    }
+
+    #[test]
+    fn table_consistency() {
+        let t = TimingTable {
+            kind: TableKind { base: BaseKind::CellRise, stat: StatKind::Nominal },
+            template: "t".into(),
+            index_1: vec![0.1, 0.2],
+            index_2: vec![0.01],
+            values: vec![vec![1.0], vec![2.0]],
+        };
+        assert!(t.is_consistent());
+        let mut bad = t.clone();
+        bad.values.pop();
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn lvf2_extension_flags() {
+        assert!(!StatKind::StdDev(None).is_lvf2_extension());
+        assert!(StatKind::Weight(2).is_lvf2_extension());
+        assert!(StatKind::Skewness(Some(2)).is_lvf2_extension());
+    }
+}
+
+#[cfg(test)]
+mod k_component_tests {
+    use super::*;
+
+    #[test]
+    fn parses_component_indices_beyond_two() {
+        for (name, want) in [
+            ("ocv_weight3_cell_fall", StatKind::Weight(3)),
+            ("ocv_mean_shift4_rise_transition", StatKind::MeanShift(Some(4))),
+            ("ocv_std_dev9_cell_rise", StatKind::StdDev(Some(9))),
+        ] {
+            let k = TableKind::from_attribute_name(name).expect(name);
+            assert_eq!(k.stat, want, "{name}");
+            assert_eq!(k.attribute_name(), name);
+        }
+    }
+
+    #[test]
+    fn rejects_bogus_indices() {
+        assert!(TableKind::from_attribute_name("ocv_weight1_cell_rise").is_none());
+        assert!(TableKind::from_attribute_name("ocv_weight0_cell_rise").is_none());
+        assert!(TableKind::from_attribute_name("ocv_weight10_cell_rise").is_none());
+        assert!(TableKind::from_attribute_name("ocv_mean_shift99_cell_rise").is_none());
+        assert!(TableKind::from_attribute_name("my_cell_rise").is_none());
+    }
+
+    #[test]
+    fn all_for_counts() {
+        assert_eq!(StatKind::all_for(2).len(), 11);
+        assert_eq!(StatKind::all_for(3).len(), 15);
+        assert_eq!(StatKind::all_for(4).len(), 19);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for Liberty reading/writing.
+
+use std::fmt;
+
+use lvf2_stats::StatsError;
+
+/// Errors from parsing or interpreting Liberty text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibertyError {
+    /// Lexical or syntactic error at a source line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A required table is missing from a timing group.
+    MissingTable {
+        /// The attribute name that was expected.
+        attribute: String,
+    },
+    /// Table dimensions disagree (indices vs. values, or across tables).
+    ShapeMismatch {
+        /// Human-readable context.
+        context: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Converting table entries into a distribution failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibertyError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LibertyError::MissingTable { attribute } => {
+                write!(f, "missing required table `{attribute}`")
+            }
+            LibertyError::ShapeMismatch { context } => write!(f, "table shape mismatch: {context}"),
+            LibertyError::BadNumber { line, token } => {
+                write!(f, "invalid number `{token}` at line {line}")
+            }
+            LibertyError::Stats(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LibertyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibertyError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for LibertyError {
+    fn from(e: StatsError) -> Self {
+        LibertyError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = LibertyError::Parse { line: 12, message: "expected `{`".into() };
+        assert!(e.to_string().contains("line 12"));
+        let m = LibertyError::MissingTable { attribute: "ocv_std_dev_cell_rise".into() };
+        assert!(m.to_string().contains("ocv_std_dev_cell_rise"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<LibertyError>();
+    }
+}

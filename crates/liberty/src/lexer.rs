@@ -1,0 +1,225 @@
+//! Tokenizer for the Liberty subset.
+
+use crate::error::LibertyError;
+
+/// A Liberty token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or bareword (`library`, `cell_rise`, `NAND2_X1`, `1.0e-3`
+    /// stays a `Number`).
+    Ident(String),
+    /// Quoted string, quotes stripped (may contain commas/numbers).
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenizes Liberty text. Handles `/* … */` and `//` comments, quoted
+/// strings and line continuations (`\` at end of line).
+///
+/// # Errors
+///
+/// [`LibertyError::Parse`] on unterminated strings/comments or stray bytes.
+pub fn tokenize(text: &str) -> Result<Vec<Spanned>, LibertyError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '\\' => {
+                // Line continuation; skip (the newline bump happens above).
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LibertyError::Parse {
+                            line: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = line;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LibertyError::Parse {
+                        line: start,
+                        message: "unterminated string".into(),
+                    });
+                }
+                let s = text[begin..i].to_string();
+                i += 1;
+                out.push(Spanned { token: Token::Str(s), line: start });
+            }
+            '{' => {
+                out.push(Spanned { token: Token::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { token: Token::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Spanned { token: Token::Colon, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, line });
+                i += 1;
+            }
+            _ if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+' => {
+                let begin = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric()
+                        || d == '_'
+                        || d == '.'
+                        || d == '-'
+                        || d == '+'
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &text[begin..i];
+                match parse_number(word) {
+                    Some(v) => out.push(Spanned { token: Token::Number(v), line }),
+                    None => out.push(Spanned { token: Token::Ident(word.to_string()), line }),
+                }
+            }
+            _ => {
+                return Err(LibertyError::Parse {
+                    line,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a numeric bareword, including scientific notation where the
+/// exponent sign got glued into the word (`1.2e-3`).
+fn parse_number(word: &str) -> Option<f64> {
+    // Reject pure identifiers quickly.
+    if !word.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+' || c == '.') {
+        return None;
+    }
+    word.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("library (demo) { k : 1.5; }").unwrap();
+        let kinds: Vec<&Token> = toks.iter().map(|s| &s.token).collect();
+        assert!(matches!(kinds[0], Token::Ident(s) if s == "library"));
+        assert!(matches!(kinds[1], Token::LParen));
+        assert!(matches!(kinds[2], Token::Ident(s) if s == "demo"));
+        assert!(matches!(kinds[6], Token::Colon));
+        assert!(matches!(kinds[7], Token::Number(v) if (*v - 1.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let toks = tokenize("/* comment */ values (\"1, 2\"); // trailing").unwrap();
+        assert!(matches!(&toks[2].token, Token::Str(s) if s == "1, 2"));
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = tokenize("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn scientific_numbers() {
+        let toks = tokenize("1.2e-3 -4.5E+2").unwrap();
+        assert!(matches!(toks[0].token, Token::Number(v) if (v - 0.0012).abs() < 1e-15));
+        assert!(matches!(toks[1].token, Token::Number(v) if (v + 450.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("\"abc").unwrap_err();
+        assert!(matches!(err, LibertyError::Parse { .. }));
+    }
+
+    #[test]
+    fn identifiers_with_digits() {
+        let toks = tokenize("NAND2_X1").unwrap();
+        assert!(matches!(&toks[0].token, Token::Ident(s) if s == "NAND2_X1"));
+    }
+}

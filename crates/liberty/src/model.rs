@@ -1,0 +1,571 @@
+//! Bridge between Liberty table stacks and fitted timing models.
+//!
+//! Implements the §3.3 semantics:
+//!
+//! - reading, the seven LVF² attributes **default** to their LVF
+//!   counterparts (`ocv_mean_shift1 ← ocv_mean_shift`, `ocv_std_dev1 ←
+//!   ocv_std_dev`, `ocv_skewness1 ← ocv_skewness`, `ocv_weight2 ← 0`), so a
+//!   plain LVF library read through the LVF² path produces `λ = 0` models
+//!   that *are* the LVF skew-normal (Eq. 10);
+//! - writing, a grid of fitted [`Lvf2`] models emits both the classic LVF
+//!   moment tables (from the mixture's overall moments, keeping LVF-only
+//!   consumers working) and the LVF² component tables.
+
+use lvf2_stats::{Distribution, Lvf2, Moments, SkewNormal};
+
+use crate::ast::{BaseKind, StatKind, TableKind, TimingGroup, TimingTable};
+use crate::error::LibertyError;
+
+/// One grid entry decoded from a timing group: the nominal value and the
+/// (possibly degenerate, λ = 0) LVF² model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lvf2Entry {
+    /// Nominal table value (ns).
+    pub nominal: f64,
+    /// The statistical model.
+    pub model: Lvf2,
+}
+
+fn lookup(timing: &TimingGroup, base: BaseKind, stat: StatKind, i: usize, j: usize) -> Option<f64> {
+    timing
+        .table(TableKind { base, stat })
+        .and_then(|t| t.values.get(i).and_then(|row| row.get(j)))
+        .copied()
+}
+
+/// Decodes the LVF² model at grid position `(i, j)` of a timing group,
+/// applying the §3.3 default-inheritance rules.
+///
+/// # Errors
+///
+/// - [`LibertyError::MissingTable`] when the nominal or any required σ table
+///   is absent (σ₂ is required only when `ocv_weight2 > 0`);
+/// - [`LibertyError::Stats`] when the stored moments cannot form a
+///   skew-normal (σ ≤ 0; skewness is clamped, not rejected).
+///
+/// # Example
+///
+/// See the crate-level example and `tests/liberty_roundtrip.rs`.
+pub fn lvf2_entry(
+    timing: &TimingGroup,
+    base: BaseKind,
+    i: usize,
+    j: usize,
+) -> Result<Lvf2Entry, LibertyError> {
+    let nominal = lookup(timing, base, StatKind::Nominal, i, j).ok_or_else(|| {
+        LibertyError::MissingTable { attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name() }
+    })?;
+
+    // First component: *1 tables defaulting to the LVF tables.
+    let mean_shift1 = lookup(timing, base, StatKind::MeanShift(Some(1)), i, j)
+        .or_else(|| lookup(timing, base, StatKind::MeanShift(None), i, j))
+        .unwrap_or(0.0);
+    let sigma1 = lookup(timing, base, StatKind::StdDev(Some(1)), i, j)
+        .or_else(|| lookup(timing, base, StatKind::StdDev(None), i, j))
+        .ok_or_else(|| LibertyError::MissingTable {
+            attribute: TableKind { base, stat: StatKind::StdDev(None) }.attribute_name(),
+        })?;
+    let gamma1 = lookup(timing, base, StatKind::Skewness(Some(1)), i, j)
+        .or_else(|| lookup(timing, base, StatKind::Skewness(None), i, j))
+        .unwrap_or(0.0);
+    let first =
+        SkewNormal::from_moments_clamped(Moments::new(nominal + mean_shift1, sigma1, gamma1))?;
+
+    // Second component, active only when λ > 0 (default all-zeros table).
+    let lambda = lookup(timing, base, StatKind::Weight(2), i, j).unwrap_or(0.0);
+    let model = if lambda > 0.0 {
+        let mean_shift2 = lookup(timing, base, StatKind::MeanShift(Some(2)), i, j).ok_or_else(|| {
+            LibertyError::MissingTable {
+                attribute: TableKind { base, stat: StatKind::MeanShift(Some(2)) }.attribute_name(),
+            }
+        })?;
+        let sigma2 = lookup(timing, base, StatKind::StdDev(Some(2)), i, j).ok_or_else(|| {
+            LibertyError::MissingTable {
+                attribute: TableKind { base, stat: StatKind::StdDev(Some(2)) }.attribute_name(),
+            }
+        })?;
+        let gamma2 = lookup(timing, base, StatKind::Skewness(Some(2)), i, j).unwrap_or(0.0);
+        let second = SkewNormal::from_moments_clamped(Moments::new(
+            nominal + mean_shift2,
+            sigma2,
+            gamma2,
+        ))?;
+        Lvf2::new(lambda, first, second)?
+    } else {
+        Lvf2::from_lvf(first)
+    };
+    Ok(Lvf2Entry { nominal, model })
+}
+
+/// Decodes the plain-LVF skew-normal at `(i, j)` (ignores LVF² tables).
+///
+/// # Errors
+///
+/// Same contract as [`lvf2_entry`], without the component-2 cases.
+pub fn lvf_entry(
+    timing: &TimingGroup,
+    base: BaseKind,
+    i: usize,
+    j: usize,
+) -> Result<SkewNormal, LibertyError> {
+    let nominal = lookup(timing, base, StatKind::Nominal, i, j).ok_or_else(|| {
+        LibertyError::MissingTable { attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name() }
+    })?;
+    let mean_shift = lookup(timing, base, StatKind::MeanShift(None), i, j).unwrap_or(0.0);
+    let sigma = lookup(timing, base, StatKind::StdDev(None), i, j).ok_or_else(|| {
+        LibertyError::MissingTable { attribute: TableKind { base, stat: StatKind::StdDev(None) }.attribute_name() }
+    })?;
+    let gamma = lookup(timing, base, StatKind::Skewness(None), i, j).unwrap_or(0.0);
+    Ok(SkewNormal::from_moments_clamped(Moments::new(nominal + mean_shift, sigma, gamma))?)
+}
+
+/// A full grid of fitted LVF² models for one base kind — the unit that gets
+/// written into a timing group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModelGrid {
+    /// Which quantity (cell_rise, …).
+    pub base: BaseKind,
+    /// Slew ladder.
+    pub index_1: Vec<f64>,
+    /// Load ladder.
+    pub index_2: Vec<f64>,
+    /// Nominal values, row-major `[slew][load]`.
+    pub nominal: Vec<Vec<f64>>,
+    /// Fitted models, row-major.
+    pub models: Vec<Vec<Lvf2>>,
+}
+
+impl TimingModelGrid {
+    /// Emits the full table stack: nominal, the three LVF moment tables
+    /// (overall mixture moments — LVF-only consumers keep working) and the
+    /// seven LVF² tables.
+    pub fn to_tables(&self, template: &str) -> Vec<TimingTable> {
+        let make = |stat: StatKind, f: &dyn Fn(usize, usize) -> f64| -> TimingTable {
+            TimingTable {
+                kind: TableKind { base: self.base, stat },
+                template: template.to_string(),
+                index_1: self.index_1.clone(),
+                index_2: self.index_2.clone(),
+                values: (0..self.index_1.len())
+                    .map(|i| (0..self.index_2.len()).map(|j| f(i, j)).collect())
+                    .collect(),
+            }
+        };
+        let nom = |i: usize, j: usize| self.nominal[i][j];
+        let model = |i: usize, j: usize| &self.models[i][j];
+        vec![
+            make(StatKind::Nominal, &nom),
+            make(StatKind::MeanShift(None), &|i, j| model(i, j).mean() - nom(i, j)),
+            make(StatKind::StdDev(None), &|i, j| model(i, j).std_dev()),
+            make(StatKind::Skewness(None), &|i, j| model(i, j).skewness()),
+            make(StatKind::MeanShift(Some(1)), &|i, j| model(i, j).first().mean() - nom(i, j)),
+            make(StatKind::StdDev(Some(1)), &|i, j| model(i, j).first().std_dev()),
+            make(StatKind::Skewness(Some(1)), &|i, j| model(i, j).first().skewness()),
+            make(StatKind::Weight(2), &|i, j| model(i, j).lambda()),
+            make(StatKind::MeanShift(Some(2)), &|i, j| model(i, j).second().mean() - nom(i, j)),
+            make(StatKind::StdDev(Some(2)), &|i, j| model(i, j).second().std_dev()),
+            make(StatKind::Skewness(Some(2)), &|i, j| model(i, j).second().skewness()),
+        ]
+    }
+
+    /// Reads a grid back from a timing group (inverse of
+    /// [`to_tables`](Self::to_tables) composed with a write/parse cycle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lvf2_entry`] errors; requires the nominal table for the
+    /// grid shape.
+    pub fn from_timing(timing: &TimingGroup, base: BaseKind) -> Result<Self, LibertyError> {
+        let nominal_table = timing
+            .table(TableKind { base, stat: StatKind::Nominal })
+            .ok_or_else(|| LibertyError::MissingTable {
+                attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name(),
+            })?;
+        let (rows, cols) = (nominal_table.index_1.len(), nominal_table.index_2.len());
+        let mut nominal = Vec::with_capacity(rows);
+        let mut models = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut nrow = Vec::with_capacity(cols);
+            let mut mrow = Vec::with_capacity(cols);
+            for j in 0..cols {
+                let e = lvf2_entry(timing, base, i, j)?;
+                nrow.push(e.nominal);
+                mrow.push(e.model);
+            }
+            nominal.push(nrow);
+            models.push(mrow);
+        }
+        Ok(TimingModelGrid {
+            base,
+            index_1: nominal_table.index_1.clone(),
+            index_2: nominal_table.index_2.clone(),
+            nominal,
+            models,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_stats::Moments;
+
+    fn lvf_only_timing() -> TimingGroup {
+        let mk = |stat: StatKind, vals: [[f64; 2]; 2]| TimingTable {
+            kind: TableKind { base: BaseKind::CellRise, stat },
+            template: "t".into(),
+            index_1: vec![0.01, 0.02],
+            index_2: vec![0.001, 0.002],
+            values: vals.iter().map(|r| r.to_vec()).collect(),
+        };
+        TimingGroup {
+            related_pin: "A".into(),
+            tables: vec![
+                mk(StatKind::Nominal, [[0.10, 0.11], [0.12, 0.13]]),
+                mk(StatKind::MeanShift(None), [[0.002, 0.002], [0.003, 0.003]]),
+                mk(StatKind::StdDev(None), [[0.008, 0.009], [0.010, 0.011]]),
+                mk(StatKind::Skewness(None), [[0.4, 0.3], [0.2, 0.1]]),
+            ],
+        ..Default::default() }
+    }
+
+    #[test]
+    fn lvf_library_reads_as_lambda_zero_lvf2() {
+        let timing = lvf_only_timing();
+        let e = lvf2_entry(&timing, BaseKind::CellRise, 1, 0).unwrap();
+        assert!(e.model.is_lvf());
+        let sn = lvf_entry(&timing, BaseKind::CellRise, 1, 0).unwrap();
+        // Eq. (10): identical distributions.
+        for &x in &[0.10, 0.123, 0.14] {
+            assert!((e.model.pdf(x) - sn.pdf(x)).abs() < 1e-14);
+        }
+        assert!((sn.mean() - 0.123).abs() < 1e-12);
+        assert!((sn.std_dev() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_sigma_is_an_error() {
+        let mut timing = lvf_only_timing();
+        timing.tables.retain(|t| t.kind.stat != StatKind::StdDev(None));
+        let err = lvf2_entry(&timing, BaseKind::CellRise, 0, 0).unwrap_err();
+        assert!(matches!(err, LibertyError::MissingTable { .. }));
+    }
+
+    #[test]
+    fn grid_roundtrip_through_tables() {
+        let sn = |m: f64, s: f64, g: f64| {
+            SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
+        };
+        let models = vec![
+            vec![
+                Lvf2::new(0.3, sn(0.10, 0.006, 0.5), sn(0.13, 0.008, -0.2)).unwrap(),
+                Lvf2::from_lvf(sn(0.11, 0.007, 0.3)),
+            ],
+            vec![
+                Lvf2::new(0.5, sn(0.12, 0.005, 0.1), sn(0.15, 0.009, 0.4)).unwrap(),
+                Lvf2::new(0.2, sn(0.13, 0.006, 0.0), sn(0.18, 0.012, 0.6)).unwrap(),
+            ],
+        ];
+        let grid = TimingModelGrid {
+            base: BaseKind::CellFall,
+            index_1: vec![0.01, 0.02],
+            index_2: vec![0.001, 0.002],
+            nominal: vec![vec![0.10, 0.11], vec![0.12, 0.14]],
+            models,
+        };
+        let timing =
+            TimingGroup { related_pin: "B".into(), tables: grid.to_tables("t8"), ..Default::default() };
+        let back = TimingModelGrid::from_timing(&timing, BaseKind::CellFall).unwrap();
+        assert_eq!(back.index_1, grid.index_1);
+        for i in 0..2 {
+            for j in 0..2 {
+                let a = &grid.models[i][j];
+                let b = &back.models[i][j];
+                assert!((a.lambda() - b.lambda()).abs() < 1e-12, "λ at ({i},{j})");
+                for &x in &[0.09, 0.12, 0.16] {
+                    assert!(
+                        (a.pdf(x) - b.pdf(x)).abs() < 1e-9,
+                        "pdf mismatch at ({i},{j}), x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_grid_emits_zero_weight_table() {
+        let sn = SkewNormal::from_moments(Moments::new(0.1, 0.01, 0.2)).unwrap();
+        let grid = TimingModelGrid {
+            base: BaseKind::CellRise,
+            index_1: vec![0.01],
+            index_2: vec![0.001],
+            nominal: vec![vec![0.1]],
+            models: vec![vec![Lvf2::from_lvf(sn)]],
+        };
+        let tables = grid.to_tables("t");
+        let w2 = tables
+            .iter()
+            .find(|t| t.kind.stat == StatKind::Weight(2))
+            .unwrap();
+        assert_eq!(w2.values[0][0], 0.0);
+    }
+}
+
+/// A grid of K-component skew-normal mixtures — the §3.3 extension beyond
+/// two components, encoded with the same naming convention
+/// (`ocv_weight<k>_*`, `ocv_mean_shift<k>_*`, …).
+///
+/// The LVF tables are still emitted from the overall mixture moments, so
+/// LVF-only consumers keep working; an LVF²-only consumer sees components 1
+/// and 2 and the weight of component 2 (a best-effort truncation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureModelGrid {
+    /// Which quantity (cell_rise, …).
+    pub base: BaseKind,
+    /// Slew ladder.
+    pub index_1: Vec<f64>,
+    /// Load ladder.
+    pub index_2: Vec<f64>,
+    /// Nominal values, row-major `[slew][load]`.
+    pub nominal: Vec<Vec<f64>>,
+    /// Fitted mixtures, row-major; all entries must share one order K.
+    pub models: Vec<Vec<lvf2_stats::Mixture<SkewNormal>>>,
+}
+
+impl MixtureModelGrid {
+    /// The mixture order K (from the first entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid.
+    pub fn order(&self) -> usize {
+        self.models[0][0].len()
+    }
+
+    /// Emits the full table stack for order K: nominal + 3 LVF tables +
+    /// per-component `(weight, mean_shift, std_dev, skewness)` tables
+    /// (component 1 has no weight table — it carries the remainder).
+    pub fn to_tables(&self, template: &str) -> Vec<TimingTable> {
+        let k = self.order();
+        let make = |stat: StatKind, f: &dyn Fn(usize, usize) -> f64| -> TimingTable {
+            TimingTable {
+                kind: TableKind { base: self.base, stat },
+                template: template.to_string(),
+                index_1: self.index_1.clone(),
+                index_2: self.index_2.clone(),
+                values: (0..self.index_1.len())
+                    .map(|i| (0..self.index_2.len()).map(|j| f(i, j)).collect())
+                    .collect(),
+            }
+        };
+        let nom = |i: usize, j: usize| self.nominal[i][j];
+        let model = |i: usize, j: usize| &self.models[i][j];
+        let mut tables = vec![
+            make(StatKind::Nominal, &nom),
+            make(StatKind::MeanShift(None), &|i, j| model(i, j).mean() - nom(i, j)),
+            make(StatKind::StdDev(None), &|i, j| model(i, j).std_dev()),
+            make(StatKind::Skewness(None), &|i, j| model(i, j).skewness()),
+        ];
+        for c in 0..k {
+            let comp = move |i: usize, j: usize| model(i, j).components()[c];
+            let kk = (c + 1) as u8;
+            if c > 0 {
+                tables.push(make(StatKind::Weight(kk), &|i, j| model(i, j).weights()[c]));
+            }
+            tables.push(make(StatKind::MeanShift(Some(kk)), &|i, j| comp(i, j).mean() - nom(i, j)));
+            tables.push(make(StatKind::StdDev(Some(kk)), &|i, j| comp(i, j).std_dev()));
+            tables.push(make(StatKind::Skewness(Some(kk)), &|i, j| comp(i, j).skewness()));
+        }
+        tables
+    }
+
+    /// Reads a K-component grid back from a timing group. The order is
+    /// discovered from the highest `ocv_weight<k>` table present (K = 1 when
+    /// none exists).
+    ///
+    /// # Errors
+    ///
+    /// [`LibertyError::MissingTable`] when nominal or any component's σ
+    /// table is absent.
+    pub fn from_timing(timing: &TimingGroup, base: BaseKind) -> Result<Self, LibertyError> {
+        let nominal_table = timing
+            .table(TableKind { base, stat: StatKind::Nominal })
+            .ok_or_else(|| LibertyError::MissingTable {
+                attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name(),
+            })?;
+        let (rows, cols) = (nominal_table.index_1.len(), nominal_table.index_2.len());
+        // Discover the order from the weight tables present.
+        let mut order = 1usize;
+        for t in &timing.tables {
+            if t.kind.base == base {
+                if let StatKind::Weight(k) = t.kind.stat {
+                    order = order.max(k as usize);
+                }
+            }
+        }
+        let comp_stat = |c: usize, make: fn(Option<u8>) -> StatKind| -> StatKind {
+            make(Some((c + 1) as u8))
+        };
+        let mut nominal = Vec::with_capacity(rows);
+        let mut models = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut nrow = Vec::with_capacity(cols);
+            let mut mrow = Vec::with_capacity(cols);
+            for j in 0..cols {
+                let nomv = nominal_table.values[i][j];
+                let mut comps = Vec::with_capacity(order);
+                let mut weights = Vec::with_capacity(order);
+                let mut w_rest = 1.0;
+                for c in 0..order {
+                    let ms = lookup(timing, base, comp_stat(c, StatKind::MeanShift), i, j)
+                        .or_else(|| {
+                            if c == 0 {
+                                lookup(timing, base, StatKind::MeanShift(None), i, j)
+                            } else {
+                                None
+                            }
+                        })
+                        .unwrap_or(0.0);
+                    let sd = lookup(timing, base, comp_stat(c, StatKind::StdDev), i, j)
+                        .or_else(|| {
+                            if c == 0 {
+                                lookup(timing, base, StatKind::StdDev(None), i, j)
+                            } else {
+                                None
+                            }
+                        })
+                        .ok_or_else(|| LibertyError::MissingTable {
+                            attribute: TableKind { base, stat: comp_stat(c, StatKind::StdDev) }
+                                .attribute_name(),
+                        })?;
+                    let sk = lookup(timing, base, comp_stat(c, StatKind::Skewness), i, j)
+                        .or_else(|| {
+                            if c == 0 {
+                                lookup(timing, base, StatKind::Skewness(None), i, j)
+                            } else {
+                                None
+                            }
+                        })
+                        .unwrap_or(0.0);
+                    comps.push(SkewNormal::from_moments_clamped(Moments::new(
+                        nomv + ms,
+                        sd,
+                        sk,
+                    ))?);
+                    if c > 0 {
+                        let w = lookup(timing, base, StatKind::Weight((c + 1) as u8), i, j)
+                            .unwrap_or(0.0);
+                        weights.push(w);
+                        w_rest -= w;
+                    }
+                }
+                weights.insert(0, w_rest.max(0.0));
+                mrow.push(lvf2_stats::Mixture::new(comps, weights)?);
+                nrow.push(nomv);
+            }
+            nominal.push(nrow);
+            models.push(mrow);
+        }
+        Ok(MixtureModelGrid {
+            base,
+            index_1: nominal_table.index_1.clone(),
+            index_2: nominal_table.index_2.clone(),
+            nominal,
+            models,
+        })
+    }
+}
+
+#[cfg(test)]
+mod mixture_grid_tests {
+    use super::*;
+    use lvf2_stats::{Distribution, Mixture, Moments};
+
+    fn sn(m: f64, s: f64, g: f64) -> SkewNormal {
+        SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
+    }
+
+    fn three_component_grid() -> MixtureModelGrid {
+        let mix = |a: f64| {
+            Mixture::new(
+                vec![sn(0.10 + a, 0.004, 0.4), sn(0.13 + a, 0.005, 0.2), sn(0.16 + a, 0.006, -0.1)],
+                vec![0.5, 0.3, 0.2],
+            )
+            .unwrap()
+        };
+        MixtureModelGrid {
+            base: BaseKind::CellRise,
+            index_1: vec![0.01, 0.02],
+            index_2: vec![0.001],
+            nominal: vec![vec![0.11], vec![0.12]],
+            models: vec![vec![mix(0.0)], vec![mix(0.01)]],
+        }
+    }
+
+    #[test]
+    fn k3_roundtrip_through_tables() {
+        let grid = three_component_grid();
+        let timing = TimingGroup { related_pin: "A".into(), tables: grid.to_tables("t"), ..Default::default() };
+        let back = MixtureModelGrid::from_timing(&timing, BaseKind::CellRise).unwrap();
+        assert_eq!(back.order(), 3);
+        for i in 0..2 {
+            let a = &grid.models[i][0];
+            let b = &back.models[i][0];
+            for (wa, wb) in a.weights().iter().zip(b.weights()) {
+                assert!((wa - wb).abs() < 1e-9);
+            }
+            for &x in &[0.10, 0.13, 0.17] {
+                assert!((a.pdf(x) - b.pdf(x)).abs() < 1e-8, "pdf at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn k3_tables_include_third_component_attributes() {
+        let grid = three_component_grid();
+        let names: Vec<String> =
+            grid.to_tables("t").iter().map(|t| t.kind.attribute_name()).collect();
+        assert!(names.contains(&"ocv_weight3_cell_rise".to_string()));
+        assert!(names.contains(&"ocv_mean_shift3_cell_rise".to_string()));
+        // And still the LVF + K=2 stack for downstream compatibility.
+        assert!(names.contains(&"ocv_std_dev_cell_rise".to_string()));
+        assert!(names.contains(&"ocv_weight2_cell_rise".to_string()));
+    }
+
+    #[test]
+    fn k3_text_roundtrip() {
+        use crate::ast::{Cell, Library, Pin};
+        let grid = three_component_grid();
+        let mut lib = Library::new("k3");
+        lib.cells.push(Cell {
+            name: "X".into(),
+            pins: vec![Pin {
+                name: "Y".into(),
+                direction: "output".into(),
+                timings: vec![TimingGroup {
+                    related_pin: "A".into(),
+                    tables: grid.to_tables("t"),
+                ..Default::default() }],
+            }],
+        });
+        let text = crate::writer::write_library(&lib);
+        let parsed = crate::parser::parse_library(&text).unwrap();
+        let timing = &parsed.cells[0].pins[0].timings[0];
+        let back = MixtureModelGrid::from_timing(timing, BaseKind::CellRise).unwrap();
+        assert_eq!(back.order(), 3);
+        assert!((back.models[0][0].mean() - grid.models[0][0].mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lvf_only_timing_reads_as_order_one() {
+        let grid = three_component_grid();
+        let mut timing = TimingGroup { related_pin: "A".into(), tables: grid.to_tables("t"), ..Default::default() };
+        timing.tables.retain(|t| !t.kind.stat.is_lvf2_extension());
+        let back = MixtureModelGrid::from_timing(&timing, BaseKind::CellRise).unwrap();
+        assert_eq!(back.order(), 1);
+        // The single component carries the mixture's overall moments.
+        let truth = &grid.models[0][0];
+        assert!((back.models[0][0].mean() - truth.mean()).abs() < 1e-9);
+        assert!((back.models[0][0].std_dev() - truth.std_dev()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,440 @@
+//! Recursive-descent parser: tokens → generic groups → [`Library`] AST.
+
+use crate::ast::{
+    Cell, Library, LutTemplate, Pin, TableKind, TimingGroup, TimingTable,
+};
+use crate::error::LibertyError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// A syntax-level Liberty group, before semantic interpretation.
+///
+/// Exposed publicly so tools can consume Liberty constructs this crate's
+/// semantic layer does not model (power tables, constraints, …).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawGroup {
+    /// Group type, e.g. `library`, `cell`, `timing`, `cell_rise`.
+    pub name: String,
+    /// Parenthesized arguments.
+    pub args: Vec<String>,
+    /// Simple attributes `name : value ;`.
+    pub attrs: Vec<(String, String)>,
+    /// Complex attributes `name ("…", "…");`.
+    pub complex: Vec<(String, Vec<String>)>,
+    /// Nested groups.
+    pub groups: Vec<RawGroup>,
+}
+
+impl RawGroup {
+    /// First simple attribute with this name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First complex attribute with this name.
+    pub fn complex_attr(&self, name: &str) -> Option<&[String]> {
+        self.complex.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_slice())
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |t| t.line)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), LibertyError> {
+        match self.next() {
+            Some(t) if t.token == *want => Ok(()),
+            Some(t) => Err(LibertyError::Parse {
+                line: t.line,
+                message: format!("expected {what}, found {:?}", t.token),
+            }),
+            None => Err(LibertyError::Parse {
+                line: self.line(),
+                message: format!("expected {what}, found end of input"),
+            }),
+        }
+    }
+
+    fn token_to_arg(t: &Token) -> String {
+        match t {
+            Token::Ident(s) | Token::Str(s) => s.clone(),
+            Token::Number(v) => format!("{v}"),
+            other => format!("{other:?}"),
+        }
+    }
+
+    /// Parses `( a, b, … )` into strings.
+    fn parse_args(&mut self) -> Result<Vec<String>, LibertyError> {
+        self.expect(&Token::LParen, "`(`")?;
+        let mut args = Vec::new();
+        loop {
+            match self.next() {
+                Some(Spanned { token: Token::RParen, .. }) => break,
+                Some(Spanned { token: Token::Comma, .. }) => continue,
+                Some(Spanned { token, .. }) => args.push(Self::token_to_arg(&token)),
+                None => {
+                    return Err(LibertyError::Parse {
+                        line: self.line(),
+                        message: "unterminated argument list".into(),
+                    })
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses one group, assuming the group name has just been consumed.
+    fn parse_group(&mut self, name: String) -> Result<RawGroup, LibertyError> {
+        let args = self.parse_args()?;
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut group = RawGroup { name, args, ..RawGroup::default() };
+        loop {
+            match self.next() {
+                Some(Spanned { token: Token::RBrace, .. }) => break,
+                Some(Spanned { token: Token::Semi, .. }) => continue,
+                Some(Spanned { token: Token::Ident(word), line }) => {
+                    match self.peek().map(|s| &s.token) {
+                        Some(Token::Colon) => {
+                            self.next();
+                            let value = match self.next() {
+                                Some(Spanned { token, .. }) => Self::token_to_arg(&token),
+                                None => {
+                                    return Err(LibertyError::Parse {
+                                        line,
+                                        message: "attribute missing value".into(),
+                                    })
+                                }
+                            };
+                            // Optional `;`
+                            if matches!(self.peek().map(|s| &s.token), Some(Token::Semi)) {
+                                self.next();
+                            }
+                            group.attrs.push((word, value));
+                        }
+                        Some(Token::LParen) => {
+                            // Look ahead past the arg list: `{` means group,
+                            // otherwise it is a complex attribute.
+                            let save = self.pos;
+                            let args = self.parse_args()?;
+                            if matches!(self.peek().map(|s| &s.token), Some(Token::LBrace)) {
+                                self.pos = save;
+                                group.groups.push(self.parse_group(word)?);
+                            } else {
+                                if matches!(self.peek().map(|s| &s.token), Some(Token::Semi)) {
+                                    self.next();
+                                }
+                                group.complex.push((word, args));
+                            }
+                        }
+                        _ => {
+                            return Err(LibertyError::Parse {
+                                line,
+                                message: format!("expected `:` or `(` after `{word}`"),
+                            })
+                        }
+                    }
+                }
+                Some(Spanned { token, line }) => {
+                    return Err(LibertyError::Parse {
+                        line,
+                        message: format!("unexpected token {token:?} in group body"),
+                    })
+                }
+                None => {
+                    return Err(LibertyError::Parse {
+                        line: self.line(),
+                        message: "unterminated group".into(),
+                    })
+                }
+            }
+        }
+        Ok(group)
+    }
+}
+
+/// Parses Liberty text into the raw (syntax-level) tree.
+///
+/// # Errors
+///
+/// [`LibertyError::Parse`] with a line number on malformed input.
+pub fn parse_raw(text: &str) -> Result<RawGroup, LibertyError> {
+    let toks = tokenize(text)?;
+    let mut p = Parser { toks, pos: 0 };
+    match p.next() {
+        Some(Spanned { token: Token::Ident(name), .. }) => p.parse_group(name),
+        Some(Spanned { token, line }) => Err(LibertyError::Parse {
+            line,
+            message: format!("expected a group name, found {token:?}"),
+        }),
+        None => Err(LibertyError::Parse { line: 0, message: "empty input".into() }),
+    }
+}
+
+/// Splits a Liberty number list (`"0.1, 0.2, 0.3"`) into floats.
+fn number_list(s: &str) -> Result<Vec<f64>, LibertyError> {
+    s.split([',', ' ', '\t'])
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse::<f64>().map_err(|_| LibertyError::BadNumber { line: 0, token: t.to_string() })
+        })
+        .collect()
+}
+
+fn table_from_group(g: &RawGroup, kind: TableKind) -> Result<TimingTable, LibertyError> {
+    let index_1 = match g.complex_attr("index_1") {
+        Some(args) if !args.is_empty() => number_list(&args[0])?,
+        _ => Vec::new(),
+    };
+    let index_2 = match g.complex_attr("index_2") {
+        Some(args) if !args.is_empty() => number_list(&args[0])?,
+        _ => Vec::new(),
+    };
+    let rows = g
+        .complex_attr("values")
+        .ok_or_else(|| LibertyError::MissingTable { attribute: format!("{kind} values") })?;
+    let values: Vec<Vec<f64>> =
+        rows.iter().map(|r| number_list(r)).collect::<Result<_, _>>()?;
+    let table = TimingTable {
+        kind,
+        template: g.args.first().cloned().unwrap_or_default(),
+        index_1,
+        index_2,
+        values,
+    };
+    if !table.index_1.is_empty() && !table.is_consistent() {
+        return Err(LibertyError::ShapeMismatch {
+            context: format!("table {} is not rectangular against its indices", kind),
+        });
+    }
+    Ok(table)
+}
+
+/// Parses Liberty text into the semantic [`Library`] AST.
+///
+/// Groups and attributes outside the modeled subset are ignored, so
+/// real-world libraries with power/noise content still load.
+///
+/// # Errors
+///
+/// [`LibertyError`] on syntax errors, malformed numbers or non-rectangular
+/// tables.
+///
+/// # Example
+///
+/// ```
+/// let text = r#"library (tiny) { cell (INV_X1) { pin (Y) { direction : output; } } }"#;
+/// let lib = lvf2_liberty::parse_library(text)?;
+/// assert_eq!(lib.cells.len(), 1);
+/// assert_eq!(lib.cells[0].pins[0].direction, "output");
+/// # Ok::<(), lvf2_liberty::LibertyError>(())
+/// ```
+pub fn parse_library(text: &str) -> Result<Library, LibertyError> {
+    let raw = parse_raw(text)?;
+    if raw.name != "library" {
+        return Err(LibertyError::Parse {
+            line: 1,
+            message: format!("expected `library` group, found `{}`", raw.name),
+        });
+    }
+    let mut lib = Library::new(raw.args.first().cloned().unwrap_or_default());
+    for g in &raw.groups {
+        match g.name.as_str() {
+            "lu_table_template" => {
+                lib.templates.push(LutTemplate {
+                    name: g.args.first().cloned().unwrap_or_default(),
+                    index_1: g
+                        .complex_attr("index_1")
+                        .and_then(|a| a.first().map(|s| number_list(s)))
+                        .transpose()?
+                        .unwrap_or_default(),
+                    index_2: g
+                        .complex_attr("index_2")
+                        .and_then(|a| a.first().map(|s| number_list(s)))
+                        .transpose()?
+                        .unwrap_or_default(),
+                });
+            }
+            "cell" => {
+                let mut cell =
+                    Cell { name: g.args.first().cloned().unwrap_or_default(), pins: Vec::new() };
+                for pg in &g.groups {
+                    if pg.name != "pin" {
+                        continue;
+                    }
+                    let mut pin = Pin {
+                        name: pg.args.first().cloned().unwrap_or_default(),
+                        direction: pg.attr("direction").unwrap_or("input").to_string(),
+                        timings: Vec::new(),
+                    };
+                    for tg in &pg.groups {
+                        if tg.name != "timing" {
+                            continue;
+                        }
+                        let mut timing = TimingGroup {
+                            related_pin: tg.attr("related_pin").unwrap_or_default().to_string(),
+                            when: tg.attr("when").map(str::to_string),
+                            timing_sense: tg.attr("timing_sense").map(str::to_string),
+                            tables: Vec::new(),
+                        };
+                        for table_group in &tg.groups {
+                            if let Some(kind) =
+                                TableKind::from_attribute_name(&table_group.name)
+                            {
+                                timing.tables.push(table_from_group(table_group, kind)?);
+                            }
+                        }
+                        pin.timings.push(timing);
+                    }
+                    cell.pins.push(pin);
+                }
+                lib.cells.push(cell);
+            }
+            _ => {}
+        }
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BaseKind, StatKind};
+
+    const SAMPLE: &str = r#"
+library (demo_lib) {
+  delay_model : table_lookup;
+  lu_table_template (t2x2) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.02");
+    index_2 ("0.001, 0.002");
+  }
+  cell (INV_X1) {
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : "A";
+        cell_rise (t2x2) {
+          index_1 ("0.01, 0.02");
+          index_2 ("0.001, 0.002");
+          values ("0.10, 0.11", "0.12, 0.13");
+        }
+        ocv_std_dev_cell_rise (t2x2) {
+          index_1 ("0.01, 0.02");
+          index_2 ("0.001, 0.002");
+          values ("0.01, 0.01", "0.02, 0.02");
+        }
+      }
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn parses_full_structure() {
+        let lib = parse_library(SAMPLE).unwrap();
+        assert_eq!(lib.name, "demo_lib");
+        assert_eq!(lib.templates.len(), 1);
+        assert_eq!(lib.templates[0].index_1, vec![0.01, 0.02]);
+        let cell = lib.cell("INV_X1").unwrap();
+        let timing = &cell.pins[0].timings[0];
+        assert_eq!(timing.related_pin, "A");
+        assert_eq!(timing.tables.len(), 2);
+        let t = timing
+            .table(TableKind { base: BaseKind::CellRise, stat: StatKind::Nominal })
+            .unwrap();
+        assert_eq!(t.values[1][0], 0.12);
+        let sd = timing
+            .table(TableKind { base: BaseKind::CellRise, stat: StatKind::StdDev(None) })
+            .unwrap();
+        assert_eq!(sd.values[0][1], 0.01);
+    }
+
+    #[test]
+    fn ignores_unknown_groups_and_attrs() {
+        let text = r#"library (x) {
+            operating_conditions (fast) { process : 1; }
+            cell (A) { area : 1.5; pin (Z) { direction : output;
+              internal_power () { rise_power (t) { values ("1"); } }
+            } }
+        }"#;
+        let lib = parse_library(text).unwrap();
+        assert_eq!(lib.cells.len(), 1);
+        assert!(lib.cells[0].pins[0].timings.is_empty());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "library (x) {\n  cell (A) {\n    ???\n  }\n}";
+        let err = parse_library(text).unwrap_err();
+        match err {
+            LibertyError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_library_root() {
+        assert!(parse_library("cell (A) { }").is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_tables() {
+        let text = r#"library (x) { cell (A) { pin (Z) { direction : output;
+          timing () { related_pin : "B";
+            cell_rise (t) { index_1 ("0.1, 0.2"); index_2 ("0.01");
+              values ("0.1", "0.2, 0.3"); } } } } }"#;
+        let err = parse_library(text).unwrap_err();
+        assert!(matches!(err, LibertyError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn raw_parser_exposes_everything() {
+        let raw = parse_raw(SAMPLE).unwrap();
+        assert_eq!(raw.name, "library");
+        assert_eq!(raw.attr("delay_model"), Some("table_lookup"));
+        assert_eq!(raw.groups.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod when_tests {
+    use super::*;
+
+    #[test]
+    fn state_dependent_timing_roundtrips() {
+        let text = r#"library (x) { cell (A) { pin (Z) { direction : output;
+          timing () { related_pin : "B"; when : "C & !D"; timing_sense : positive_unate;
+            cell_rise (t) { index_1 ("0.1"); index_2 ("0.01"); values ("0.5"); } }
+          timing () { related_pin : "B"; when : "!C";
+            cell_rise (t) { index_1 ("0.1"); index_2 ("0.01"); values ("0.7"); } }
+        } } }"#;
+        let lib = parse_library(text).unwrap();
+        let timings = &lib.cells[0].pins[0].timings;
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].when.as_deref(), Some("C & !D"));
+        assert_eq!(timings[0].timing_sense.as_deref(), Some("positive_unate"));
+        assert_eq!(timings[1].when.as_deref(), Some("!C"));
+        assert!(timings[1].timing_sense.is_none());
+        // Round trip through the writer.
+        let back = parse_library(&crate::writer::write_library(&lib)).unwrap();
+        assert_eq!(back, lib);
+    }
+}

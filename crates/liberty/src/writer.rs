@@ -1,0 +1,138 @@
+//! Liberty text emission.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Library, TimingTable};
+
+fn fmt_list(values: &[f64]) -> String {
+    values.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(", ")
+}
+
+fn write_table(out: &mut String, indent: &str, table: &TimingTable) {
+    let _ = writeln!(out, "{indent}{} ({}) {{", table.kind.attribute_name(), table.template);
+    if !table.index_1.is_empty() {
+        let _ = writeln!(out, "{indent}  index_1 (\"{}\");", fmt_list(&table.index_1));
+    }
+    if !table.index_2.is_empty() {
+        let _ = writeln!(out, "{indent}  index_2 (\"{}\");", fmt_list(&table.index_2));
+    }
+    let rows: Vec<String> = table.values.iter().map(|r| format!("\"{}\"", fmt_list(r))).collect();
+    let _ = writeln!(out, "{indent}  values ({});", rows.join(", \\\n{}    ".replace("{}", indent).as_str()));
+    let _ = writeln!(out, "{indent}}}");
+}
+
+/// Emits a [`Library`] as Liberty text that [`crate::parse_library`] reads
+/// back unchanged (round-trip safe for the modeled subset).
+///
+/// # Example
+///
+/// ```
+/// use lvf2_liberty::ast::Library;
+///
+/// let text = lvf2_liberty::write_library(&Library::new("demo"));
+/// assert!(text.starts_with("library (demo) {"));
+/// ```
+pub fn write_library(lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.name);
+    let _ = writeln!(out, "  delay_model : table_lookup;");
+    let _ = writeln!(out, "  time_unit : \"1ns\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, pf);");
+    for t in &lib.templates {
+        let _ = writeln!(out, "  lu_table_template ({}) {{", t.name);
+        let _ = writeln!(out, "    variable_1 : input_net_transition;");
+        let _ = writeln!(out, "    variable_2 : total_output_net_capacitance;");
+        let _ = writeln!(out, "    index_1 (\"{}\");", fmt_list(&t.index_1));
+        let _ = writeln!(out, "    index_2 (\"{}\");", fmt_list(&t.index_2));
+        let _ = writeln!(out, "  }}");
+    }
+    for cell in &lib.cells {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        for pin in &cell.pins {
+            let _ = writeln!(out, "    pin ({}) {{", pin.name);
+            let _ = writeln!(out, "      direction : {};", pin.direction);
+            for timing in &pin.timings {
+                let _ = writeln!(out, "      timing () {{");
+                let _ = writeln!(out, "        related_pin : \"{}\";", timing.related_pin);
+                if let Some(when) = &timing.when {
+                    let _ = writeln!(out, "        when : \"{when}\";");
+                }
+                if let Some(sense) = &timing.timing_sense {
+                    let _ = writeln!(out, "        timing_sense : {sense};");
+                }
+                for table in &timing.tables {
+                    write_table(&mut out, "        ", table);
+                }
+                let _ = writeln!(out, "      }}");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BaseKind, Cell, Pin, StatKind, TableKind, TimingGroup};
+    use crate::parser::parse_library;
+
+    fn sample_library() -> Library {
+        let table = TimingTable {
+            kind: TableKind { base: BaseKind::CellFall, stat: StatKind::Nominal },
+            template: "t2x2".into(),
+            index_1: vec![0.01, 0.02],
+            index_2: vec![0.001, 0.002],
+            values: vec![vec![0.1, 0.11], vec![0.12, 0.13]],
+        };
+        let sigma = TimingTable {
+            kind: TableKind { base: BaseKind::CellFall, stat: StatKind::Weight(2) },
+            template: "t2x2".into(),
+            index_1: vec![0.01, 0.02],
+            index_2: vec![0.001, 0.002],
+            values: vec![vec![0.3, 0.0], vec![0.25, 0.4]],
+        };
+        let mut lib = Library::new("roundtrip");
+        lib.templates.push(crate::ast::LutTemplate {
+            name: "t2x2".into(),
+            index_1: vec![0.01, 0.02],
+            index_2: vec![0.001, 0.002],
+        });
+        lib.cells.push(Cell {
+            name: "NAND2_X1".into(),
+            pins: vec![Pin {
+                name: "Y".into(),
+                direction: "output".into(),
+                timings: vec![TimingGroup {
+                    related_pin: "A".into(),
+                    tables: vec![table, sigma],
+                ..Default::default() }],
+            }],
+        });
+        lib
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let lib = sample_library();
+        let text = write_library(&lib);
+        let back = parse_library(&text).unwrap();
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn writes_lvf2_attribute_names() {
+        let text = write_library(&sample_library());
+        assert!(text.contains("ocv_weight2_cell_fall (t2x2)"));
+        assert!(text.contains("index_1 (\"0.01, 0.02\");"));
+    }
+
+    #[test]
+    fn empty_library_is_valid() {
+        let text = write_library(&Library::new("empty"));
+        let back = parse_library(&text).unwrap();
+        assert!(back.cells.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests: Liberty write→parse→decode round trips must hold
+//! for arbitrary valid model grids, and the attribute namespace must be
+//! closed under name composition/parsing.
+
+use lvf2_liberty::ast::{Cell, Pin, TimingGroup};
+use lvf2_liberty::{parse_library, write_library, BaseKind, Library, StatKind, TableKind, TimingModelGrid};
+use lvf2_stats::{Distribution, Lvf2, Moments, SkewNormal};
+use proptest::prelude::*;
+
+fn skew_normal() -> impl Strategy<Value = SkewNormal> {
+    (0.01..1.0f64, 0.001..0.1f64, -0.9..0.9f64)
+        .prop_map(|(m, s, g)| SkewNormal::from_moments(Moments::new(m, s, g)).expect("valid"))
+}
+
+fn lvf2_model() -> impl Strategy<Value = Lvf2> {
+    (0.0..1.0f64, skew_normal(), skew_normal())
+        .prop_map(|(l, a, b)| Lvf2::new(l, a, b).expect("valid"))
+}
+
+fn grid() -> impl Strategy<Value = TimingModelGrid> {
+    proptest::collection::vec(lvf2_model(), 4).prop_map(|ms| TimingModelGrid {
+        base: BaseKind::CellFall,
+        index_1: vec![0.01, 0.05],
+        index_2: vec![0.002, 0.02],
+        nominal: vec![vec![0.1, 0.12], vec![0.14, 0.2]],
+        models: vec![vec![ms[0], ms[1]], vec![ms[2], ms[3]]],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_grid_roundtrips_through_text(g in grid()) {
+        let mut lib = Library::new("prop");
+        lib.cells.push(Cell {
+            name: "C".into(),
+            pins: vec![Pin {
+                name: "Y".into(),
+                direction: "output".into(),
+                timings: vec![TimingGroup { related_pin: "A".into(), tables: g.to_tables("t"), ..Default::default() }],
+            }],
+        });
+        let text = write_library(&lib);
+        let parsed = parse_library(&text).expect("own output parses");
+        let timing = &parsed.cells[0].pins[0].timings[0];
+        let back = TimingModelGrid::from_timing(timing, BaseKind::CellFall).expect("decodes");
+        for i in 0..2 {
+            for j in 0..2 {
+                let a = &g.models[i][j];
+                let b = &back.models[i][j];
+                prop_assert!((a.mean() - b.mean()).abs() < 1e-9, "mean at ({i},{j})");
+                prop_assert!((a.std_dev() - b.std_dev()).abs() < 1e-9, "σ at ({i},{j})");
+                let x = a.mean() + 0.5 * a.std_dev();
+                prop_assert!((a.cdf(x) - b.cdf(x)).abs() < 1e-7, "cdf at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_names_roundtrip_for_any_component(k in 1u8..9, which in 0usize..4) {
+        let stat = match which {
+            0 => StatKind::MeanShift(Some(k)),
+            1 => StatKind::StdDev(Some(k)),
+            2 => StatKind::Skewness(Some(k)),
+            _ => StatKind::Weight(k.max(2)),
+        };
+        for base in BaseKind::ALL {
+            let kind = TableKind { base, stat };
+            let name = kind.attribute_name();
+            prop_assert_eq!(TableKind::from_attribute_name(&name), Some(kind), "{}", name);
+        }
+    }
+
+    #[test]
+    fn lexer_preserves_number_lists(xs in proptest::collection::vec(-1.0e3..1.0e3f64, 1..20)) {
+        let list = xs.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(", ");
+        let text = format!("library (x) {{ cell (A) {{ pin (Z) {{ direction : output;
+            timing () {{ related_pin : \"B\";
+              cell_rise (t) {{ values (\"{list}\"); }} }} }} }} }}");
+        let lib = parse_library(&text).expect("parses");
+        let table = &lib.cells[0].pins[0].timings[0].tables[0];
+        prop_assert_eq!(&table.values[0], &xs);
+    }
+}

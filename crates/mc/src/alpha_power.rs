@@ -1,0 +1,89 @@
+//! Alpha-power-law MOSFET timing sensitivities.
+//!
+//! Sakurai–Newton's alpha-power model gives gate delay
+//! `t_d ∝ C_L·V_DD / (W/L · μ · (V_DD − V_th)^α)`. For variation analysis
+//! only the *relative* factor matters:
+//!
+//! ```text
+//! factor(Δ) = [(V_DD − Vth₀)/(V_DD − Vth₀ − ΔVth)]^α · 1/(1 + Δμ) · (1 + ΔL)
+//! ```
+//!
+//! which is convex in ΔVth — the source of the positive delay skewness that
+//! LVF's skew-normal models, growing extreme toward the near-threshold
+//! region (refs \[5\]–\[7\]).
+
+/// Electrical operating point for the alpha-power evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaPowerParams {
+    /// Supply voltage (V). The experiments run at 0.8 V.
+    pub vdd: f64,
+    /// Nominal threshold voltage (V).
+    pub vth0: f64,
+    /// Velocity-saturation exponent α (≈1.3–2.0 at 22nm; 2.0 is long-channel).
+    pub alpha: f64,
+}
+
+impl AlphaPowerParams {
+    /// The 22nm / 0.8 V operating point of the paper's experiments.
+    pub fn tt_0v8() -> Self {
+        AlphaPowerParams { vdd: 0.8, vth0: 0.35, alpha: 1.45 }
+    }
+
+    /// Relative delay factor under a threshold shift `dvth` (V), mobility
+    /// variation `dmu` (relative) and length variation `dl` (relative).
+    ///
+    /// Returns 1.0 at nominal. The overdrive is floored at 10 mV so extreme
+    /// tail samples stay finite (physically: the gate still switches, slowly).
+    pub fn delay_factor(&self, dvth: f64, dmu: f64, dl: f64) -> f64 {
+        let od0 = self.vdd - self.vth0;
+        let od = (od0 - dvth).max(0.010);
+        (od0 / od).powf(self.alpha) * (1.0 + dl) / (1.0 + dmu).max(0.2)
+    }
+
+    /// Nominal gate overdrive `V_DD − Vth₀`.
+    pub fn overdrive(&self) -> f64 {
+        self.vdd - self.vth0
+    }
+}
+
+impl Default for AlphaPowerParams {
+    fn default() -> Self {
+        AlphaPowerParams::tt_0v8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_factor_is_one() {
+        let p = AlphaPowerParams::tt_0v8();
+        assert!((p.delay_factor(0.0, 0.0, 0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn higher_vth_is_slower_and_convex() {
+        let p = AlphaPowerParams::tt_0v8();
+        let f1 = p.delay_factor(0.03, 0.0, 0.0);
+        let f2 = p.delay_factor(0.06, 0.0, 0.0);
+        let f1n = p.delay_factor(-0.03, 0.0, 0.0);
+        assert!(f1 > 1.0 && f2 > f1);
+        // Convexity: the slowdown from +ΔVth outweighs the speedup from −ΔVth.
+        assert!(f1 - 1.0 > 1.0 - f1n, "convexity violated: {f1} vs {f1n}");
+    }
+
+    #[test]
+    fn mobility_and_length_move_the_right_way() {
+        let p = AlphaPowerParams::tt_0v8();
+        assert!(p.delay_factor(0.0, 0.05, 0.0) < 1.0); // faster carrier → faster gate
+        assert!(p.delay_factor(0.0, 0.0, 0.05) > 1.0); // longer channel → slower
+    }
+
+    #[test]
+    fn extreme_vth_stays_finite() {
+        let p = AlphaPowerParams::tt_0v8();
+        let f = p.delay_factor(0.5, 0.0, 0.0); // Vth above VDD
+        assert!(f.is_finite() && f > 1.0);
+    }
+}

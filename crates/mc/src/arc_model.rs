@@ -1,0 +1,344 @@
+//! Timing-arc evaluation models, including the regime-competition generator
+//! of multi-Gaussian timing distributions.
+
+use crate::alpha_power::AlphaPowerParams;
+use crate::variation::VariationSample;
+
+/// One Monte-Carlo timing outcome of an arc: propagation delay and output
+/// transition time, both in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimingSample {
+    /// Propagation delay (ns).
+    pub delay: f64,
+    /// Output transition time (ns).
+    pub transition: f64,
+}
+
+/// A deterministic map from (variation draw, slew, load) to a timing sample —
+/// the SPICE-netlist stand-in that the Monte-Carlo engine evaluates.
+pub trait TimingArcModel {
+    /// Evaluates the arc at one variation draw, input slew (ns) and output
+    /// load (pF).
+    fn evaluate(&self, v: &VariationSample, slew: f64, load: f64) -> TimingSample;
+}
+
+impl<T: TimingArcModel + ?Sized> TimingArcModel for &T {
+    fn evaluate(&self, v: &VariationSample, slew: f64, load: f64) -> TimingSample {
+        (**self).evaluate(v, slew, load)
+    }
+}
+
+/// One charge/discharge mechanism: a nominal (slew, load) delay surface plus
+/// its sensitivity pattern to the variation parameters.
+///
+/// Two of these contend inside a [`RegimeCompetitionArc`]; their differing
+/// `vth` weights (e.g. an NMOS-stack-limited mechanism vs. a PMOS-recovery-
+/// limited one) are what give the two mixture components different means,
+/// spreads and skews.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mechanism {
+    /// Intrinsic (zero-slew, zero-load) delay (ns).
+    pub intrinsic: f64,
+    /// Delay per ns of input slew.
+    pub slew_coef: f64,
+    /// Delay per pF of output load (ns/pF).
+    pub load_coef: f64,
+    /// Weight of ΔVth,n in this mechanism's effective threshold shift.
+    pub w_vth_n: f64,
+    /// Weight of ΔVth,p.
+    pub w_vth_p: f64,
+    /// Weight of NMOS mobility variation.
+    pub w_mu_n: f64,
+    /// Weight of PMOS mobility variation.
+    pub w_mu_p: f64,
+    /// Weight of channel-length variation.
+    pub w_l: f64,
+    /// Multiplier on the alpha-power exponent (larger ⇒ more skew).
+    pub alpha_scale: f64,
+    /// Intrinsic output transition (ns).
+    pub trans_intrinsic: f64,
+    /// Transition per ns of input slew.
+    pub trans_slew_coef: f64,
+    /// Transition per pF of load (ns/pF).
+    pub trans_load_coef: f64,
+}
+
+impl Mechanism {
+    /// Nominal delay surface `d₀(slew, load)`.
+    pub fn nominal_delay(&self, slew: f64, load: f64) -> f64 {
+        self.intrinsic + self.slew_coef * slew + self.load_coef * load
+    }
+
+    /// Nominal transition surface `s₀(slew, load)`.
+    pub fn nominal_transition(&self, slew: f64, load: f64) -> f64 {
+        self.trans_intrinsic + self.trans_slew_coef * slew + self.trans_load_coef * load
+    }
+
+    /// Multiplicative variation factor via the alpha-power law.
+    pub fn variation_factor(&self, v: &VariationSample, e: &AlphaPowerParams) -> f64 {
+        let dvth = self.w_vth_n * v.dvth_n + self.w_vth_p * v.dvth_p;
+        let dmu = self.w_mu_n * v.dmu_n + self.w_mu_p * v.dmu_p;
+        let scaled = AlphaPowerParams { alpha: e.alpha * self.alpha_scale, ..*e };
+        scaled.delay_factor(dvth, dmu, self.w_l * v.dl)
+    }
+
+    /// A plain NMOS-pull-down-limited mechanism with unit sensitivities.
+    pub fn nmos_limited() -> Self {
+        Mechanism {
+            intrinsic: 0.010,
+            slew_coef: 0.35,
+            load_coef: 0.9,
+            w_vth_n: 1.0,
+            w_vth_p: 0.1,
+            w_mu_n: 1.0,
+            w_mu_p: 0.1,
+            w_l: 1.0,
+            alpha_scale: 1.0,
+            trans_intrinsic: 0.008,
+            trans_slew_coef: 0.15,
+            trans_load_coef: 1.3,
+        }
+    }
+
+    /// A PMOS-recovery-limited mechanism: slower nominal, opposite Vth
+    /// polarity mix, stronger nonlinearity.
+    pub fn pmos_limited() -> Self {
+        Mechanism {
+            intrinsic: 0.016,
+            slew_coef: 0.45,
+            load_coef: 1.15,
+            w_vth_n: 0.15,
+            w_vth_p: 1.0,
+            w_mu_n: 0.1,
+            w_mu_p: 1.0,
+            w_l: 1.0,
+            alpha_scale: 1.25,
+            trans_intrinsic: 0.011,
+            trans_slew_coef: 0.18,
+            trans_load_coef: 1.55,
+        }
+    }
+}
+
+/// Decides which mechanism limits the arc for a given variation draw.
+///
+/// The score is linear in the variation parameters plus a (slew, load)-
+/// dependent bias; mechanism A wins when the score is positive. The bias has
+/// a smooth checkerboard term `amp · cos(π(i_s + i_l))` over the logarithmic
+/// slew–load grid, which makes evenly-matched regimes (strong bimodality)
+/// appear along diagonals — the Figure 4 accuracy pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selector {
+    /// Weight of ΔVth,n (1/V — roughly 1/σ to normalize the score).
+    pub w_vth_n: f64,
+    /// Weight of ΔVth,p (1/V).
+    pub w_vth_p: f64,
+    /// Weight of the mobility contrast `dmu_n − dmu_p`.
+    pub w_mu: f64,
+    /// Constant bias: positive favours mechanism A overall.
+    pub offset: f64,
+    /// Amplitude of the checkerboard bias over the slew–load grid.
+    pub checker_amp: f64,
+    /// Reference slew (ns) — grid index 0.
+    pub slew_ref: f64,
+    /// Geometric slew step between grid indices.
+    pub slew_ratio: f64,
+    /// Reference load (pF) — grid index 0.
+    pub load_ref: f64,
+    /// Geometric load step between grid indices.
+    pub load_ratio: f64,
+}
+
+impl Selector {
+    /// A neutral selector: no bias anywhere, mechanisms always contested.
+    ///
+    /// The signs encode "the strong device wins its race": mechanism A (the
+    /// NMOS-limited regime) is selected when ΔVth,n is *low* (strong NMOS),
+    /// which pushes the two regimes' delay populations apart instead of
+    /// merging them.
+    pub fn contested() -> Self {
+        Selector {
+            w_vth_n: -33.0,
+            w_vth_p: 31.0,
+            w_mu: 12.0,
+            offset: 0.0,
+            checker_amp: 0.0,
+            slew_ref: 0.005,
+            slew_ratio: 2.0,
+            load_ref: 0.002,
+            load_ratio: 2.6,
+        }
+    }
+
+    /// The continuous grid index of a slew value.
+    pub fn slew_index(&self, slew: f64) -> f64 {
+        (slew / self.slew_ref).ln() / self.slew_ratio.ln()
+    }
+
+    /// The continuous grid index of a load value.
+    pub fn load_index(&self, load: f64) -> f64 {
+        (load / self.load_ref).ln() / self.load_ratio.ln()
+    }
+
+    /// The deterministic part of the score at this grid position.
+    pub fn bias(&self, slew: f64, load: f64) -> f64 {
+        let i = self.slew_index(slew) + self.load_index(load);
+        self.offset + self.checker_amp * (std::f64::consts::PI * i).cos()
+    }
+
+    /// Full selector score; mechanism A limits the arc when this is > 0.
+    pub fn score(&self, v: &VariationSample, slew: f64, load: f64) -> f64 {
+        self.w_vth_n * v.dvth_n + self.w_vth_p * v.dvth_p + self.w_mu * (v.dmu_n - v.dmu_p)
+            + self.bias(slew, load)
+    }
+}
+
+/// The multi-Gaussian timing-arc generator: two [`Mechanism`]s in regime
+/// competition, arbitrated by a [`Selector`].
+///
+/// When the selector is balanced (bias ≈ 0) the delay PDF is a genuine
+/// two-component mixture — each regime contributes a skewed peak. When one
+/// mechanism dominates, the PDF collapses to a single skewed peak. The
+/// transition-time regime uses a shifted score (`trans_bias_shift`) so delay
+/// and transition exhibit different (but correlated) mixture structure, as
+/// the paper observes.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_mc::{RegimeCompetitionArc, TimingArcModel, VariationSample};
+///
+/// let arc = RegimeCompetitionArc::balanced_bimodal();
+/// let t = arc.evaluate(&VariationSample::nominal(), 0.02, 0.05);
+/// assert!(t.delay > 0.0 && t.transition > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeCompetitionArc {
+    /// Operating point shared by both mechanisms.
+    pub electrical: AlphaPowerParams,
+    /// Mechanism chosen when the selector score is positive.
+    pub mech_a: Mechanism,
+    /// Mechanism chosen when the selector score is non-positive.
+    pub mech_b: Mechanism,
+    /// Regime arbiter.
+    pub selector: Selector,
+    /// Extra score shift applied when deciding the *transition* regime.
+    pub trans_bias_shift: f64,
+}
+
+impl RegimeCompetitionArc {
+    /// An evenly contested arc — produces a clear two-peak delay PDF.
+    pub fn balanced_bimodal() -> Self {
+        RegimeCompetitionArc {
+            electrical: AlphaPowerParams::tt_0v8(),
+            mech_a: Mechanism::nmos_limited(),
+            mech_b: Mechanism::pmos_limited(),
+            selector: Selector::contested(),
+            trans_bias_shift: -0.4,
+        }
+    }
+
+    /// An arc dominated by mechanism A — single skewed peak.
+    pub fn dominated() -> Self {
+        let mut arc = RegimeCompetitionArc::balanced_bimodal();
+        arc.selector.offset = 3.0;
+        arc
+    }
+}
+
+impl TimingArcModel for RegimeCompetitionArc {
+    fn evaluate(&self, v: &VariationSample, slew: f64, load: f64) -> TimingSample {
+        let score = self.selector.score(v, slew, load);
+        let (dm, tm) = (
+            if score > 0.0 { &self.mech_a } else { &self.mech_b },
+            if score + self.trans_bias_shift > 0.0 { &self.mech_a } else { &self.mech_b },
+        );
+        let delay = dm.nominal_delay(slew, load) * dm.variation_factor(v, &self.electrical);
+        let transition =
+            tm.nominal_transition(slew, load) * tm.variation_factor(v, &self.electrical);
+        TimingSample { delay, transition }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::VariationSpace;
+
+    fn draw(z: [f64; 5]) -> VariationSample {
+        VariationSample::from_standard(&z, &VariationSpace::tt_22nm())
+    }
+
+    #[test]
+    fn nominal_sample_selects_by_bias() {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let v = VariationSample::nominal();
+        // offset = 0, score = 0 → mechanism B.
+        let t = arc.evaluate(&v, 0.02, 0.05);
+        let want =
+            arc.mech_b.nominal_delay(0.02, 0.05) * arc.mech_b.variation_factor(&v, &arc.electrical);
+        assert!((t.delay - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dominated_arc_selects_mechanism_a() {
+        let arc = RegimeCompetitionArc::dominated();
+        let v = VariationSample::nominal();
+        let t = arc.evaluate(&v, 0.02, 0.05);
+        let want =
+            arc.mech_a.nominal_delay(0.02, 0.05) * arc.mech_a.variation_factor(&v, &arc.electrical);
+        assert!((t.delay - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strong_nmos_picks_regime_a() {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        // Strongly *lowered* NMOS Vth (fast NMOS) → positive score → regime A.
+        let v = draw([-3.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(arc.selector.score(&v, 0.02, 0.05) > 0.0);
+        // Raised NMOS Vth → regime B.
+        let w = draw([3.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(arc.selector.score(&w, 0.02, 0.05) < 0.0);
+    }
+
+    #[test]
+    fn delay_monotone_in_load() {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let v = VariationSample::nominal();
+        let d1 = arc.evaluate(&v, 0.02, 0.02).delay;
+        let d2 = arc.evaluate(&v, 0.02, 0.2).delay;
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn checkerboard_bias_alternates_on_grid() {
+        let mut sel = Selector::contested();
+        sel.checker_amp = 1.0;
+        // Grid points: slew_ref·ratio^i, load_ref·ratio^j.
+        let slew = |i: i32| sel.slew_ref * sel.slew_ratio.powi(i);
+        let load = |j: i32| sel.load_ref * sel.load_ratio.powi(j);
+        let b00 = sel.bias(slew(0), load(0));
+        let b10 = sel.bias(slew(1), load(0));
+        let b11 = sel.bias(slew(1), load(1));
+        assert!((b00 - 1.0).abs() < 1e-9, "b00={b00}");
+        assert!((b10 + 1.0).abs() < 1e-9, "b10={b10}");
+        assert!((b11 - 1.0).abs() < 1e-9, "b11={b11}");
+    }
+
+    #[test]
+    fn transition_regime_can_differ_from_delay_regime() {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        // Pick a draw whose score is between 0 and −trans_bias_shift.
+        let v = draw([-0.2, 0.0, 0.0, 0.0, 0.0]); // score ≈ 33·0.006 = 0.198
+        let s = arc.selector.score(&v, 0.02, 0.05);
+        assert!(s > 0.0 && s + arc.trans_bias_shift < 0.0, "score {s}");
+        let t = arc.evaluate(&v, 0.02, 0.05);
+        // Delay from A, transition from B.
+        let want_d =
+            arc.mech_a.nominal_delay(0.02, 0.05) * arc.mech_a.variation_factor(&v, &arc.electrical);
+        let want_t = arc.mech_b.nominal_transition(0.02, 0.05)
+            * arc.mech_b.variation_factor(&v, &arc.electrical);
+        assert!((t.delay - want_d).abs() < 1e-15);
+        assert!((t.transition - want_t).abs() < 1e-15);
+    }
+}

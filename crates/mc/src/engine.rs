@@ -1,0 +1,191 @@
+//! The Monte-Carlo engine: draws a variation matrix (LHS or plain MC) and
+//! evaluates a timing arc over it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arc_model::TimingArcModel;
+use crate::lhs::{lhs_standard_normal, plain_standard_normal};
+use crate::variation::{VariationSample, VariationSpace};
+
+/// How the variation matrix is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingScheme {
+    /// Latin Hypercube Sampling (the paper's scheme).
+    #[default]
+    LatinHypercube,
+    /// Plain (iid) Monte Carlo.
+    Plain,
+}
+
+/// Result of one Monte-Carlo characterization run at a single (slew, load).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct McResult {
+    /// Per-sample propagation delays (ns).
+    pub delays: Vec<f64>,
+    /// Per-sample output transition times (ns).
+    pub transitions: Vec<f64>,
+}
+
+/// Deterministic Monte-Carlo engine for timing-arc characterization.
+///
+/// The engine is cheap to clone and reusable; each `simulate` call draws a
+/// fresh variation matrix from the configured seed, so identical calls give
+/// identical results.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_mc::{McEngine, RegimeCompetitionArc, VariationSpace};
+///
+/// let engine = McEngine::new(VariationSpace::tt_22nm(), 1000, 7);
+/// let arc = RegimeCompetitionArc::balanced_bimodal();
+/// let a = engine.simulate(&arc, 0.02, 0.05);
+/// let b = engine.simulate(&arc, 0.02, 0.05);
+/// assert_eq!(a, b); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct McEngine {
+    space: VariationSpace,
+    samples: usize,
+    seed: u64,
+    scheme: SamplingScheme,
+}
+
+impl McEngine {
+    /// Creates an engine drawing `samples` LHS draws from `space`.
+    pub fn new(space: VariationSpace, samples: usize, seed: u64) -> Self {
+        McEngine { space, samples, seed, scheme: SamplingScheme::LatinHypercube }
+    }
+
+    /// Switches the sampling scheme (builder style).
+    pub fn with_scheme(mut self, scheme: SamplingScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Replaces the seed (builder style) — used to decorrelate per-arc runs.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of Monte-Carlo samples per run.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The variation space.
+    pub fn space(&self) -> &VariationSpace {
+        &self.space
+    }
+
+    /// Draws the variation matrix for this engine's configuration.
+    pub fn draw_variations(&self) -> Vec<VariationSample> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let z = match self.scheme {
+            SamplingScheme::LatinHypercube => {
+                lhs_standard_normal(self.samples, VariationSample::DIMS, &mut rng)
+            }
+            SamplingScheme::Plain => {
+                plain_standard_normal(self.samples, VariationSample::DIMS, &mut rng)
+            }
+        };
+        z.iter().map(|row| VariationSample::from_standard(row, &self.space)).collect()
+    }
+
+    /// Runs the arc over a fresh variation matrix at one (slew, load) point.
+    pub fn simulate<A: TimingArcModel>(&self, arc: &A, slew: f64, load: f64) -> McResult {
+        let draws = self.draw_variations();
+        let mut delays = Vec::with_capacity(self.samples);
+        let mut transitions = Vec::with_capacity(self.samples);
+        for v in &draws {
+            let t = arc.evaluate(v, slew, load);
+            delays.push(t.delay);
+            transitions.push(t.transition);
+        }
+        McResult { delays, transitions }
+    }
+
+    /// Runs the arc over an *externally supplied* variation matrix — used by
+    /// path-level golden simulation where stages must share or correlate
+    /// draws.
+    pub fn simulate_with<A: TimingArcModel>(
+        arc: &A,
+        draws: &[VariationSample],
+        slew: f64,
+        load: f64,
+    ) -> McResult {
+        let mut delays = Vec::with_capacity(draws.len());
+        let mut transitions = Vec::with_capacity(draws.len());
+        for v in draws {
+            let t = arc.evaluate(v, slew, load);
+            delays.push(t.delay);
+            transitions.push(t.transition);
+        }
+        McResult { delays, transitions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arc_model::RegimeCompetitionArc;
+    use lvf2_stats::Histogram;
+
+    #[test]
+    fn balanced_arc_is_bimodal() {
+        let engine = McEngine::new(VariationSpace::tt_22nm(), 8000, 1);
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let r = engine.simulate(&arc, 0.02, 0.05);
+        let h = Histogram::new(&r.delays, 60).unwrap();
+        assert!(h.peak_count() >= 2, "expected bimodal delays, got {} peak(s)", h.peak_count());
+    }
+
+    #[test]
+    fn dominated_arc_is_unimodal() {
+        let engine = McEngine::new(VariationSpace::tt_22nm(), 8000, 2);
+        let arc = RegimeCompetitionArc::dominated();
+        let r = engine.simulate(&arc, 0.02, 0.05);
+        let h = Histogram::new(&r.delays, 40).unwrap();
+        assert_eq!(h.peak_count(), 1, "expected unimodal delays");
+    }
+
+    #[test]
+    fn delays_are_positive_and_skewed() {
+        let engine = McEngine::new(VariationSpace::tt_22nm(), 5000, 3);
+        let arc = RegimeCompetitionArc::dominated();
+        let r = engine.simulate(&arc, 0.02, 0.05);
+        assert!(r.delays.iter().all(|&d| d > 0.0));
+        // Alpha-power convexity ⇒ right skew for a single regime.
+        let skew = lvf2_stats::sample_skewness(&r.delays);
+        assert!(skew > 0.1, "skew {skew}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let a = McEngine::new(VariationSpace::tt_22nm(), 100, 1).simulate(&arc, 0.02, 0.05);
+        let b = McEngine::new(VariationSpace::tt_22nm(), 100, 2).simulate(&arc, 0.02, 0.05);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn plain_scheme_also_works() {
+        let engine = McEngine::new(VariationSpace::tt_22nm(), 500, 4)
+            .with_scheme(SamplingScheme::Plain);
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let r = engine.simulate(&arc, 0.02, 0.05);
+        assert_eq!(r.delays.len(), 500);
+    }
+
+    #[test]
+    fn simulate_with_shares_draws() {
+        let engine = McEngine::new(VariationSpace::tt_22nm(), 50, 5);
+        let draws = engine.draw_variations();
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let a = McEngine::simulate_with(&arc, &draws, 0.02, 0.05);
+        let b = McEngine::simulate_with(&arc, &draws, 0.02, 0.05);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! Spatially correlated process variation.
+//!
+//! Local mismatch is independent device to device, but layout-scale
+//! variation (litho, CMP, well proximity) correlates with distance. The
+//! classic model is an exponential kernel `corr(d) = exp(−d/L)`; this module
+//! generates jointly Gaussian variation draws for a set of die locations via
+//! a hand-rolled Cholesky factorization — the substrate for studying how
+//! correlation slows the CLT convergence of §3.4 (correlated stage delays do
+//! **not** enjoy the O(1/√n) Gaussianization of independent sums).
+
+use rand::Rng;
+
+use crate::variation::{VariationSample, VariationSpace};
+
+/// A point on the die (arbitrary length units; only ratios to the
+/// correlation length matter).
+pub type Location = (f64, f64);
+
+/// Exponential-kernel spatial correlation model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialCorrelation {
+    /// Correlation length L: `corr(d) = exp(−d/L)`.
+    pub length: f64,
+}
+
+impl SpatialCorrelation {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    pub fn new(length: f64) -> Self {
+        assert!(length > 0.0, "correlation length must be positive");
+        SpatialCorrelation { length }
+    }
+
+    /// Correlation between two locations.
+    pub fn correlation(&self, a: Location, b: Location) -> f64 {
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        (-d / self.length).exp()
+    }
+
+    /// The correlation matrix of a location set (row-major).
+    pub fn matrix(&self, locations: &[Location]) -> Vec<Vec<f64>> {
+        locations
+            .iter()
+            .map(|&a| locations.iter().map(|&b| self.correlation(a, b)).collect())
+            .collect()
+    }
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower factor, or `None` when the matrix is not SPD
+/// (within a small jitter tolerance).
+#[allow(clippy::needless_range_loop)] // triangular index patterns read best explicitly
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                // Tiny jitter tolerance for numerically semi-definite kernels.
+                if sum <= -1e-10 {
+                    return None;
+                }
+                l[i][j] = sum.max(1e-12).sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Draws `n` joint variation samples for a set of die locations: each of the
+/// five variation dimensions is an independent spatially-correlated Gaussian
+/// field over the locations.
+///
+/// Returns `draws[sample][location]`.
+///
+/// # Panics
+///
+/// Panics when `locations` is empty or the kernel matrix fails to factor
+/// (cannot happen for the exponential kernel with distinct points).
+pub fn correlated_variations<R: Rng + ?Sized>(
+    locations: &[Location],
+    corr: &SpatialCorrelation,
+    space: &VariationSpace,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Vec<VariationSample>> {
+    assert!(!locations.is_empty(), "need at least one location");
+    let m = locations.len();
+    let l = cholesky(&corr.matrix(locations)).expect("exponential kernel is SPD");
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // One correlated field per variation dimension.
+        let mut fields = [const { Vec::new() }; VariationSample::DIMS];
+        for field in fields.iter_mut() {
+            let z: Vec<f64> =
+                (0..m).map(|_| lvf2_stats::sampling::standard_normal(rng)).collect();
+            *field = (0..m)
+                .map(|i| (0..=i).map(|k| l[i][k] * z[k]).sum::<f64>())
+                .collect::<Vec<f64>>();
+        }
+        let draws: Vec<VariationSample> = (0..m)
+            .map(|i| {
+                VariationSample::from_standard(
+                    &[fields[0][i], fields[1][i], fields[2][i], fields[3][i], fields[4][i]],
+                    space,
+                )
+            })
+            .collect();
+        out.push(draws);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn cholesky_reconstructs_the_matrix() {
+        let a = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 2.0, 0.5],
+            vec![0.6, 0.5, 1.0],
+        ];
+        let l = cholesky(&a).expect("SPD");
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += l[i][k] * l[j][k];
+                }
+                assert!((v - a[i][j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        // Lower-triangular.
+        assert_eq!(l[0][1], 0.0);
+        assert_eq!(l[0][2], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, −1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn kernel_matrix_is_sensible() {
+        let c = SpatialCorrelation::new(10.0);
+        assert!((c.correlation((0.0, 0.0), (0.0, 0.0)) - 1.0).abs() < 1e-15);
+        let near = c.correlation((0.0, 0.0), (1.0, 0.0));
+        let far = c.correlation((0.0, 0.0), (30.0, 0.0));
+        assert!(near > 0.9 && far < 0.06, "near {near} far {far}");
+    }
+
+    #[test]
+    fn sampled_correlation_matches_the_kernel() {
+        let c = SpatialCorrelation::new(5.0);
+        let locs = [(0.0, 0.0), (5.0, 0.0)];
+        let want = c.correlation(locs[0], locs[1]); // e^-1 ≈ 0.368
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws =
+            correlated_variations(&locs, &c, &VariationSpace::tt_22nm(), 40_000, &mut rng);
+        let xs: Vec<f64> = draws.iter().map(|d| d[0].dvth_n).collect();
+        let ys: Vec<f64> = draws.iter().map(|d| d[1].dvth_n).collect();
+        let mx = lvf2_stats::sample_mean(&xs);
+        let my = lvf2_stats::sample_mean(&ys);
+        let sx = lvf2_stats::sample_std(&xs);
+        let sy = lvf2_stats::sample_std(&ys);
+        let corr: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / (xs.len() as f64 * sx * sy);
+        assert!((corr - want).abs() < 0.02, "corr {corr} vs kernel {want}");
+    }
+
+    #[test]
+    fn dimensions_stay_mutually_independent() {
+        let c = SpatialCorrelation::new(5.0);
+        let locs = [(0.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws =
+            correlated_variations(&locs, &c, &VariationSpace::tt_22nm(), 30_000, &mut rng);
+        let xs: Vec<f64> = draws.iter().map(|d| d[0].dvth_n).collect();
+        let ys: Vec<f64> = draws.iter().map(|d| d[0].dvth_p).collect();
+        let mx = lvf2_stats::sample_mean(&xs);
+        let my = lvf2_stats::sample_mean(&ys);
+        let corr: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>()
+            / (xs.len() as f64 * lvf2_stats::sample_std(&xs) * lvf2_stats::sample_std(&ys));
+        assert!(corr.abs() < 0.03, "cross-dimension corr {corr}");
+    }
+}

@@ -1,0 +1,188 @@
+//! The process-variation parameter space.
+//!
+//! Local (per-instance) variations follow independent Gaussians; the global
+//! corner enters as a deterministic offset. This mirrors a
+//! `TTGlobal_LocalMC` setup: global parameters pinned at typical, local
+//! mismatch Monte-Carlo'd.
+
+/// One draw of the local variation parameters, in physical units
+/// (volts for ΔVth, relative fractions for Δμ and ΔL).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VariationSample {
+    /// NMOS threshold-voltage shift ΔVth,n (V).
+    pub dvth_n: f64,
+    /// PMOS threshold-voltage shift ΔVth,p (V).
+    pub dvth_p: f64,
+    /// NMOS mobility variation Δμ/μ (relative).
+    pub dmu_n: f64,
+    /// PMOS mobility variation Δμ/μ (relative).
+    pub dmu_p: f64,
+    /// Channel-length variation ΔL/L (relative).
+    pub dl: f64,
+}
+
+impl VariationSample {
+    /// Number of independent variation dimensions.
+    pub const DIMS: usize = 5;
+
+    /// Builds a sample from `DIMS` standard-normal values scaled by a space.
+    pub fn from_standard(z: &[f64], space: &VariationSpace) -> Self {
+        debug_assert!(z.len() >= Self::DIMS);
+        VariationSample {
+            dvth_n: space.sigma_vth_n * z[0] + space.global_vth_shift,
+            dvth_p: space.sigma_vth_p * z[1] + space.global_vth_shift,
+            dmu_n: space.sigma_mu * z[2],
+            dmu_p: space.sigma_mu * z[3],
+            dl: space.sigma_l * z[4],
+        }
+    }
+
+    /// The all-zeros (nominal) sample.
+    pub fn nominal() -> Self {
+        VariationSample::default()
+    }
+}
+
+/// Standard deviations (and global offset) of the variation space.
+///
+/// # Example
+///
+/// ```
+/// let space = lvf2_mc::VariationSpace::tt_22nm();
+/// assert!(space.sigma_vth_n > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpace {
+    /// σ of local NMOS Vth mismatch (V).
+    pub sigma_vth_n: f64,
+    /// σ of local PMOS Vth mismatch (V).
+    pub sigma_vth_p: f64,
+    /// σ of relative mobility variation.
+    pub sigma_mu: f64,
+    /// σ of relative channel-length variation.
+    pub sigma_l: f64,
+    /// Deterministic Vth offset from the global corner (0 at TT).
+    pub global_vth_shift: f64,
+}
+
+impl VariationSpace {
+    /// The TT-global / local-MC corner used throughout the experiments.
+    ///
+    /// Magnitudes are representative of a 22nm low-power process at 0.8 V:
+    /// ~30 mV local Vth mismatch for minimum-width devices, a few percent
+    /// mobility and length variation.
+    pub fn tt_22nm() -> Self {
+        VariationSpace {
+            sigma_vth_n: 0.030,
+            sigma_vth_p: 0.032,
+            sigma_mu: 0.04,
+            sigma_l: 0.025,
+            global_vth_shift: 0.0,
+        }
+    }
+
+    /// Scales every σ by `k` (used by stress tests and ablations).
+    pub fn scaled(&self, k: f64) -> Self {
+        VariationSpace {
+            sigma_vth_n: self.sigma_vth_n * k,
+            sigma_vth_p: self.sigma_vth_p * k,
+            sigma_mu: self.sigma_mu * k,
+            sigma_l: self.sigma_l * k,
+            global_vth_shift: self.global_vth_shift,
+        }
+    }
+}
+
+impl Default for VariationSpace {
+    fn default() -> Self {
+        VariationSpace::tt_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_standard_scales_each_dimension() {
+        let space = VariationSpace::tt_22nm();
+        let v = VariationSample::from_standard(&[1.0, -1.0, 2.0, 0.5, -2.0], &space);
+        assert!((v.dvth_n - space.sigma_vth_n).abs() < 1e-15);
+        assert!((v.dvth_p + space.sigma_vth_p).abs() < 1e-15);
+        assert!((v.dmu_n - 2.0 * space.sigma_mu).abs() < 1e-15);
+        assert!((v.dl + 2.0 * space.sigma_l).abs() < 1e-15);
+    }
+
+    #[test]
+    fn global_shift_offsets_vth() {
+        let mut space = VariationSpace::tt_22nm();
+        space.global_vth_shift = 0.05;
+        let v = VariationSample::from_standard(&[0.0; 5], &space);
+        assert!((v.dvth_n - 0.05).abs() < 1e-15);
+        assert!((v.dvth_p - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_multiplies_sigmas_only() {
+        let s = VariationSpace::tt_22nm().scaled(2.0);
+        assert!((s.sigma_vth_n - 0.06).abs() < 1e-15);
+        assert_eq!(s.global_vth_shift, 0.0);
+    }
+}
+
+/// Global process corner: a deterministic shift applied on top of the local
+/// Monte-Carlo variations (the experiments run at TT — `TTGlobal_LocalMC`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Corner {
+    /// Typical/typical (the paper's corner).
+    #[default]
+    Tt,
+    /// Fast/fast: lowered thresholds.
+    Ff,
+    /// Slow/slow: raised thresholds.
+    Ss,
+}
+
+impl Corner {
+    /// The global Vth shift this corner applies (V).
+    pub fn vth_shift(&self) -> f64 {
+        match self {
+            Corner::Tt => 0.0,
+            Corner::Ff => -0.030,
+            Corner::Ss => 0.030,
+        }
+    }
+}
+
+impl VariationSpace {
+    /// The 22nm space at a given global corner, local MC on top.
+    pub fn at_corner(corner: Corner) -> Self {
+        VariationSpace { global_vth_shift: corner.vth_shift(), ..VariationSpace::tt_22nm() }
+    }
+}
+
+#[cfg(test)]
+mod corner_tests {
+    use super::*;
+
+    #[test]
+    fn corners_shift_thresholds_the_right_way() {
+        assert_eq!(VariationSpace::at_corner(Corner::Tt), VariationSpace::tt_22nm());
+        assert!(VariationSpace::at_corner(Corner::Ff).global_vth_shift < 0.0);
+        assert!(VariationSpace::at_corner(Corner::Ss).global_vth_shift > 0.0);
+    }
+
+    #[test]
+    fn ss_corner_is_slower_than_ff() {
+        use crate::arc_model::RegimeCompetitionArc;
+        use crate::engine::McEngine;
+        let arc = RegimeCompetitionArc::dominated();
+        let mean = |corner: Corner| {
+            let e = McEngine::new(VariationSpace::at_corner(corner), 2000, 9);
+            let r = e.simulate(&arc, 0.02, 0.05);
+            r.delays.iter().sum::<f64>() / r.delays.len() as f64
+        };
+        let (ff, tt, ss) = (mean(Corner::Ff), mean(Corner::Tt), mean(Corner::Ss));
+        assert!(ff < tt && tt < ss, "FF {ff} < TT {tt} < SS {ss} violated");
+    }
+}

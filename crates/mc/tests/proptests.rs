@@ -1,0 +1,66 @@
+//! Property-based tests for the Monte-Carlo substrate.
+
+use lvf2_mc::spatial::{cholesky, SpatialCorrelation};
+use lvf2_mc::{McEngine, RegimeCompetitionArc, TimingArcModel, VariationSample, VariationSpace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delays_positive_for_any_reasonable_draw(
+        z in proptest::collection::vec(-4.0..4.0f64, 5),
+        slew in 0.001..0.9f64,
+        load in 0.0001..0.9f64,
+    ) {
+        let v = VariationSample::from_standard(&z, &VariationSpace::tt_22nm());
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let t = arc.evaluate(&v, slew, load);
+        prop_assert!(t.delay > 0.0 && t.delay.is_finite());
+        prop_assert!(t.transition > 0.0 && t.transition.is_finite());
+    }
+
+    #[test]
+    fn delay_monotone_in_load_at_fixed_draw(
+        z in proptest::collection::vec(-2.0..2.0f64, 5),
+        slew in 0.001..0.5f64,
+        load in 0.001..0.4f64,
+        bump in 0.001..0.4f64,
+    ) {
+        // Within ONE regime the delay must increase with load. The arc is
+        // dominated so the regime never flips mid-comparison.
+        let v = VariationSample::from_standard(&z, &VariationSpace::tt_22nm());
+        let arc = RegimeCompetitionArc::dominated();
+        let d1 = arc.evaluate(&v, slew, load).delay;
+        let d2 = arc.evaluate(&v, slew, load + bump).delay;
+        prop_assert!(d2 > d1, "load {load} → {}: delay {d1} → {d2}", load + bump);
+    }
+
+    #[test]
+    fn engine_is_deterministic_for_any_seed(seed in 0u64..5000, n in 10usize..200) {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let a = McEngine::new(VariationSpace::tt_22nm(), n, seed).simulate(&arc, 0.02, 0.05);
+        let b = McEngine::new(VariationSpace::tt_22nm(), n, seed).simulate(&arc, 0.02, 0.05);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exponential_kernel_is_always_factorable(
+        xs in proptest::collection::vec(0.0..100.0f64, 2..10),
+        length in 0.5..50.0f64,
+    ) {
+        // Perturb duplicates so locations are distinct.
+        let locs: Vec<(f64, f64)> =
+            xs.iter().enumerate().map(|(i, &x)| (x + i as f64 * 1e-6, 0.0)).collect();
+        let corr = SpatialCorrelation::new(length);
+        let m = corr.matrix(&locs);
+        prop_assert!(cholesky(&m).is_some(), "kernel must be SPD");
+        // Diagonal is 1, off-diagonal within (0, 1].
+        for (i, row) in m.iter().enumerate() {
+            prop_assert!((row[i] - 1.0).abs() < 1e-12);
+            for &v in row {
+                prop_assert!(v > 0.0 && v <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

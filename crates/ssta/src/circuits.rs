@@ -1,0 +1,389 @@
+//! Benchmark circuits of §4.4: FO4 inverter chain, the 16-bit carry adder
+//! critical path and the 6-stage H-tree with Π-model wires.
+
+use lvf2_cells::{CellLibrary, CellType, TimingArcSpec};
+use lvf2_mc::{McEngine, TimingArcModel, VariationSample, VariationSpace};
+
+/// One pipeline/path stage with its Monte-Carlo delay samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Human-readable stage label.
+    pub name: String,
+    /// Nominal (variation-free) stage delay (ns).
+    pub nominal: f64,
+    /// Per-sample stage delays (ns); independent draws per stage (local
+    /// variation).
+    pub delays: Vec<f64>,
+}
+
+/// A Π-model RC interconnect segment: series resistance with half the
+/// capacitance on each side.
+///
+/// The Elmore delay seen by the driver is `R·(C/2 + C_load)` (the near-end
+/// C/2 loads the driver but is not after the resistance). Metal variation is
+/// folded in through the channel-length/litho component of the variation
+/// vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiWire {
+    /// Total wire resistance (kΩ — so that R·C(pF) is in ns).
+    pub resistance: f64,
+    /// Total wire capacitance (pF).
+    pub capacitance: f64,
+    /// Sensitivity of RC to the litho variation component.
+    pub metal_sensitivity: f64,
+}
+
+impl PiWire {
+    /// Elmore delay (ns) driving `c_load` (pF), at a variation draw.
+    pub fn elmore_delay(&self, c_load: f64, v: &VariationSample) -> f64 {
+        let rc = self.resistance * (0.5 * self.capacitance + c_load);
+        rc * (1.0 + self.metal_sensitivity * v.dl)
+    }
+
+    /// The far-end capacitance this wire adds to its driver's load (pF).
+    pub fn driver_load(&self) -> f64 {
+        0.5 * self.capacitance
+    }
+}
+
+fn simulate_stage<A: TimingArcModel>(
+    arc: &A,
+    slew: f64,
+    load: f64,
+    samples: usize,
+    seed: u64,
+) -> (f64, Vec<f64>) {
+    let engine = McEngine::new(VariationSpace::tt_22nm(), samples, seed);
+    let r = engine.simulate(arc, slew, load);
+    let nominal = arc.evaluate(&VariationSample::nominal(), slew, load).delay;
+    (nominal, r.delays)
+}
+
+/// A chain of `stages` FO4-loaded inverters — the CLT demonstration
+/// workload (Corollary 2).
+pub fn fo4_chain(stages: usize, samples: usize, seed: u64) -> Vec<Stage> {
+    let lib = CellLibrary::tsmc22_like();
+    let load = 4.0 * lib.input_cap(CellType::Inv, 1);
+    (0..stages)
+        .map(|k| {
+            let spec = TimingArcSpec::of(CellType::Inv, k % CellType::Inv.paper_arc_count());
+            let arc = spec.synthesize();
+            let (nominal, delays) =
+                simulate_stage(&arc, 0.02, load, samples, seed ^ (k as u64) << 8);
+            Stage { name: format!("inv{k}"), nominal, delays }
+        })
+        .collect()
+}
+
+/// The 16-bit ripple-carry adder critical path: carry-in → carry-out through
+/// 16 full-adder carry arcs (≈30 FO4 total).
+pub fn carry_adder_16bit(samples: usize, seed: u64) -> Vec<Stage> {
+    let lib = CellLibrary::tsmc22_like();
+    let fa_cin_cap = lib.input_cap(CellType::FullAdder, 1);
+    (0..16)
+        .map(|bit| {
+            // Each bit uses a different FA arc (carry path personalities vary
+            // with surrounding logic, as in a real layout).
+            let spec =
+                TimingArcSpec::of(CellType::FullAdder, bit % CellType::FullAdder.paper_arc_count());
+            let arc = spec.synthesize();
+            let load = if bit == 15 { 8.0 * fa_cin_cap } else { 4.5 * fa_cin_cap };
+            let (nominal, delays) =
+                simulate_stage(&arc, 0.065, load, samples, seed ^ 0xADD ^ ((bit as u64) << 9));
+            Stage { name: format!("fa{bit}.cin->cout"), nominal, delays }
+        })
+        .collect()
+}
+
+/// The 6-stage H-tree: each stage is two buffers plus a Π-model wire
+/// (≈90 FO4 total, ≈15 FO4 per stage). Physical wire *lengths* halve per
+/// level but upper levels use wider, lower-R metal, so per-level delay is
+/// roughly equalized — standard clock-tree practice.
+///
+/// The buffers are chosen from the library arcs whose regime selector is
+/// closest to balanced: a buffered clock spine sized right at the NMOS/PMOS
+/// competition point, which keeps the per-stage delay distribution strongly
+/// multi-Gaussian (the slow-convergence case of Figure 5).
+pub fn htree_6stage(samples: usize, seed: u64) -> Vec<Stage> {
+    let lib = CellLibrary::tsmc22_like();
+    let buf_cap = lib.input_cap(CellType::Buff, 2);
+    // Rank buffer arcs by how contested their regime selector is.
+    let mut buf_arcs: Vec<TimingArcSpec> = lib.arc_specs(CellType::Buff);
+    buf_arcs.sort_by(|a, b| {
+        let oa = a.synthesize().selector.offset.abs();
+        let ob = b.synthesize().selector.offset.abs();
+        oa.partial_cmp(&ob).expect("finite offsets")
+    });
+    let mut stages = Vec::with_capacity(6);
+    for level in 0..6u32 {
+        let wire = PiWire { resistance: 1.85, capacitance: 0.27, metal_sensitivity: 1.0 };
+        let spec_a = buf_arcs[(2 * level as usize) % buf_arcs.len()];
+        let spec_b = buf_arcs[(2 * level as usize + 1) % buf_arcs.len()];
+        let (mut arc_a, mut arc_b) = (spec_a.synthesize(), spec_b.synthesize());
+        // Clock-spine sizing pins each buffer at its competition point, and
+        // the spine mixes Vt flavours (a common clock-tree leakage tactic):
+        // the PMOS-recovery regime of a high-Vt flavoured buffer is markedly
+        // slower, which widens the separation between the two regimes.
+        for arc in [&mut arc_a, &mut arc_b] {
+            arc.selector.offset *= 0.3;
+            arc.selector.checker_amp = 0.0;
+            arc.mech_b.intrinsic *= 1.45;
+            arc.mech_b.load_coef *= 1.45;
+        }
+
+        // Buffer A drives the wire; buffer B is the receiver repowering the
+        // next level. Loads: A sees the wire near-end C/2 (+ B's input); B
+        // sees the next level's wire plus fanout.
+        let load_a = wire.driver_load() + buf_cap;
+        let load_b = 2.0 * buf_cap + 0.5 * wire.capacitance * 0.5;
+
+        // The two buffers and the wire of one level occupy the same die
+        // neighbourhood, so they share one variation draw; different levels
+        // are far apart and draw independently. (This within-stage
+        // correlation is what preserves the level's regime structure — three
+        // independent draws would CLT-wash the stage internally.)
+        let engine = McEngine::new(
+            VariationSpace::tt_22nm(),
+            samples,
+            seed ^ 0xB0F ^ ((level as u64) << 4),
+        );
+        let draws = engine.draw_variations();
+        let ra = McEngine::simulate_with(&arc_a, &draws, 0.03, load_a);
+        let rb = McEngine::simulate_with(&arc_b, &draws, 0.03, load_b);
+
+        let nominal = arc_a.evaluate(&VariationSample::nominal(), 0.03, load_a).delay
+            + arc_b.evaluate(&VariationSample::nominal(), 0.03, load_b).delay
+            + wire.elmore_delay(buf_cap, &VariationSample::nominal());
+        let delays: Vec<f64> = (0..samples)
+            .map(|k| ra.delays[k] + rb.delays[k] + wire.elmore_delay(buf_cap, &draws[k]))
+            .collect();
+        stages.push(Stage { name: format!("htree_l{level}"), nominal, delays });
+    }
+    stages
+}
+
+/// Total nominal path delay of a stage list, in FO4 units.
+pub fn path_depth_fo4(stages: &[Stage]) -> f64 {
+    let fo4 = CellLibrary::tsmc22_like().fo4_delay();
+    stages.iter().map(|s| s.nominal).sum::<f64>() / fo4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_chain_shapes() {
+        let stages = fo4_chain(3, 200, 1);
+        assert_eq!(stages.len(), 3);
+        for s in &stages {
+            assert_eq!(s.delays.len(), 200);
+            assert!(s.nominal > 0.0);
+            assert!(s.delays.iter().all(|&d| d > 0.0));
+        }
+    }
+
+    #[test]
+    fn adder_path_is_about_30_fo4() {
+        let stages = carry_adder_16bit(100, 2);
+        assert_eq!(stages.len(), 16);
+        let depth = path_depth_fo4(&stages);
+        assert!(depth > 15.0 && depth < 60.0, "adder depth {depth} FO4");
+    }
+
+    #[test]
+    fn htree_is_deeper_than_adder() {
+        let adder = carry_adder_16bit(64, 3);
+        let htree = htree_6stage(64, 3);
+        assert_eq!(htree.len(), 6);
+        let da = path_depth_fo4(&adder);
+        let dh = path_depth_fo4(&htree);
+        assert!(dh > da, "htree {dh} FO4 vs adder {da} FO4");
+        assert!(dh > 50.0 && dh < 200.0, "htree depth {dh} FO4");
+    }
+
+    #[test]
+    fn wire_elmore_matches_hand_calc() {
+        let w = PiWire { resistance: 2.0, capacitance: 0.1, metal_sensitivity: 0.0 };
+        let d = w.elmore_delay(0.05, &VariationSample::nominal());
+        assert!((d - 2.0 * (0.05 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_varies_with_litho() {
+        let w = PiWire { resistance: 2.0, capacitance: 0.1, metal_sensitivity: 3.0 };
+        let mut v = VariationSample::nominal();
+        v.dl = 0.02;
+        assert!(w.elmore_delay(0.05, &v) > w.elmore_delay(0.05, &VariationSample::nominal()));
+    }
+
+    #[test]
+    fn stages_are_deterministic() {
+        let a = fo4_chain(2, 50, 9);
+        let b = fo4_chain(2, 50, 9);
+        assert_eq!(a, b);
+    }
+}
+
+/// A chain where each stage's **input slew is the previous stage's sampled
+/// output transition** — per-sample slew propagation, the fidelity upgrade
+/// over the fixed-slew chains above (a real path's delay distribution is
+/// widened by slew variation feeding forward).
+///
+/// Stage 0 sees `initial_slew`. Every stage draws its own independent local
+/// variations; the coupling between stages is purely through the slew.
+pub fn slew_coupled_chain(
+    cell: CellType,
+    stages: usize,
+    samples: usize,
+    initial_slew: f64,
+    seed: u64,
+) -> Vec<Stage> {
+    let lib = CellLibrary::tsmc22_like();
+    let load = 4.0 * lib.input_cap(cell, 1);
+    let mut out = Vec::with_capacity(stages);
+    let mut slews = vec![initial_slew; samples];
+    let mut nominal_slew = initial_slew;
+    for k in 0..stages {
+        let spec = TimingArcSpec::of(cell, k % cell.paper_arc_count());
+        let arc = spec.synthesize();
+        let engine = McEngine::new(
+            VariationSpace::tt_22nm(),
+            samples,
+            seed ^ 0x51E3 ^ ((k as u64) << 7),
+        );
+        let draws = engine.draw_variations();
+        let mut delays = Vec::with_capacity(samples);
+        let mut next_slews = Vec::with_capacity(samples);
+        for (v, &slew) in draws.iter().zip(&slews) {
+            let t = arc.evaluate(v, slew, load);
+            delays.push(t.delay);
+            next_slews.push(t.transition);
+        }
+        let nom = arc.evaluate(&VariationSample::nominal(), nominal_slew, load);
+        nominal_slew = nom.transition;
+        slews = next_slews;
+        out.push(Stage { name: format!("{cell}{k}"), nominal: nom.delay, delays });
+    }
+    out
+}
+
+#[cfg(test)]
+mod slew_tests {
+    use super::*;
+
+    #[test]
+    fn slew_coupling_is_deterministic_and_positive() {
+        let a = slew_coupled_chain(CellType::Inv, 3, 300, 0.02, 5);
+        let b = slew_coupled_chain(CellType::Inv, 3, 300, 0.02, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| s.delays.iter().all(|&d| d > 0.0)));
+    }
+
+    #[test]
+    fn slew_coupling_widens_downstream_stages() {
+        // With slew feeding forward, later stages inherit the accumulated
+        // transition variability: their delay CV exceeds the fixed-slew case.
+        let coupled = slew_coupled_chain(CellType::Inv, 6, 4000, 0.02, 6);
+        let fixed = fo4_chain(6, 4000, 6);
+        let cv = |s: &Stage| {
+            lvf2_stats::sample_std(&s.delays) / lvf2_stats::sample_mean(&s.delays)
+        };
+        // Compare the last stages (the first stages are equivalent setups).
+        let c_last = cv(&coupled[5]);
+        let f_last = cv(&fixed[5]);
+        assert!(
+            c_last > 0.8 * f_last,
+            "coupled CV {c_last} unexpectedly far below fixed-slew CV {f_last}"
+        );
+        // And the slew actually moved: nominal delays drift from stage 0.
+        assert!((coupled[5].nominal - coupled[0].nominal).abs() > 1e-6);
+    }
+
+    #[test]
+    fn initial_slew_matters_for_first_stage_only_in_nominal() {
+        let fast = slew_coupled_chain(CellType::Inv, 2, 200, 0.005, 7);
+        let slow = slew_coupled_chain(CellType::Inv, 2, 200, 0.2, 7);
+        assert!(slow[0].nominal > fast[0].nominal);
+    }
+}
+
+/// An inverter chain whose stages share **spatially correlated** variation:
+/// stage k sits at die position `(k·pitch, 0)` and the variation field has
+/// correlation length `corr_length` (same units).
+///
+/// With correlation, the path sum no longer Gaussianizes at the O(1/√n)
+/// Berry–Esseen rate — the common component never averages out. This is the
+/// counterpoint to §3.4's independent-stage analysis and the reason non-
+/// Gaussian models stay valuable on spatially coherent paths.
+pub fn correlated_fo4_chain(
+    stages: usize,
+    samples: usize,
+    pitch: f64,
+    corr_length: f64,
+    seed: u64,
+) -> Vec<Stage> {
+    use lvf2_mc::spatial::{correlated_variations, SpatialCorrelation};
+    use rand::SeedableRng;
+    let lib = CellLibrary::tsmc22_like();
+    let load = 4.0 * lib.input_cap(CellType::Inv, 1);
+    let locations: Vec<(f64, f64)> = (0..stages).map(|k| (k as f64 * pitch, 0.0)).collect();
+    let corr = SpatialCorrelation::new(corr_length);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let draws =
+        correlated_variations(&locations, &corr, &VariationSpace::tt_22nm(), samples, &mut rng);
+    (0..stages)
+        .map(|k| {
+            let spec = TimingArcSpec::of(CellType::Inv, k % CellType::Inv.paper_arc_count());
+            let arc = spec.synthesize();
+            let delays: Vec<f64> =
+                draws.iter().map(|d| arc.evaluate(&d[k], 0.02, load).delay).collect();
+            let nominal = arc.evaluate(&VariationSample::nominal(), 0.02, load).delay;
+            Stage { name: format!("cinv{k}"), nominal, delays }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod correlated_tests {
+    use super::*;
+    use crate::clt::sup_gap_to_normal;
+    use crate::golden::cumulative_path;
+
+    #[test]
+    fn correlation_defeats_clt_convergence() {
+        let n_stages = 12;
+        let samples = 4000;
+        // Tightly correlated: every stage sees nearly the same field.
+        let corr = correlated_fo4_chain(n_stages, samples, 1.0, 100.0, 3);
+        // Nearly independent: stages far apart relative to L.
+        let indep = correlated_fo4_chain(n_stages, samples, 100.0, 1.0, 3);
+        let gap_at_depth = |stages: &[Stage]| {
+            let cum = cumulative_path(
+                &stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>(),
+            );
+            sup_gap_to_normal(cum.last().expect("stages"))
+        };
+        let g_corr = gap_at_depth(&corr);
+        let g_indep = gap_at_depth(&indep);
+        assert!(
+            g_corr > 2.0 * g_indep,
+            "correlated path should stay non-Gaussian: {g_corr} vs independent {g_indep}"
+        );
+    }
+
+    #[test]
+    fn correlated_path_has_larger_variance() {
+        // Common-mode variation adds coherently: Var(Σ) > Σ Var for ρ > 0.
+        let samples = 4000;
+        let corr = correlated_fo4_chain(8, samples, 1.0, 100.0, 4);
+        let indep = correlated_fo4_chain(8, samples, 100.0, 1.0, 4);
+        let total_sd = |stages: &[Stage]| {
+            let cum = cumulative_path(
+                &stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>(),
+            );
+            lvf2_stats::sample_std(cum.last().expect("stages"))
+        };
+        assert!(total_sd(&corr) > 1.5 * total_sd(&indep));
+    }
+}

@@ -1,0 +1,91 @@
+//! Central-limit-theorem utilities: the Berry–Esseen bound (Theorem 1) and
+//! the empirical sup-CDF gap it bounds (Corollaries 2–3).
+
+use lvf2_stats::special::norm_cdf;
+use lvf2_stats::Ecdf;
+
+/// Best published Berry–Esseen constant for iid summands
+/// (Shevtsova 2011: C ≤ 0.4748).
+pub const BERRY_ESSEEN_C: f64 = 0.4748;
+
+/// The Berry–Esseen bound `C·ρ/√n` on the sup-distance between the CDF of a
+/// standardized n-term iid sum and Φ, where `rho = E|Y|³` of the
+/// standardized summand.
+///
+/// # Example
+///
+/// ```
+/// let b4 = lvf2_ssta::clt::berry_esseen_bound(1.5, 4);
+/// let b16 = lvf2_ssta::clt::berry_esseen_bound(1.5, 16);
+/// assert!((b4 / b16 - 2.0).abs() < 1e-12); // O(1/√n)
+/// ```
+pub fn berry_esseen_bound(rho: f64, n: usize) -> f64 {
+    BERRY_ESSEEN_C * rho / (n as f64).sqrt()
+}
+
+/// Third absolute moment `E|Y|³` of the standardized samples
+/// (`Y = (X − mean)/sd`).
+pub fn standardized_abs_third_moment(samples: &[f64]) -> f64 {
+    let mean = lvf2_stats::sample_mean(samples);
+    let sd = lvf2_stats::sample_std(samples);
+    if !(sd > 0.0) {
+        return 0.0;
+    }
+    samples.iter().map(|x| ((x - mean) / sd).abs().powi(3)).sum::<f64>() / samples.len() as f64
+}
+
+/// Empirical sup-distance between the standardized ECDF of `samples` and the
+/// standard normal CDF — the left side of Theorem 1's inequality.
+pub fn sup_gap_to_normal(samples: &[f64]) -> f64 {
+    let mean = lvf2_stats::sample_mean(samples);
+    let sd = lvf2_stats::sample_std(samples);
+    let ecdf = Ecdf::new(samples.to_vec()).expect("non-empty samples");
+    let n = ecdf.len() as f64;
+    let mut sup: f64 = 0.0;
+    for (k, &x) in ecdf.samples().iter().enumerate() {
+        let z = (x - mean) / sd;
+        let phi = norm_cdf(z);
+        // ECDF jumps at x: check both sides of the step.
+        let hi = (k as f64 + 1.0) / n;
+        let lo = k as f64 / n;
+        sup = sup.max((hi - phi).abs()).max((lo - phi).abs());
+    }
+    sup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::fo4_chain;
+    use crate::golden::cumulative_path;
+
+    #[test]
+    fn gap_shrinks_with_depth_and_respects_bound() {
+        let stages = fo4_chain(16, 4000, 21);
+        let cum = cumulative_path(&stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>());
+        let gap1 = sup_gap_to_normal(&cum[0]);
+        let gap16 = sup_gap_to_normal(&cum[15]);
+        assert!(
+            gap16 < gap1,
+            "sum of 16 stages should be more normal: {gap16} vs {gap1}"
+        );
+        // Berry–Esseen (with sampling noise slack) bounds the 16-stage gap.
+        let rho = standardized_abs_third_moment(&stages[0].delays);
+        let bound = berry_esseen_bound(rho, 16);
+        assert!(gap16 < bound + 0.03, "gap {gap16} vs bound {bound}");
+    }
+
+    #[test]
+    fn gaussian_samples_have_tiny_gap() {
+        use lvf2_stats::Distribution;
+        let n = lvf2_stats::Normal::new(1.0, 0.1).unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let xs = n.sample_n(&mut rng, 50_000);
+        assert!(sup_gap_to_normal(&xs) < 0.01);
+    }
+
+    #[test]
+    fn bound_scales_as_inverse_sqrt_n() {
+        assert!(berry_esseen_bound(2.0, 100) < berry_esseen_bound(2.0, 25));
+    }
+}

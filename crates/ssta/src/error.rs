@@ -1,0 +1,92 @@
+//! SSTA error type.
+
+use std::fmt;
+
+use lvf2_fit::FitError;
+use lvf2_stats::StatsError;
+
+/// Errors from SSTA propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SstaError {
+    /// `sum`/`max` between different model families is not defined.
+    FamilyMismatch {
+        /// Family of the left operand.
+        left: &'static str,
+        /// Family of the right operand.
+        right: &'static str,
+    },
+    /// The timing graph contains a cycle.
+    GraphCycle,
+    /// An edge references a node outside the graph.
+    BadEdge {
+        /// Offending node id.
+        node: usize,
+    },
+    /// A netlist failed to parse or elaborate.
+    Netlist {
+        /// 1-based source line (0 for semantic errors).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Refitting a family to propagated moments failed.
+    Fit(FitError),
+    /// A distribution constructor rejected propagated parameters.
+    Stats(StatsError),
+}
+
+impl fmt::Display for SstaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SstaError::FamilyMismatch { left, right } => {
+                write!(f, "cannot combine model families `{left}` and `{right}`")
+            }
+            SstaError::GraphCycle => write!(f, "timing graph contains a cycle"),
+            SstaError::BadEdge { node } => write!(f, "edge references unknown node {node}"),
+            SstaError::Netlist { line, message } => {
+                if *line > 0 {
+                    write!(f, "netlist error at line {line}: {message}")
+                } else {
+                    write!(f, "netlist error: {message}")
+                }
+            }
+            SstaError::Fit(e) => write!(f, "{e}"),
+            SstaError::Stats(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SstaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SstaError::Fit(e) => Some(e),
+            SstaError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for SstaError {
+    fn from(e: FitError) -> Self {
+        SstaError::Fit(e)
+    }
+}
+
+impl From<StatsError> for SstaError {
+    fn from(e: StatsError) -> Self {
+        SstaError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SstaError::FamilyMismatch { left: "LVF", right: "LESN" };
+        assert!(e.to_string().contains("LVF"));
+        let f: SstaError = StatsError::EmptyMixture.into();
+        assert!(std::error::Error::source(&f).is_some());
+    }
+}

@@ -1,0 +1,63 @@
+//! Sample-level golden propagation: the Monte-Carlo reference every model
+//! is judged against (§4.4's "golden is obtained based on MC simulation").
+
+/// Element-wise sum of two stage sample vectors (independent local
+/// variation: sample `k` of the path is the sum of sample `k` of each
+/// stage).
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn sum_samples(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "stage sample counts must match");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise max of two arrival sample vectors.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn max_samples(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "arrival sample counts must match");
+    a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()
+}
+
+/// Running cumulative sums along a path: entry `k` holds the golden samples
+/// of the path truncated after stage `k`.
+pub fn cumulative_path(stages: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(stages.len());
+    for stage in stages {
+        let next = match out.last() {
+            Some(prev) => sum_samples(prev, stage),
+            None => stage.clone(),
+        };
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_sums_accumulate() {
+        let stages = vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+        let c = cumulative_path(&stages);
+        assert_eq!(c[0], vec![1.0, 2.0]);
+        assert_eq!(c[1], vec![11.0, 22.0]);
+        assert_eq!(c[2], vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn max_is_elementwise() {
+        assert_eq!(max_samples(&[1.0, 5.0], &[2.0, 4.0]), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        sum_samples(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Numeric moment computation for the statistical `max` operator.
+//!
+//! For independent X, Y the maximum has CDF `F_X·F_Y`, hence density
+//! `f_X·F_Y + F_X·f_Y`; its first four raw moments are computed by
+//! panel-wise Gauss–Legendre quadrature and matched back into the model
+//! family by the caller (the mixture families do this componentwise, which
+//! is the skewness-aware analogue of Clark's max).
+
+use lvf2_stats::Distribution;
+
+/// First four raw moments `E[max(X,Y)^k]`, `k = 1..4`, for independent
+/// `X ~ a`, `Y ~ b`.
+pub fn max_raw_moments<A: Distribution, B: Distribution>(a: &A, b: &B) -> [f64; 4] {
+    let sa = a.std_dev();
+    let sb = b.std_dev();
+    let lo = (a.mean() - 10.0 * sa).min(b.mean() - 10.0 * sb);
+    let hi = (a.mean() + 10.0 * sa).max(b.mean() + 10.0 * sb);
+    const PANELS: usize = 48;
+    let h = (hi - lo) / PANELS as f64;
+    // One pass over the quadrature nodes: the density g(t) (with its two CDF
+    // evaluations, the expensive part for skew-normal components) is shared
+    // by all four moment integrands.
+    let mut m = [0.0f64; 4];
+    for p in 0..PANELS {
+        let pa = lo + p as f64 * h;
+        let pb = pa + h;
+        let (c, hw) = (0.5 * (pb + pa), 0.5 * (pb - pa));
+        for &(x, w) in gl32_nodes() {
+            for t in [c + hw * x, c - hw * x] {
+                let g = a.pdf(t) * b.cdf(t) + a.cdf(t) * b.pdf(t);
+                let mut tk = t;
+                for mk in m.iter_mut() {
+                    *mk += w * hw * tk * g;
+                    tk *= t;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The 32-point Gauss–Legendre (node, weight) pairs on `[-1, 1]` (positive
+/// half; symmetry supplies the negatives).
+pub(crate) fn gl32_nodes() -> &'static [(f64, f64); 16] {
+    const GL32: [(f64, f64); 16] = [
+        (0.048_307_665_687_738_32, 0.0965400885147278),
+        (0.144_471_961_582_796_5, 0.0956387200792749),
+        (0.239_287_362_252_137_06, 0.0938443990808046),
+        (0.331_868_602_282_127_67, 0.0911738786957639),
+        (0.421_351_276_130_635_33, 0.0876520930044038),
+        (0.506_899_908_932_229_4, 0.0833119242269467),
+        (0.587_715_757_240_762_3, 0.0781938957870703),
+        (0.663_044_266_930_215_2, 0.0723457941088485),
+        (0.732_182_118_740_289_7, 0.0658222227763618),
+        (0.794_483_795_967_942_4, 0.0586840934785355),
+        (0.849_367_613_732_57, 0.0509980592623762),
+        (0.896_321_155_766_052_1, 0.0428358980222267),
+        (0.934_906_075_937_739_7, 0.0342738629130214),
+        (0.964_762_255_587_506_4, 0.0253920653092621),
+        (0.985_611_511_545_268_4, 0.0162743947309057),
+        (0.997_263_861_849_481_6, 0.0070186100094701),
+    ];
+    &GL32
+}
+
+/// Converts raw moments to `(mean, variance, third central, fourth central)`.
+pub fn raw_to_central(m: [f64; 4]) -> (f64, f64, f64, f64) {
+    let mu = m[0];
+    let var = m[1] - mu * mu;
+    let m3 = m[2] - 3.0 * mu * m[1] + 2.0 * mu.powi(3);
+    let m4 = m[3] - 4.0 * mu * m[2] + 6.0 * mu * mu * m[1] - 3.0 * mu.powi(4);
+    (mu, var, m3, m4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_stats::{Normal, SkewNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_of_identical_normals_matches_closed_form() {
+        // E[max(X,Y)] = μ + σ/√π for iid N(μ, σ²).
+        let n = Normal::new(2.0, 0.5).unwrap();
+        let m = max_raw_moments(&n, &n);
+        let (mean, var, _, _) = raw_to_central(m);
+        let want_mean = 2.0 + 0.5 / std::f64::consts::PI.sqrt();
+        assert!((mean - want_mean).abs() < 1e-9, "mean {mean} want {want_mean}");
+        // Var(max) = σ²(1 − 1/π) for iid normals.
+        let want_var = 0.25 * (1.0 - 1.0 / std::f64::consts::PI);
+        assert!((var - want_var).abs() < 1e-9, "var {var} want {want_var}");
+    }
+
+    #[test]
+    fn dominated_max_is_the_bigger_operand() {
+        let a = Normal::new(0.0, 0.1).unwrap();
+        let b = Normal::new(10.0, 0.1).unwrap();
+        let (mean, var, _, _) = raw_to_central(max_raw_moments(&a, &b));
+        assert!((mean - 10.0).abs() < 1e-6);
+        assert!((var - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_moments_match_monte_carlo_for_skew_normals() {
+        let a = SkewNormal::new(1.0, 0.2, 3.0).unwrap();
+        let b = SkewNormal::new(1.1, 0.15, -2.0).unwrap();
+        let (mean, var, m3, _) = raw_to_central(max_raw_moments(&a, &b));
+        let mut rng = StdRng::seed_from_u64(44);
+        let n = 200_000;
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            xs.push(a.sample(&mut rng).max(b.sample(&mut rng)));
+        }
+        let mc_mean = lvf2_stats::sample_mean(&xs);
+        let mc_var = lvf2_stats::sample_std(&xs).powi(2);
+        let mc_skew = lvf2_stats::sample_skewness(&xs);
+        assert!((mean - mc_mean).abs() < 2e-3, "mean {mean} vs {mc_mean}");
+        assert!((var - mc_var).abs() / mc_var < 0.02, "var {var} vs {mc_var}");
+        assert!((m3 / var.powf(1.5) - mc_skew).abs() < 0.05, "skew");
+    }
+}
+
+/// Clark's closed-form first two moments of `max(X, Y)` for **correlated**
+/// Gaussians `X ~ N(μa, σa²)`, `Y ~ N(μb, σb²)`, `corr(X, Y) = ρ`.
+///
+/// Block-based SSTA assumes independence at reconvergence; this is the
+/// classic correction for shared path history (Clark 1961). Returns
+/// `(mean, variance)` of the max.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[-1, 1]` or a σ is not positive.
+pub fn clark_max_correlated(
+    mu_a: f64,
+    sigma_a: f64,
+    mu_b: f64,
+    sigma_b: f64,
+    rho: f64,
+) -> (f64, f64) {
+    assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+    assert!(sigma_a > 0.0 && sigma_b > 0.0, "sigmas must be positive");
+    use lvf2_stats::special::{norm_cdf, norm_pdf};
+    let nu2 = sigma_a * sigma_a + sigma_b * sigma_b - 2.0 * rho * sigma_a * sigma_b;
+    if nu2 <= 1e-300 {
+        // Fully correlated with equal σ: max is whichever mean is larger.
+        return if mu_a >= mu_b {
+            (mu_a, sigma_a * sigma_a)
+        } else {
+            (mu_b, sigma_b * sigma_b)
+        };
+    }
+    let nu = nu2.sqrt();
+    let alpha = (mu_a - mu_b) / nu;
+    let (phi, cap) = (norm_pdf(alpha), norm_cdf(alpha));
+    let mean = mu_a * cap + mu_b * (1.0 - cap) + nu * phi;
+    let raw2 = (mu_a * mu_a + sigma_a * sigma_a) * cap
+        + (mu_b * mu_b + sigma_b * sigma_b) * (1.0 - cap)
+        + (mu_a + mu_b) * nu * phi;
+    (mean, (raw2 - mean * mean).max(0.0))
+}
+
+#[cfg(test)]
+mod clark_tests {
+    use super::*;
+    use lvf2_stats::sampling::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mc_max(mu_a: f64, sa: f64, mu_b: f64, sb: f64, rho: f64, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z1 = standard_normal(&mut rng);
+            let z2 = rho * z1 + (1.0 - rho * rho).sqrt() * standard_normal(&mut rng);
+            xs.push((mu_a + sa * z1).max(mu_b + sb * z2));
+        }
+        let mean = lvf2_stats::sample_mean(&xs);
+        (mean, lvf2_stats::sample_std(&xs).powi(2))
+    }
+
+    #[test]
+    fn matches_monte_carlo_across_correlations() {
+        for &rho in &[-0.8, 0.0, 0.5, 0.9] {
+            let (m, v) = clark_max_correlated(1.0, 0.1, 1.05, 0.12, rho);
+            let (mm, mv) = mc_max(1.0, 0.1, 1.05, 0.12, rho, 400_000);
+            assert!((m - mm).abs() < 1e-3, "ρ={rho}: mean {m} vs MC {mm}");
+            assert!((v - mv).abs() / mv < 0.02, "ρ={rho}: var {v} vs MC {mv}");
+        }
+    }
+
+    #[test]
+    fn independent_case_agrees_with_numeric_max() {
+        use lvf2_stats::Normal;
+        let a = Normal::new(2.0, 0.5).unwrap();
+        let b = Normal::new(2.2, 0.4).unwrap();
+        let (mean_n, var_n, _, _) = raw_to_central(max_raw_moments(&a, &b));
+        let (mean_c, var_c) = clark_max_correlated(2.0, 0.5, 2.2, 0.4, 0.0);
+        assert!((mean_n - mean_c).abs() < 1e-9);
+        assert!((var_n - var_c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_correlated_equal_sigma_picks_the_larger_mean() {
+        let (m, v) = clark_max_correlated(1.0, 0.1, 1.3, 0.1, 1.0);
+        assert!((m - 1.3).abs() < 1e-12);
+        assert!((v - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_correlation_shrinks_the_max_shift() {
+        // With ρ → 1 the "max bonus" νφ(α) vanishes.
+        let (m_ind, _) = clark_max_correlated(1.0, 0.1, 1.0, 0.1, 0.0);
+        let (m_cor, _) = clark_max_correlated(1.0, 0.1, 1.0, 0.1, 0.95);
+        assert!(m_cor < m_ind, "{m_cor} should be below {m_ind}");
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn rejects_out_of_range_rho() {
+        clark_max_correlated(0.0, 1.0, 0.0, 1.0, 1.5);
+    }
+}

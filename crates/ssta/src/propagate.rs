@@ -1,0 +1,165 @@
+//! The Figure 5 experiment: fit every model family per stage, propagate
+//! analytically along the path, and score binning-error reduction against
+//! the golden cumulative Monte-Carlo distribution at every depth.
+
+use lvf2_binning::{score_model, GoldenReference, ModelScore};
+use lvf2_fit::{fit_lesn, fit_lvf, fit_lvf2, fit_norm2, FitConfig};
+
+
+use crate::circuits::Stage;
+use crate::dist::TimingDist;
+use crate::error::SstaError;
+use crate::golden::cumulative_path;
+
+/// Scores of all four families at one path depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePoint {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// Stage label.
+    pub name: String,
+    /// Cumulative nominal depth up to and including this stage, in FO4.
+    pub cum_fo4: f64,
+    /// Binning error of each family at this depth.
+    pub lvf: ModelScore,
+    /// Norm² score.
+    pub norm2: ModelScore,
+    /// LESN score.
+    pub lesn: ModelScore,
+    /// LVF² score.
+    pub lvf2: ModelScore,
+}
+
+impl StagePoint {
+    /// Binning-error reductions (Eq. 12) of (LVF², Norm², LESN) vs LVF.
+    pub fn binning_reductions(&self) -> (f64, f64, f64) {
+        (
+            lvf2_binning::error_reduction(self.lvf.binning_error, self.lvf2.binning_error),
+            lvf2_binning::error_reduction(self.lvf.binning_error, self.norm2.binning_error),
+            lvf2_binning::error_reduction(self.lvf.binning_error, self.lesn.binning_error),
+        )
+    }
+}
+
+/// Runs the full Figure 5 flow over a path.
+///
+/// Per stage: fit LVF/Norm²/LESN/LVF² to the stage's Monte-Carlo samples;
+/// accumulate each family with its block-based `sum`; score each cumulative
+/// model against the golden cumulative samples with σ-bins (§4's setup).
+///
+/// `fo4` is the FO4 unit delay (ns) for the x-axis.
+///
+/// # Errors
+///
+/// Propagates fit and propagation errors; requires at least one stage with
+/// at least 8 samples.
+pub fn propagate_path(
+    stages: &[Stage],
+    fo4: f64,
+    config: &FitConfig,
+) -> Result<Vec<StagePoint>, SstaError> {
+    let sample_stages: Vec<Vec<f64>> = stages.iter().map(|s| s.delays.clone()).collect();
+    let golden_cum = cumulative_path(&sample_stages);
+
+    let mut acc: Option<(TimingDist, TimingDist, TimingDist, TimingDist)> = None;
+    let mut out = Vec::with_capacity(stages.len());
+    let mut cum_nominal = 0.0;
+    for (k, stage) in stages.iter().enumerate() {
+        cum_nominal += stage.nominal;
+
+        // Per-stage fits.
+        let lvf = TimingDist::Lvf(fit_lvf(&stage.delays, config)?.model);
+        let norm2 = TimingDist::Norm2(fit_norm2(&stage.delays, config)?.model);
+        let lesn = TimingDist::Lesn(fit_lesn(&stage.delays, config)?.model);
+        let lvf2 = TimingDist::Lvf2(fit_lvf2(&stage.delays, config)?.model);
+
+        // Block-based accumulation.
+        acc = Some(match acc {
+            None => (lvf, norm2, lesn, lvf2),
+            Some((a, b, c, d)) => {
+                (a.sum(&lvf)?, b.sum(&norm2)?, c.sum(&lesn)?, d.sum(&lvf2)?)
+            }
+        });
+        let (a, b, c, d) = acc.as_ref().expect("just set");
+
+        let golden = GoldenReference::from_samples(&golden_cum[k])?;
+        out.push(StagePoint {
+            stage: k,
+            name: stage.name.clone(),
+            cum_fo4: cum_nominal / fo4,
+            lvf: score_model(a, &golden),
+            norm2: score_model(b, &golden),
+            lesn: score_model(c, &golden),
+            lvf2: score_model(d, &golden),
+        });
+    }
+    Ok(out)
+}
+
+/// Convenience: the final-stage arrival distribution of one family along a
+/// path (used by examples).
+///
+/// # Errors
+///
+/// Propagates fit and sum errors.
+pub fn accumulate_family<F>(
+    stages: &[Stage],
+    config: &FitConfig,
+    fit: F,
+) -> Result<TimingDist, SstaError>
+where
+    F: Fn(&[f64], &FitConfig) -> Result<TimingDist, SstaError>,
+{
+    let mut acc: Option<TimingDist> = None;
+    for s in stages {
+        let d = fit(&s.delays, config)?;
+        acc = Some(match acc {
+            None => d,
+            Some(a) => a.sum(&d)?,
+        });
+    }
+    acc.ok_or(SstaError::Fit(lvf2_fit::FitError::DegenerateData { why: "no stages" }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::fo4_chain;
+    use lvf2_stats::Distribution;
+
+    #[test]
+    fn propagation_runs_and_depth_accumulates() {
+        let stages = fo4_chain(4, 1200, 17);
+        let pts = propagate_path(&stages, 0.02, &FitConfig::fast()).unwrap();
+        assert_eq!(pts.len(), 4);
+        assert!(pts.windows(2).all(|w| w[1].cum_fo4 > w[0].cum_fo4));
+        for p in &pts {
+            assert!(p.lvf.binning_error.is_finite());
+            assert!(p.lvf2.binning_error.is_finite());
+        }
+    }
+
+    #[test]
+    fn cumulative_model_tracks_golden_mean() {
+        let stages = fo4_chain(3, 2000, 18);
+        let cfg = FitConfig::fast();
+        let total = accumulate_family(&stages, &cfg, |xs, c| {
+            Ok(TimingDist::Lvf2(fit_lvf2(xs, c)?.model))
+        })
+        .unwrap();
+        let golden: f64 = stages.iter().map(|s| lvf2_stats::sample_mean(&s.delays)).sum();
+        assert!(
+            (total.mean() - golden).abs() / golden < 0.01,
+            "mean {} vs golden {golden}",
+            total.mean()
+        );
+    }
+
+    #[test]
+    fn empty_path_is_an_error() {
+        let r = accumulate_family(&[], &FitConfig::fast(), |xs, c| {
+            Ok(TimingDist::Lvf(fit_lvf(xs, c)?.model))
+        });
+        assert!(r.is_err());
+    }
+}

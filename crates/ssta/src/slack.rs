@@ -1,0 +1,233 @@
+//! Statistical slack and timing-violation analysis on a [`TimingGraph`]:
+//! backward required-time propagation, per-node slack distributions and the
+//! probability of violating a clock target — the quantities a signoff flow
+//! derives from the arrival distributions the paper's models feed it.
+
+use lvf2_stats::Distribution;
+
+use crate::dist::TimingDist;
+use crate::error::SstaError;
+use crate::graph::TimingGraph;
+
+/// Slack analysis results for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSlack {
+    /// Node id.
+    pub node: usize,
+    /// Slack distribution `required − arrival` (None for nodes with no
+    /// arrival, i.e. the source and unreachable nodes).
+    pub slack: Option<TimingDist>,
+    /// `P(slack < 0)` — the probability this node violates timing.
+    pub violation_probability: f64,
+}
+
+/// Computes per-node statistical slack against a deterministic clock target
+/// at the sinks.
+///
+/// Arrival times propagate forward (sum along edges, max at reconvergence);
+/// required times propagate backward from every sink (out-degree 0) at
+/// `clock_target` (min over fanout of `required(to) − delay`). Slack at a
+/// node is `required − arrival`, treated as independent (the standard
+/// block-based approximation).
+///
+/// # Errors
+///
+/// Propagates graph/operator errors; LESN edges are rejected (no negation).
+///
+/// # Example
+///
+/// ```
+/// use lvf2_ssta::{slack::slack_analysis, TimingDist, TimingGraph};
+/// use lvf2_stats::Normal;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = TimingDist::Normal(Normal::new(0.1, 0.01)?);
+/// let mut g = TimingGraph::new(3);
+/// g.add_edge(0, 1, d.clone())?;
+/// g.add_edge(1, 2, d)?;
+/// // Path mean 0.2 ns against a 0.25 ns clock: comfortable slack.
+/// let slacks = slack_analysis(&g, 0, 0.25)?;
+/// assert!(slacks[2].violation_probability < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn slack_analysis(
+    graph: &TimingGraph,
+    source: usize,
+    clock_target: f64,
+) -> Result<Vec<NodeSlack>, SstaError> {
+    let arrivals = graph.arrival_times(source)?;
+
+    // Backward pass: required time per node, in reverse topological order.
+    let n = graph.node_count();
+    let mut has_fanout = vec![false; n];
+    for e in graph.edges() {
+        has_fanout[e.from] = true;
+    }
+    let order = reverse_topo(graph)?;
+    let mut required: Vec<Option<TimingDist>> = vec![None; n];
+    for &node in &order {
+        if !has_fanout[node] {
+            continue; // sinks get the constant target lazily below
+        }
+        let mut acc: Option<TimingDist> = None;
+        for e in graph.edges().iter().filter(|e| e.from == node) {
+            let req_to = match &required[e.to] {
+                Some(r) => r.clone(),
+                None => e.delay.constant_like(clock_target)?,
+            };
+            let through = req_to.sub(&e.delay)?;
+            acc = Some(match acc {
+                Some(existing) => existing.min(&through)?,
+                None => through,
+            });
+        }
+        required[node] = acc;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for node in 0..n {
+        let slack = match &arrivals[node] {
+            Some(arr) => {
+                let req = match &required[node] {
+                    Some(r) => r.clone(),
+                    None => arr.constant_like(clock_target)?, // sink
+                };
+                Some(req.sub(arr)?)
+            }
+            None => None,
+        };
+        let violation_probability = slack.as_ref().map_or(0.0, |s| s.cdf(0.0));
+        out.push(NodeSlack { node, slack, violation_probability });
+    }
+    Ok(out)
+}
+
+/// Reverse topological order of the graph's nodes.
+fn reverse_topo(graph: &TimingGraph) -> Result<Vec<usize>, SstaError> {
+    let n = graph.node_count();
+    let mut outdeg = vec![0usize; n];
+    for e in graph.edges() {
+        outdeg[e.from] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| outdeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for e in graph.edges().iter().filter(|e| e.to == v) {
+            outdeg[e.from] -= 1;
+            if outdeg[e.from] == 0 {
+                queue.push(e.from);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(SstaError::GraphCycle);
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_stats::{Moments, Normal, SkewNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nd(m: f64, s: f64) -> TimingDist {
+        TimingDist::Normal(Normal::new(m, s).unwrap())
+    }
+
+    #[test]
+    fn chain_slack_matches_closed_form() {
+        let mut g = TimingGraph::new(3);
+        g.add_edge(0, 1, nd(0.1, 0.01)).unwrap();
+        g.add_edge(1, 2, nd(0.1, 0.01)).unwrap();
+        let t = 0.25;
+        let slacks = slack_analysis(&g, 0, t).unwrap();
+        // Sink slack: T − (d1+d2) ~ N(0.05, sqrt(2)·0.01).
+        let sink = slacks[2].slack.as_ref().unwrap();
+        assert!((sink.mean() - 0.05).abs() < 1e-6);
+        assert!((sink.std_dev() - (2f64).sqrt() * 0.01).abs() < 1e-4);
+        // Mid-node slack: (T − d2) − d1 — same total variance.
+        let mid = slacks[1].slack.as_ref().unwrap();
+        assert!((mid.mean() - 0.05).abs() < 1e-6);
+        // Violation probability = Φ(−0.05/0.01414) ≈ 2e-4.
+        let want = lvf2_stats::special::norm_cdf(-0.05 / (2f64.sqrt() * 0.01));
+        assert!(
+            (slacks[2].violation_probability - want).abs() < 1e-3,
+            "{} vs {want}",
+            slacks[2].violation_probability
+        );
+    }
+
+    #[test]
+    fn tight_clock_raises_violation_probability() {
+        let mut g = TimingGraph::new(2);
+        g.add_edge(0, 1, nd(0.2, 0.02)).unwrap();
+        let loose = slack_analysis(&g, 0, 0.3).unwrap()[1].violation_probability;
+        let tight = slack_analysis(&g, 0, 0.21).unwrap()[1].violation_probability;
+        assert!(loose < 1e-4, "loose {loose}");
+        assert!(tight > 0.2, "tight {tight}");
+    }
+
+    #[test]
+    fn diamond_slack_tracks_monte_carlo() {
+        let sn = |m: f64, s: f64, g: f64| {
+            TimingDist::Lvf(SkewNormal::from_moments(Moments::new(m, s, g)).unwrap())
+        };
+        let edges = [
+            sn(0.10, 0.01, 0.4),
+            sn(0.12, 0.012, -0.2),
+            sn(0.11, 0.01, 0.1),
+            sn(0.09, 0.011, 0.3),
+        ];
+        let mut g = TimingGraph::new(4);
+        g.add_edge(0, 1, edges[0].clone()).unwrap();
+        g.add_edge(0, 2, edges[1].clone()).unwrap();
+        g.add_edge(1, 3, edges[2].clone()).unwrap();
+        g.add_edge(2, 3, edges[3].clone()).unwrap();
+        let t = 0.235;
+        let slacks = slack_analysis(&g, 0, t).unwrap();
+        let p = slacks[3].violation_probability;
+        // MC reference.
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 200_000;
+        let mut viol = 0usize;
+        for _ in 0..n {
+            let up = edges[0].sample(&mut rng) + edges[2].sample(&mut rng);
+            let lo = edges[1].sample(&mut rng) + edges[3].sample(&mut rng);
+            if up.max(lo) > t {
+                viol += 1;
+            }
+        }
+        let mc = viol as f64 / n as f64;
+        assert!((p - mc).abs() < 0.02, "violation {p} vs MC {mc}");
+    }
+
+    #[test]
+    fn source_has_no_slack_entry() {
+        let mut g = TimingGraph::new(2);
+        g.add_edge(0, 1, nd(0.1, 0.01)).unwrap();
+        let slacks = slack_analysis(&g, 0, 1.0).unwrap();
+        assert!(slacks[0].slack.is_none());
+        assert_eq!(slacks[0].violation_probability, 0.0);
+    }
+
+    #[test]
+    fn lvf2_edges_are_supported() {
+        let m = lvf2_stats::Lvf2::new(
+            0.4,
+            SkewNormal::from_moments(Moments::new(0.1, 0.008, 0.3)).unwrap(),
+            SkewNormal::from_moments(Moments::new(0.13, 0.01, -0.1)).unwrap(),
+        )
+        .unwrap();
+        let mut g = TimingGraph::new(3);
+        g.add_edge(0, 1, TimingDist::Lvf2(m)).unwrap();
+        g.add_edge(1, 2, TimingDist::Lvf2(m)).unwrap();
+        let slacks = slack_analysis(&g, 0, 0.3).unwrap();
+        let sink = slacks[2].slack.as_ref().unwrap();
+        assert_eq!(sink.family(), "LVF2");
+        assert!(sink.mean() > 0.0);
+    }
+}

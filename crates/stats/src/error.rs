@@ -1,0 +1,147 @@
+//! Error type shared by all distribution constructors and estimators.
+
+use std::fmt;
+
+/// Errors reported by distribution constructors and estimators.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::{Moments, SkewNormal, StatsError};
+///
+/// // A skew-normal cannot represent |skewness| ≥ ~0.9953.
+/// let err = SkewNormal::from_moments(Moments::new(0.0, 1.0, 2.0)).unwrap_err();
+/// assert!(matches!(err, StatsError::SkewnessOutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A scale parameter (σ, ω, …) was not strictly positive.
+    NonPositiveScale {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter was NaN or infinite where a finite value is required.
+    NonFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A mixture weight was outside `[0, 1]`.
+    WeightOutOfRange {
+        /// The rejected weight.
+        value: f64,
+    },
+    /// Mixture weights did not sum to 1 (within tolerance).
+    WeightsNotNormalized {
+        /// The observed sum.
+        sum: f64,
+    },
+    /// Requested skewness exceeds the representable range of the family.
+    SkewnessOutOfRange {
+        /// The rejected skewness.
+        value: f64,
+        /// The family's supremum of |skewness|.
+        limit: f64,
+    },
+    /// Input sample set is empty or too small for the requested operation.
+    NotEnoughSamples {
+        /// Number of samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Samples must be strictly positive (log-domain families).
+    NonPositiveSample {
+        /// The first offending value.
+        value: f64,
+    },
+    /// A numerical routine failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        what: &'static str,
+    },
+    /// An empty mixture (zero components) was requested.
+    EmptyMixture,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NonPositiveScale { name, value } => {
+                write!(f, "scale parameter `{name}` must be positive, got {value}")
+            }
+            StatsError::NonFinite { name, value } => {
+                write!(f, "parameter `{name}` must be finite, got {value}")
+            }
+            StatsError::WeightOutOfRange { value } => {
+                write!(f, "mixture weight must lie in [0, 1], got {value}")
+            }
+            StatsError::WeightsNotNormalized { sum } => {
+                write!(f, "mixture weights must sum to 1, got {sum}")
+            }
+            StatsError::SkewnessOutOfRange { value, limit } => {
+                write!(f, "skewness {value} outside representable range (|γ| < {limit})")
+            }
+            StatsError::NotEnoughSamples { got, need } => {
+                write!(f, "need at least {need} samples, got {got}")
+            }
+            StatsError::NonPositiveSample { value } => {
+                write!(f, "log-domain family requires positive samples, got {value}")
+            }
+            StatsError::NoConvergence { what } => {
+                write!(f, "numerical routine `{what}` failed to converge")
+            }
+            StatsError::EmptyMixture => write!(f, "mixture must have at least one component"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validates that `value` is finite, returning a [`StatsError::NonFinite`] otherwise.
+pub(crate) fn ensure_finite(name: &'static str, value: f64) -> Result<(), StatsError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(StatsError::NonFinite { name, value })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<(), StatsError> {
+    ensure_finite(name, value)?;
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(StatsError::NonPositiveScale { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = StatsError::NonPositiveScale { name: "sigma", value: -1.0 };
+        let s = e.to_string();
+        assert!(s.starts_with("scale parameter"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_and_nan() {
+        assert!(ensure_positive("w", 0.0).is_err());
+        assert!(ensure_positive("w", f64::NAN).is_err());
+        assert!(ensure_positive("w", 1e-300).is_ok());
+    }
+}

@@ -1,0 +1,118 @@
+//! The LVF moment triple (μ, σ, γ) and the four-moment extension.
+
+use crate::error::{ensure_finite, ensure_positive};
+use crate::StatsError;
+
+/// The statistical moments vector `θ = (μ, σ, γ)` used by LVF lookup tables.
+///
+/// LVF stores each timing distribution as mean, standard deviation and
+/// skewness; the bijection *g* of the paper's Eq. (2) maps this triple to
+/// skew-normal parameters `Θ = (ξ, ω, α)` — see
+/// [`SkewNormal::from_moments`](crate::SkewNormal::from_moments).
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::Moments;
+/// let m = Moments::new(1.0, 0.1, 0.5);
+/// assert_eq!(m.mean, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    /// Mean μ.
+    pub mean: f64,
+    /// Standard deviation σ (must be > 0 to define a distribution).
+    pub sigma: f64,
+    /// Skewness γ (third standardized moment).
+    pub skewness: f64,
+}
+
+impl Moments {
+    /// Creates a moment triple. No validation is performed here; distribution
+    /// constructors validate on use.
+    pub fn new(mean: f64, sigma: f64, skewness: f64) -> Self {
+        Moments { mean, sigma, skewness }
+    }
+
+    /// Validates that the triple can define a distribution (finite, σ > 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonFinite`] or [`StatsError::NonPositiveScale`].
+    pub fn validate(&self) -> Result<(), StatsError> {
+        ensure_finite("mean", self.mean)?;
+        ensure_positive("sigma", self.sigma)?;
+        ensure_finite("skewness", self.skewness)
+    }
+
+    /// Variance σ².
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Mean, standard deviation, skewness and *excess* kurtosis — the four
+/// moments matched by kurtosis-aware models such as [`Lesn`](crate::Lesn).
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::moments::FourMoments;
+/// let m = FourMoments::new(1.0, 0.1, 0.5, 0.8);
+/// assert_eq!(m.excess_kurtosis, 0.8);
+/// assert!((m.kurtosis() - 3.8).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FourMoments {
+    /// Mean μ.
+    pub mean: f64,
+    /// Standard deviation σ.
+    pub sigma: f64,
+    /// Skewness γ.
+    pub skewness: f64,
+    /// Excess kurtosis (kurtosis − 3; 0 for a Gaussian).
+    pub excess_kurtosis: f64,
+}
+
+impl FourMoments {
+    /// Creates a four-moment record.
+    pub fn new(mean: f64, sigma: f64, skewness: f64, excess_kurtosis: f64) -> Self {
+        FourMoments { mean, sigma, skewness, excess_kurtosis }
+    }
+
+    /// Raw (non-excess) kurtosis, i.e. `excess_kurtosis + 3`.
+    pub fn kurtosis(&self) -> f64 {
+        self.excess_kurtosis + 3.0
+    }
+
+    /// Drops the kurtosis, yielding the LVF triple.
+    pub fn to_moments(self) -> Moments {
+        Moments::new(self.mean, self.sigma, self.skewness)
+    }
+}
+
+impl From<FourMoments> for Moments {
+    fn from(m: FourMoments) -> Moments {
+        m.to_moments()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_sigma() {
+        assert!(Moments::new(0.0, 0.0, 0.0).validate().is_err());
+        assert!(Moments::new(0.0, -1.0, 0.0).validate().is_err());
+        assert!(Moments::new(f64::NAN, 1.0, 0.0).validate().is_err());
+        assert!(Moments::new(0.0, 1.0, 0.2).validate().is_ok());
+    }
+
+    #[test]
+    fn four_moments_conversion() {
+        let fm = FourMoments::new(2.0, 0.5, -0.3, 1.2);
+        let m: Moments = fm.into();
+        assert_eq!(m, Moments::new(2.0, 0.5, -0.3));
+    }
+}

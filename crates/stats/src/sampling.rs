@@ -1,0 +1,84 @@
+//! Low-level random sampling primitives (standard normal, truncated normal).
+//!
+//! `rand` only ships uniform distributions; normal variates are generated
+//! here by the Marsaglia polar method, and truncated normals by inverse-CDF
+//! (robust for the mild truncations used by the extended skew-normal).
+
+use rand::Rng;
+
+use crate::special::{norm_cdf, norm_quantile};
+
+/// Draws one standard normal variate via the Marsaglia polar method.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = lvf2_stats::sampling::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws one standard normal conditioned on `Z > lower` by inverse CDF.
+///
+/// Used by the extended-skew-normal sampler: an ESN variate is
+/// `δ·U₀ + √(1−δ²)·U₁` with `U₀` truncated below at `−τ`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = lvf2_stats::sampling::truncated_standard_normal(&mut rng, 1.5);
+/// assert!(z > 1.5);
+/// ```
+pub fn truncated_standard_normal<R: Rng + ?Sized>(rng: &mut R, lower: f64) -> f64 {
+    let p_lo = norm_cdf(lower);
+    // Map U ~ Uniform(p_lo, 1) through Φ⁻¹, keeping u strictly below 1 so the
+    // quantile stays finite.
+    let u = p_lo + (1.0 - p_lo) * rng.gen::<f64>();
+    let z = norm_quantile(u.min(1.0 - 1e-16));
+    // For extreme truncations Φ⁻¹ can round below the bound; clamp.
+    z.max(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bound_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lower = 0.5;
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| truncated_standard_normal(&mut rng, lower)).collect();
+        assert!(xs.iter().all(|&x| x >= lower));
+        // E[Z | Z > a] = φ(a)/(1−Φ(a))
+        let want = crate::special::norm_pdf(lower) / (1.0 - norm_cdf(lower));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - want).abs() < 0.02, "mean {mean} want {want}");
+    }
+}

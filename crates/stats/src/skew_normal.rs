@@ -1,0 +1,315 @@
+//! The skew-normal distribution — the single-component LVF timing model.
+//!
+//! LVF lookup tables store the moment triple `θ = (μ, σ, γ)`; the bijection
+//! *g* of the paper's Eq. (2) (Azzalini 1999, ref \[11\]) maps it to the
+//! direct parameters `Θ = (ξ, ω, α)` used by the density of Eq. (3):
+//!
+//! ```text
+//! f(x) = (2/ω) φ((x−ξ)/ω) Φ(α(x−ξ)/ω)
+//! ```
+
+use rand::Rng;
+
+use crate::error::{ensure_finite, ensure_positive};
+use crate::moments::Moments;
+use crate::sampling::standard_normal;
+use crate::special::{log_norm_cdf, norm_cdf, norm_pdf, owen_t, INV_SQRT_2PI};
+use crate::traits::Distribution;
+use crate::StatsError;
+
+/// Supremum of the skew-normal's absolute skewness (reached as `α → ±∞`):
+/// `γ_max = (4−π)/2 · (2/π)^{3/2} / (1 − 2/π)^{3/2} ≈ 0.99527`.
+pub const MAX_ABS_SKEWNESS: f64 = 0.995_271_746_431;
+
+const SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4; // √(2/π)
+
+/// A skew-normal distribution `SN(ξ, ω, α)` (Eq. (3) of the paper).
+///
+/// `ξ` is location, `ω > 0` scale and `α` shape; `α = 0` recovers the normal.
+/// This is exactly what an LVF `ocv_*` moment triple defines, and it is the
+/// component family of the paper's [`Lvf2`](crate::Lvf2) mixture.
+///
+/// # Example
+///
+/// Round-trip through the moment bijection *g*:
+///
+/// ```
+/// use lvf2_stats::{Distribution, Moments, SkewNormal};
+///
+/// # fn main() -> Result<(), lvf2_stats::StatsError> {
+/// let theta = Moments::new(0.12, 0.015, 0.6);
+/// let sn = SkewNormal::from_moments(theta)?;
+/// let back = sn.moments();
+/// assert!((back.mean - 0.12).abs() < 1e-12);
+/// assert!((back.sigma - 0.015).abs() < 1e-12);
+/// assert!((back.skewness - 0.6).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewNormal {
+    xi: f64,
+    omega: f64,
+    alpha: f64,
+}
+
+impl SkewNormal {
+    /// Creates `SN(xi, omega, alpha)` from direct parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NonFinite`] for non-finite inputs,
+    /// [`StatsError::NonPositiveScale`] when `omega ≤ 0`.
+    pub fn new(xi: f64, omega: f64, alpha: f64) -> Result<Self, StatsError> {
+        ensure_finite("xi", xi)?;
+        ensure_positive("omega", omega)?;
+        ensure_finite("alpha", alpha)?;
+        Ok(SkewNormal { xi, omega, alpha })
+    }
+
+    /// The bijection *g*: builds the skew-normal whose mean, standard
+    /// deviation and skewness equal the LVF moment triple `θ`.
+    ///
+    /// Skewness values at or beyond the representable supremum
+    /// ([`MAX_ABS_SKEWNESS`]) are rejected; callers that fit noisy data should
+    /// clamp first (see [`SkewNormal::from_moments_clamped`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::SkewnessOutOfRange`] when `|γ| ≥ MAX_ABS_SKEWNESS`, plus
+    /// the usual validation errors.
+    pub fn from_moments(m: Moments) -> Result<Self, StatsError> {
+        m.validate()?;
+        let gamma = m.skewness;
+        if gamma.abs() >= MAX_ABS_SKEWNESS {
+            return Err(StatsError::SkewnessOutOfRange {
+                value: gamma,
+                limit: MAX_ABS_SKEWNESS,
+            });
+        }
+        // Invert γ = (4−π)/2 · t³/(1−t²)^{3/2} with t = δ√(2/π):
+        let r = (2.0 * gamma.abs() / (4.0 - std::f64::consts::PI)).cbrt();
+        let t = gamma.signum() * r / (1.0 + r * r).sqrt();
+        let delta = t / SQRT_2_OVER_PI;
+        // δ ∈ (−1, 1) is guaranteed because |t| < t_max = √(2/π)·δ_max.
+        let alpha = delta / (1.0 - delta * delta).sqrt();
+        let omega = m.sigma / (1.0 - t * t).sqrt();
+        let xi = m.mean - omega * t;
+        SkewNormal::new(xi, omega, alpha)
+    }
+
+    /// Like [`from_moments`](Self::from_moments) but clamps `|γ|` to
+    /// `MAX_ABS_SKEWNESS − margin` instead of erroring — the behaviour a
+    /// characterization flow wants when sample skewness exceeds the family
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// Only the σ/finiteness validation errors remain possible.
+    pub fn from_moments_clamped(m: Moments) -> Result<Self, StatsError> {
+        let limit = MAX_ABS_SKEWNESS - 1e-6;
+        let gamma = m.skewness.clamp(-limit, limit);
+        SkewNormal::from_moments(Moments::new(m.mean, m.sigma, gamma))
+    }
+
+    /// Location parameter ξ.
+    pub fn xi(&self) -> f64 {
+        self.xi
+    }
+
+    /// Scale parameter ω.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `δ = α/√(1+α²)`.
+    pub fn delta(&self) -> f64 {
+        self.alpha / (1.0 + self.alpha * self.alpha).sqrt()
+    }
+
+    /// Standardizes `x` to `z = (x − ξ)/ω`.
+    pub fn standardize(&self, x: f64) -> f64 {
+        (x - self.xi) / self.omega
+    }
+}
+
+impl Default for SkewNormal {
+    /// The standard skew-normal `SN(0, 1, 0)` (i.e. `N(0,1)`).
+    fn default() -> Self {
+        SkewNormal { xi: 0.0, omega: 1.0, alpha: 0.0 }
+    }
+}
+
+impl std::fmt::Display for SkewNormal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SN(ξ={}, ω={}, α={})", self.xi, self.omega, self.alpha)
+    }
+}
+
+impl Distribution for SkewNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = self.standardize(x);
+        2.0 / self.omega * norm_pdf(z) * norm_cdf(self.alpha * z)
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = self.standardize(x);
+        std::f64::consts::LN_2 + INV_SQRT_2PI.ln() - self.omega.ln() - 0.5 * z * z
+            + log_norm_cdf(self.alpha * z)
+    }
+
+    /// `F(x) = Φ(z) − 2·T(z, α)` with Owen's T.
+    fn cdf(&self, x: f64) -> f64 {
+        let z = self.standardize(x);
+        (norm_cdf(z) - 2.0 * owen_t(z, self.alpha)).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.xi + self.omega * self.delta() * SQRT_2_OVER_PI
+    }
+
+    fn variance(&self) -> f64 {
+        let d = self.delta();
+        self.omega * self.omega * (1.0 - 2.0 * d * d / std::f64::consts::PI)
+    }
+
+    fn skewness(&self) -> f64 {
+        let t = self.delta() * SQRT_2_OVER_PI;
+        (4.0 - std::f64::consts::PI) / 2.0 * t.powi(3) / (1.0 - t * t).powf(1.5)
+    }
+
+    fn excess_kurtosis(&self) -> f64 {
+        let t = self.delta() * SQRT_2_OVER_PI;
+        2.0 * (std::f64::consts::PI - 3.0) * t.powi(4) / (1.0 - t * t).powi(2)
+    }
+
+    /// Sampling via the convolution representation:
+    /// `Z = δ|U₀| + √(1−δ²)·U₁` with iid standard normals `U₀, U₁`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let d = self.delta();
+        let u0 = standard_normal(rng);
+        let u1 = standard_normal(rng);
+        let z = d * u0.abs() + (1.0 - d * d).sqrt() * u1;
+        self.xi + self.omega * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quad::adaptive_simpson;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_zero_is_normal() {
+        let sn = SkewNormal::new(1.0, 2.0, 0.0).unwrap();
+        let n = crate::Normal::new(1.0, 2.0).unwrap();
+        for &x in &[-3.0, 0.0, 1.0, 4.0] {
+            assert!((sn.pdf(x) - n.pdf(x)).abs() < 1e-14);
+            assert!((sn.cdf(x) - n.cdf(x)).abs() < 1e-13);
+        }
+        assert_eq!(sn.skewness(), 0.0);
+        assert_eq!(sn.excess_kurtosis(), 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        for &alpha in &[-5.0, -1.0, 0.5, 3.0, 20.0] {
+            let sn = SkewNormal::new(0.3, 0.8, alpha).unwrap();
+            let mass = adaptive_simpson(|x| sn.pdf(x), -8.0, 8.0, 1e-11);
+            assert!((mass - 1.0).abs() < 1e-8, "alpha={alpha} mass={mass}");
+        }
+    }
+
+    #[test]
+    fn cdf_matches_integrated_pdf() {
+        let sn = SkewNormal::new(0.0, 1.0, 4.0).unwrap();
+        for &x in &[-1.0, 0.0, 0.5, 1.5, 3.0] {
+            let want = adaptive_simpson(|t| sn.pdf(t), -9.0, x, 1e-12);
+            assert!((sn.cdf(x) - want).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn moment_bijection_roundtrip() {
+        for &gamma in &[-0.9, -0.5, -0.1, 0.0, 0.3, 0.7, 0.99] {
+            let m = Moments::new(2.0, 0.4, gamma);
+            let sn = SkewNormal::from_moments(m).unwrap();
+            let got = sn.moments();
+            assert!((got.mean - m.mean).abs() < 1e-10, "γ={gamma}");
+            assert!((got.sigma - m.sigma).abs() < 1e-10, "γ={gamma}");
+            assert!((got.skewness - gamma).abs() < 1e-8, "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn skewness_limit_enforced() {
+        let m = Moments::new(0.0, 1.0, 1.2);
+        assert!(matches!(
+            SkewNormal::from_moments(m),
+            Err(StatsError::SkewnessOutOfRange { .. })
+        ));
+        // Clamped constructor succeeds and lands near the limit.
+        let sn = SkewNormal::from_moments_clamped(m).unwrap();
+        assert!(sn.skewness() > 0.9);
+    }
+
+    #[test]
+    fn analytic_moments_match_quadrature() {
+        let sn = SkewNormal::new(1.0, 0.5, -3.0).unwrap();
+        let mean = adaptive_simpson(|x| x * sn.pdf(x), -5.0, 5.0, 1e-12);
+        assert!((mean - sn.mean()).abs() < 1e-8);
+        let var = adaptive_simpson(|x| (x - mean).powi(2) * sn.pdf(x), -5.0, 5.0, 1e-12);
+        assert!((var - sn.variance()).abs() < 1e-8);
+        let m3 = adaptive_simpson(|x| (x - mean).powi(3) * sn.pdf(x), -5.0, 5.0, 1e-12);
+        assert!((m3 / var.powf(1.5) - sn.skewness()).abs() < 1e-6);
+        let m4 = adaptive_simpson(|x| (x - mean).powi(4) * sn.pdf(x), -5.0, 5.0, 1e-12);
+        assert!((m4 / (var * var) - 3.0 - sn.excess_kurtosis()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sampling_matches_analytic_moments() {
+        let sn = SkewNormal::new(0.0, 1.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let xs = sn.sample_n(&mut rng, 200_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - sn.mean()).abs() < 0.01, "mean {mean} vs {}", sn.mean());
+        assert!((var - sn.variance()).abs() < 0.01, "var {var} vs {}", sn.variance());
+    }
+
+    #[test]
+    fn ln_pdf_stable_in_deep_tail() {
+        let sn = SkewNormal::new(0.0, 1.0, 10.0).unwrap();
+        // Far left tail: pdf underflows but ln_pdf must stay finite.
+        let lp = sn.ln_pdf(-8.0);
+        assert!(lp.is_finite() && lp < -100.0, "lp={lp}");
+        // Consistency where both are representable.
+        for &x in &[-2.0, 0.0, 2.0] {
+            assert!((sn.ln_pdf(x) - sn.pdf(x).ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let sn = SkewNormal::from_moments(Moments::new(0.1, 0.02, 0.8)).unwrap();
+        for &p in &[0.001, 0.13, 0.5, 0.87, 0.999] {
+            let q = sn.quantile(p);
+            assert!((sn.cdf(q) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn max_abs_skewness_is_consistent() {
+        // γ at δ = 1 equals the constant.
+        let t = SQRT_2_OVER_PI;
+        let g = (4.0 - std::f64::consts::PI) / 2.0 * t.powi(3) / (1.0 - t * t).powf(1.5);
+        assert!((g - MAX_ABS_SKEWNESS).abs() < 1e-8, "γ_max={g}");
+    }
+}

@@ -1,0 +1,460 @@
+#![allow(clippy::excessive_precision)]
+//! Special functions: error function, standard normal pdf/cdf/quantile,
+//! `log Φ` with tail asymptotics, and Owen's T function.
+//!
+//! Everything here is hand-rolled (no external special-function crates) with
+//! absolute accuracy around 1e-15 for `erf` and ~1e-14 for Owen's T, which is
+//! far below the statistical noise of the 50k-sample Monte Carlo experiments
+//! this library targets.
+
+use crate::quad::gauss_legendre_32;
+
+/// √(2π).
+pub const SQRT_2PI: f64 = 2.506_628_274_631_000_5;
+/// 1/√(2π).
+pub const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+/// √2.
+pub const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// Error function `erf(x)`, accurate to ~1e-15.
+///
+/// Uses the rational Chebyshev approximations of W. J. Cody (1969) in three
+/// regimes, the same scheme used by most libm implementations.
+///
+/// # Example
+///
+/// ```
+/// let e = lvf2_stats::special::erf(1.0);
+/// assert!((e - 0.8427007929497149).abs() < 1e-14);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax <= 0.46875 {
+        // erf(x) = x * P(x²)/Q(x²)
+        const P: [f64; 5] = [
+            3.209377589138469472562e3,
+            3.774852376853020208137e2,
+            1.138641541510501556495e2,
+            3.161123743870565596947e0,
+            1.857777061846031526730e-1,
+        ];
+        const Q: [f64; 5] = [
+            2.844236833439170622273e3,
+            1.282616526077372275645e3,
+            2.440246379344441733056e2,
+            2.360129095234412093499e1,
+            1.0,
+        ];
+        let z = x * x;
+        let num = ((((P[4] * z + P[3]) * z + P[2]) * z + P[1]) * z) + P[0];
+        let den = ((((Q[4] * z + Q[3]) * z + Q[2]) * z + Q[1]) * z) + Q[0];
+        x * num / den
+    } else {
+        let e = erfc_abs(ax);
+        if x >= 0.0 {
+            1.0 - e
+        } else {
+            e - 1.0
+        }
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, accurate in both tails.
+///
+/// # Example
+///
+/// ```
+/// // erfc stays meaningful deep in the tail where 1 − erf underflows.
+/// let tail = lvf2_stats::special::erfc(6.0);
+/// assert!(tail > 0.0 && tail < 3e-17);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < -0.46875 {
+        2.0 - erfc_abs(-x)
+    } else if x <= 0.46875 {
+        1.0 - erf(x)
+    } else {
+        erfc_abs(x)
+    }
+}
+
+/// Cody's erfc for x > 0.46875.
+fn erfc_abs(ax: f64) -> f64 {
+    debug_assert!(ax > 0.46875);
+    if ax > 26.0 {
+        return 0.0;
+    }
+    if ax <= 4.0 {
+        const P: [f64; 9] = [
+            1.23033935479799725272e3,
+            2.05107837782607146532e3,
+            1.71204761263407058314e3,
+            8.81952221241769090411e2,
+            2.98635138197400131132e2,
+            6.61191906371416294775e1,
+            8.88314979438837594118e0,
+            5.64188496988670089180e-1,
+            2.15311535474403846343e-8,
+        ];
+        const Q: [f64; 9] = [
+            1.23033935480374942043e3,
+            3.43936767414372163696e3,
+            4.36261909014324715820e3,
+            3.29079923573345962678e3,
+            1.62138957456669018874e3,
+            5.37181101862009857509e2,
+            1.17693950891312499305e2,
+            1.57449261107098347253e1,
+            1.0,
+        ];
+        let mut num = P[8] * ax;
+        let mut den = ax;
+        for i in (1..8).rev() {
+            num = (num + P[i]) * ax;
+            den = (den + Q[i]) * ax;
+        }
+        let r = (num + P[0]) / (den + Q[0]);
+        (-ax * ax).exp() * r
+    } else {
+        const P: [f64; 6] = [
+            -6.58749161529837803157e-4,
+            -1.60837851487422766278e-2,
+            -1.25781726111229246204e-1,
+            -3.60344899949804439429e-1,
+            -3.05326634961232344035e-1,
+            -1.63153871373020978498e-2,
+        ];
+        const Q: [f64; 6] = [
+            2.33520497626869185443e-3,
+            6.05183413124413191178e-2,
+            5.27905102951428412248e-1,
+            1.87295284992346047209e0,
+            2.56852019228982242072e0,
+            1.0,
+        ];
+        let z = 1.0 / (ax * ax);
+        let mut num = P[5] * z;
+        let mut den = z;
+        for i in (1..5).rev() {
+            num = (num + P[i]) * z;
+            den = (den + Q[i]) * z;
+        }
+        // erfc(x) ≈ exp(−x²)/x · (1/√π + z·R(z)) for large x (Cody region 3;
+        // the P coefficients here are negated relative to CALERF, hence `+ r`).
+        const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+        let r = z * (num + P[0]) / (den + Q[0]);
+        ((-ax * ax).exp() / ax) * (FRAC_1_SQRT_PI + r)
+    }
+}
+
+/// Standard normal probability density `φ(x)`.
+///
+/// # Example
+///
+/// ```
+/// let p = lvf2_stats::special::norm_pdf(0.0);
+/// assert!((p - 0.3989422804014327).abs() < 1e-15);
+/// ```
+#[inline]
+pub fn norm_pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::special::norm_cdf;
+/// assert!((norm_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((norm_cdf(1.959963984540054) - 0.975).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Natural log of the standard normal CDF, `log Φ(x)`, stable in the left tail.
+///
+/// For `x < -8` the direct computation underflows long before the value is
+/// meaningless; we switch to the asymptotic expansion
+/// `log Φ(x) ≈ −x²/2 − log(−x√(2π)) + log(1 − 1/x² + 3/x⁴ − 15/x⁶)`.
+///
+/// # Example
+///
+/// ```
+/// let l = lvf2_stats::special::log_norm_cdf(-20.0);
+/// assert!((l - (-203.917)).abs() < 0.01);
+/// ```
+pub fn log_norm_cdf(x: f64) -> f64 {
+    if x > -8.0 {
+        norm_cdf(x).ln()
+    } else {
+        let x2 = x * x;
+        let x4 = x2 * x2;
+        let series = 1.0 - 1.0 / x2 + 3.0 / x4 - 15.0 / (x4 * x2) + 105.0 / (x4 * x4);
+        -0.5 * x2 - (-x * SQRT_2PI).ln() + series.ln()
+    }
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's algorithm + one Halley step).
+///
+/// Accuracy is ~1e-15 over `p ∈ (0, 1)` after refinement.
+///
+/// # Panics
+///
+/// Does not panic; returns `±∞` for `p ∈ {0, 1}` and NaN outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::special::{norm_cdf, norm_quantile};
+/// let z = norm_quantile(0.975);
+/// assert!((norm_cdf(z) - 0.975).abs() < 1e-14);
+/// ```
+pub fn norm_quantile(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = norm_cdf(x) - p;
+    let u = e * SQRT_2PI * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Owen's T function `T(h, a)`.
+///
+/// ```text
+/// T(h, a) = (1/2π) ∫₀ᵃ exp(−h²(1+x²)/2) / (1+x²) dx
+/// ```
+///
+/// Needed by the skew-normal CDF: `F_SN(z; α) = Φ(z) − 2·T(z, α)`.
+/// Uses the symmetry `T(h, a) = T(−h, a) = −T(h, −a)` and, for `|a| > 1`,
+/// the reduction `T(h, a) = ½[Φ(h) + Φ(ah)] − Φ(h)Φ(ah) − T(ah, 1/a)`,
+/// then 32-point Gauss–Legendre on `[0, a≤1]` (integrand is smooth there).
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::special::owen_t;
+/// // T(h, 1) = ½ Φ(h) Φ(−h)  (exact identity)
+/// let h = 0.7;
+/// let exact = 0.5 * lvf2_stats::special::norm_cdf(h) * lvf2_stats::special::norm_cdf(-h);
+/// assert!((owen_t(h, 1.0) - exact).abs() < 1e-13);
+/// ```
+pub fn owen_t(h: f64, a: f64) -> f64 {
+    if a == 0.0 || h.is_infinite() {
+        return 0.0;
+    }
+    if a.is_nan() || h.is_nan() {
+        return f64::NAN;
+    }
+    let h = h.abs();
+    let (sign, a) = if a < 0.0 { (-1.0, -a) } else { (1.0, a) };
+    let t = if a <= 1.0 {
+        owen_t_core(h, a)
+    } else if a.is_infinite() {
+        // T(h, ∞) = ½ Φ(−|h|)
+        0.5 * norm_cdf(-h)
+    } else {
+        let ah = a * h;
+        let phi_h = norm_cdf(h);
+        let phi_ah = norm_cdf(ah);
+        0.5 * (phi_h + phi_ah) - phi_h * phi_ah - owen_t_core(ah, 1.0 / a)
+    };
+    sign * t
+}
+
+/// Gauss–Legendre evaluation of the defining integral for `0 ≤ a ≤ 1`, `h ≥ 0`.
+fn owen_t_core(h: f64, a: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&a) && h >= 0.0);
+    if a == 0.0 {
+        return 0.0;
+    }
+    let h2 = h * h;
+    let f = |x: f64| {
+        let d = 1.0 + x * x;
+        (-0.5 * h2 * d).exp() / d
+    };
+    gauss_legendre_32(f, 0.0, a) / (2.0 * std::f64::consts::PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        let cases = [
+            (0.0, 0.0),
+            (0.1, 0.1124629160182849),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (2.0, 0.9953222650189527),
+            (3.0, 0.9999779095030014),
+            (-1.0, -0.8427007929497149),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-14, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_values() {
+        // mpmath: erfc(4) = 1.541725790028002e-8, erfc(6) = 2.1519736712498913e-17
+        assert!((erfc(4.0) - 1.541725790028002e-8).abs() / 1.5e-8 < 1e-12);
+        assert!((erfc(6.0) - 2.1519736712498913e-17).abs() / 2.15e-17 < 1e-10);
+        assert!((erfc(-2.0) - (2.0 - erfc(2.0))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erf_erfc_complementarity() {
+        for i in 0..200 {
+            let x = -5.0 + i as f64 * 0.05;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13, "x={x}");
+        }
+    }
+
+    #[test]
+    fn norm_cdf_symmetry_and_known_points() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((norm_cdf(1.0) - 0.8413447460685429).abs() < 1e-14);
+        assert!((norm_cdf(-3.0) - 0.0013498980316300933).abs() < 1e-15);
+        for i in 0..100 {
+            let x = -4.0 + i as f64 * 0.08;
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let z = norm_quantile(p);
+            assert!((norm_cdf(z) - p).abs() < 1e-13, "p={p}");
+        }
+        // Deep tails
+        for &p in &[1e-10, 1e-8, 1e-5, 1.0 - 1e-10] {
+            let z = norm_quantile(p);
+            assert!((norm_cdf(z) - p).abs() / p.min(1.0 - p) < 1e-8, "p={p}");
+        }
+        assert!(norm_quantile(0.0).is_infinite());
+        assert!(norm_quantile(1.5).is_nan());
+    }
+
+    #[test]
+    fn log_norm_cdf_matches_direct_and_tail() {
+        for i in 0..100 {
+            let x = -7.9 + i as f64 * 0.1;
+            assert!((log_norm_cdf(x) - norm_cdf(x).ln()).abs() < 1e-10, "x={x}");
+        }
+        // Tail: compare against asymptotic reference from mpmath: log Φ(-10) ≈ -53.23128515051247
+        assert!((log_norm_cdf(-10.0) - (-53.23128515051247)).abs() < 1e-6);
+        // Agreement of the asymptotic branch with the (still accurate) direct
+        // computation just past the switch point.
+        for &x in &[-8.5, -10.0, -14.0] {
+            let direct = norm_cdf(x).ln();
+            assert!((log_norm_cdf(x) - direct).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn owen_t_identities() {
+        // T(0, a) = atan(a)/(2π)
+        for &a in &[0.1_f64, 0.5, 1.0, 2.0, 10.0] {
+            let want = a.atan() / (2.0 * std::f64::consts::PI);
+            assert!((owen_t(0.0, a) - want).abs() < 1e-13, "a={a}");
+        }
+        // T(h, 1) = ½Φ(h)Φ(−h)
+        for &h in &[0.0, 0.3, 1.0, 2.5, 5.0] {
+            let want = 0.5 * norm_cdf(h) * norm_cdf(-h);
+            assert!((owen_t(h, 1.0) - want).abs() < 1e-13, "h={h}");
+        }
+        // Antisymmetry in a, symmetry in h.
+        assert!((owen_t(1.2, -0.7) + owen_t(1.2, 0.7)).abs() < 1e-15);
+        assert!((owen_t(-1.2, 0.7) - owen_t(1.2, 0.7)).abs() < 1e-15);
+        // T(h, ∞) = ½Φ(−|h|)
+        assert!((owen_t(1.0, f64::INFINITY) - 0.5 * norm_cdf(-1.0)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn owen_t_literature_value() {
+        // Owen (1956) / Patefield & Tandy test value.
+        let got = owen_t(0.0625, 0.25);
+        assert!((got - 3.8911930234701366e-2).abs() < 1e-13, "got {got}");
+    }
+
+    #[test]
+    fn owen_t_matches_adaptive_quadrature() {
+        use crate::quad::adaptive_simpson;
+        for &(h, a) in &[(0.5, 0.5), (1.0, 2.0), (2.0, 0.5), (4.0, 1.0), (0.3, 7.0), (3.0, 0.05)]
+        {
+            let want = adaptive_simpson(
+                |x| (-0.5 * h * h * (1.0 + x * x)).exp() / (1.0 + x * x),
+                0.0,
+                a,
+                1e-14,
+            ) / (2.0 * std::f64::consts::PI);
+            let got = owen_t(h, a);
+            assert!((got - want).abs() < 1e-12, "T({h},{a}) got {got} want {want}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the distribution families: invariants that must
+//! hold for *any* valid parameters, not just the hand-picked test points.
+
+use lvf2_stats::{Distribution, Ecdf, Lvf2, Moments, Norm2, Normal, SkewNormal};
+use proptest::prelude::*;
+
+/// Strategy: a valid LVF moment triple.
+fn moments() -> impl Strategy<Value = Moments> {
+    (-5.0..5.0f64, 0.01..2.0f64, -0.9..0.9f64)
+        .prop_map(|(m, s, g)| Moments::new(m, s, g))
+}
+
+fn skew_normal() -> impl Strategy<Value = SkewNormal> {
+    moments().prop_map(|m| SkewNormal::from_moments(m).expect("valid moments"))
+}
+
+fn lvf2() -> impl Strategy<Value = Lvf2> {
+    (0.0..1.0f64, skew_normal(), skew_normal())
+        .prop_map(|(l, a, b)| Lvf2::new(l, a, b).expect("valid lambda"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn moment_bijection_roundtrips(m in moments()) {
+        let sn = SkewNormal::from_moments(m).expect("valid");
+        let back = sn.moments();
+        prop_assert!((back.mean - m.mean).abs() < 1e-8);
+        prop_assert!((back.sigma - m.sigma).abs() < 1e-8);
+        prop_assert!((back.skewness - m.skewness).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skew_normal_cdf_is_monotone_and_bounded(sn in skew_normal(), a in -6.0..6.0f64, d in 0.001..3.0f64) {
+        let x1 = sn.mean() + a * sn.std_dev();
+        let x2 = x1 + d * sn.std_dev();
+        let (c1, c2) = (sn.cdf(x1), sn.cdf(x2));
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!((0.0..=1.0).contains(&c2));
+        prop_assert!(c2 >= c1 - 1e-12, "cdf must be monotone: {c1} > {c2}");
+    }
+
+    #[test]
+    fn skew_normal_pdf_nonnegative(sn in skew_normal(), z in -8.0..8.0f64) {
+        let x = sn.mean() + z * sn.std_dev();
+        prop_assert!(sn.pdf(x) >= 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(sn in skew_normal(), p in 0.001..0.999f64) {
+        let q = sn.quantile(p);
+        prop_assert!((sn.cdf(q) - p).abs() < 1e-7, "p={p}, cdf(q)={}", sn.cdf(q));
+    }
+
+    #[test]
+    fn lvf2_mass_and_moments_are_convex_combinations(m in lvf2()) {
+        // CDF bounded, mean between weighted component bounds.
+        prop_assert!((m.cdf(f64::INFINITY) - 1.0).abs() < 1e-12);
+        prop_assert!(m.cdf(f64::NEG_INFINITY).abs() < 1e-12);
+        let lo = m.first().mean().min(m.second().mean());
+        let hi = m.first().mean().max(m.second().mean());
+        prop_assert!(m.mean() >= lo - 1e-12 && m.mean() <= hi + 1e-12);
+        prop_assert!(m.variance() > 0.0);
+    }
+
+    #[test]
+    fn norm2_variance_at_least_weighted_within(l in 0.05..0.95f64, m1 in -1.0..1.0f64, m2 in -1.0..1.0f64) {
+        let a = Normal::new(m1, 0.5).unwrap();
+        let b = Normal::new(m2, 0.25).unwrap();
+        let mix = Norm2::new(l, a, b).unwrap();
+        let within = (1.0 - l) * a.variance() + l * b.variance();
+        prop_assert!(mix.variance() >= within - 1e-12, "law of total variance");
+    }
+
+    #[test]
+    fn ecdf_is_a_cdf(mut xs in proptest::collection::vec(-100.0..100.0f64, 1..200), probe in -150.0..150.0f64) {
+        xs.iter_mut().for_each(|x| *x = x.round());
+        let e = Ecdf::new(xs).unwrap();
+        let c = e.cdf(probe);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(e.cdf(e.max()) == 1.0);
+        prop_assert!(e.cdf(e.min() - 1.0) == 0.0);
+        // Monotone around the probe.
+        prop_assert!(e.cdf(probe + 1.0) >= c);
+    }
+
+    #[test]
+    fn sample_moments_match_distribution(sn in skew_normal()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs = sn.sample_n(&mut rng, 20_000);
+        let m = lvf2_stats::SampleMoments::from_samples(&xs).unwrap();
+        prop_assert!((m.mean - sn.mean()).abs() < 5.0 * sn.std_dev() / 100.0);
+        prop_assert!((m.std_dev() - sn.std_dev()).abs() / sn.std_dev() < 0.1);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -10.0..10.0f64) {
+        let e = lvf2_stats::special::erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((e + lvf2_stats::special::erf(-x)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn owen_t_sign_and_bound(h in -5.0..5.0f64, a in -20.0..20.0f64) {
+        let t = lvf2_stats::special::owen_t(h, a);
+        prop_assert!(t.abs() <= 0.25 + 1e-12, "|T| ≤ 1/4, got {t}");
+        prop_assert!(t.signum() == a.signum() || t == 0.0);
+    }
+}

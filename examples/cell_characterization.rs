@@ -1,0 +1,48 @@
+//! Characterize a NAND2 timing arc over the paper's 8×8 slew–load grid with
+//! the process-variation Monte-Carlo engine, fit LVF² at every condition,
+//! and print where the multi-Gaussian phenomenon lives (the Figure 4 story
+//! for one arc).
+//!
+//! Run with: `cargo run --example cell_characterization --release`
+
+use lvf2::binning::{score_model, GoldenReference};
+use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2::fit::{fit_lvf, fit_lvf2, FitConfig};
+use lvf2::stats::Histogram;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = TimingArcSpec::of(CellType::Nand2, 0);
+    let grid = SlewLoadGrid::paper_8x8();
+    let samples_per_condition = 4000;
+    println!("characterizing {spec} over an 8x8 grid, {samples_per_condition} MC samples each…");
+    let ch = characterize_arc(&spec, &grid, samples_per_condition);
+
+    let cfg = FitConfig::fast();
+    println!("\nCDF-RMSE error reduction of LVF² vs LVF (delay), with peak counts:");
+    print!("{:>10}", "slew\\load");
+    for &l in grid.loads() {
+        print!("{l:>9.5}");
+    }
+    println!();
+    for i in 0..8 {
+        print!("{:>10.5}", grid.slews()[i]);
+        for j in 0..8 {
+            let c = ch.at(i, j);
+            let golden = GoldenReference::from_samples(&c.delays)?;
+            let lvf = fit_lvf(&c.delays, &cfg)?.model;
+            let lvf2m = fit_lvf2(&c.delays, &cfg)?.model;
+            let r = lvf2::binning::error_reduction(
+                score_model(&lvf, &golden).cdf_rmse,
+                score_model(&lvf2m, &golden).cdf_rmse,
+            );
+            let peaks = Histogram::new(&c.delays, 50)?.peak_count();
+            let mark = if peaks >= 2 { '*' } else { ' ' };
+            print!("{r:>8.1}{mark}");
+        }
+        println!();
+    }
+    println!("\n(* = visibly multi-peak Monte-Carlo histogram)");
+    println!("Evenly-matched variation mechanisms (i+j even) show the strongest");
+    println!("multi-Gaussian behaviour — the diagonal pattern of Figure 4.");
+    Ok(())
+}

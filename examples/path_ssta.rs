@@ -1,0 +1,49 @@
+//! Block-based SSTA along the 16-bit carry-adder critical path: fit each
+//! stage, propagate all four model families, and watch the CLT erode the
+//! non-Gaussian models' advantage with depth (§3.4 / Figure 5).
+//!
+//! Run with: `cargo run --example path_ssta --release`
+
+use lvf2::fit::FitConfig;
+use lvf2::ssta::{circuits, propagate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples = 8000;
+    println!("building the 16-bit ripple-carry adder critical path ({samples} MC samples/stage)…");
+    let stages = circuits::carry_adder_16bit(samples, 2024);
+    let fo4 = lvf2::cells::CellLibrary::tsmc22_like().fo4_delay();
+    println!(
+        "path: {} stages, total nominal depth {:.1} FO4 (FO4 = {:.4} ns)",
+        stages.len(),
+        circuits::path_depth_fo4(&stages),
+        fo4
+    );
+
+    let points = propagate::propagate_path(&stages, fo4, &FitConfig::fast())?;
+    println!(
+        "\n{:<6} {:>9} | {:>10} {:>10} {:>10}   (binning-error reduction vs LVF)",
+        "stage", "FO4", "LVF2", "Norm2", "LESN"
+    );
+    for p in &points {
+        let (x2, xn, xl) = p.binning_reductions();
+        println!(
+            "{:<6} {:>9.1} | {:>9.2}x {:>9.2}x {:>9.2}x",
+            p.stage + 1,
+            p.cum_fo4,
+            x2,
+            xn,
+            xl
+        );
+    }
+
+    let first = &points[0];
+    let last = points.last().expect("non-empty path");
+    let (f2, ..) = first.binning_reductions();
+    let (l2, ..) = last.binning_reductions();
+    println!(
+        "\nLVF² advantage decays from {f2:.2}x (first stage) to {l2:.2}x at {:.0} FO4 — \
+         the O(1/√n) convergence of Corollary 2.",
+        last.cum_fo4
+    );
+    Ok(())
+}

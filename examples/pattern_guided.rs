@@ -1,0 +1,73 @@
+//! Pattern-guided characterization — the speed-up the paper's conclusion
+//! anticipates: probe a handful of slew–load positions, learn the §4.3
+//! diagonal accuracy pattern, and predict which grid positions need LVF²
+//! storage *without* Monte-Carlo simulating them.
+//!
+//! Run with: `cargo run --example pattern_guided --release`
+
+use lvf2::binning::{score_model, GoldenReference};
+use lvf2::cells::pattern::{probe_plan, ModelClass, PatternPredictor, Probe};
+use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2::fit::{fit_lvf, fit_lvf2, FitConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = TimingArcSpec::of(CellType::Nor3, 0);
+    let grid = SlewLoadGrid::paper_8x8();
+    let samples = 3000;
+    let cfg = FitConfig::fast();
+    println!("arc: {spec}; full characterization would be 64 MC runs of {samples} samples.");
+
+    // In a real flow only the probed positions would be simulated; here we
+    // characterize everything once so we can also *verify* the prediction.
+    let ch = characterize_arc(&spec, &grid, samples);
+    let reduction = |i: usize, j: usize| -> Result<f64, Box<dyn std::error::Error>> {
+        let d = &ch.at(i, j).delays;
+        let golden = GoldenReference::from_samples(d)?;
+        Ok(lvf2::binning::error_reduction(
+            score_model(&fit_lvf(d, &cfg)?.model, &golden).cdf_rmse,
+            score_model(&fit_lvf2(d, &cfg)?.model, &golden).cdf_rmse,
+        ))
+    };
+
+    // 1. Probe four positions (two per parity class).
+    let plan = probe_plan(8, 8, 2);
+    println!("probing {} positions: {plan:?}", plan.len());
+    let mut probes = Vec::new();
+    for &(i, j) in &plan {
+        let score = reduction(i, j)?;
+        println!("  ({i},{j}) parity {}: LVF2 reduction {score:.1}x", (i + j) % 2);
+        probes.push(Probe { i, j, score });
+    }
+
+    // 2. Fit the parity pattern and predict the whole grid.
+    let threshold = 2.0;
+    let p = PatternPredictor::fit(&probes, threshold).expect("both parities probed");
+    println!(
+        "\nlearned pattern: even-parity mean {:.1}x, odd-parity mean {:.1}x (threshold {threshold}x)",
+        p.even_mean(),
+        p.odd_mean()
+    );
+    println!("predicted LVF2 fraction: {:.0}%", 100.0 * p.lvf2_fraction(8, 8));
+
+    // 3. Verify against the (normally never-run) full characterization.
+    let mut agree = 0;
+    for i in 0..8 {
+        for j in 0..8 {
+            let observed = if reduction(i, j)? >= threshold {
+                ModelClass::MultiComponent
+            } else {
+                ModelClass::SingleComponent
+            };
+            if p.predict(i, j) == observed {
+                agree += 1;
+            }
+        }
+    }
+    println!(
+        "prediction agreed with the full run at {agree}/64 positions, using {}/64 MC budgets \
+         ({}% of the simulation cost saved).",
+        plan.len(),
+        100 * (64 - plan.len()) / 64
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: generate a multi-Gaussian cell-delay population, fit all four
+//! timing models, and see why LVF² exists (Figure 1 of the paper, in code).
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use lvf2::fit::FitConfig;
+use lvf2::stats::Distribution;
+use lvf2::{fit_all_models, score_all};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A "2 Peaks" delay distribution, as produced by Monte-Carlo
+    // characterization of a contested cell arc (here: the paper's Figure 3a
+    // scenario generator; see `cell_characterization.rs` for the real MC).
+    let samples = lvf2::cells::Scenario::TwoPeaks.sample(20_000, 42);
+    println!("generated {} Monte-Carlo delay samples", samples.len());
+    println!(
+        "sample moments: mean={:.4} ns  sigma={:.4} ns  skew={:.3}  exkurt={:.3}",
+        lvf2::stats::sample_mean(&samples),
+        lvf2::stats::sample_std(&samples),
+        lvf2::stats::sample_skewness(&samples),
+        lvf2::stats::sample_kurtosis(&samples),
+    );
+
+    // Fit LVF (the industry baseline), Norm², LESN and LVF².
+    let fits = fit_all_models(&samples, &FitConfig::default())?;
+    let lvf2::ssta::TimingDist::Lvf2(model) = &fits.lvf2 else { unreachable!() };
+    println!(
+        "\nLVF² fit: λ={:.3}  θ₁=(μ={:.4}, σ={:.4}, γ={:.2})  θ₂=(μ={:.4}, σ={:.4}, γ={:.2})",
+        model.lambda(),
+        model.first().mean(),
+        model.first().std_dev(),
+        model.first().skewness(),
+        model.second().mean(),
+        model.second().std_dev(),
+        model.second().skewness(),
+    );
+
+    // Score every model on the paper's three metrics.
+    let scores = score_all(&fits, &samples)?;
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>12} {:>14}",
+        "model", "binning err", "3σ-yield err", "CDF RMSE", "+3σ err (ns)"
+    );
+    for (name, s) in [
+        ("LVF", scores.lvf),
+        ("Norm2", scores.norm2),
+        ("LESN", scores.lesn),
+        ("LVF2", scores.lvf2),
+    ] {
+        println!(
+            "{name:<8} {:>14.6} {:>14.6} {:>12.6} {:>14.6}",
+            s.binning_error, s.yield_3sigma_error, s.cdf_rmse, s.three_sigma_q_error
+        );
+    }
+    let (b2, bn, bl) = scores.reductions(|s| s.binning_error);
+    println!("\nbinning-error reduction vs LVF:  LVF² {b2:.2}x   Norm² {bn:.2}x   LESN {bl:.2}x");
+
+    // Speed binning economics (Figure 2): price the eight σ-bins.
+    let golden = lvf2::binning::GoldenReference::from_samples(&samples)?;
+    let probs = golden.bins().probabilities(|x| fits.lvf2.cdf(x));
+    let profile = lvf2::binning::PriceProfile::new(vec![95.0, 80.0, 65.0, 50.0, 38.0, 25.0]);
+    println!(
+        "expected revenue/die (LVF² bin probabilities): ${:.2}, usable yield {:.1}%",
+        profile.expected_revenue(&probs),
+        100.0 * profile.usable_yield(&probs)
+    );
+    Ok(())
+}

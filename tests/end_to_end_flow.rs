@@ -1,0 +1,95 @@
+//! Integration test: the complete flow a library vendor + SSTA consumer
+//! would run — Monte-Carlo characterization of a real arc from the cell
+//! library, model fitting, Liberty export, re-import in a separate "tool",
+//! binning/yield prediction, and the §3.4 switch decision.
+
+use lvf2::binning::{score_model, GoldenReference};
+use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2::fit::{fit_lvf2, FitConfig};
+use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
+use lvf2::liberty::model::lvf2_entry;
+use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::stats::Distribution;
+use lvf2::{recommend_model, ModelKind};
+
+#[test]
+fn characterize_fit_export_import_score() {
+    // --- vendor side: characterize and fit -------------------------------
+    let spec = TimingArcSpec::of(CellType::Nand2, 2);
+    let grid = SlewLoadGrid::small_3x3();
+    let ch = characterize_arc(&spec, &grid, 3000);
+    let cfg = FitConfig::fast();
+
+    let mut nominal = Vec::new();
+    let mut models = Vec::new();
+    for i in 0..3 {
+        let mut nrow = Vec::new();
+        let mut mrow = Vec::new();
+        for j in 0..3 {
+            let c = ch.at(i, j);
+            nrow.push(lvf2::stats::sample_mean(&c.delays));
+            mrow.push(fit_lvf2(&c.delays, &cfg).expect("fit").model);
+        }
+        nominal.push(nrow);
+        models.push(mrow);
+    }
+    let model_grid = TimingModelGrid {
+        base: BaseKind::CellRise,
+        index_1: grid.slews().to_vec(),
+        index_2: grid.loads().to_vec(),
+        nominal,
+        models,
+    };
+    let mut lib = Library::new("e2e");
+    lib.templates.push(LutTemplate {
+        name: "t3x3".into(),
+        index_1: grid.slews().to_vec(),
+        index_2: grid.loads().to_vec(),
+    });
+    lib.cells.push(Cell {
+        name: "NAND2_X1".into(),
+        pins: vec![Pin {
+            name: "Y".into(),
+            direction: "output".into(),
+            timings: vec![TimingGroup {
+                related_pin: "A".into(),
+                tables: model_grid.to_tables("t3x3"),
+            ..Default::default() }],
+        }],
+    });
+    let lib_text = write_library(&lib);
+
+    // --- consumer side: parse and predict binning -------------------------
+    let parsed = parse_library(&lib_text).expect("library parses");
+    let timing = &parsed.cell("NAND2_X1").expect("cell").pins[0].timings[0];
+    for (i, j) in [(0usize, 0usize), (1, 1), (2, 2), (0, 2)] {
+        let entry = lvf2_entry(timing, BaseKind::CellRise, i, j).expect("entry decodes");
+        let golden = GoldenReference::from_samples(&ch.at(i, j).delays).expect("golden");
+        let score = score_model(&entry.model, &golden);
+        // A freshly fitted LVF² must track its own golden samples closely.
+        assert!(
+            score.binning_error < 0.01,
+            "binning error {} too large at ({i},{j})",
+            score.binning_error
+        );
+        assert!(score.yield_3sigma_error < 0.01);
+        // And the decoded mean must match the Monte-Carlo mean.
+        let mc_mean = lvf2::stats::sample_mean(&ch.at(i, j).delays);
+        assert!((entry.model.mean() - mc_mean).abs() / mc_mean < 0.01);
+    }
+}
+
+#[test]
+fn switch_heuristic_runs_on_real_arc_data() {
+    let spec = TimingArcSpec::of(CellType::Xor3, 1);
+    let grid = SlewLoadGrid::small_3x3();
+    let ch = characterize_arc(&spec, &grid, 4000);
+    let delays = &ch.at(1, 1).delays;
+    let report =
+        recommend_model(delays, 4, 1.2, &FitConfig::fast()).expect("switch analysis runs");
+    assert!(report.stage_reduction.is_finite() && report.stage_reduction > 0.0);
+    assert!(matches!(report.recommendation, ModelKind::Lvf | ModelKind::Lvf2));
+    // Deeper paths can only lower the projected benefit.
+    let deep = recommend_model(delays, 400, 1.2, &FitConfig::fast()).expect("deep analysis");
+    assert!(deep.depth_reduction <= report.depth_reduction + 1e-12);
+}

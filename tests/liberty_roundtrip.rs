@@ -1,0 +1,133 @@
+//! Integration test: fitted LVF² models survive a full Liberty round trip
+//! (fit → tables → .lib text → parse → models), and the §3.3 backward
+//! compatibility contract holds end-to-end.
+
+use lvf2::cells::Scenario;
+use lvf2::fit::{fit_lvf2, FitConfig};
+use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
+use lvf2::liberty::model::{lvf2_entry, lvf_entry};
+use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::stats::Distribution;
+
+/// Builds a 2×2 grid of fitted models from two scenarios.
+fn fitted_grid() -> TimingModelGrid {
+    let cfg = FitConfig::fast();
+    let mk = |scenario: Scenario, seed: u64| {
+        fit_lvf2(&scenario.sample(4000, seed), &cfg).expect("fit succeeds").model
+    };
+    TimingModelGrid {
+        base: BaseKind::CellRise,
+        index_1: vec![0.01, 0.05],
+        index_2: vec![0.002, 0.02],
+        nominal: vec![vec![0.11, 0.12], vec![0.13, 0.15]],
+        models: vec![
+            vec![mk(Scenario::TwoPeaks, 1), mk(Scenario::Saddle, 2)],
+            vec![mk(Scenario::MinorSaddle, 3), mk(Scenario::Kurtosis, 4)],
+        ],
+    }
+}
+
+fn library_with(grid: &TimingModelGrid) -> Library {
+    let mut lib = Library::new("roundtrip_lib");
+    lib.templates.push(LutTemplate {
+        name: "t2x2".into(),
+        index_1: grid.index_1.clone(),
+        index_2: grid.index_2.clone(),
+    });
+    lib.cells.push(Cell {
+        name: "ARC_X1".into(),
+        pins: vec![Pin {
+            name: "Y".into(),
+            direction: "output".into(),
+            timings: vec![TimingGroup {
+                related_pin: "A".into(),
+                tables: grid.to_tables("t2x2"),
+            ..Default::default() }],
+        }],
+    });
+    lib
+}
+
+#[test]
+fn fitted_models_roundtrip_through_lib_text() {
+    let grid = fitted_grid();
+    let text = write_library(&library_with(&grid));
+    let parsed = parse_library(&text).expect("own output parses");
+    let timing = &parsed.cell("ARC_X1").expect("cell").pins[0].timings[0];
+    let back = TimingModelGrid::from_timing(timing, BaseKind::CellRise).expect("grid decodes");
+
+    for i in 0..2 {
+        for j in 0..2 {
+            let a = &grid.models[i][j];
+            let b = &back.models[i][j];
+            assert!((a.lambda() - b.lambda()).abs() < 1e-9, "λ at ({i},{j})");
+            assert!((a.mean() - b.mean()).abs() < 1e-9, "mean at ({i},{j})");
+            // Distribution-level agreement across the support.
+            let lo = a.mean() - 4.0 * a.std_dev();
+            for k in 0..=20 {
+                let x = lo + k as f64 * 0.4 * a.std_dev();
+                assert!((a.cdf(x) - b.cdf(x)).abs() < 1e-7, "cdf at ({i},{j}), x={x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lvf_view_of_lvf2_library_sees_mixture_moments() {
+    let grid = fitted_grid();
+    let text = write_library(&library_with(&grid));
+    let parsed = parse_library(&text).expect("parses");
+    let timing = &parsed.cell("ARC_X1").expect("cell").pins[0].timings[0];
+
+    let as_lvf = lvf_entry(timing, BaseKind::CellRise, 0, 0).expect("lvf view");
+    let truth = &grid.models[0][0];
+    assert!((as_lvf.mean() - truth.mean()).abs() < 1e-9);
+    assert!((as_lvf.std_dev() - truth.std_dev()).abs() < 1e-9);
+}
+
+#[test]
+fn lvf_only_library_reads_as_lambda_zero_eq_10() {
+    let grid = fitted_grid();
+    let mut lib = library_with(&grid);
+    // Strip the seven LVF² tables: now it is a plain LVF library.
+    lib.cells[0].pins[0].timings[0]
+        .tables
+        .retain(|t| !t.kind.stat.is_lvf2_extension());
+    let text = write_library(&lib);
+    let parsed = parse_library(&text).expect("parses");
+    let timing = &parsed.cell("ARC_X1").expect("cell").pins[0].timings[0];
+
+    for i in 0..2 {
+        for j in 0..2 {
+            let entry = lvf2_entry(timing, BaseKind::CellRise, i, j).expect("decodes");
+            assert!(entry.model.is_lvf(), "λ must default to 0 at ({i},{j})");
+            let sn = lvf_entry(timing, BaseKind::CellRise, i, j).expect("lvf view");
+            let x = sn.mean();
+            assert!((entry.model.pdf(x) - sn.pdf(x)).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn library_supports_both_standards_simultaneously() {
+    // §3.3: "library files can support LVF and LVF² simultaneously without
+    // conflicts" — one timing group carries all 11 tables, and each consumer
+    // reads its own subset.
+    let grid = fitted_grid();
+    let text = write_library(&library_with(&grid));
+    for stem in [
+        "cell_rise",
+        "ocv_mean_shift_cell_rise",
+        "ocv_std_dev_cell_rise",
+        "ocv_skewness_cell_rise",
+        "ocv_mean_shift1_cell_rise",
+        "ocv_std_dev1_cell_rise",
+        "ocv_skewness1_cell_rise",
+        "ocv_weight2_cell_rise",
+        "ocv_mean_shift2_cell_rise",
+        "ocv_std_dev2_cell_rise",
+        "ocv_skewness2_cell_rise",
+    ] {
+        assert!(text.contains(&format!("{stem} (t2x2)")), "missing table {stem}");
+    }
+}

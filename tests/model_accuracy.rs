@@ -1,0 +1,70 @@
+//! Integration test: the paper's qualitative accuracy claims hold on the
+//! five Figure 3 scenarios — LVF² beats LVF everywhere, beats Norm² where
+//! skewness matters, and all mixture models beat LVF on multi-peak shapes.
+
+use lvf2::cells::Scenario;
+use lvf2::fit::FitConfig;
+use lvf2::{fit_all_models, score_all};
+
+fn reductions_for(scenario: Scenario, seed: u64) -> (f64, f64, f64) {
+    let samples = scenario.sample(20_000, seed);
+    let fits = fit_all_models(&samples, &FitConfig::default()).expect("fits succeed");
+    let scores = score_all(&fits, &samples).expect("scoring succeeds");
+    scores.reductions(|s| s.binning_error)
+}
+
+#[test]
+fn lvf2_beats_lvf_on_every_scenario() {
+    for s in Scenario::ALL {
+        let (lvf2_x, _, _) = reductions_for(s, 11);
+        assert!(lvf2_x > 1.5, "{s}: LVF2 reduction only {lvf2_x:.2}x");
+    }
+}
+
+#[test]
+fn two_peaks_needs_skewness_lvf2_far_ahead_of_norm2() {
+    // Table 1, row "2 Peaks": sharply skewed peaks make Norm² stall near 1×
+    // while LVF² excels.
+    let (lvf2_x, norm2_x, _) = reductions_for(Scenario::TwoPeaks, 12);
+    assert!(lvf2_x > 4.0, "LVF2 {lvf2_x:.2}x");
+    assert!(lvf2_x > 2.0 * norm2_x, "LVF2 {lvf2_x:.2}x vs Norm2 {norm2_x:.2}x");
+}
+
+#[test]
+fn kurtosis_scenario_norm2_is_competitive() {
+    // Table 1, row "Kurtosis": even without skewness, two Gaussians capture
+    // high kurtosis — Norm² is close to LVF² there.
+    let (lvf2_x, norm2_x, _) = reductions_for(Scenario::Kurtosis, 13);
+    assert!(norm2_x > 2.0, "Norm2 should improve markedly, got {norm2_x:.2}x");
+    assert!(lvf2_x < 4.0 * norm2_x, "gap should be modest: {lvf2_x:.2} vs {norm2_x:.2}");
+}
+
+#[test]
+fn multi_peaks_all_models_improve_lvf2_most() {
+    let (lvf2_x, norm2_x, lesn_x) = reductions_for(Scenario::MultiPeaks, 14);
+    assert!(lvf2_x > norm2_x, "LVF2 {lvf2_x:.2}x vs Norm2 {norm2_x:.2}x");
+    assert!(lvf2_x > lesn_x, "LVF2 {lvf2_x:.2}x vs LESN {lesn_x:.2}x");
+    assert!(lvf2_x > 5.0, "LVF2 {lvf2_x:.2}x");
+}
+
+#[test]
+fn yield_errors_also_improve() {
+    let samples = Scenario::Saddle.sample(20_000, 15);
+    let fits = fit_all_models(&samples, &FitConfig::default()).expect("fits");
+    let scores = score_all(&fits, &samples).expect("scores");
+    let (lvf2_x, _, _) = scores.reductions(|s| s.yield_3sigma_error);
+    assert!(lvf2_x >= 1.0, "3σ-yield reduction {lvf2_x:.2}x");
+    assert!(
+        scores.lvf2.yield_3sigma_error <= scores.lvf.yield_3sigma_error + 1e-9,
+        "LVF2 must not be worse than LVF at the 3σ point"
+    );
+}
+
+#[test]
+fn reductions_are_stable_across_seeds() {
+    // The qualitative ordering must not be a seed artifact.
+    for seed in [21, 22, 23] {
+        let (lvf2_x, _, _) = reductions_for(Scenario::TwoPeaks, seed);
+        assert!(lvf2_x > 3.0, "seed {seed}: LVF2 reduction {lvf2_x:.2}x");
+    }
+}
