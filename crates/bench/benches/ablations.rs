@@ -23,17 +23,30 @@ fn bench_ablations(c: &mut Criterion) {
     ] {
         let cfg = FitConfig::fast().with_init(strategy);
         init.bench_function(name, |b| {
-            b.iter_batched(|| xs.clone(), |d| fit_lvf2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || xs.clone(),
+                |d| fit_lvf2(&d, &cfg).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
     }
     init.finish();
 
     let mut mstep = c.benchmark_group("ablation_mstep");
     mstep.sample_size(10);
-    for (name, m) in [("weighted_mle", MStep::WeightedMle), ("weighted_moments", MStep::WeightedMoments)] {
-        let cfg = FitConfig::default().with_m_step(m).with_init(InitStrategy::KMeansMoments);
+    for (name, m) in [
+        ("weighted_mle", MStep::WeightedMle),
+        ("weighted_moments", MStep::WeightedMoments),
+    ] {
+        let cfg = FitConfig::default()
+            .with_m_step(m)
+            .with_init(InitStrategy::KMeansMoments);
         mstep.bench_function(name, |b| {
-            b.iter_batched(|| xs.clone(), |d| fit_lvf2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || xs.clone(),
+                |d| fit_lvf2(&d, &cfg).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
     }
     mstep.finish();
@@ -43,10 +56,15 @@ fn bench_ablations(c: &mut Criterion) {
     let stage = TimingDist::Lvf2(Lvf2::new(0.4, sn1, sn2).unwrap());
     let mut reduce = c.benchmark_group("ablation_reduce");
     for (name, strategy) in [
-        ("moment_pairwise", ReductionStrategy::MomentPreservingPairwise),
+        (
+            "moment_pairwise",
+            ReductionStrategy::MomentPreservingPairwise,
+        ),
         ("topk_truncate", ReductionStrategy::TopKByWeight),
     ] {
-        reduce.bench_function(name, |b| b.iter(|| stage.sum_with(&stage, strategy).unwrap()));
+        reduce.bench_function(name, |b| {
+            b.iter(|| stage.sum_with(&stage, strategy).unwrap())
+        });
     }
     reduce.finish();
 }

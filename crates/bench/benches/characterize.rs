@@ -1,10 +1,11 @@
 //! Criterion bench: Monte-Carlo characterization throughput — the cost of
-//! one (slew, load) condition at various sample counts, and a full small
-//! grid.
+//! one (slew, load) condition at various sample counts, a full small grid,
+//! and serial-vs-parallel scaling of the same workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2::cells::{characterize_arc, characterize_arc_par, CellType, SlewLoadGrid, TimingArcSpec};
 use lvf2::mc::{McEngine, RegimeCompetitionArc, VariationSpace};
+use lvf2::parallel::Parallelism;
 
 fn bench_characterize(c: &mut Criterion) {
     let mut g = c.benchmark_group("mc_condition");
@@ -27,9 +28,43 @@ fn bench_characterize(c: &mut Criterion) {
     full.finish();
 }
 
+/// Serial vs parallel on identical workloads. Outputs are bit-identical at
+/// every thread count (see `tests/parallel_determinism.rs`), so any gap here
+/// is pure speedup; expect ~linear scaling on a multi-core machine.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let arc = RegimeCompetitionArc::balanced_bimodal();
+
+    let mut mc = c.benchmark_group("mc_scaling_16k");
+    mc.sample_size(10);
+    for (label, par) in [
+        ("serial", Parallelism::serial()),
+        ("auto", Parallelism::auto()),
+    ] {
+        mc.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, par| {
+            let engine = McEngine::new(VariationSpace::tt_22nm(), 16000, 7).with_parallelism(*par);
+            b.iter(|| engine.simulate(&arc, 0.02, 0.05));
+        });
+    }
+    mc.finish();
+
+    let mut grid = c.benchmark_group("characterize_scaling_8x8_1000");
+    grid.sample_size(10);
+    for (label, par) in [
+        ("serial", Parallelism::serial()),
+        ("auto", Parallelism::auto()),
+    ] {
+        grid.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, par| {
+            let spec = TimingArcSpec::of(CellType::Nand2, 0);
+            let g = SlewLoadGrid::paper_8x8();
+            b.iter(|| characterize_arc_par(&spec, &g, 1000, par));
+        });
+    }
+    grid.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_characterize
+    targets = bench_characterize, bench_parallel_scaling
 }
 criterion_main!(benches);

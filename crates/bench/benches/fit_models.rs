@@ -13,16 +13,32 @@ fn bench_fits(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fit");
     group.bench_function("lvf_method_of_moments", |b| {
-        b.iter_batched(|| xs.clone(), |d| fit_lvf(&d, &cfg).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |d| fit_lvf(&d, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     group.bench_function("norm2_em", |b| {
-        b.iter_batched(|| xs.clone(), |d| fit_norm2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |d| fit_norm2(&d, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     group.bench_function("lesn_moment_match", |b| {
-        b.iter_batched(|| xs.clone(), |d| fit_lesn(&d, &cfg).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |d| fit_lesn(&d, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     group.bench_function("lvf2_em_weighted_mle", |b| {
-        b.iter_batched(|| xs.clone(), |d| fit_lvf2(&d, &cfg).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |d| fit_lvf2(&d, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     group.bench_function("lvf2_em_weighted_moments", |b| {
         b.iter_batched(

@@ -24,7 +24,9 @@ fn demo_library() -> Library {
         base: BaseKind::CellRise,
         index_1: slews,
         index_2: loads,
-        nominal: (0..8).map(|i| (0..8).map(|j| 0.1 + 0.01 * (i + j) as f64).collect()).collect(),
+        nominal: (0..8)
+            .map(|i| (0..8).map(|j| 0.1 + 0.01 * (i + j) as f64).collect())
+            .collect(),
         models,
     };
     let mut lib = Library::new("bench");
@@ -33,7 +35,11 @@ fn demo_library() -> Library {
         pins: vec![Pin {
             name: "Y".into(),
             direction: "output".into(),
-            timings: vec![TimingGroup { related_pin: "A".into(), tables: grid.to_tables("t8"), ..Default::default() }],
+            timings: vec![TimingGroup {
+                related_pin: "A".into(),
+                tables: grid.to_tables("t8"),
+                ..Default::default()
+            }],
         }],
     });
     lib
@@ -44,7 +50,9 @@ fn bench_io(c: &mut Criterion) {
     let text = write_library(&lib);
     let mut g = c.benchmark_group("liberty");
     g.bench_function("write_8x8_lvf2_arc", |b| b.iter(|| write_library(&lib)));
-    g.bench_function("parse_8x8_lvf2_arc", |b| b.iter(|| parse_library(&text).unwrap()));
+    g.bench_function("parse_8x8_lvf2_arc", |b| {
+        b.iter(|| parse_library(&text).unwrap())
+    });
     g.bench_function("decode_grid", |b| {
         let parsed = parse_library(&text).unwrap();
         let timing = parsed.cells[0].pins[0].timings[0].clone();

@@ -11,8 +11,12 @@ fn dists() -> (TimingDist, TimingDist, TimingDist, TimingDist) {
     (
         TimingDist::Lvf(sn1),
         TimingDist::Norm2(
-            Norm2::new(0.4, Normal::new(0.10, 0.008).unwrap(), Normal::new(0.13, 0.01).unwrap())
-                .unwrap(),
+            Norm2::new(
+                0.4,
+                Normal::new(0.10, 0.008).unwrap(),
+                Normal::new(0.13, 0.01).unwrap(),
+            )
+            .unwrap(),
         ),
         TimingDist::Lesn(Lesn::from_log_params(-2.2, 0.1, 1.5, -0.3).unwrap()),
         TimingDist::Lvf2(Lvf2::new(0.4, sn1, sn2).unwrap()),

@@ -20,12 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Ablation 1: initialization strategy -------------------------------
     println!("=== Ablation 1: EM initialization (CDF RMSE of the LVF2 fit) ===");
-    println!("{:<14} {:>12} {:>12} {:>12}", "scenario", "kmeans", "scale-split", "best");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "scenario", "kmeans", "scale-split", "best"
+    );
     for scenario in Scenario::ALL {
         let xs = scenario.sample(samples, 101);
         let golden = GoldenReference::from_samples(&xs)?;
         let mut row = Vec::new();
-        for init in [InitStrategy::KMeansMoments, InitStrategy::ScaleSplit, InitStrategy::Best] {
+        for init in [
+            InitStrategy::KMeansMoments,
+            InitStrategy::ScaleSplit,
+            InitStrategy::Best,
+        ] {
             let cfg = FitConfig::default().with_init(init);
             let m = fit_lvf2(&xs, &cfg)?.model;
             row.push(score_model(&m, &golden).cdf_rmse);
@@ -41,11 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Ablation 2: M-step strategy ----------------------------------------
     println!("\n=== Ablation 2: M-step (log-likelihood; higher is better) ===");
-    println!("{:<14} {:>16} {:>16} {:>10}", "scenario", "weighted MLE", "weighted moments", "Δll/n");
+    println!(
+        "{:<14} {:>16} {:>16} {:>10}",
+        "scenario", "weighted MLE", "weighted moments", "Δll/n"
+    );
     for scenario in Scenario::ALL {
         let xs = scenario.sample(samples, 102);
         let mle = fit_lvf2(&xs, &FitConfig::default().with_m_step(MStep::WeightedMle))?;
-        let mom = fit_lvf2(&xs, &FitConfig::default().with_m_step(MStep::WeightedMoments))?;
+        let mom = fit_lvf2(
+            &xs,
+            &FitConfig::default().with_m_step(MStep::WeightedMoments),
+        )?;
         println!(
             "{:<14} {:>16.1} {:>16.1} {:>10.5}",
             scenario.name(),
@@ -67,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let golden = GoldenReference::from_samples(&golden_samples)?;
     for (name, strategy) in [
-        ("moment-preserving pairwise", ReductionStrategy::MomentPreservingPairwise),
+        (
+            "moment-preserving pairwise",
+            ReductionStrategy::MomentPreservingPairwise,
+        ),
         ("top-K by weight", ReductionStrategy::TopKByWeight),
     ] {
         let mut acc = TimingDist::Lvf2(stage);
@@ -93,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let big = McEngine::new(VariationSpace::tt_22nm(), 200_000, 999).simulate(&arc, 0.02, 0.05);
     let ref_mean = lvf2::stats::sample_mean(&big.delays);
     for trial in 0..trials {
-        for (slot, scheme) in [(0usize, SamplingScheme::LatinHypercube), (1, SamplingScheme::Plain)] {
+        for (slot, scheme) in [
+            (0usize, SamplingScheme::LatinHypercube),
+            (1, SamplingScheme::Plain),
+        ] {
             let e = McEngine::new(VariationSpace::tt_22nm(), n, 7000 + trial)
                 .with_scheme(scheme)
                 .simulate(&arc, 0.02, 0.05);

@@ -27,16 +27,23 @@ fn main() {
         let n = idx + 1;
         let gap = sup_gap_to_normal(c);
         let bound = berry_esseen_bound(rho, n);
-        println!("{n:>6} {gap:>14.5} {bound:>16.5} {:>10.4}", gap * (n as f64).sqrt());
+        println!(
+            "{n:>6} {gap:>14.5} {bound:>16.5} {:>10.4}",
+            gap * (n as f64).sqrt()
+        );
     }
     println!("\n√n·gap staying roughly flat confirms the O(1/√n) convergence rate of");
     println!("Corollary 2 — the reason LVF²'s advantage decays on deep paths (§3.4).");
 
     // Counterpoint: spatially correlated stages do NOT Gaussianize — the
     // shared field never averages out (Berry–Esseen needs independence).
-    let corr_stages = lvf2::ssta::circuits::correlated_fo4_chain(n_stages, samples, 1.0, 50.0, seed);
+    let corr_stages =
+        lvf2::ssta::circuits::correlated_fo4_chain(n_stages, samples, 1.0, 50.0, seed);
     let corr_cum = cumulative_path(
-        &corr_stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>(),
+        &corr_stages
+            .iter()
+            .map(|s| s.delays.clone())
+            .collect::<Vec<_>>(),
     );
     let g1 = sup_gap_to_normal(&corr_cum[0]);
     let gn = sup_gap_to_normal(corr_cum.last().expect("stages"));

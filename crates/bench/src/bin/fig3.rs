@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let golden = GoldenReference::from_samples(&xs)?;
         let hist = Histogram::new(&xs, 80)?;
 
-        let TimingDist::Lvf2(mix) = &fits.lvf2 else { unreachable!() };
+        let TimingDist::Lvf2(mix) = &fits.lvf2 else {
+            unreachable!()
+        };
         println!(
             "{:<14} λ={:.3}  θ1=({:.4},{:.4},{:+.2})  θ2=({:.4},{:.4},{:+.2})  rmse: LVF {:.4} Norm2 {:.4} LESN {:.4} LVF2 {:.4}",
             scenario.name(),
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let slug = scenario.name().to_lowercase().replace([' ', '-'], "_");
         let path = format!("results/fig3_{slug}.csv");
         let mut f = fs::File::create(&path)?;
-        writeln!(f, "x,golden_density,lvf,norm2,lesn,lvf2,lvf2_comp1,lvf2_comp2")?;
+        writeln!(
+            f,
+            "x,golden_density,lvf,norm2,lesn,lvf2,lvf2_comp1,lvf2_comp2"
+        )?;
         let lo = golden.ecdf().min();
         let hi = golden.ecdf().max();
         let centers = hist.centers();
@@ -57,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .zip(&dens)
                 .min_by(|a, b| {
-                    (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("finite")
+                    (a.0 - x)
+                        .abs()
+                        .partial_cmp(&(b.0 - x).abs())
+                        .expect("finite")
                 })
                 .map(|(_, d)| *d)
                 .unwrap_or(0.0);

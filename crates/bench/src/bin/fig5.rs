@@ -11,9 +11,16 @@ use lvf2::ssta::{circuits, propagate, Stage};
 use lvf2_bench::{arg, fmt_x};
 
 fn run(name: &str, stages: &[Stage], fo4: f64, cfg: &FitConfig) {
-    println!("\n=== {name}: {} stages, {:.1} FO4 total ===", stages.len(), circuits::path_depth_fo4(stages));
+    println!(
+        "\n=== {name}: {} stages, {:.1} FO4 total ===",
+        stages.len(),
+        circuits::path_depth_fo4(stages)
+    );
     let pts = propagate::propagate_path(stages, fo4, cfg).expect("propagation succeeds");
-    println!("{:>6} {:>9} | {:>8} {:>8} {:>8}", "stage", "FO4", "LVF2", "Norm2", "LESN");
+    println!(
+        "{:>6} {:>9} | {:>8} {:>8} {:>8}",
+        "stage", "FO4", "LVF2", "Norm2", "LESN"
+    );
     for p in &pts {
         let (x2, xn, xl) = p.binning_reductions();
         println!(
@@ -29,7 +36,10 @@ fn run(name: &str, stages: &[Stage], fo4: f64, cfg: &FitConfig) {
     let at8 = pts
         .iter()
         .min_by(|a, b| {
-            (a.cum_fo4 - 8.0).abs().partial_cmp(&(b.cum_fo4 - 8.0).abs()).expect("finite")
+            (a.cum_fo4 - 8.0)
+                .abs()
+                .partial_cmp(&(b.cum_fo4 - 8.0).abs())
+                .expect("finite")
         })
         .expect("non-empty");
     let last = pts.last().expect("non-empty");

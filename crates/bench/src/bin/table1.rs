@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = arg("--seed", 2024);
     let cfg = FitConfig::default();
     println!("Table 1: Scenarios Assessment among Models ({samples} samples/scenario)");
-    println!("{:<14} | {:>8} {:>8} {:>8} {:>5}   (binning error reduction, x)", "Scenario", "LVF2", "Norm2", "LESN", "LVF");
+    println!(
+        "{:<14} | {:>8} {:>8} {:>8} {:>5}   (binning error reduction, x)",
+        "Scenario", "LVF2", "Norm2", "LESN", "LVF"
+    );
     println!("{}", "-".repeat(62));
     for scenario in Scenario::ALL {
         let xs = scenario.sample(samples, seed);
@@ -29,8 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "1"
         );
     }
-    println!("\npaper reference   |  2 Peaks 12.65 / 1.01 / 1.02   Multi-Peaks 29.65 / 7.67 / 10.68");
-    println!("                  |  Saddle 9.62 / 5.06 / 1.88     Minor Saddle 16.27 / 10.58 / 0.84");
+    println!(
+        "\npaper reference   |  2 Peaks 12.65 / 1.01 / 1.02   Multi-Peaks 29.65 / 7.67 / 10.68"
+    );
+    println!(
+        "                  |  Saddle 9.62 / 5.06 / 1.88     Minor Saddle 16.27 / 10.58 / 0.84"
+    );
     println!("                  |  Kurtosis 8.63 / 8.16 / 3.43   (LVF2 / Norm2 / LESN)");
     Ok(())
 }

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conditions: Vec<(usize, usize)> = if full {
         grid.iter().map(|(i, j, _, _)| (i, j)).collect()
     } else {
-        (0..8).map(|i| (i, i)).chain((0..8).map(|i| (i, 7 - i))).collect()
+        (0..8)
+            .map(|i| (i, i))
+            .chain((0..8).map(|i| (i, 7 - i)))
+            .collect()
     };
 
     // Error floors at the Monte-Carlo noise level of the golden reference:
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "Table 2: Standard Cell Library Assessment ({} arcs/type, {} grid conditions, {} samples)",
-        if full { "all".to_string() } else { arcs_per_type.to_string() },
+        if full {
+            "all".to_string()
+        } else {
+            arcs_per_type.to_string()
+        },
         conditions.len(),
         samples
     );
@@ -61,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cell types are independent: fan them out over the available cores
     // (std::thread::scope — no extra dependency), print in table order.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let cells: Vec<_> = lib.cell_types().to_vec();
     let results: Vec<(usize, usize, Acc)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -73,7 +82,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             handles.push(s.spawn(move || {
                 chunk
                     .iter()
-                    .map(|&cell| run_cell(cell, lib, grid, conditions, cfg, full, arcs_per_type, samples, bin_floor, yield_floor))
+                    .map(|&cell| {
+                        run_cell(
+                            cell,
+                            lib,
+                            grid,
+                            conditions,
+                            cfg,
+                            full,
+                            arcs_per_type,
+                            samples,
+                            bin_floor,
+                            yield_floor,
+                        )
+                    })
                     .collect::<Vec<_>>()
             }));
         }
@@ -148,11 +170,19 @@ fn run_cell(
             for &(i, j) in conditions {
                 let c = ch.at(i, j);
                 for (is_delay, data) in [(true, &c.delays), (false, &c.transitions)] {
-                    let Ok(fits) = fit_all_models(data, cfg) else { continue };
-                    let Ok(scores) = score_all(&fits, data) else { continue };
+                    let Ok(fits) = fit_all_models(data, cfg) else {
+                        continue;
+                    };
+                    let Ok(scores) = score_all(&fits, data) else {
+                        continue;
+                    };
                     let bin = floored(
                         scores.lvf.binning_error,
-                        (scores.lvf2.binning_error, scores.norm2.binning_error, scores.lesn.binning_error),
+                        (
+                            scores.lvf2.binning_error,
+                            scores.norm2.binning_error,
+                            scores.lesn.binning_error,
+                        ),
                         bin_floor,
                     );
                     let yld = floored(

@@ -3,7 +3,6 @@
 
 use lvf2_stats::Ecdf;
 
-
 /// Binning error: mean absolute difference between model and golden bin
 /// probabilities.
 ///
@@ -20,7 +19,12 @@ use lvf2_stats::Ecdf;
 pub fn binning_error(model: &[f64], golden: &[f64]) -> f64 {
     assert_eq!(model.len(), golden.len(), "bin vectors must align");
     assert!(!model.is_empty(), "bin vectors must be non-empty");
-    model.iter().zip(golden).map(|(m, g)| (m - g).abs()).sum::<f64>() / model.len() as f64
+    model
+        .iter()
+        .zip(golden)
+        .map(|(m, g)| (m - g).abs())
+        .sum::<f64>()
+        / model.len() as f64
 }
 
 /// 3σ-yield error: `|F_model(μ + 3σ) − F_golden(μ + 3σ)|`, where μ and σ are

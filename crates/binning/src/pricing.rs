@@ -31,7 +31,10 @@ impl PriceProfile {
     /// Panics when `prices` is empty or any price is negative.
     pub fn new(prices: Vec<f64>) -> Self {
         assert!(!prices.is_empty(), "need at least one priced bin");
-        assert!(prices.iter().all(|p| *p >= 0.0), "prices must be non-negative");
+        assert!(
+            prices.iter().all(|p| *p >= 0.0),
+            "prices must be non-negative"
+        );
         PriceProfile { prices }
     }
 

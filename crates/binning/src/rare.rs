@@ -89,7 +89,11 @@ where
         let x = proposal.sample(rng);
         if x > threshold {
             let lp = proposal.ln_pdf(x);
-            let w = if lp.is_finite() { (target.ln_pdf(x) - lp).exp() } else { 0.0 };
+            let w = if lp.is_finite() {
+                (target.ln_pdf(x) - lp).exp()
+            } else {
+                0.0
+            };
             sum += w;
             sum_sq += w * w;
         }
@@ -97,8 +101,17 @@ where
     let nf = n as f64;
     let p = sum / nf;
     let var = (sum_sq / nf - p * p).max(0.0) / nf;
-    let ess = if sum_sq > 0.0 { sum * sum / sum_sq } else { 0.0 };
-    Ok(TailEstimate { probability: p, std_error: var.sqrt(), samples: n, effective_samples: ess })
+    let ess = if sum_sq > 0.0 {
+        sum * sum / sum_sq
+    } else {
+        0.0
+    };
+    Ok(TailEstimate {
+        probability: p,
+        std_error: var.sqrt(),
+        samples: n,
+        effective_samples: ess,
+    })
 }
 
 /// Plain Monte-Carlo tail estimate, for variance comparisons.
@@ -168,7 +181,11 @@ mod tests {
         );
         // Plain MC at 20k samples almost surely sees zero hits.
         assert!(mc_est.probability < 5.0 / 20_000.0);
-        assert!(is_est.relative_error() < 0.1, "rel err {}", is_est.relative_error());
+        assert!(
+            is_est.relative_error() < 0.1,
+            "rel err {}",
+            is_est.relative_error()
+        );
     }
 
     #[test]
@@ -192,7 +209,11 @@ mod tests {
             "IS {} vs analytic {truth}",
             est.probability
         );
-        assert!(est.effective_samples > 1000.0, "ESS {}", est.effective_samples);
+        assert!(
+            est.effective_samples > 1000.0,
+            "ESS {}",
+            est.effective_samples
+        );
         assert!((est.yield_fraction() + est.probability - 1.0).abs() < 1e-15);
     }
 

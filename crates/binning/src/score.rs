@@ -26,12 +26,19 @@ impl GoldenReference {
         let mean = lvf2_stats::sample_mean(samples);
         let sd = lvf2_stats::sample_std(samples);
         if !(sd > 0.0) {
-            return Err(StatsError::NotEnoughSamples { got: samples.len(), need: 2 });
+            return Err(StatsError::NotEnoughSamples {
+                got: samples.len(),
+                need: 2,
+            });
         }
         let ecdf = Ecdf::new(samples.to_vec())?;
         let bins = BinSet::sigma_bins(mean, sd);
         let golden_probs = bins.probabilities_from_samples(samples);
-        Ok(GoldenReference { ecdf, bins, golden_probs })
+        Ok(GoldenReference {
+            ecdf,
+            bins,
+            golden_probs,
+        })
     }
 
     /// The golden empirical CDF.

@@ -78,10 +78,19 @@ impl TimingArcSpec {
     /// derived from the index the way a library enumerates its arcs.
     pub fn of(cell: CellType, index: usize) -> Self {
         let inputs = cell.input_count();
-        let edge = if index.is_multiple_of(2) { Edge::Rise } else { Edge::Fall };
+        let edge = if index.is_multiple_of(2) {
+            Edge::Rise
+        } else {
+            Edge::Fall
+        };
         let input_pin = (index / 2) % inputs;
         let drive = [1u8, 2, 4][(index / (2 * inputs)) % 3];
-        TimingArcSpec { id: ArcId { cell, index }, input_pin, edge, drive }
+        TimingArcSpec {
+            id: ArcId { cell, index },
+            input_pin,
+            edge,
+            drive,
+        }
     }
 
     /// Deterministically synthesizes the Monte-Carlo arc model.
@@ -147,7 +156,11 @@ impl TimingArcSpec {
 
 impl fmt::Display for TimingArcSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} pin{} {} X{}", self.id, self.input_pin, self.edge, self.drive)
+        write!(
+            f,
+            "{} pin{} {} X{}",
+            self.id, self.input_pin, self.edge, self.drive
+        )
     }
 }
 
@@ -158,8 +171,13 @@ struct Hash {
 
 impl Hash {
     fn new(spec: &TimingArcSpec) -> Self {
-        let cell_idx = CellType::ALL.iter().position(|c| *c == spec.id.cell).unwrap_or(0) as u64;
-        let mut h = Hash { state: cell_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (spec.id.index as u64) };
+        let cell_idx = CellType::ALL
+            .iter()
+            .position(|c| *c == spec.id.cell)
+            .unwrap_or(0) as u64;
+        let mut h = Hash {
+            state: cell_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (spec.id.index as u64),
+        };
         h.next();
         Hash { state: h.next() }
     }

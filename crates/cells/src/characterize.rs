@@ -1,8 +1,15 @@
 //! Library characterization: run the Monte-Carlo engine for one arc over the
 //! whole slew–load grid, producing the per-condition sample sets that the
 //! models are fitted to.
+//!
+//! Characterization is embarrassingly parallel at two levels — grid
+//! conditions within an arc ([`characterize_arc_par`]) and arcs within a
+//! library ([`characterize_library`]) — and every condition already owns a
+//! seed derived from `(arc, i, j)`, so parallel runs are bit-identical to
+//! serial ones at any thread count.
 
 use lvf2_mc::{McEngine, VariationSpace};
+use lvf2_parallel::Parallelism;
 
 use crate::arc::TimingArcSpec;
 use crate::grid::SlewLoadGrid;
@@ -71,10 +78,29 @@ pub fn characterize_arc(
     grid: &SlewLoadGrid,
     samples: usize,
 ) -> ArcCharacterization {
+    characterize_arc_par(spec, grid, samples, &Parallelism::auto())
+}
+
+/// [`characterize_arc`] on an explicit thread/chunk configuration: the grid
+/// conditions fan out across `par`'s threads (the Monte-Carlo engine inside
+/// each condition stays serial — conditions are plentiful and coarse).
+///
+/// Every condition derives its seed from `(arc, i, j)` alone, so the result
+/// is bit-identical to the serial run for any thread count.
+pub fn characterize_arc_par(
+    spec: &TimingArcSpec,
+    grid: &SlewLoadGrid,
+    samples: usize,
+    par: &Parallelism,
+) -> ArcCharacterization {
     let base = spec.synthesize();
-    let mut conditions = Vec::with_capacity(grid.len());
-    let sign = if base.selector.offset >= 0.0 { 1.0 } else { -1.0 };
-    for (i, j, slew, load) in grid.iter() {
+    let sign = if base.selector.offset >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    };
+    let points: Vec<(usize, usize, f64, f64)> = grid.iter().collect();
+    let conditions = par.par_map(&points, |&(i, j, slew, load)| {
         let mut arc = base;
         // Exact checkerboard in index space (see Figure 4): at even i+j the
         // two mechanisms are evenly matched (selector bias ≈ 0, strong
@@ -87,23 +113,41 @@ pub fn characterize_arc(
         };
         arc.selector.checker_amp = 0.0;
         let seed = spec.mc_seed() ^ ((i as u64) << 32) ^ (j as u64).wrapping_mul(0x9E37);
-        let engine = McEngine::new(VariationSpace::tt_22nm(), samples, seed);
+        let engine = McEngine::new(VariationSpace::tt_22nm(), samples, seed)
+            .with_parallelism(Parallelism::serial());
         let r = engine.simulate(&arc, slew, load);
-        conditions.push(ConditionSamples {
+        ConditionSamples {
             slew_index: i,
             load_index: j,
             slew,
             load,
             delays: r.delays,
             transitions: r.transitions,
-        });
-    }
+        }
+    });
     ArcCharacterization {
         spec: *spec,
         conditions,
         rows: grid.slews().len(),
         cols: grid.loads().len(),
     }
+}
+
+/// Characterizes many arcs, fanning the *arcs* out across `par`'s threads
+/// (each arc's grid then runs serially — at library scale the arc level
+/// already saturates the machine).
+///
+/// Returns one [`ArcCharacterization`] per spec, in input order, bit-identical
+/// to calling [`characterize_arc`] on each spec serially.
+pub fn characterize_library(
+    specs: &[TimingArcSpec],
+    grid: &SlewLoadGrid,
+    samples: usize,
+    par: &Parallelism,
+) -> Vec<ArcCharacterization> {
+    par.par_map(specs, |spec| {
+        characterize_arc_par(spec, grid, samples, &Parallelism::serial())
+    })
 }
 
 #[cfg(test)]

@@ -26,8 +26,12 @@ impl SlewLoadGrid {
     /// matching non-linear ladder.
     pub fn paper_8x8() -> Self {
         SlewLoadGrid {
-            slews: vec![0.00123, 0.00391, 0.00928, 0.02102, 0.05105, 0.12345, 0.29835, 0.71015],
-            loads: vec![0.00015, 0.00722, 0.02136, 0.04965, 0.10623, 0.21938, 0.44569, 0.89830],
+            slews: vec![
+                0.00123, 0.00391, 0.00928, 0.02102, 0.05105, 0.12345, 0.29835, 0.71015,
+            ],
+            loads: vec![
+                0.00015, 0.00722, 0.02136, 0.04965, 0.10623, 0.21938, 0.44569, 0.89830,
+            ],
         }
     }
 
@@ -45,7 +49,10 @@ impl SlewLoadGrid {
     ///
     /// Panics if either ladder is empty or not strictly increasing.
     pub fn new(slews: Vec<f64>, loads: Vec<f64>) -> Self {
-        assert!(!slews.is_empty() && !loads.is_empty(), "grid must be non-empty");
+        assert!(
+            !slews.is_empty() && !loads.is_empty(),
+            "grid must be non-empty"
+        );
         assert!(slews.windows(2).all(|w| w[0] < w[1]), "slews must increase");
         assert!(loads.windows(2).all(|w| w[0] < w[1]), "loads must increase");
         SlewLoadGrid { slews, loads }
@@ -83,7 +90,10 @@ impl SlewLoadGrid {
     /// Iterates `(i, j, slew, load)` row-major over slews then loads.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64, f64)> + '_ {
         self.slews.iter().enumerate().flat_map(move |(i, &s)| {
-            self.loads.iter().enumerate().map(move |(j, &l)| (i, j, s, l))
+            self.loads
+                .iter()
+                .enumerate()
+                .map(move |(j, &l)| (i, j, s, l))
         })
     }
 }

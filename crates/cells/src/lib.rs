@@ -28,9 +28,13 @@ pub mod scenarios;
 pub mod types;
 
 pub use arc::{ArcId, Edge, TimingArcSpec};
-pub use characterize::{characterize_arc, ArcCharacterization, ConditionSamples};
+pub use characterize::{
+    characterize_arc, characterize_arc_par, characterize_library, ArcCharacterization,
+    ConditionSamples,
+};
 pub use grid::SlewLoadGrid;
 pub use library::CellLibrary;
+pub use lvf2_parallel::Parallelism;
 pub use pattern::{ModelClass, PatternPredictor, Probe};
 pub use scenarios::Scenario;
 pub use types::CellType;

@@ -30,7 +30,9 @@ pub struct CellLibrary {
 impl CellLibrary {
     /// The benchmark library with the paper's Table 2 arc counts.
     pub fn tsmc22_like() -> Self {
-        CellLibrary { name: "lvf2-synth-22nm".to_string() }
+        CellLibrary {
+            name: "lvf2-synth-22nm".to_string(),
+        }
     }
 
     /// Library name (also used as the Liberty `library()` group name).
@@ -55,18 +57,25 @@ impl CellLibrary {
 
     /// All arc specs for one cell type.
     pub fn arc_specs(&self, cell: CellType) -> Vec<TimingArcSpec> {
-        (0..self.arc_count(cell)).map(|i| TimingArcSpec::of(cell, i)).collect()
+        (0..self.arc_count(cell))
+            .map(|i| TimingArcSpec::of(cell, i))
+            .collect()
     }
 
     /// The first `k` arcs of a cell type — the reduced workload used by the
     /// default Table 2 run (`--full` enables all of them).
     pub fn arc_specs_reduced(&self, cell: CellType, k: usize) -> Vec<TimingArcSpec> {
-        (0..self.arc_count(cell).min(k)).map(|i| TimingArcSpec::of(cell, i)).collect()
+        (0..self.arc_count(cell).min(k))
+            .map(|i| TimingArcSpec::of(cell, i))
+            .collect()
     }
 
     /// Every arc spec in the library.
     pub fn all_arc_specs(&self) -> Vec<TimingArcSpec> {
-        CellType::ALL.iter().flat_map(|&c| self.arc_specs(c)).collect()
+        CellType::ALL
+            .iter()
+            .flat_map(|&c| self.arc_specs(c))
+            .collect()
     }
 
     /// Input capacitance of a cell's input pin (pF) — drive-proportional.

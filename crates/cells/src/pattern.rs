@@ -95,7 +95,11 @@ impl PatternPredictor {
 
     /// Predicts the model class of an arbitrary grid position.
     pub fn predict(&self, i: usize, j: usize) -> ModelClass {
-        let m = if (i + j).is_multiple_of(2) { self.even_mean } else { self.odd_mean };
+        let m = if (i + j).is_multiple_of(2) {
+            self.even_mean
+        } else {
+            self.odd_mean
+        };
         if m >= self.threshold {
             ModelClass::MultiComponent
         } else {
@@ -125,11 +129,19 @@ pub fn probe_plan(rows: usize, cols: usize, per_parity: usize) -> Vec<(usize, us
         let i = (k * rows.max(1)) / per_parity.max(1) % rows;
         // Even-parity partner in row i.
         let je = (i % 2 + 2 * ((k * cols) / (2 * per_parity.max(1)))) % cols;
-        let je = if (i + je).is_multiple_of(2) { je } else { (je + 1) % cols };
+        let je = if (i + je).is_multiple_of(2) {
+            je
+        } else {
+            (je + 1) % cols
+        };
         plan.push((i, je));
         // Odd-parity partner.
         let jo = (je + 1) % cols;
-        let jo = if (i + jo) % 2 == 1 { jo } else { (jo + 1) % cols };
+        let jo = if (i + jo) % 2 == 1 {
+            jo
+        } else {
+            (jo + 1) % cols
+        };
         plan.push((i, jo));
     }
     plan.sort_unstable();
@@ -143,7 +155,18 @@ mod tests {
 
     #[test]
     fn fit_requires_both_parities() {
-        let only_even = [Probe { i: 0, j: 0, score: 5.0 }, Probe { i: 1, j: 1, score: 4.0 }];
+        let only_even = [
+            Probe {
+                i: 0,
+                j: 0,
+                score: 5.0,
+            },
+            Probe {
+                i: 1,
+                j: 1,
+                score: 4.0,
+            },
+        ];
         assert!(PatternPredictor::fit(&only_even, 2.0).is_none());
     }
 
@@ -164,7 +187,11 @@ mod tests {
         let plan = probe_plan(8, 8, 2);
         let probes: Vec<Probe> = plan
             .iter()
-            .map(|&(i, j)| Probe { i, j, score: truth_score(i, j) })
+            .map(|&(i, j)| Probe {
+                i,
+                j,
+                score: truth_score(i, j),
+            })
             .collect();
         let p = PatternPredictor::fit(&probes, 2.0).unwrap();
         let mut correct = 0;
@@ -187,8 +214,16 @@ mod tests {
     #[test]
     fn flat_boring_arc_predicts_all_lvf() {
         let probes = [
-            Probe { i: 0, j: 0, score: 1.1 },
-            Probe { i: 0, j: 1, score: 1.0 },
+            Probe {
+                i: 0,
+                j: 0,
+                score: 1.1,
+            },
+            Probe {
+                i: 0,
+                j: 1,
+                score: 1.0,
+            },
         ];
         let p = PatternPredictor::fit(&probes, 2.0).unwrap();
         assert_eq!(p.lvf2_fraction(8, 8), 0.0);
@@ -205,11 +240,19 @@ mod tests {
         let grid = SlewLoadGrid::paper_8x8();
         let ch = characterize_arc(&spec, &grid, 1500);
         let score = |i: usize, j: usize| {
-            Histogram::new(&ch.at(i, j).delays, 50).unwrap().peak_count() as f64
+            Histogram::new(&ch.at(i, j).delays, 50)
+                .unwrap()
+                .peak_count() as f64
         };
         let plan = probe_plan(8, 8, 2);
-        let probes: Vec<Probe> =
-            plan.iter().map(|&(i, j)| Probe { i, j, score: score(i, j) }).collect();
+        let probes: Vec<Probe> = plan
+            .iter()
+            .map(|&(i, j)| Probe {
+                i,
+                j,
+                score: score(i, j),
+            })
+            .collect();
         let p = PatternPredictor::fit(&probes, 1.5).unwrap();
         // Majority agreement with the observed peak classes.
         let mut agree = 0;
@@ -225,6 +268,9 @@ mod tests {
                 }
             }
         }
-        assert!(agree >= 44, "pattern prediction agreed on only {agree}/64 positions");
+        assert!(
+            agree >= 44,
+            "pattern prediction agreed on only {agree}/64 positions"
+        );
     }
 }

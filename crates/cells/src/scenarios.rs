@@ -77,7 +77,11 @@ impl Scenario {
                 vec![0.55, 0.45],
             ),
             Scenario::MultiPeaks => Mixture::new(
-                vec![sn(0.100, 0.004, 0.80)?, sn(0.126, 0.005, 0.70)?, sn(0.150, 0.006, 0.50)?],
+                vec![
+                    sn(0.100, 0.004, 0.80)?,
+                    sn(0.126, 0.005, 0.70)?,
+                    sn(0.150, 0.006, 0.50)?,
+                ],
                 vec![0.44, 0.40, 0.16],
             ),
             Scenario::Saddle => Mixture::new(
@@ -102,11 +106,12 @@ impl Scenario {
     /// Never — the ground truths are statically valid (guarded by tests).
     pub fn sample(&self, n: usize, seed: u64) -> Vec<f64> {
         use lvf2_stats::Distribution;
-        let truth = self.ground_truth().expect("scenario ground truths are valid");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00 ^ Scenario::ALL
-            .iter()
-            .position(|s| s == self)
-            .unwrap_or(0) as u64);
+        let truth = self
+            .ground_truth()
+            .expect("scenario ground truths are valid");
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ 0xC0FF_EE00 ^ Scenario::ALL.iter().position(|s| s == self).unwrap_or(0) as u64,
+        );
         truth.sample_n(&mut rng, n)
     }
 }
@@ -147,7 +152,11 @@ mod tests {
     #[test]
     fn kurtosis_scenario_is_leptokurtic_not_bimodal() {
         let truth = Scenario::Kurtosis.ground_truth().unwrap();
-        assert!(truth.excess_kurtosis() > 0.8, "κ = {}", truth.excess_kurtosis());
+        assert!(
+            truth.excess_kurtosis() > 0.8,
+            "κ = {}",
+            truth.excess_kurtosis()
+        );
         let xs = Scenario::Kurtosis.sample(20_000, 3);
         let h = Histogram::new(&xs, 40).unwrap();
         assert_eq!(h.peak_count(), 1);

@@ -125,8 +125,12 @@ impl CellType {
             | CellType::Xnor3
             | CellType::Mux2
             | CellType::FullAdder => 3,
-            CellType::Nand4 | CellType::And4 | CellType::Nor4 | CellType::Or4
-            | CellType::Xor4 | CellType::Xnor4 => 4,
+            CellType::Nand4
+            | CellType::And4
+            | CellType::Nor4
+            | CellType::Or4
+            | CellType::Xor4
+            | CellType::Xnor4 => 4,
             CellType::Mux3 => 5,
             CellType::Mux4 => 6,
         }
@@ -135,13 +139,30 @@ impl CellType {
     /// Longest series NMOS stack in the pull-down network.
     pub fn nmos_stack(&self) -> usize {
         match self {
-            CellType::Inv | CellType::Buff | CellType::Nor2 | CellType::Nor3
-            | CellType::Nor4 | CellType::Or2 | CellType::Or3 | CellType::Or4 => 1,
-            CellType::Nand2 | CellType::And2 | CellType::Xor2 | CellType::Xnor2
-            | CellType::Mux2 | CellType::HalfAdder => 2,
-            CellType::Nand3 | CellType::And3 | CellType::Xor3 | CellType::Xnor3
-            | CellType::Mux3 | CellType::FullAdder => 3,
-            CellType::Nand4 | CellType::And4 | CellType::Xor4 | CellType::Xnor4
+            CellType::Inv
+            | CellType::Buff
+            | CellType::Nor2
+            | CellType::Nor3
+            | CellType::Nor4
+            | CellType::Or2
+            | CellType::Or3
+            | CellType::Or4 => 1,
+            CellType::Nand2
+            | CellType::And2
+            | CellType::Xor2
+            | CellType::Xnor2
+            | CellType::Mux2
+            | CellType::HalfAdder => 2,
+            CellType::Nand3
+            | CellType::And3
+            | CellType::Xor3
+            | CellType::Xnor3
+            | CellType::Mux3
+            | CellType::FullAdder => 3,
+            CellType::Nand4
+            | CellType::And4
+            | CellType::Xor4
+            | CellType::Xnor4
             | CellType::Mux4 => 4,
         }
     }
@@ -149,14 +170,27 @@ impl CellType {
     /// Longest series PMOS stack in the pull-up network.
     pub fn pmos_stack(&self) -> usize {
         match self {
-            CellType::Inv | CellType::Buff | CellType::Nand2 | CellType::Nand3
-            | CellType::Nand4 | CellType::And2 | CellType::And3 | CellType::And4 => 1,
-            CellType::Nor2 | CellType::Or2 | CellType::Xor2 | CellType::Xnor2
-            | CellType::Mux2 | CellType::HalfAdder => 2,
-            CellType::Nor3 | CellType::Or3 | CellType::Xor3 | CellType::Xnor3
-            | CellType::Mux3 | CellType::FullAdder => 3,
-            CellType::Nor4 | CellType::Or4 | CellType::Xor4 | CellType::Xnor4
-            | CellType::Mux4 => 4,
+            CellType::Inv
+            | CellType::Buff
+            | CellType::Nand2
+            | CellType::Nand3
+            | CellType::Nand4
+            | CellType::And2
+            | CellType::And3
+            | CellType::And4 => 1,
+            CellType::Nor2
+            | CellType::Or2
+            | CellType::Xor2
+            | CellType::Xnor2
+            | CellType::Mux2
+            | CellType::HalfAdder => 2,
+            CellType::Nor3
+            | CellType::Or3
+            | CellType::Xor3
+            | CellType::Xnor3
+            | CellType::Mux3
+            | CellType::FullAdder => 3,
+            CellType::Nor4 | CellType::Or4 | CellType::Xor4 | CellType::Xnor4 | CellType::Mux4 => 4,
         }
     }
 

@@ -4,11 +4,14 @@ use std::error::Error;
 use std::io::Read as _;
 
 use lvf2::binning::{score_model, GoldenReference};
-use lvf2::cells::{characterize_arc, CellType, Scenario, SlewLoadGrid, TimingArcSpec};
+use lvf2::cells::{characterize_arc_par, CellType, Scenario, SlewLoadGrid, TimingArcSpec};
 use lvf2::fit::select::{select_order, Criterion};
-use lvf2::fit::{fit_lvf2, FitConfig};
+use lvf2::fit::{fit_lvf2_batch, FitConfig};
 use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
-use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::liberty::{
+    parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
+};
+use lvf2::parallel::{Parallelism, DEFAULT_CHUNK_SIZE};
 use lvf2::stats::Distribution;
 use lvf2::{fit_model, recommend_model, ModelKind};
 
@@ -21,8 +24,10 @@ pub const USAGE: &str = "\
 lvf2 — LVF² statistical timing toolkit
 
 USAGE:
-  lvf2 characterize --cell NAME [--arc N] [--samples N] [--grid 8x8|3x3] [--seed N] --out FILE
-  lvf2 library --cells NAME,NAME,… [--arcs N] [--samples N] [--grid 8x8|3x3] --out FILE
+  lvf2 characterize --cell NAME [--arc N] [--samples N] [--grid 8x8|3x3] [--seed N]
+                    [--threads N] [--chunk-size N] --out FILE
+  lvf2 library --cells NAME,NAME,… [--arcs N] [--samples N] [--grid 8x8|3x3]
+               [--threads N] [--chunk-size N] --out FILE
   lvf2 inspect FILE [--cell NAME]
   lvf2 fit FILE|- [--model lvf|norm2|lesn|lvf2] [--fast]
   lvf2 select FILE|- [--max-order K] [--aic]
@@ -31,6 +36,10 @@ USAGE:
   lvf2 sta NETLIST --clock T [--samples N] [--slew S]
   lvf2 scenario NAME [--samples N] [--seed N]
       NAME ∈ two-peaks | multi-peaks | saddle | minor-saddle | kurtosis
+
+`--threads 0` (the default) auto-detects the core count; `--threads 1` forces
+the serial path. Results are bit-identical at every thread count. The
+LVF2_THREADS environment variable supplies a default when --threads is absent.
 
 Samples files are whitespace/newline-separated numbers; `-` reads stdin.";
 
@@ -44,7 +53,10 @@ fn read_samples(path: &str) -> Result<Vec<f64>, Box<dyn Error>> {
     };
     let mut out = Vec::new();
     for tok in text.split_whitespace() {
-        out.push(tok.parse::<f64>().map_err(|_| format!("invalid sample `{tok}`"))?);
+        out.push(
+            tok.parse::<f64>()
+                .map_err(|_| format!("invalid sample `{tok}`"))?,
+        );
     }
     if out.is_empty() {
         return Err("no samples found".into());
@@ -68,6 +80,14 @@ fn config(opts: &Opts) -> FitConfig {
     }
 }
 
+/// `--threads`/`--chunk-size` → a [`Parallelism`]. `--threads 0` (the
+/// default) defers to `LVF2_THREADS` and then to the detected core count.
+fn parallelism(opts: &Opts) -> Result<Parallelism, String> {
+    Ok(Parallelism::auto()
+        .with_threads(opts.get_or("threads", 0usize)?)
+        .with_chunk_size(opts.get_or("chunk-size", DEFAULT_CHUNK_SIZE)?))
+}
+
 /// `lvf2 characterize`: Monte-Carlo characterize one arc, fit LVF² on every
 /// grid condition, write a Liberty file carrying both LVF and LVF² tables.
 pub fn characterize(args: &[String]) -> CliResult {
@@ -85,22 +105,31 @@ pub fn characterize(args: &[String]) -> CliResult {
         return Err(format!("{cell} has {} arcs", cell.paper_arc_count()).into());
     }
     let spec = TimingArcSpec::of(cell, arc_idx);
-    eprintln!("characterizing {spec} over {}x{} grid, {samples} samples/condition…",
-        grid.slews().len(), grid.loads().len());
-    let ch = characterize_arc(&spec, &grid, samples);
+    let par = parallelism(&opts)?;
+    eprintln!(
+        "characterizing {spec} over {}x{} grid, {samples} samples/condition, {} thread(s)…",
+        grid.slews().len(),
+        grid.loads().len(),
+        par.effective_threads()
+    );
+    let ch = characterize_arc_par(&spec, &grid, samples, &par);
 
     let cfg = FitConfig::fast();
     let rows = grid.slews().len();
     let cols = grid.loads().len();
+    let ch = &ch;
+    let entries: Vec<&[f64]> = (0..rows)
+        .flat_map(|i| (0..cols).map(move |j| ch.at(i, j).delays.as_slice()))
+        .collect();
+    let mut fits = fit_lvf2_batch(&entries, &cfg, &par)?.into_iter();
     let mut nominal = Vec::with_capacity(rows);
     let mut models = Vec::with_capacity(rows);
     for i in 0..rows {
         let mut nrow = Vec::with_capacity(cols);
         let mut mrow = Vec::with_capacity(cols);
         for j in 0..cols {
-            let c = ch.at(i, j);
-            nrow.push(lvf2::stats::sample_mean(&c.delays));
-            mrow.push(fit_lvf2(&c.delays, &cfg)?.model);
+            nrow.push(lvf2::stats::sample_mean(&ch.at(i, j).delays));
+            mrow.push(fits.next().expect("one fit per grid entry").model);
         }
         nominal.push(nrow);
         models.push(mrow);
@@ -127,7 +156,8 @@ pub fn characterize(args: &[String]) -> CliResult {
             timings: vec![TimingGroup {
                 related_pin: "A".into(),
                 tables: model_grid.to_tables(&template),
-            ..Default::default() }],
+                ..Default::default()
+            }],
         }],
     });
     std::fs::write(out, write_library(&lib))?;
@@ -138,7 +168,9 @@ pub fn characterize(args: &[String]) -> CliResult {
 /// `lvf2 library`: characterize several cells and write one Liberty file.
 pub fn library(args: &[String]) -> CliResult {
     let opts = Opts::parse(args);
-    let names = opts.get("cells").ok_or("--cells is required (comma-separated)")?;
+    let names = opts
+        .get("cells")
+        .ok_or("--cells is required (comma-separated)")?;
     let out = opts.get("out").ok_or("--out is required")?;
     let mut cells = Vec::new();
     for name in names.split(',') {
@@ -149,13 +181,19 @@ pub fn library(args: &[String]) -> CliResult {
         "3x3" => SlewLoadGrid::small_3x3(),
         other => return Err(format!("unknown grid `{other}` (8x8 or 3x3)").into()),
     };
+    let par = parallelism(&opts)?;
     let flow_opts = lvf2::flow::FlowOptions {
         samples: opts.get_or("samples", 2000)?,
         arcs_per_cell: opts.get_or("arcs", 1)?,
         grid,
         fit: FitConfig::fast(),
+        parallelism: par,
     };
-    eprintln!("characterizing {} cell type(s)…", cells.len());
+    eprintln!(
+        "characterizing {} cell type(s) on {} thread(s)…",
+        cells.len(),
+        par.effective_threads()
+    );
     let lib = lvf2::flow::characterize_to_library(&cells, &flow_opts)?;
     std::fs::write(out, write_library(&lib))?;
     println!("wrote {out} ({} cell groups)", lib.cells.len());
@@ -167,7 +205,12 @@ pub fn inspect(args: &[String]) -> CliResult {
     let opts = Opts::parse(args);
     let path = opts.positional(0).ok_or("usage: lvf2 inspect FILE")?;
     let lib = parse_library(&std::fs::read_to_string(path)?)?;
-    println!("library `{}`: {} template(s), {} cell(s)", lib.name, lib.templates.len(), lib.cells.len());
+    println!(
+        "library `{}`: {} template(s), {} cell(s)",
+        lib.name,
+        lib.templates.len(),
+        lib.cells.len()
+    );
     for cell in &lib.cells {
         if let Some(want) = opts.get("cell") {
             if !cell.name.eq_ignore_ascii_case(want) {
@@ -177,8 +220,11 @@ pub fn inspect(args: &[String]) -> CliResult {
         println!("cell {}", cell.name);
         for pin in &cell.pins {
             for (t, timing) in pin.timings.iter().enumerate() {
-                let lvf2_tables =
-                    timing.tables.iter().filter(|t| t.kind.stat.is_lvf2_extension()).count();
+                let lvf2_tables = timing
+                    .tables
+                    .iter()
+                    .filter(|t| t.kind.stat.is_lvf2_extension())
+                    .count();
                 println!(
                     "  pin {} timing[{t}] related_pin={} tables={} (lvf2 extension: {})",
                     pin.name,
@@ -188,12 +234,8 @@ pub fn inspect(args: &[String]) -> CliResult {
                 );
                 for base in BaseKind::ALL {
                     if let Ok(grid) = TimingModelGrid::from_timing(timing, base) {
-                        let mut lambdas: Vec<f64> = grid
-                            .models
-                            .iter()
-                            .flatten()
-                            .map(|m| m.lambda())
-                            .collect();
+                        let mut lambdas: Vec<f64> =
+                            grid.models.iter().flatten().map(|m| m.lambda()).collect();
                         lambdas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                         let active = lambdas.iter().filter(|&&l| l > 0.0).count();
                         println!(
@@ -236,8 +278,12 @@ pub fn fit(args: &[String]) -> CliResult {
         println!(
             "  λ={:.4} θ1=(μ={:.6}, σ={:.6}, γ={:+.3}) θ2=(μ={:.6}, σ={:.6}, γ={:+.3})",
             m.lambda(),
-            m.first().mean(), m.first().std_dev(), m.first().skewness(),
-            m.second().mean(), m.second().std_dev(), m.second().skewness(),
+            m.first().mean(),
+            m.first().std_dev(),
+            m.first().skewness(),
+            m.second().mean(),
+            m.second().std_dev(),
+            m.second().skewness(),
         );
     }
     let golden = GoldenReference::from_samples(&xs)?;
@@ -260,9 +306,16 @@ pub fn select(args: &[String]) -> CliResult {
     let path = opts.positional(0).ok_or("usage: lvf2 select FILE|-")?;
     let xs = read_samples(path)?;
     let max_order: usize = opts.get_or("max-order", 3)?;
-    let criterion = if opts.flag("aic") { Criterion::Aic } else { Criterion::Bic };
+    let criterion = if opts.flag("aic") {
+        Criterion::Aic
+    } else {
+        Criterion::Bic
+    };
     let sel = select_order(&xs, max_order, criterion, &config(&opts))?;
-    println!("{:>6} {:>16} {:>16}", "order", "criterion", "log-likelihood");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "order", "criterion", "log-likelihood"
+    );
     for (k, crit, ll) in &sel.candidates {
         let mark = if *k == sel.best_order { " <= best" } else { "" };
         println!("{k:>6} {crit:>16.2} {ll:>16.2}{mark}");
@@ -270,7 +323,11 @@ pub fn select(args: &[String]) -> CliResult {
     println!(
         "selection: K = {} ({})",
         sel.best_order,
-        if sel.prefers_lvf() { "plain LVF suffices" } else { "store the mixture" }
+        if sel.prefers_lvf() {
+            "plain LVF suffices"
+        } else {
+            "store the mixture"
+        }
     );
     Ok(())
 }
@@ -278,7 +335,9 @@ pub fn select(args: &[String]) -> CliResult {
 /// `lvf2 switch`: the §3.4 depth-aware LVF vs LVF² recommendation.
 pub fn switch(args: &[String]) -> CliResult {
     let opts = Opts::parse(args);
-    let path = opts.positional(0).ok_or("usage: lvf2 switch FILE|- --depth N")?;
+    let path = opts
+        .positional(0)
+        .ok_or("usage: lvf2 switch FILE|- --depth N")?;
     let xs = read_samples(path)?;
     let depth: usize = opts.get_or("depth", 1)?;
     let threshold: f64 = opts.get_or("threshold", lvf2::switch::DEFAULT_THRESHOLD)?;
@@ -298,7 +357,9 @@ pub fn yield_cmd(args: &[String]) -> CliResult {
     use lvf2::binning::rare::{importance_tail_probability, shifted_proposal};
     use rand::SeedableRng;
     let opts = Opts::parse(args);
-    let path = opts.positional(0).ok_or("usage: lvf2 yield FILE|- --target T")?;
+    let path = opts
+        .positional(0)
+        .ok_or("usage: lvf2 yield FILE|- --target T")?;
     let xs = read_samples(path)?;
     let target: f64 = opts
         .get("target")
@@ -326,7 +387,11 @@ pub fn yield_cmd(args: &[String]) -> CliResult {
     println!(
         "raw-sample estimate: {raw_fail:.3e} ({} samples{})",
         xs.len(),
-        if raw_fail == 0.0 { "; tail unresolvable without IS" } else { "" }
+        if raw_fail == 0.0 {
+            "; tail unresolvable without IS"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -337,7 +402,9 @@ pub fn yield_cmd(args: &[String]) -> CliResult {
 pub fn sta(args: &[String]) -> CliResult {
     use lvf2::ssta::{parse_netlist, run_sta, StaOptions};
     let opts = Opts::parse(args);
-    let path = opts.positional(0).ok_or("usage: lvf2 sta NETLIST --clock T")?;
+    let path = opts
+        .positional(0)
+        .ok_or("usage: lvf2 sta NETLIST --clock T")?;
     let text = std::fs::read_to_string(path)?;
     let netlist = parse_netlist(&text)?;
     let sta_opts = StaOptions {
@@ -359,8 +426,11 @@ pub fn sta(args: &[String]) -> CliResult {
         "{:<10} {:>10} {:>10} | {:>12} {:>12} {:>12}",
         "output", "mean (ns)", "σ (ns)", "P_viol LVF", "P_viol LVF2", "P_viol golden"
     );
-    for ((lvf, lvf2), (net, golden)) in
-        report.lvf.iter().zip(&report.lvf2).zip(&report.golden_violation)
+    for ((lvf, lvf2), (net, golden)) in report
+        .lvf
+        .iter()
+        .zip(&report.lvf2)
+        .zip(&report.golden_violation)
     {
         println!(
             "{:<10} {:>10.5} {:>10.5} | {:>12.5} {:>12.5} {:>12.5}",
@@ -414,7 +484,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let good = dir.join("good.txt");
         std::fs::write(&good, "1.0 2.0\n3.5").unwrap();
-        assert_eq!(read_samples(good.to_str().unwrap()).unwrap(), vec![1.0, 2.0, 3.5]);
+        assert_eq!(
+            read_samples(good.to_str().unwrap()).unwrap(),
+            vec![1.0, 2.0, 3.5]
+        );
         let bad = dir.join("bad.txt");
         std::fs::write(&bad, "1.0 oops").unwrap();
         assert!(read_samples(bad.to_str().unwrap()).is_err());

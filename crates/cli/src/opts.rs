@@ -18,7 +18,8 @@ impl Opts {
             if let Some(key) = a.strip_prefix("--") {
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
-                        o.pairs.push((key.to_string(), it.next().expect("peeked").clone()));
+                        o.pairs
+                            .push((key.to_string(), it.next().expect("peeked").clone()));
                     }
                     _ => o.flags.push(key.to_string()),
                 }
@@ -36,7 +37,11 @@ impl Opts {
 
     /// String value of `--key`.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Parsed value of `--key`, with a default.

@@ -18,7 +18,17 @@ fn help_lists_all_subcommands() {
     let out = lvf2().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["characterize", "library", "inspect", "fit", "select", "switch", "scenario", "yield", "sta"] {
+    for cmd in [
+        "characterize",
+        "library",
+        "inspect",
+        "fit",
+        "select",
+        "switch",
+        "scenario",
+        "yield",
+        "sta",
+    ] {
         assert!(text.contains(cmd), "help missing `{cmd}`");
     }
 }
@@ -42,15 +52,34 @@ fn scenario_fit_select_pipeline() {
     std::fs::write(&samples, &out.stdout).expect("write samples");
 
     let fit = lvf2()
-        .args(["fit", samples.to_str().expect("utf8"), "--model", "lvf2", "--fast"])
+        .args([
+            "fit",
+            samples.to_str().expect("utf8"),
+            "--model",
+            "lvf2",
+            "--fast",
+        ])
         .output()
         .expect("fit runs");
-    assert!(fit.status.success(), "stderr: {}", String::from_utf8_lossy(&fit.stderr));
+    assert!(
+        fit.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
     let text = String::from_utf8_lossy(&fit.stdout);
-    assert!(text.contains("LVF2:") && text.contains("λ="), "fit output: {text}");
+    assert!(
+        text.contains("LVF2:") && text.contains("λ="),
+        "fit output: {text}"
+    );
 
     let sel = lvf2()
-        .args(["select", samples.to_str().expect("utf8"), "--max-order", "2", "--fast"])
+        .args([
+            "select",
+            samples.to_str().expect("utf8"),
+            "--max-order",
+            "2",
+            "--fast",
+        ])
         .output()
         .expect("select runs");
     assert!(sel.status.success());
@@ -63,31 +92,60 @@ fn characterize_then_inspect() {
     let lib = dir.join("inv.lib");
     let ch = lvf2()
         .args([
-            "characterize", "--cell", "INV", "--arc", "0", "--grid", "3x3",
-            "--samples", "600", "--out", lib.to_str().expect("utf8"),
+            "characterize",
+            "--cell",
+            "INV",
+            "--arc",
+            "0",
+            "--grid",
+            "3x3",
+            "--samples",
+            "600",
+            "--out",
+            lib.to_str().expect("utf8"),
         ])
         .output()
         .expect("characterize runs");
-    assert!(ch.status.success(), "stderr: {}", String::from_utf8_lossy(&ch.stderr));
+    assert!(
+        ch.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&ch.stderr)
+    );
     assert!(lib.exists());
 
-    let ins = lvf2().args(["inspect", lib.to_str().expect("utf8")]).output().expect("inspect runs");
+    let ins = lvf2()
+        .args(["inspect", lib.to_str().expect("utf8")])
+        .output()
+        .expect("inspect runs");
     assert!(ins.status.success());
     let text = String::from_utf8_lossy(&ins.stdout);
-    assert!(text.contains("INV_X1") && text.contains("cell_rise"), "inspect: {text}");
+    assert!(
+        text.contains("INV_X1") && text.contains("cell_rise"),
+        "inspect: {text}"
+    );
 }
 
 #[test]
 fn sta_runs_on_the_example_netlist() {
     // The example netlist lives at the workspace root.
-    let netlist = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/netlists/full_adder.net");
+    let netlist = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/netlists/full_adder.net"
+    );
     let out = lvf2()
         .args(["sta", netlist, "--clock", "0.12", "--samples", "800"])
         .output()
         .expect("sta runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("SUM") && text.contains("COUT"), "sta output: {text}");
+    assert!(
+        text.contains("SUM") && text.contains("COUT"),
+        "sta output: {text}"
+    );
 }
 
 #[test]
@@ -95,7 +153,10 @@ fn fit_rejects_garbage_input() {
     let dir = tempdir();
     let bad = dir.join("bad.txt");
     std::fs::write(&bad, "not numbers at all").expect("write");
-    let out = lvf2().args(["fit", bad.to_str().expect("utf8")]).output().expect("runs");
+    let out = lvf2()
+        .args(["fit", bad.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid sample"));
 }

@@ -1,11 +1,17 @@
 //! The end-to-end library-vendor flow: characterize a set of cells over a
 //! grid and emit one Liberty library carrying both LVF and LVF² content —
 //! the glue a characterization team would actually run.
+//!
+//! The flow is parallel at its two natural fan-out points — grid conditions
+//! during characterization and table entries during fitting — governed by
+//! [`FlowOptions::parallelism`]. Outputs are bit-identical at every thread
+//! count (see `lvf2-parallel`), so `--threads` is purely a speed knob.
 
-use lvf2_cells::{characterize_arc, CellLibrary, CellType, SlewLoadGrid, TimingArcSpec};
-use lvf2_fit::{fit_lvf2, FitConfig, FitError};
+use lvf2_cells::{characterize_arc_par, CellLibrary, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2_fit::{fit_lvf2_batch, FitConfig, FitError};
 use lvf2_liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2_liberty::{BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2_parallel::Parallelism;
 
 /// Options for [`characterize_to_library`].
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +25,8 @@ pub struct FlowOptions {
     pub grid: SlewLoadGrid,
     /// Fit configuration.
     pub fit: FitConfig,
+    /// Thread/chunk configuration for characterization and fitting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FlowOptions {
@@ -28,6 +36,7 @@ impl Default for FlowOptions {
             arcs_per_cell: 1,
             grid: SlewLoadGrid::paper_8x8(),
             fit: FitConfig::fast(),
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -70,54 +79,99 @@ pub fn characterize_to_library(
         index_2: opts.grid.loads().to_vec(),
     });
 
-    for &cell in cells {
-        for arc_idx in 0..opts.arcs_per_cell.min(cell.paper_arc_count()) {
-            let spec = TimingArcSpec::of(cell, arc_idx);
-            let ch = characterize_arc(&spec, &opts.grid, opts.samples);
-            let rows = opts.grid.slews().len();
-            let cols = opts.grid.loads().len();
+    let par = &opts.parallelism;
+    let rows = opts.grid.slews().len();
+    let cols = opts.grid.loads().len();
 
-            let mut grids = Vec::new();
-            for (base, pick) in [
-                (BaseKind::CellRise, 0usize),
-                (BaseKind::RiseTransition, 1usize),
-            ] {
-                let mut nominal = Vec::with_capacity(rows);
-                let mut models = Vec::with_capacity(rows);
-                for i in 0..rows {
-                    let mut nrow = Vec::with_capacity(cols);
-                    let mut mrow = Vec::with_capacity(cols);
-                    for j in 0..cols {
+    // Stage 1 — characterization: each (cell, arc) job fans its grid
+    // conditions out across the thread pool.
+    let jobs: Vec<TimingArcSpec> = cells
+        .iter()
+        .flat_map(|&cell| {
+            (0..opts.arcs_per_cell.min(cell.paper_arc_count()))
+                .map(move |arc_idx| TimingArcSpec::of(cell, arc_idx))
+        })
+        .collect();
+    let characterized: Vec<_> = jobs
+        .iter()
+        .map(|spec| characterize_arc_par(spec, &opts.grid, opts.samples, par))
+        .collect();
+
+    // Stage 2 — fitting: every (job, base-kind, grid-entry) sample set is an
+    // independent EM run; flatten them all into one batch so the pool stays
+    // saturated even for a single-arc flow. Entry order is (job, pick, i, j),
+    // which both the batch fitter and the reassembly below preserve.
+    let entries: Vec<&[f64]> = characterized
+        .iter()
+        .flat_map(|ch| {
+            (0..2).flat_map(move |pick| {
+                (0..rows).flat_map(move |i| {
+                    (0..cols).map(move |j| {
                         let c = ch.at(i, j);
-                        let data = if pick == 0 { &c.delays } else { &c.transitions };
-                        nrow.push(lvf2_stats::sample_mean(data));
-                        mrow.push(fit_lvf2(data, &opts.fit)?.model);
-                    }
-                    nominal.push(nrow);
-                    models.push(mrow);
-                }
-                grids.push(TimingModelGrid {
-                    base,
-                    index_1: opts.grid.slews().to_vec(),
-                    index_2: opts.grid.loads().to_vec(),
-                    nominal,
-                    models,
-                });
-            }
+                        if pick == 0 {
+                            c.delays.as_slice()
+                        } else {
+                            c.transitions.as_slice()
+                        }
+                    })
+                })
+            })
+        })
+        .collect();
+    let fitted = fit_lvf2_batch(&entries, &opts.fit, par)?;
 
-            let mut tables = Vec::new();
-            for g in &grids {
-                tables.extend(g.to_tables(&template));
+    // Stage 3 — reassembly (serial; pure bookkeeping).
+    let mut fit_iter = fitted.into_iter();
+    for (spec, ch) in jobs.iter().zip(&characterized) {
+        let mut grids = Vec::new();
+        for (base, pick) in [
+            (BaseKind::CellRise, 0usize),
+            (BaseKind::RiseTransition, 1usize),
+        ] {
+            let mut nominal = Vec::with_capacity(rows);
+            let mut models = Vec::with_capacity(rows);
+            for i in 0..rows {
+                let mut nrow = Vec::with_capacity(cols);
+                let mut mrow = Vec::with_capacity(cols);
+                for j in 0..cols {
+                    let c = ch.at(i, j);
+                    let data = if pick == 0 { &c.delays } else { &c.transitions };
+                    nrow.push(lvf2_stats::sample_mean(data));
+                    mrow.push(fit_iter.next().expect("one fit per entry").model);
+                }
+                nominal.push(nrow);
+                models.push(mrow);
             }
-            lib.cells.push(Cell {
-                name: format!("{}_X{}_arc{}", cell.name(), spec.drive, arc_idx),
-                pins: vec![Pin {
-                    name: "Y".into(),
-                    direction: "output".into(),
-                    timings: vec![TimingGroup { related_pin: "A".into(), tables, ..Default::default() }],
-                }],
+            grids.push(TimingModelGrid {
+                base,
+                index_1: opts.grid.slews().to_vec(),
+                index_2: opts.grid.loads().to_vec(),
+                nominal,
+                models,
             });
         }
+
+        let mut tables = Vec::new();
+        for g in &grids {
+            tables.extend(g.to_tables(&template));
+        }
+        lib.cells.push(Cell {
+            name: format!(
+                "{}_X{}_arc{}",
+                spec.id.cell.name(),
+                spec.drive,
+                spec.id.index
+            ),
+            pins: vec![Pin {
+                name: "Y".into(),
+                direction: "output".into(),
+                timings: vec![TimingGroup {
+                    related_pin: "A".into(),
+                    tables,
+                    ..Default::default()
+                }],
+            }],
+        });
     }
     Ok(lib)
 }

@@ -50,6 +50,7 @@ pub use lvf2_cells as cells;
 pub use lvf2_fit as fit;
 pub use lvf2_liberty as liberty;
 pub use lvf2_mc as mc;
+pub use lvf2_parallel as parallel;
 pub use lvf2_ssta as ssta;
 pub use lvf2_stats as stats;
 

@@ -21,7 +21,12 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// All four families, baseline first.
-    pub const ALL: [ModelKind; 4] = [ModelKind::Lvf, ModelKind::Norm2, ModelKind::Lesn, ModelKind::Lvf2];
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Lvf,
+        ModelKind::Norm2,
+        ModelKind::Lesn,
+        ModelKind::Lvf2,
+    ];
 
     /// Display name as used in the paper's tables.
     pub fn name(&self) -> &'static str {

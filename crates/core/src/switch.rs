@@ -65,17 +65,24 @@ pub fn recommend_model(
     config: &FitConfig,
 ) -> Result<SwitchReport, FitError> {
     let depth = depth.max(1);
-    let golden = GoldenReference::from_samples(samples)
-        .map_err(FitError::Stats)?;
+    let golden = GoldenReference::from_samples(samples).map_err(FitError::Stats)?;
     let lvf = fit_lvf(samples, config)?.model;
     let lvf2 = fit_lvf2(samples, config)?.model;
     let s_lvf = score_model(&lvf, &golden);
     let s_lvf2 = score_model(&lvf2, &golden);
     let stage_reduction = lvf2_binning::error_reduction(s_lvf.cdf_rmse, s_lvf2.cdf_rmse);
     let depth_reduction = 1.0 + (stage_reduction - 1.0) / (depth as f64).sqrt();
-    let recommendation =
-        if depth_reduction > threshold { ModelKind::Lvf2 } else { ModelKind::Lvf };
-    Ok(SwitchReport { stage_reduction, depth_reduction, depth, recommendation })
+    let recommendation = if depth_reduction > threshold {
+        ModelKind::Lvf2
+    } else {
+        ModelKind::Lvf
+    };
+    Ok(SwitchReport {
+        stage_reduction,
+        depth_reduction,
+        depth,
+        recommendation,
+    })
 }
 
 #[cfg(test)]
@@ -91,7 +98,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let xs = n.sample_n(&mut rng, 6000);
         let rep = recommend_model(&xs, 1, DEFAULT_THRESHOLD, &FitConfig::default()).unwrap();
-        assert_eq!(rep.recommendation, ModelKind::Lvf, "reduction {}", rep.stage_reduction);
+        assert_eq!(
+            rep.recommendation,
+            ModelKind::Lvf,
+            "reduction {}",
+            rep.stage_reduction
+        );
     }
 
     #[test]

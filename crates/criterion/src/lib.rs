@@ -1,0 +1,302 @@
+//! Vendored, offline subset of the [`criterion`](https://docs.rs/criterion/0.5)
+//! crate API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! registry `criterion` crate cannot be fetched. This crate keeps the bench
+//! files compiling and *honestly measuring* — each benchmark runs a warmup
+//! pass then `sample_size` timed samples and reports min/median/mean wall
+//! time — but it does not implement criterion's statistical analysis,
+//! HTML reports, or baseline comparison.
+//!
+//! Supported CLI (a subset of criterion's):
+//!
+//! - `--test` — run every benchmark exactly once and report `ok` (the CI
+//!   smoke mode used by `cargo bench --bench characterize -- --test`);
+//! - `--bench` — ignored (cargo passes it to `harness = false` targets);
+//! - a positional `FILTER` — only run benchmarks whose id contains it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the subset ignores the distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; one setup per measured invocation.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording one sample per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+
+    /// Times `routine` on fresh `setup` output, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo or users pass that the subset has no use for.
+                "--bench" | "--noplot" | "--quiet" | "-q" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.id, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::new();
+        if self.test_mode {
+            let mut b = Bencher {
+                samples: &mut samples,
+                iterations: 1,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warmup: one untimed pass so lazy initialization is off the clock.
+        {
+            let mut warmup = Vec::new();
+            let mut b = Bencher {
+                samples: &mut warmup,
+                iterations: 1,
+            };
+            f(&mut b);
+        }
+        let mut b = Bencher {
+            samples: &mut samples,
+            iterations: sample_size as u64,
+        };
+        f(&mut b);
+        samples.sort_unstable();
+        let n = samples.len().max(1);
+        let total: Duration = samples.iter().sum();
+        let mean = total / n as u32;
+        let min = samples.first().copied().unwrap_or_default();
+        let median = samples.get(n / 2).copied().unwrap_or_default();
+        println!(
+            "{id:<40} time: [min {min:>10.3?}  median {median:>10.3?}  mean {mean:>10.3?}]  ({n} samples)"
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&id, sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark targets, mirroring upstream syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(4000).id, "4000");
+        assert_eq!(BenchmarkId::new("fit", 7).id, "fit/7");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iterations: 5,
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(samples.len(), 5);
+
+        let mut batched = Vec::new();
+        let mut b = Bencher {
+            samples: &mut batched,
+            iterations: 3,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(batched.len(), 3);
+    }
+}

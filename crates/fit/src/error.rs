@@ -38,7 +38,10 @@ impl fmt::Display for FitError {
             FitError::Stats(e) => write!(f, "{e}"),
             FitError::DegenerateData { why } => write!(f, "degenerate data: {why}"),
             FitError::NoConvergence { stage, iterations } => {
-                write!(f, "stage `{stage}` did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "stage `{stage}` did not converge after {iterations} iterations"
+                )
             }
         }
     }

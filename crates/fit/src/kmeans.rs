@@ -60,7 +60,9 @@ impl KMeansResult {
 /// ```
 pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansResult, FitError> {
     if k == 0 || xs.len() < k {
-        return Err(FitError::DegenerateData { why: "k-means needs at least k samples" });
+        return Err(FitError::DegenerateData {
+            why: "k-means needs at least k samples",
+        });
     }
     // Quantile initialization on a sorted copy.
     let mut sorted = xs.to_vec();
@@ -129,7 +131,11 @@ pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansRes
     for a in &mut assignments {
         *a = remap[*a];
     }
-    Ok(KMeansResult { centers, assignments, iterations })
+    Ok(KMeansResult {
+        centers,
+        assignments,
+        iterations,
+    })
 }
 
 #[cfg(test)]

@@ -70,11 +70,15 @@ fn lesn_shape(omega: f64, alpha: f64, tau: f64) -> Option<(f64, f64, f64)> {
 /// ```
 pub fn fit_lesn(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lesn>, FitError> {
     if let Some(&bad) = samples.iter().find(|&&x| !(x > 0.0)) {
-        return Err(FitError::Stats(StatsError::NonPositiveSample { value: bad }));
+        return Err(FitError::Stats(StatsError::NonPositiveSample {
+            value: bad,
+        }));
     }
     let data = SampleMoments::from_samples(samples)?;
     if data.variance <= 0.0 {
-        return Err(FitError::DegenerateData { why: "zero sample variance" });
+        return Err(FitError::DegenerateData {
+            why: "zero sample variance",
+        });
     }
 
     // Initial guess: method-of-moments skew-normal on the log data, τ = 0.
@@ -87,8 +91,10 @@ pub fn fit_lesn(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lesn>, Fit
         0.0,
     ];
     let mut fitted = fit_lesn_moments(data.to_four_moments(), Some(x0), config)?;
-    let ll: f64 =
-        samples.iter().map(|&x| lvf2_stats::Distribution::ln_pdf(&fitted.model, x)).sum();
+    let ll: f64 = samples
+        .iter()
+        .map(|&x| lvf2_stats::Distribution::ln_pdf(&fitted.model, x))
+        .sum();
     fitted.report.log_likelihood = ll;
     Ok(fitted)
 }
@@ -110,7 +116,9 @@ pub fn fit_lesn_moments(
     config: &FitConfig,
 ) -> Result<Fitted<Lesn>, FitError> {
     if !(target.mean > 0.0) || !(target.sigma > 0.0) {
-        return Err(FitError::DegenerateData { why: "lesn needs positive mean and sigma" });
+        return Err(FitError::DegenerateData {
+            why: "lesn needs positive mean and sigma",
+        });
     }
     let target_cv = target.sigma / target.mean;
     let target_skew = target.skewness;
@@ -150,7 +158,10 @@ pub fn fit_lesn_moments(
     };
     let r = nelder_mead(objective, &x0, &opts);
     if !r.fx.is_finite() {
-        return Err(FitError::NoConvergence { stage: "lesn shape search", iterations: r.evals });
+        return Err(FitError::NoConvergence {
+            stage: "lesn shape search",
+            iterations: r.evals,
+        });
     }
 
     // Close the mean exactly with ξ.
@@ -161,7 +172,11 @@ pub fn fit_lesn_moments(
     let model = LogDomain::new(ExtendedSkewNormal::new(xi, omega, alpha, tau)?);
     Ok(Fitted::new(
         model,
-        FitReport { log_likelihood: f64::NAN, iterations: r.evals, converged: r.converged },
+        FitReport {
+            log_likelihood: f64::NAN,
+            iterations: r.evals,
+            converged: r.converged,
+        },
     ))
 }
 
@@ -191,7 +206,10 @@ mod tests {
         let xs = truth.sample_n(&mut rng, 50_000);
         let fit = fit_lesn(&xs, &FitConfig::default()).unwrap();
         let data = SampleMoments::from_samples(&xs).unwrap();
-        assert!((fit.model.mean() - data.mean).abs() / data.mean < 1e-6, "mean is exact");
+        assert!(
+            (fit.model.mean() - data.mean).abs() / data.mean < 1e-6,
+            "mean is exact"
+        );
         assert!(
             (fit.model.std_dev() - data.std_dev()).abs() / data.std_dev() < 0.02,
             "σ {} vs {}",
@@ -215,7 +233,10 @@ mod tests {
     #[test]
     fn rejects_nonpositive_samples() {
         let err = fit_lesn(&[0.5, -0.1, 0.7], &FitConfig::default()).unwrap_err();
-        assert!(matches!(err, FitError::Stats(StatsError::NonPositiveSample { .. })));
+        assert!(matches!(
+            err,
+            FitError::Stats(StatsError::NonPositiveSample { .. })
+        ));
         assert!(fit_lesn(&[0.0, 1.0], &FitConfig::default()).is_err());
     }
 

@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod kmeans;
@@ -54,12 +55,14 @@ pub mod report;
 pub mod select;
 pub mod weighted;
 
+pub use batch::{fit_lvf2_batch, fit_sn_mixture_batch};
 pub use config::{FitConfig, InitStrategy, MStep};
 pub use error::FitError;
 pub use kmeans::{kmeans1d, KMeansResult};
 pub use lesn::{fit_lesn, fit_lesn_moments};
 pub use lvf::fit_lvf;
 pub use lvf2::fit_lvf2;
+pub use lvf2_parallel::Parallelism;
 pub use mixture_em::fit_sn_mixture;
 pub use nelder_mead::{nelder_mead, NelderMeadOptions, NelderMeadResult};
 pub use norm2::fit_norm2;

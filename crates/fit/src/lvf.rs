@@ -36,7 +36,9 @@ use crate::FitError;
 pub fn fit_lvf(samples: &[f64], _config: &FitConfig) -> Result<Fitted<SkewNormal>, FitError> {
     let m = SampleMoments::from_samples(samples)?;
     if m.variance <= 0.0 {
-        return Err(FitError::DegenerateData { why: "zero sample variance" });
+        return Err(FitError::DegenerateData {
+            why: "zero sample variance",
+        });
     }
     let sn = SkewNormal::from_moments_clamped(m.to_moments())?;
     let ll: f64 = samples.iter().map(|&x| sn.ln_pdf(x)).sum();

@@ -59,10 +59,14 @@ const ALPHA_BOUND: f64 = 60.0;
 pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, FitError> {
     let global = SampleMoments::from_samples(samples)?;
     if global.variance <= 0.0 {
-        return Err(FitError::DegenerateData { why: "zero sample variance" });
+        return Err(FitError::DegenerateData {
+            why: "zero sample variance",
+        });
     }
     if samples.len() < 8 {
-        return Err(FitError::DegenerateData { why: "need at least 8 samples for LVF2" });
+        return Err(FitError::DegenerateData {
+            why: "need at least 8 samples for LVF2",
+        });
     }
     let sigma_floor = config.min_sigma_ratio * global.std_dev();
 
@@ -75,7 +79,10 @@ pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, Fit
     let sizes = km.sizes();
     let n = samples.len();
     let m = global.to_moments();
-    let want_kmeans = matches!(config.init, InitStrategy::Best | InitStrategy::KMeansMoments);
+    let want_kmeans = matches!(
+        config.init,
+        InitStrategy::Best | InitStrategy::KMeansMoments
+    );
     let want_scale = matches!(config.init, InitStrategy::Best | InitStrategy::ScaleSplit);
     if want_kmeans && sizes[0] >= 4 && sizes[1] >= 4 {
         inits.push((
@@ -86,8 +93,16 @@ pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, Fit
     } else if want_kmeans {
         // Degenerate split: seed two copies of the global fit, offset ±σ/2.
         inits.push((
-            SkewNormal::from_moments_clamped(Moments::new(m.mean - 0.5 * m.sigma, m.sigma, m.skewness))?,
-            SkewNormal::from_moments_clamped(Moments::new(m.mean + 0.5 * m.sigma, m.sigma, m.skewness))?,
+            SkewNormal::from_moments_clamped(Moments::new(
+                m.mean - 0.5 * m.sigma,
+                m.sigma,
+                m.skewness,
+            ))?,
+            SkewNormal::from_moments_clamped(Moments::new(
+                m.mean + 0.5 * m.sigma,
+                m.sigma,
+                m.skewness,
+            ))?,
             0.5,
         ));
     }
@@ -176,14 +191,23 @@ fn run_em(
     }
 
     let model = Lvf2::new(lambda, comp1, comp2)?;
-    Ok((model, FitReport { log_likelihood: ll, iterations, converged }))
+    Ok((
+        model,
+        FitReport {
+            log_likelihood: ll,
+            iterations,
+            converged,
+        },
+    ))
 }
 
 /// Skew-normal for one k-means cluster by (clamped) method of moments.
 fn cluster_skew_normal(cluster: &[f64], sigma_floor: f64) -> Result<SkewNormal, FitError> {
     let m = SampleMoments::from_samples(cluster)?;
     let sigma = m.std_dev().max(sigma_floor);
-    Ok(SkewNormal::from_moments_clamped(Moments::new(m.mean, sigma, m.skewness))?)
+    Ok(SkewNormal::from_moments_clamped(Moments::new(
+        m.mean, sigma, m.skewness,
+    ))?)
 }
 
 /// One M-step for a single component under `weights` (shared with the
@@ -269,8 +293,16 @@ mod tests {
         let fit = fit_lvf2(&xs, &FitConfig::default()).unwrap();
         let m = &fit.model;
         assert!((m.lambda() - 0.35).abs() < 0.05, "λ {}", m.lambda());
-        assert!((m.first().mean() - 1.0).abs() < 0.02, "μ1 {}", m.first().mean());
-        assert!((m.second().mean() - 1.35).abs() < 0.03, "μ2 {}", m.second().mean());
+        assert!(
+            (m.first().mean() - 1.0).abs() < 0.02,
+            "μ1 {}",
+            m.first().mean()
+        );
+        assert!(
+            (m.second().mean() - 1.35).abs() < 0.03,
+            "μ2 {}",
+            m.second().mean()
+        );
         assert!((m.mean() - truth.mean()).abs() < 0.01);
         assert!((m.std_dev() - truth.std_dev()).abs() < 0.01);
     }
@@ -292,8 +324,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let xs = truth.sample_n(&mut rng, 4000);
         let mle = fit_lvf2(&xs, &FitConfig::default()).unwrap();
-        let mom =
-            fit_lvf2(&xs, &FitConfig::default().with_m_step(MStep::WeightedMoments)).unwrap();
+        let mom = fit_lvf2(
+            &xs,
+            &FitConfig::default().with_m_step(MStep::WeightedMoments),
+        )
+        .unwrap();
         assert!(
             mle.report.log_likelihood >= mom.report.log_likelihood - 1.0,
             "MLE ll {} < moments ll {}",

@@ -52,14 +52,20 @@ pub fn fit_sn_mixture(
     config: &FitConfig,
 ) -> Result<Fitted<Mixture<SkewNormal>>, FitError> {
     if k == 0 {
-        return Err(FitError::DegenerateData { why: "mixture order must be at least 1" });
+        return Err(FitError::DegenerateData {
+            why: "mixture order must be at least 1",
+        });
     }
     let global = SampleMoments::from_samples(samples)?;
     if global.variance <= 0.0 {
-        return Err(FitError::DegenerateData { why: "zero sample variance" });
+        return Err(FitError::DegenerateData {
+            why: "zero sample variance",
+        });
     }
     if samples.len() < 4 * k {
-        return Err(FitError::DegenerateData { why: "need at least 4k samples for a k-mixture" });
+        return Err(FitError::DegenerateData {
+            why: "need at least 4k samples for a k-mixture",
+        });
     }
     let n = samples.len();
     let sigma_floor = config.min_sigma_ratio * global.std_dev();
@@ -112,8 +118,7 @@ pub fn fit_sn_mixture(
                 maxv = maxv.max(logs[j]);
             }
             if maxv.is_finite() {
-                let log_tot =
-                    maxv + logs.iter().map(|l| (l - maxv).exp()).sum::<f64>().ln();
+                let log_tot = maxv + logs.iter().map(|l| (l - maxv).exp()).sum::<f64>().ln();
                 for j in 0..k {
                     resp[i][j] = (logs[j] - log_tot).exp();
                 }
@@ -144,12 +149,24 @@ pub fn fit_sn_mixture(
 
     // Canonical order by component mean.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| comps[a].mean().partial_cmp(&comps[b].mean()).expect("finite"));
+    order.sort_by(|&a, &b| {
+        comps[a]
+            .mean()
+            .partial_cmp(&comps[b].mean())
+            .expect("finite")
+    });
     let comps: Vec<SkewNormal> = order.iter().map(|&j| comps[j]).collect();
     let weights: Vec<f64> = order.iter().map(|&j| weights[j]).collect();
 
     let model = Mixture::new(comps, weights)?;
-    Ok(Fitted::new(model, FitReport { log_likelihood: ll, iterations, converged }))
+    Ok(Fitted::new(
+        model,
+        FitReport {
+            log_likelihood: ll,
+            iterations,
+            converged,
+        },
+    ))
 }
 
 fn normalize(weights: &mut [f64]) {
@@ -166,9 +183,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn three_peak_truth() -> Mixture<SkewNormal> {
-        let sn = |m: f64, s: f64, g: f64| {
-            SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
-        };
+        let sn = |m: f64, s: f64, g: f64| SkewNormal::from_moments(Moments::new(m, s, g)).unwrap();
         Mixture::new(
             vec![sn(1.0, 0.04, 0.5), sn(1.3, 0.05, 0.3), sn(1.6, 0.06, -0.2)],
             vec![0.45, 0.35, 0.20],

@@ -92,7 +92,10 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         v[i] += step;
         simplex.push(v);
     }
-    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut f, &mut evals)).collect();
+    let mut values: Vec<f64> = simplex
+        .iter()
+        .map(|v| eval(v, &mut f, &mut evals))
+        .collect();
 
     let mut converged = false;
     while evals < opts.max_evals {
@@ -186,7 +189,12 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             best_v = v;
         }
     }
-    NelderMeadResult { x: simplex[best].clone(), fx: best_v, evals, converged }
+    NelderMeadResult {
+        x: simplex[best].clone(),
+        fx: best_v,
+        evals,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +215,11 @@ mod tests {
 
     #[test]
     fn one_dimensional() {
-        let r = nelder_mead(|x| (x[0] - 1.5).powi(2), &[10.0], &NelderMeadOptions::default());
+        let r = nelder_mead(
+            |x| (x[0] - 1.5).powi(2),
+            &[10.0],
+            &NelderMeadOptions::default(),
+        );
         assert!((r.x[0] - 1.5).abs() < 1e-4);
     }
 
@@ -228,11 +240,19 @@ mod tests {
 
     #[test]
     fn four_dimensional_sum_of_squares() {
-        let f = |x: &[f64]| x.iter().enumerate().map(|(i, v)| (v - i as f64).powi(2)).sum();
+        let f = |x: &[f64]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (v - i as f64).powi(2))
+                .sum()
+        };
         let r = nelder_mead(
             f,
             &[5.0, 5.0, 5.0, 5.0],
-            &NelderMeadOptions { max_evals: 2000, ..Default::default() },
+            &NelderMeadOptions {
+                max_evals: 2000,
+                ..Default::default()
+            },
         );
         for (i, v) in r.x.iter().enumerate() {
             assert!((v - i as f64).abs() < 1e-3, "dim {i}: {v}");
@@ -244,7 +264,10 @@ mod tests {
         let r = nelder_mead(
             |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
             &[-1.2, 1.0],
-            &NelderMeadOptions { max_evals: 10, ..Default::default() },
+            &NelderMeadOptions {
+                max_evals: 10,
+                ..Default::default()
+            },
         );
         assert!(!r.converged);
         assert!(r.evals >= 10);
@@ -252,7 +275,13 @@ mod tests {
 
     #[test]
     fn nan_objective_treated_as_rejection() {
-        let f = |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { (x[0] - 2.0).powi(2) };
+        let f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                (x[0] - 2.0).powi(2)
+            }
+        };
         let r = nelder_mead(f, &[1.0], &NelderMeadOptions::default());
         assert!((r.x[0] - 2.0).abs() < 1e-3);
     }

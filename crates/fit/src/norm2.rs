@@ -40,10 +40,14 @@ use crate::FitError;
 pub fn fit_norm2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Norm2>, FitError> {
     let global = SampleMoments::from_samples(samples)?;
     if global.variance <= 0.0 {
-        return Err(FitError::DegenerateData { why: "zero sample variance" });
+        return Err(FitError::DegenerateData {
+            why: "zero sample variance",
+        });
     }
     if samples.len() < 4 {
-        return Err(FitError::DegenerateData { why: "need at least 4 samples for a mixture" });
+        return Err(FitError::DegenerateData {
+            why: "need at least 4 samples for a mixture",
+        });
     }
     let n = samples.len();
     let sigma_floor = config.min_sigma_ratio * global.std_dev();
@@ -54,7 +58,10 @@ pub fn fit_norm2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Norm2>, F
     let (mut mu, mut sg, mut lambda);
     if sizes[0] < 2 || sizes[1] < 2 {
         // Clusters collapsed: split the global Gaussian symmetrically.
-        mu = [global.mean - 0.5 * global.std_dev(), global.mean + 0.5 * global.std_dev()];
+        mu = [
+            global.mean - 0.5 * global.std_dev(),
+            global.mean + 0.5 * global.std_dev(),
+        ];
         sg = [global.std_dev(), global.std_dev()];
         lambda = 0.5;
     } else {
@@ -108,7 +115,10 @@ pub fn fit_norm2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Norm2>, F
         var[0] /= w1.max(1e-12);
         var[1] /= w2.max(1e-12);
         mu = new_mu;
-        sg = [var[0].sqrt().max(sigma_floor), var[1].sqrt().max(sigma_floor)];
+        sg = [
+            var[0].sqrt().max(sigma_floor),
+            var[1].sqrt().max(sigma_floor),
+        ];
 
         if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
             converged = true;
@@ -117,8 +127,19 @@ pub fn fit_norm2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Norm2>, F
         prev_ll = ll;
     }
 
-    let model = Norm2::new(lambda, Normal::new(mu[0], sg[0])?, Normal::new(mu[1], sg[1])?)?;
-    Ok(Fitted::new(model, FitReport { log_likelihood: ll, iterations, converged }))
+    let model = Norm2::new(
+        lambda,
+        Normal::new(mu[0], sg[0])?,
+        Normal::new(mu[1], sg[1])?,
+    )?;
+    Ok(Fitted::new(
+        model,
+        FitReport {
+            log_likelihood: ll,
+            iterations,
+            converged,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -182,8 +203,7 @@ mod tests {
         // Run with increasing iteration budgets; ll must be non-decreasing.
         let mut last = f64::NEG_INFINITY;
         for iters in [1, 3, 10, 40] {
-            let fit =
-                fit_norm2(&xs, &FitConfig::default().with_max_iterations(iters)).unwrap();
+            let fit = fit_norm2(&xs, &FitConfig::default().with_max_iterations(iters)).unwrap();
             assert!(
                 fit.report.log_likelihood >= last - 1e-6,
                 "ll decreased at budget {iters}: {} < {last}",

@@ -15,7 +15,11 @@ pub struct FitReport {
 impl FitReport {
     /// A report for closed-form fits that need no iteration.
     pub fn closed_form(log_likelihood: f64) -> Self {
-        FitReport { log_likelihood, iterations: 0, converged: true }
+        FitReport {
+            log_likelihood,
+            iterations: 0,
+            converged: true,
+        }
     }
 }
 
@@ -49,7 +53,10 @@ impl<M> Fitted<M> {
 
     /// Maps the model type, keeping the report.
     pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Fitted<N> {
-        Fitted { model: f(self.model), report: self.report }
+        Fitted {
+            model: f(self.model),
+            report: self.report,
+        }
     }
 }
 

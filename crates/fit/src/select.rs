@@ -6,7 +6,6 @@
 //! itself support the richer model? — with AIC/BIC, the standard guard
 //! against fitting mixture components to noise.
 
-
 use crate::config::FitConfig;
 use crate::lvf::fit_lvf;
 use crate::lvf2::fit_lvf2;
@@ -94,7 +93,9 @@ pub fn select_order(
     config: &FitConfig,
 ) -> Result<OrderSelection, FitError> {
     if max_order == 0 {
-        return Err(FitError::DegenerateData { why: "max_order must be at least 1" });
+        return Err(FitError::DegenerateData {
+            why: "max_order must be at least 1",
+        });
     }
     let n = samples.len();
     let mut candidates = Vec::with_capacity(max_order);
@@ -111,7 +112,11 @@ pub fn select_order(
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite criterion"))
         .expect("at least one candidate")
         .0;
-    Ok(OrderSelection { criterion, candidates, best_order })
+    Ok(OrderSelection {
+        criterion,
+        candidates,
+        best_order,
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +178,12 @@ mod tests {
         let sel = select_order(&xs, 3, Criterion::Aic, &FitConfig::fast()).unwrap();
         // Richer families should not fit (much) worse.
         let lls: Vec<f64> = sel.candidates.iter().map(|c| c.2).collect();
-        assert!(lls[1] >= lls[0] - 1.0, "k=2 ll {} vs k=1 ll {}", lls[1], lls[0]);
+        assert!(
+            lls[1] >= lls[0] - 1.0,
+            "k=2 ll {} vs k=1 ll {}",
+            lls[1],
+            lls[0]
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn weighted_moments(xs: &[f64], weights: &[f64]) -> Option<Moments> {
 
 /// Weighted log-likelihood `Σ wᵢ · ln f(xᵢ)` for an arbitrary log-density.
 pub fn weighted_log_likelihood<F: Fn(f64) -> f64>(xs: &[f64], weights: &[f64], ln_pdf: F) -> f64 {
-    xs.iter().zip(weights).map(|(&x, &w)| if w > 0.0 { w * ln_pdf(x) } else { 0.0 }).sum()
+    xs.iter()
+        .zip(weights)
+        .map(|(&x, &w)| if w > 0.0 { w * ln_pdf(x) } else { 0.0 })
+        .sum()
 }
 
 #[cfg(test)]
@@ -51,7 +54,9 @@ mod tests {
 
     #[test]
     fn uniform_weights_match_plain_moments() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() + 0.1 * i as f64).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64).sin() + 0.1 * i as f64)
+            .collect();
         let w = vec![0.5; 100];
         let wm = weighted_moments(&xs, &w).unwrap();
         let sm = lvf2_stats::SampleMoments::from_samples(&xs).unwrap();

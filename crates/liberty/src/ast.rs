@@ -17,8 +17,12 @@ pub enum BaseKind {
 
 impl BaseKind {
     /// All four base kinds.
-    pub const ALL: [BaseKind; 4] =
-        [BaseKind::CellRise, BaseKind::CellFall, BaseKind::RiseTransition, BaseKind::FallTransition];
+    pub const ALL: [BaseKind; 4] = [
+        BaseKind::CellRise,
+        BaseKind::CellFall,
+        BaseKind::RiseTransition,
+        BaseKind::FallTransition,
+    ];
 
     /// Liberty attribute stem (`cell_rise`, …).
     pub fn stem(&self) -> &'static str {
@@ -131,7 +135,9 @@ impl StatKind {
                 Some(None)
             } else {
                 let k: u8 = rest.parse().ok()?;
-                (1..=StatKind::MAX_COMPONENTS).contains(&k).then_some(Some(k))
+                (1..=StatKind::MAX_COMPONENTS)
+                    .contains(&k)
+                    .then_some(Some(k))
             }
         };
         if let Some(k) = split(body, "mean_shift") {
@@ -224,7 +230,10 @@ impl TimingTable {
     /// Validates rectangular shape against the indices.
     pub fn is_consistent(&self) -> bool {
         self.values.len() == self.index_1.len()
-            && self.values.iter().all(|row| row.len() == self.index_2.len())
+            && self
+                .values
+                .iter()
+                .all(|row| row.len() == self.index_2.len())
     }
 }
 
@@ -284,7 +293,11 @@ pub struct Library {
 impl Library {
     /// Creates an empty library.
     pub fn new(name: impl Into<String>) -> Self {
-        Library { name: name.into(), templates: Vec::new(), cells: Vec::new() }
+        Library {
+            name: name.into(),
+            templates: Vec::new(),
+            cells: Vec::new(),
+        }
     }
 
     /// Finds a cell by name.
@@ -310,16 +323,28 @@ mod tests {
 
     #[test]
     fn paper_names_match_section_3_3() {
-        let k = TableKind { base: BaseKind::CellRise, stat: StatKind::Weight(2) };
+        let k = TableKind {
+            base: BaseKind::CellRise,
+            stat: StatKind::Weight(2),
+        };
         assert_eq!(k.attribute_name(), "ocv_weight2_cell_rise");
-        let k1 = TableKind { base: BaseKind::CellRise, stat: StatKind::MeanShift(Some(1)) };
+        let k1 = TableKind {
+            base: BaseKind::CellRise,
+            stat: StatKind::MeanShift(Some(1)),
+        };
         assert_eq!(k1.attribute_name(), "ocv_mean_shift1_cell_rise");
     }
 
     #[test]
     fn accepts_paper_misspelling() {
         let k = TableKind::from_attribute_name("ocv_mean_shfit1_cell_rise");
-        assert_eq!(k, Some(TableKind { base: BaseKind::CellRise, stat: StatKind::MeanShift(Some(1)) }));
+        assert_eq!(
+            k,
+            Some(TableKind {
+                base: BaseKind::CellRise,
+                stat: StatKind::MeanShift(Some(1))
+            })
+        );
     }
 
     #[test]
@@ -330,7 +355,10 @@ mod tests {
     #[test]
     fn table_consistency() {
         let t = TimingTable {
-            kind: TableKind { base: BaseKind::CellRise, stat: StatKind::Nominal },
+            kind: TableKind {
+                base: BaseKind::CellRise,
+                stat: StatKind::Nominal,
+            },
             template: "t".into(),
             index_1: vec![0.1, 0.2],
             index_2: vec![0.01],
@@ -358,7 +386,10 @@ mod k_component_tests {
     fn parses_component_indices_beyond_two() {
         for (name, want) in [
             ("ocv_weight3_cell_fall", StatKind::Weight(3)),
-            ("ocv_mean_shift4_rise_transition", StatKind::MeanShift(Some(4))),
+            (
+                "ocv_mean_shift4_rise_transition",
+                StatKind::MeanShift(Some(4)),
+            ),
             ("ocv_std_dev9_cell_rise", StatKind::StdDev(Some(9))),
         ] {
             let k = TableKind::from_attribute_name(name).expect(name);

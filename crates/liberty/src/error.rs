@@ -38,7 +38,9 @@ pub enum LibertyError {
 impl fmt::Display for LibertyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LibertyError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LibertyError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             LibertyError::MissingTable { attribute } => {
                 write!(f, "missing required table `{attribute}`")
             }
@@ -72,9 +74,14 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = LibertyError::Parse { line: 12, message: "expected `{`".into() };
+        let e = LibertyError::Parse {
+            line: 12,
+            message: "expected `{`".into(),
+        };
         assert!(e.to_string().contains("line 12"));
-        let m = LibertyError::MissingTable { attribute: "ocv_std_dev_cell_rise".into() };
+        let m = LibertyError::MissingTable {
+            attribute: "ocv_std_dev_cell_rise".into(),
+        };
         assert!(m.to_string().contains("ocv_std_dev_cell_rise"));
     }
 

@@ -103,46 +103,65 @@ pub fn tokenize(text: &str) -> Result<Vec<Spanned>, LibertyError> {
                 }
                 let s = text[begin..i].to_string();
                 i += 1;
-                out.push(Spanned { token: Token::Str(s), line: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line: start,
+                });
             }
             '{' => {
-                out.push(Spanned { token: Token::LBrace, line });
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { token: Token::RBrace, line });
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, line });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, line });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Spanned { token: Token::Colon, line });
+                out.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semi, line });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, line });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
                 i += 1;
             }
             _ if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+' => {
                 let begin = i;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
-                    if d.is_ascii_alphanumeric()
-                        || d == '_'
-                        || d == '.'
-                        || d == '-'
-                        || d == '+'
-                    {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' || d == '-' || d == '+' {
                         i += 1;
                     } else {
                         break;
@@ -150,8 +169,14 @@ pub fn tokenize(text: &str) -> Result<Vec<Spanned>, LibertyError> {
                 }
                 let word = &text[begin..i];
                 match parse_number(word) {
-                    Some(v) => out.push(Spanned { token: Token::Number(v), line }),
-                    None => out.push(Spanned { token: Token::Ident(word.to_string()), line }),
+                    Some(v) => out.push(Spanned {
+                        token: Token::Number(v),
+                        line,
+                    }),
+                    None => out.push(Spanned {
+                        token: Token::Ident(word.to_string()),
+                        line,
+                    }),
                 }
             }
             _ => {

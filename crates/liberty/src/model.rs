@@ -53,7 +53,13 @@ pub fn lvf2_entry(
     j: usize,
 ) -> Result<Lvf2Entry, LibertyError> {
     let nominal = lookup(timing, base, StatKind::Nominal, i, j).ok_or_else(|| {
-        LibertyError::MissingTable { attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name() }
+        LibertyError::MissingTable {
+            attribute: TableKind {
+                base,
+                stat: StatKind::Nominal,
+            }
+            .attribute_name(),
+        }
     })?;
 
     // First component: *1 tables defaulting to the LVF tables.
@@ -63,7 +69,11 @@ pub fn lvf2_entry(
     let sigma1 = lookup(timing, base, StatKind::StdDev(Some(1)), i, j)
         .or_else(|| lookup(timing, base, StatKind::StdDev(None), i, j))
         .ok_or_else(|| LibertyError::MissingTable {
-            attribute: TableKind { base, stat: StatKind::StdDev(None) }.attribute_name(),
+            attribute: TableKind {
+                base,
+                stat: StatKind::StdDev(None),
+            }
+            .attribute_name(),
         })?;
     let gamma1 = lookup(timing, base, StatKind::Skewness(Some(1)), i, j)
         .or_else(|| lookup(timing, base, StatKind::Skewness(None), i, j))
@@ -74,22 +84,28 @@ pub fn lvf2_entry(
     // Second component, active only when λ > 0 (default all-zeros table).
     let lambda = lookup(timing, base, StatKind::Weight(2), i, j).unwrap_or(0.0);
     let model = if lambda > 0.0 {
-        let mean_shift2 = lookup(timing, base, StatKind::MeanShift(Some(2)), i, j).ok_or_else(|| {
-            LibertyError::MissingTable {
-                attribute: TableKind { base, stat: StatKind::MeanShift(Some(2)) }.attribute_name(),
-            }
-        })?;
+        let mean_shift2 =
+            lookup(timing, base, StatKind::MeanShift(Some(2)), i, j).ok_or_else(|| {
+                LibertyError::MissingTable {
+                    attribute: TableKind {
+                        base,
+                        stat: StatKind::MeanShift(Some(2)),
+                    }
+                    .attribute_name(),
+                }
+            })?;
         let sigma2 = lookup(timing, base, StatKind::StdDev(Some(2)), i, j).ok_or_else(|| {
             LibertyError::MissingTable {
-                attribute: TableKind { base, stat: StatKind::StdDev(Some(2)) }.attribute_name(),
+                attribute: TableKind {
+                    base,
+                    stat: StatKind::StdDev(Some(2)),
+                }
+                .attribute_name(),
             }
         })?;
         let gamma2 = lookup(timing, base, StatKind::Skewness(Some(2)), i, j).unwrap_or(0.0);
-        let second = SkewNormal::from_moments_clamped(Moments::new(
-            nominal + mean_shift2,
-            sigma2,
-            gamma2,
-        ))?;
+        let second =
+            SkewNormal::from_moments_clamped(Moments::new(nominal + mean_shift2, sigma2, gamma2))?;
         Lvf2::new(lambda, first, second)?
     } else {
         Lvf2::from_lvf(first)
@@ -109,14 +125,30 @@ pub fn lvf_entry(
     j: usize,
 ) -> Result<SkewNormal, LibertyError> {
     let nominal = lookup(timing, base, StatKind::Nominal, i, j).ok_or_else(|| {
-        LibertyError::MissingTable { attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name() }
+        LibertyError::MissingTable {
+            attribute: TableKind {
+                base,
+                stat: StatKind::Nominal,
+            }
+            .attribute_name(),
+        }
     })?;
     let mean_shift = lookup(timing, base, StatKind::MeanShift(None), i, j).unwrap_or(0.0);
     let sigma = lookup(timing, base, StatKind::StdDev(None), i, j).ok_or_else(|| {
-        LibertyError::MissingTable { attribute: TableKind { base, stat: StatKind::StdDev(None) }.attribute_name() }
+        LibertyError::MissingTable {
+            attribute: TableKind {
+                base,
+                stat: StatKind::StdDev(None),
+            }
+            .attribute_name(),
+        }
     })?;
     let gamma = lookup(timing, base, StatKind::Skewness(None), i, j).unwrap_or(0.0);
-    Ok(SkewNormal::from_moments_clamped(Moments::new(nominal + mean_shift, sigma, gamma))?)
+    Ok(SkewNormal::from_moments_clamped(Moments::new(
+        nominal + mean_shift,
+        sigma,
+        gamma,
+    ))?)
 }
 
 /// A full grid of fitted LVF² models for one base kind — the unit that gets
@@ -142,7 +174,10 @@ impl TimingModelGrid {
     pub fn to_tables(&self, template: &str) -> Vec<TimingTable> {
         let make = |stat: StatKind, f: &dyn Fn(usize, usize) -> f64| -> TimingTable {
             TimingTable {
-                kind: TableKind { base: self.base, stat },
+                kind: TableKind {
+                    base: self.base,
+                    stat,
+                },
                 template: template.to_string(),
                 index_1: self.index_1.clone(),
                 index_2: self.index_2.clone(),
@@ -155,16 +190,30 @@ impl TimingModelGrid {
         let model = |i: usize, j: usize| &self.models[i][j];
         vec![
             make(StatKind::Nominal, &nom),
-            make(StatKind::MeanShift(None), &|i, j| model(i, j).mean() - nom(i, j)),
+            make(StatKind::MeanShift(None), &|i, j| {
+                model(i, j).mean() - nom(i, j)
+            }),
             make(StatKind::StdDev(None), &|i, j| model(i, j).std_dev()),
             make(StatKind::Skewness(None), &|i, j| model(i, j).skewness()),
-            make(StatKind::MeanShift(Some(1)), &|i, j| model(i, j).first().mean() - nom(i, j)),
-            make(StatKind::StdDev(Some(1)), &|i, j| model(i, j).first().std_dev()),
-            make(StatKind::Skewness(Some(1)), &|i, j| model(i, j).first().skewness()),
+            make(StatKind::MeanShift(Some(1)), &|i, j| {
+                model(i, j).first().mean() - nom(i, j)
+            }),
+            make(StatKind::StdDev(Some(1)), &|i, j| {
+                model(i, j).first().std_dev()
+            }),
+            make(StatKind::Skewness(Some(1)), &|i, j| {
+                model(i, j).first().skewness()
+            }),
             make(StatKind::Weight(2), &|i, j| model(i, j).lambda()),
-            make(StatKind::MeanShift(Some(2)), &|i, j| model(i, j).second().mean() - nom(i, j)),
-            make(StatKind::StdDev(Some(2)), &|i, j| model(i, j).second().std_dev()),
-            make(StatKind::Skewness(Some(2)), &|i, j| model(i, j).second().skewness()),
+            make(StatKind::MeanShift(Some(2)), &|i, j| {
+                model(i, j).second().mean() - nom(i, j)
+            }),
+            make(StatKind::StdDev(Some(2)), &|i, j| {
+                model(i, j).second().std_dev()
+            }),
+            make(StatKind::Skewness(Some(2)), &|i, j| {
+                model(i, j).second().skewness()
+            }),
         ]
     }
 
@@ -177,9 +226,16 @@ impl TimingModelGrid {
     /// grid shape.
     pub fn from_timing(timing: &TimingGroup, base: BaseKind) -> Result<Self, LibertyError> {
         let nominal_table = timing
-            .table(TableKind { base, stat: StatKind::Nominal })
+            .table(TableKind {
+                base,
+                stat: StatKind::Nominal,
+            })
             .ok_or_else(|| LibertyError::MissingTable {
-                attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name(),
+                attribute: TableKind {
+                    base,
+                    stat: StatKind::Nominal,
+                }
+                .attribute_name(),
             })?;
         let (rows, cols) = (nominal_table.index_1.len(), nominal_table.index_2.len());
         let mut nominal = Vec::with_capacity(rows);
@@ -212,7 +268,10 @@ mod tests {
 
     fn lvf_only_timing() -> TimingGroup {
         let mk = |stat: StatKind, vals: [[f64; 2]; 2]| TimingTable {
-            kind: TableKind { base: BaseKind::CellRise, stat },
+            kind: TableKind {
+                base: BaseKind::CellRise,
+                stat,
+            },
             template: "t".into(),
             index_1: vec![0.01, 0.02],
             index_2: vec![0.001, 0.002],
@@ -226,7 +285,8 @@ mod tests {
                 mk(StatKind::StdDev(None), [[0.008, 0.009], [0.010, 0.011]]),
                 mk(StatKind::Skewness(None), [[0.4, 0.3], [0.2, 0.1]]),
             ],
-        ..Default::default() }
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -246,16 +306,16 @@ mod tests {
     #[test]
     fn missing_sigma_is_an_error() {
         let mut timing = lvf_only_timing();
-        timing.tables.retain(|t| t.kind.stat != StatKind::StdDev(None));
+        timing
+            .tables
+            .retain(|t| t.kind.stat != StatKind::StdDev(None));
         let err = lvf2_entry(&timing, BaseKind::CellRise, 0, 0).unwrap_err();
         assert!(matches!(err, LibertyError::MissingTable { .. }));
     }
 
     #[test]
     fn grid_roundtrip_through_tables() {
-        let sn = |m: f64, s: f64, g: f64| {
-            SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
-        };
+        let sn = |m: f64, s: f64, g: f64| SkewNormal::from_moments(Moments::new(m, s, g)).unwrap();
         let models = vec![
             vec![
                 Lvf2::new(0.3, sn(0.10, 0.006, 0.5), sn(0.13, 0.008, -0.2)).unwrap(),
@@ -273,8 +333,11 @@ mod tests {
             nominal: vec![vec![0.10, 0.11], vec![0.12, 0.14]],
             models,
         };
-        let timing =
-            TimingGroup { related_pin: "B".into(), tables: grid.to_tables("t8"), ..Default::default() };
+        let timing = TimingGroup {
+            related_pin: "B".into(),
+            tables: grid.to_tables("t8"),
+            ..Default::default()
+        };
         let back = TimingModelGrid::from_timing(&timing, BaseKind::CellFall).unwrap();
         assert_eq!(back.index_1, grid.index_1);
         for i in 0..2 {
@@ -349,7 +412,10 @@ impl MixtureModelGrid {
         let k = self.order();
         let make = |stat: StatKind, f: &dyn Fn(usize, usize) -> f64| -> TimingTable {
             TimingTable {
-                kind: TableKind { base: self.base, stat },
+                kind: TableKind {
+                    base: self.base,
+                    stat,
+                },
                 template: template.to_string(),
                 index_1: self.index_1.clone(),
                 index_2: self.index_2.clone(),
@@ -362,7 +428,9 @@ impl MixtureModelGrid {
         let model = |i: usize, j: usize| &self.models[i][j];
         let mut tables = vec![
             make(StatKind::Nominal, &nom),
-            make(StatKind::MeanShift(None), &|i, j| model(i, j).mean() - nom(i, j)),
+            make(StatKind::MeanShift(None), &|i, j| {
+                model(i, j).mean() - nom(i, j)
+            }),
             make(StatKind::StdDev(None), &|i, j| model(i, j).std_dev()),
             make(StatKind::Skewness(None), &|i, j| model(i, j).skewness()),
         ];
@@ -372,9 +440,15 @@ impl MixtureModelGrid {
             if c > 0 {
                 tables.push(make(StatKind::Weight(kk), &|i, j| model(i, j).weights()[c]));
             }
-            tables.push(make(StatKind::MeanShift(Some(kk)), &|i, j| comp(i, j).mean() - nom(i, j)));
-            tables.push(make(StatKind::StdDev(Some(kk)), &|i, j| comp(i, j).std_dev()));
-            tables.push(make(StatKind::Skewness(Some(kk)), &|i, j| comp(i, j).skewness()));
+            tables.push(make(StatKind::MeanShift(Some(kk)), &|i, j| {
+                comp(i, j).mean() - nom(i, j)
+            }));
+            tables.push(make(StatKind::StdDev(Some(kk)), &|i, j| {
+                comp(i, j).std_dev()
+            }));
+            tables.push(make(StatKind::Skewness(Some(kk)), &|i, j| {
+                comp(i, j).skewness()
+            }));
         }
         tables
     }
@@ -389,9 +463,16 @@ impl MixtureModelGrid {
     /// table is absent.
     pub fn from_timing(timing: &TimingGroup, base: BaseKind) -> Result<Self, LibertyError> {
         let nominal_table = timing
-            .table(TableKind { base, stat: StatKind::Nominal })
+            .table(TableKind {
+                base,
+                stat: StatKind::Nominal,
+            })
             .ok_or_else(|| LibertyError::MissingTable {
-                attribute: TableKind { base, stat: StatKind::Nominal }.attribute_name(),
+                attribute: TableKind {
+                    base,
+                    stat: StatKind::Nominal,
+                }
+                .attribute_name(),
             })?;
         let (rows, cols) = (nominal_table.index_1.len(), nominal_table.index_2.len());
         // Discover the order from the weight tables present.
@@ -403,9 +484,8 @@ impl MixtureModelGrid {
                 }
             }
         }
-        let comp_stat = |c: usize, make: fn(Option<u8>) -> StatKind| -> StatKind {
-            make(Some((c + 1) as u8))
-        };
+        let comp_stat =
+            |c: usize, make: fn(Option<u8>) -> StatKind| -> StatKind { make(Some((c + 1) as u8)) };
         let mut nominal = Vec::with_capacity(rows);
         let mut models = Vec::with_capacity(rows);
         for i in 0..rows {
@@ -435,8 +515,11 @@ impl MixtureModelGrid {
                             }
                         })
                         .ok_or_else(|| LibertyError::MissingTable {
-                            attribute: TableKind { base, stat: comp_stat(c, StatKind::StdDev) }
-                                .attribute_name(),
+                            attribute: TableKind {
+                                base,
+                                stat: comp_stat(c, StatKind::StdDev),
+                            }
+                            .attribute_name(),
                         })?;
                     let sk = lookup(timing, base, comp_stat(c, StatKind::Skewness), i, j)
                         .or_else(|| {
@@ -488,7 +571,11 @@ mod mixture_grid_tests {
     fn three_component_grid() -> MixtureModelGrid {
         let mix = |a: f64| {
             Mixture::new(
-                vec![sn(0.10 + a, 0.004, 0.4), sn(0.13 + a, 0.005, 0.2), sn(0.16 + a, 0.006, -0.1)],
+                vec![
+                    sn(0.10 + a, 0.004, 0.4),
+                    sn(0.13 + a, 0.005, 0.2),
+                    sn(0.16 + a, 0.006, -0.1),
+                ],
                 vec![0.5, 0.3, 0.2],
             )
             .unwrap()
@@ -505,7 +592,11 @@ mod mixture_grid_tests {
     #[test]
     fn k3_roundtrip_through_tables() {
         let grid = three_component_grid();
-        let timing = TimingGroup { related_pin: "A".into(), tables: grid.to_tables("t"), ..Default::default() };
+        let timing = TimingGroup {
+            related_pin: "A".into(),
+            tables: grid.to_tables("t"),
+            ..Default::default()
+        };
         let back = MixtureModelGrid::from_timing(&timing, BaseKind::CellRise).unwrap();
         assert_eq!(back.order(), 3);
         for i in 0..2 {
@@ -523,8 +614,11 @@ mod mixture_grid_tests {
     #[test]
     fn k3_tables_include_third_component_attributes() {
         let grid = three_component_grid();
-        let names: Vec<String> =
-            grid.to_tables("t").iter().map(|t| t.kind.attribute_name()).collect();
+        let names: Vec<String> = grid
+            .to_tables("t")
+            .iter()
+            .map(|t| t.kind.attribute_name())
+            .collect();
         assert!(names.contains(&"ocv_weight3_cell_rise".to_string()));
         assert!(names.contains(&"ocv_mean_shift3_cell_rise".to_string()));
         // And still the LVF + K=2 stack for downstream compatibility.
@@ -545,7 +639,8 @@ mod mixture_grid_tests {
                 timings: vec![TimingGroup {
                     related_pin: "A".into(),
                     tables: grid.to_tables("t"),
-                ..Default::default() }],
+                    ..Default::default()
+                }],
             }],
         });
         let text = crate::writer::write_library(&lib);
@@ -559,7 +654,11 @@ mod mixture_grid_tests {
     #[test]
     fn lvf_only_timing_reads_as_order_one() {
         let grid = three_component_grid();
-        let mut timing = TimingGroup { related_pin: "A".into(), tables: grid.to_tables("t"), ..Default::default() };
+        let mut timing = TimingGroup {
+            related_pin: "A".into(),
+            tables: grid.to_tables("t"),
+            ..Default::default()
+        };
         timing.tables.retain(|t| !t.kind.stat.is_lvf2_extension());
         let back = MixtureModelGrid::from_timing(&timing, BaseKind::CellRise).unwrap();
         assert_eq!(back.order(), 1);

@@ -1,8 +1,6 @@
 //! Recursive-descent parser: tokens → generic groups → [`Library`] AST.
 
-use crate::ast::{
-    Cell, Library, LutTemplate, Pin, TableKind, TimingGroup, TimingTable,
-};
+use crate::ast::{Cell, Library, LutTemplate, Pin, TableKind, TimingGroup, TimingTable};
 use crate::error::LibertyError;
 use crate::lexer::{tokenize, Spanned, Token};
 
@@ -27,12 +25,18 @@ pub struct RawGroup {
 impl RawGroup {
     /// First simple attribute with this name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// First complex attribute with this name.
     pub fn complex_attr(&self, name: &str) -> Option<&[String]> {
-        self.complex.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_slice())
+        self.complex
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_slice())
     }
 }
 
@@ -55,7 +59,9 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |t| t.line)
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
     }
 
     fn expect(&mut self, want: &Token, what: &str) -> Result<(), LibertyError> {
@@ -86,8 +92,14 @@ impl Parser {
         let mut args = Vec::new();
         loop {
             match self.next() {
-                Some(Spanned { token: Token::RParen, .. }) => break,
-                Some(Spanned { token: Token::Comma, .. }) => continue,
+                Some(Spanned {
+                    token: Token::RParen,
+                    ..
+                }) => break,
+                Some(Spanned {
+                    token: Token::Comma,
+                    ..
+                }) => continue,
                 Some(Spanned { token, .. }) => args.push(Self::token_to_arg(&token)),
                 None => {
                     return Err(LibertyError::Parse {
@@ -104,12 +116,24 @@ impl Parser {
     fn parse_group(&mut self, name: String) -> Result<RawGroup, LibertyError> {
         let args = self.parse_args()?;
         self.expect(&Token::LBrace, "`{`")?;
-        let mut group = RawGroup { name, args, ..RawGroup::default() };
+        let mut group = RawGroup {
+            name,
+            args,
+            ..RawGroup::default()
+        };
         loop {
             match self.next() {
-                Some(Spanned { token: Token::RBrace, .. }) => break,
-                Some(Spanned { token: Token::Semi, .. }) => continue,
-                Some(Spanned { token: Token::Ident(word), line }) => {
+                Some(Spanned {
+                    token: Token::RBrace,
+                    ..
+                }) => break,
+                Some(Spanned {
+                    token: Token::Semi, ..
+                }) => continue,
+                Some(Spanned {
+                    token: Token::Ident(word),
+                    line,
+                }) => {
                     match self.peek().map(|s| &s.token) {
                         Some(Token::Colon) => {
                             self.next();
@@ -178,12 +202,18 @@ pub fn parse_raw(text: &str) -> Result<RawGroup, LibertyError> {
     let toks = tokenize(text)?;
     let mut p = Parser { toks, pos: 0 };
     match p.next() {
-        Some(Spanned { token: Token::Ident(name), .. }) => p.parse_group(name),
+        Some(Spanned {
+            token: Token::Ident(name),
+            ..
+        }) => p.parse_group(name),
         Some(Spanned { token, line }) => Err(LibertyError::Parse {
             line,
             message: format!("expected a group name, found {token:?}"),
         }),
-        None => Err(LibertyError::Parse { line: 0, message: "empty input".into() }),
+        None => Err(LibertyError::Parse {
+            line: 0,
+            message: "empty input".into(),
+        }),
     }
 }
 
@@ -192,7 +222,10 @@ fn number_list(s: &str) -> Result<Vec<f64>, LibertyError> {
     s.split([',', ' ', '\t'])
         .filter(|t| !t.is_empty())
         .map(|t| {
-            t.parse::<f64>().map_err(|_| LibertyError::BadNumber { line: 0, token: t.to_string() })
+            t.parse::<f64>().map_err(|_| LibertyError::BadNumber {
+                line: 0,
+                token: t.to_string(),
+            })
         })
         .collect()
 }
@@ -208,9 +241,13 @@ fn table_from_group(g: &RawGroup, kind: TableKind) -> Result<TimingTable, Libert
     };
     let rows = g
         .complex_attr("values")
-        .ok_or_else(|| LibertyError::MissingTable { attribute: format!("{kind} values") })?;
-    let values: Vec<Vec<f64>> =
-        rows.iter().map(|r| number_list(r)).collect::<Result<_, _>>()?;
+        .ok_or_else(|| LibertyError::MissingTable {
+            attribute: format!("{kind} values"),
+        })?;
+    let values: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| number_list(r))
+        .collect::<Result<_, _>>()?;
     let table = TimingTable {
         kind,
         template: g.args.first().cloned().unwrap_or_default(),
@@ -272,8 +309,10 @@ pub fn parse_library(text: &str) -> Result<Library, LibertyError> {
                 });
             }
             "cell" => {
-                let mut cell =
-                    Cell { name: g.args.first().cloned().unwrap_or_default(), pins: Vec::new() };
+                let mut cell = Cell {
+                    name: g.args.first().cloned().unwrap_or_default(),
+                    pins: Vec::new(),
+                };
                 for pg in &g.groups {
                     if pg.name != "pin" {
                         continue;
@@ -294,9 +333,7 @@ pub fn parse_library(text: &str) -> Result<Library, LibertyError> {
                             tables: Vec::new(),
                         };
                         for table_group in &tg.groups {
-                            if let Some(kind) =
-                                TableKind::from_attribute_name(&table_group.name)
-                            {
+                            if let Some(kind) = TableKind::from_attribute_name(&table_group.name) {
                                 timing.tables.push(table_from_group(table_group, kind)?);
                             }
                         }
@@ -358,11 +395,17 @@ library (demo_lib) {
         assert_eq!(timing.related_pin, "A");
         assert_eq!(timing.tables.len(), 2);
         let t = timing
-            .table(TableKind { base: BaseKind::CellRise, stat: StatKind::Nominal })
+            .table(TableKind {
+                base: BaseKind::CellRise,
+                stat: StatKind::Nominal,
+            })
             .unwrap();
         assert_eq!(t.values[1][0], 0.12);
         let sd = timing
-            .table(TableKind { base: BaseKind::CellRise, stat: StatKind::StdDev(None) })
+            .table(TableKind {
+                base: BaseKind::CellRise,
+                stat: StatKind::StdDev(None),
+            })
             .unwrap();
         assert_eq!(sd.values[0][1], 0.01);
     }

@@ -5,19 +5,36 @@ use std::fmt::Write as _;
 use crate::ast::{Library, TimingTable};
 
 fn fmt_list(values: &[f64]) -> String {
-    values.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(", ")
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn write_table(out: &mut String, indent: &str, table: &TimingTable) {
-    let _ = writeln!(out, "{indent}{} ({}) {{", table.kind.attribute_name(), table.template);
+    let _ = writeln!(
+        out,
+        "{indent}{} ({}) {{",
+        table.kind.attribute_name(),
+        table.template
+    );
     if !table.index_1.is_empty() {
         let _ = writeln!(out, "{indent}  index_1 (\"{}\");", fmt_list(&table.index_1));
     }
     if !table.index_2.is_empty() {
         let _ = writeln!(out, "{indent}  index_2 (\"{}\");", fmt_list(&table.index_2));
     }
-    let rows: Vec<String> = table.values.iter().map(|r| format!("\"{}\"", fmt_list(r))).collect();
-    let _ = writeln!(out, "{indent}  values ({});", rows.join(", \\\n{}    ".replace("{}", indent).as_str()));
+    let rows: Vec<String> = table
+        .values
+        .iter()
+        .map(|r| format!("\"{}\"", fmt_list(r)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "{indent}  values ({});",
+        rows.join(", \\\n{}    ".replace("{}", indent).as_str())
+    );
     let _ = writeln!(out, "{indent}}}");
 }
 
@@ -81,14 +98,20 @@ mod tests {
 
     fn sample_library() -> Library {
         let table = TimingTable {
-            kind: TableKind { base: BaseKind::CellFall, stat: StatKind::Nominal },
+            kind: TableKind {
+                base: BaseKind::CellFall,
+                stat: StatKind::Nominal,
+            },
             template: "t2x2".into(),
             index_1: vec![0.01, 0.02],
             index_2: vec![0.001, 0.002],
             values: vec![vec![0.1, 0.11], vec![0.12, 0.13]],
         };
         let sigma = TimingTable {
-            kind: TableKind { base: BaseKind::CellFall, stat: StatKind::Weight(2) },
+            kind: TableKind {
+                base: BaseKind::CellFall,
+                stat: StatKind::Weight(2),
+            },
             template: "t2x2".into(),
             index_1: vec![0.01, 0.02],
             index_2: vec![0.001, 0.002],
@@ -108,7 +131,8 @@ mod tests {
                 timings: vec![TimingGroup {
                     related_pin: "A".into(),
                     tables: vec![table, sigma],
-                ..Default::default() }],
+                    ..Default::default()
+                }],
             }],
         });
         lib

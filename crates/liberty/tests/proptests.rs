@@ -3,7 +3,9 @@
 //! closed under name composition/parsing.
 
 use lvf2_liberty::ast::{Cell, Pin, TimingGroup};
-use lvf2_liberty::{parse_library, write_library, BaseKind, Library, StatKind, TableKind, TimingModelGrid};
+use lvf2_liberty::{
+    parse_library, write_library, BaseKind, Library, StatKind, TableKind, TimingModelGrid,
+};
 use lvf2_stats::{Distribution, Lvf2, Moments, SkewNormal};
 use proptest::prelude::*;
 

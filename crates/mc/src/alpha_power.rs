@@ -26,7 +26,11 @@ pub struct AlphaPowerParams {
 impl AlphaPowerParams {
     /// The 22nm / 0.8 V operating point of the paper's experiments.
     pub fn tt_0v8() -> Self {
-        AlphaPowerParams { vdd: 0.8, vth0: 0.35, alpha: 1.45 }
+        AlphaPowerParams {
+            vdd: 0.8,
+            vth0: 0.35,
+            alpha: 1.45,
+        }
     }
 
     /// Relative delay factor under a threshold shift `dvth` (V), mobility

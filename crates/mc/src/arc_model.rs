@@ -16,7 +16,11 @@ pub struct TimingSample {
 
 /// A deterministic map from (variation draw, slew, load) to a timing sample —
 /// the SPICE-netlist stand-in that the Monte-Carlo engine evaluates.
-pub trait TimingArcModel {
+///
+/// `Sync` is a supertrait because the engine evaluates arcs from multiple
+/// worker threads; models are plain parameter structs, so this costs
+/// implementors nothing.
+pub trait TimingArcModel: Sync {
     /// Evaluates the arc at one variation draw, input slew (ns) and output
     /// load (pF).
     fn evaluate(&self, v: &VariationSample, slew: f64, load: f64) -> TimingSample;
@@ -78,7 +82,10 @@ impl Mechanism {
     pub fn variation_factor(&self, v: &VariationSample, e: &AlphaPowerParams) -> f64 {
         let dvth = self.w_vth_n * v.dvth_n + self.w_vth_p * v.dvth_p;
         let dmu = self.w_mu_n * v.dmu_n + self.w_mu_p * v.dmu_p;
-        let scaled = AlphaPowerParams { alpha: e.alpha * self.alpha_scale, ..*e };
+        let scaled = AlphaPowerParams {
+            alpha: e.alpha * self.alpha_scale,
+            ..*e
+        };
         scaled.delay_factor(dvth, dmu, self.w_l * v.dl)
     }
 
@@ -188,7 +195,9 @@ impl Selector {
 
     /// Full selector score; mechanism A limits the arc when this is > 0.
     pub fn score(&self, v: &VariationSample, slew: f64, load: f64) -> f64 {
-        self.w_vth_n * v.dvth_n + self.w_vth_p * v.dvth_p + self.w_mu * (v.dmu_n - v.dmu_p)
+        self.w_vth_n * v.dvth_n
+            + self.w_vth_p * v.dvth_p
+            + self.w_mu * (v.dmu_n - v.dmu_p)
             + self.bias(slew, load)
     }
 }
@@ -250,8 +259,16 @@ impl TimingArcModel for RegimeCompetitionArc {
     fn evaluate(&self, v: &VariationSample, slew: f64, load: f64) -> TimingSample {
         let score = self.selector.score(v, slew, load);
         let (dm, tm) = (
-            if score > 0.0 { &self.mech_a } else { &self.mech_b },
-            if score + self.trans_bias_shift > 0.0 { &self.mech_a } else { &self.mech_b },
+            if score > 0.0 {
+                &self.mech_a
+            } else {
+                &self.mech_b
+            },
+            if score + self.trans_bias_shift > 0.0 {
+                &self.mech_a
+            } else {
+                &self.mech_b
+            },
         );
         let delay = dm.nominal_delay(slew, load) * dm.variation_factor(v, &self.electrical);
         let transition =

@@ -1,12 +1,28 @@
 //! The Monte-Carlo engine: draws a variation matrix (LHS or plain MC) and
 //! evaluates a timing arc over it.
+//!
+//! # Parallelism and determinism
+//!
+//! Both the variation draw and the arc-evaluation loop run on the engine's
+//! configured [`Parallelism`], and both are **bit-identical at any thread
+//! count**:
+//!
+//! - LHS keeps its RNG-sequential phase (permutations + uniforms) on one
+//!   stream and fans out only the pure `Φ⁻¹`/scaling map;
+//! - plain MC derives one RNG stream *per chunk of sample rows* via
+//!   [`lvf2_parallel::chunk_seed`], so a row's draw depends on its index,
+//!   never on which thread produced it;
+//! - arc evaluation is a pure per-sample function written back by index.
 
+use lvf2_parallel::{chunk_seed, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::arc_model::TimingArcModel;
-use crate::lhs::{lhs_standard_normal, plain_standard_normal};
+use crate::lhs::lhs_probabilities;
 use crate::variation::{VariationSample, VariationSpace};
+use lvf2_stats::sampling::standard_normal;
+use lvf2_stats::special::norm_quantile;
 
 /// How the variation matrix is sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,12 +66,19 @@ pub struct McEngine {
     samples: usize,
     seed: u64,
     scheme: SamplingScheme,
+    par: Parallelism,
 }
 
 impl McEngine {
     /// Creates an engine drawing `samples` LHS draws from `space`.
     pub fn new(space: VariationSpace, samples: usize, seed: u64) -> Self {
-        McEngine { space, samples, seed, scheme: SamplingScheme::LatinHypercube }
+        McEngine {
+            space,
+            samples,
+            seed,
+            scheme: SamplingScheme::LatinHypercube,
+            par: Parallelism::auto(),
+        }
     }
 
     /// Switches the sampling scheme (builder style).
@@ -70,6 +93,18 @@ impl McEngine {
         self
     }
 
+    /// Sets the thread/chunk configuration (builder style). Results are
+    /// bit-identical for every configuration; this only changes speed.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The engine's thread/chunk configuration.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.par
+    }
+
     /// Number of Monte-Carlo samples per run.
     pub fn samples(&self) -> usize {
         self.samples
@@ -82,48 +117,97 @@ impl McEngine {
 
     /// Draws the variation matrix for this engine's configuration.
     pub fn draw_variations(&self) -> Vec<VariationSample> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let z = match self.scheme {
+        const DIMS: usize = VariationSample::DIMS;
+        let n = self.samples;
+        match self.scheme {
             SamplingScheme::LatinHypercube => {
-                lhs_standard_normal(self.samples, VariationSample::DIMS, &mut rng)
+                // Phase 1 (serial): the RNG-sequential stratified uniforms.
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let p = lhs_probabilities(n, DIMS, &mut rng);
+                // Phase 2 (parallel): pure Φ⁻¹ + scaling, keyed by row index.
+                self.par.par_map_chunked(n, self.par.chunk_size(), |i| {
+                    let mut z = [0.0f64; DIMS];
+                    for (d, zd) in z.iter_mut().enumerate() {
+                        *zd = norm_quantile(p[i * DIMS + d]);
+                    }
+                    VariationSample::from_standard(&z, &self.space)
+                })
             }
             SamplingScheme::Plain => {
-                plain_standard_normal(self.samples, VariationSample::DIMS, &mut rng)
+                // One RNG stream per fixed-size block of rows: row i's draw
+                // depends only on ⌊i/BLOCK⌋ and its offset, never on the
+                // thread schedule. The block size is a constant — NOT the
+                // configurable scheduling chunk — so `chunk_size` stays a
+                // pure speed knob with no effect on the drawn values.
+                const RNG_BLOCK: usize = 256;
+                let n_chunks = Parallelism::chunk_count(n, RNG_BLOCK);
+                let rows = self.par.par_map_indexed(n_chunks, |c| {
+                    let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c as u64));
+                    let lo = c * RNG_BLOCK;
+                    let hi = n.min(lo + RNG_BLOCK);
+                    (lo..hi)
+                        .map(|_| {
+                            let mut z = [0.0f64; DIMS];
+                            for zd in z.iter_mut() {
+                                *zd = standard_normal(&mut rng);
+                            }
+                            VariationSample::from_standard(&z, &self.space)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                rows.into_iter().flatten().collect()
             }
-        };
-        z.iter().map(|row| VariationSample::from_standard(row, &self.space)).collect()
+        }
     }
 
     /// Runs the arc over a fresh variation matrix at one (slew, load) point.
     pub fn simulate<A: TimingArcModel>(&self, arc: &A, slew: f64, load: f64) -> McResult {
         let draws = self.draw_variations();
-        let mut delays = Vec::with_capacity(self.samples);
-        let mut transitions = Vec::with_capacity(self.samples);
-        for v in &draws {
-            let t = arc.evaluate(v, slew, load);
-            delays.push(t.delay);
-            transitions.push(t.transition);
-        }
-        McResult { delays, transitions }
+        Self::evaluate_all(arc, &draws, slew, load, &self.par)
     }
 
     /// Runs the arc over an *externally supplied* variation matrix — used by
     /// path-level golden simulation where stages must share or correlate
-    /// draws.
+    /// draws. Evaluates on auto-detected parallelism (results do not depend
+    /// on the thread count); use [`McEngine::simulate_with_par`] to bound it.
     pub fn simulate_with<A: TimingArcModel>(
         arc: &A,
         draws: &[VariationSample],
         slew: f64,
         load: f64,
     ) -> McResult {
-        let mut delays = Vec::with_capacity(draws.len());
-        let mut transitions = Vec::with_capacity(draws.len());
-        for v in draws {
-            let t = arc.evaluate(v, slew, load);
-            delays.push(t.delay);
-            transitions.push(t.transition);
+        Self::simulate_with_par(arc, draws, slew, load, &Parallelism::auto())
+    }
+
+    /// [`McEngine::simulate_with`] on an explicit thread/chunk configuration.
+    pub fn simulate_with_par<A: TimingArcModel>(
+        arc: &A,
+        draws: &[VariationSample],
+        slew: f64,
+        load: f64,
+        par: &Parallelism,
+    ) -> McResult {
+        Self::evaluate_all(arc, draws, slew, load, par)
+    }
+
+    /// The shared per-sample evaluation fan-out: output slot `i` is a pure
+    /// function of `draws[i]`, so chunked parallel evaluation is exact.
+    fn evaluate_all<A: TimingArcModel>(
+        arc: &A,
+        draws: &[VariationSample],
+        slew: f64,
+        load: f64,
+        par: &Parallelism,
+    ) -> McResult {
+        let pairs = par.par_map_chunked(draws.len(), par.chunk_size(), |i| {
+            let t = arc.evaluate(&draws[i], slew, load);
+            (t.delay, t.transition)
+        });
+        let (delays, transitions) = pairs.into_iter().unzip();
+        McResult {
+            delays,
+            transitions,
         }
-        McResult { delays, transitions }
     }
 }
 
@@ -139,7 +223,11 @@ mod tests {
         let arc = RegimeCompetitionArc::balanced_bimodal();
         let r = engine.simulate(&arc, 0.02, 0.05);
         let h = Histogram::new(&r.delays, 60).unwrap();
-        assert!(h.peak_count() >= 2, "expected bimodal delays, got {} peak(s)", h.peak_count());
+        assert!(
+            h.peak_count() >= 2,
+            "expected bimodal delays, got {} peak(s)",
+            h.peak_count()
+        );
     }
 
     #[test]
@@ -172,8 +260,8 @@ mod tests {
 
     #[test]
     fn plain_scheme_also_works() {
-        let engine = McEngine::new(VariationSpace::tt_22nm(), 500, 4)
-            .with_scheme(SamplingScheme::Plain);
+        let engine =
+            McEngine::new(VariationSpace::tt_22nm(), 500, 4).with_scheme(SamplingScheme::Plain);
         let arc = RegimeCompetitionArc::balanced_bimodal();
         let r = engine.simulate(&arc, 0.02, 0.05);
         assert_eq!(r.delays.len(), 500);

@@ -25,15 +25,29 @@ use lvf2_stats::special::norm_quantile;
 /// assert_eq!(m[0].len(), 3);
 /// ```
 pub fn lhs_standard_normal<R: Rng + ?Sized>(n: usize, dims: usize, rng: &mut R) -> Vec<Vec<f64>> {
-    let mut out = vec![vec![0.0f64; dims]; n];
+    let p = lhs_probabilities(n, dims, rng);
+    (0..n)
+        .map(|i| (0..dims).map(|d| norm_quantile(p[i * dims + d])).collect())
+        .collect()
+}
+
+/// Draws the *uniform* phase of LHS: the row-major `n × dims` matrix of
+/// stratified probabilities `(stratum + U)/n`, clamped away from 0 and 1 so
+/// `Φ⁻¹` stays finite.
+///
+/// This is the RNG-sequential part of LHS (one permutation plus `n` uniform
+/// draws per dimension, in a fixed order); the expensive `Φ⁻¹` mapping is a
+/// pure function of this matrix, which is what lets the engine fan it out
+/// across threads without changing a single bit of the result.
+pub fn lhs_probabilities<R: Rng + ?Sized>(n: usize, dims: usize, rng: &mut R) -> Vec<f64> {
+    let mut out = vec![0.0f64; n * dims];
     let mut perm: Vec<usize> = (0..n).collect();
-    #[allow(clippy::needless_range_loop)] // (row, column) indexing is the clearest form here
     for d in 0..dims {
         perm.shuffle(rng);
         for (i, &stratum) in perm.iter().enumerate() {
             let u: f64 = rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12);
             let p = (stratum as f64 + u) / n as f64;
-            out[i][d] = norm_quantile(p.clamp(1e-15, 1.0 - 1e-15));
+            out[i * dims + d] = p.clamp(1e-15, 1.0 - 1e-15);
         }
     }
     out
@@ -41,13 +55,13 @@ pub fn lhs_standard_normal<R: Rng + ?Sized>(n: usize, dims: usize, rng: &mut R) 
 
 /// Plain (non-stratified) standard-normal matrix with the same shape, for
 /// comparing estimator variance against LHS.
-pub fn plain_standard_normal<R: Rng + ?Sized>(
-    n: usize,
-    dims: usize,
-    rng: &mut R,
-) -> Vec<Vec<f64>> {
+pub fn plain_standard_normal<R: Rng + ?Sized>(n: usize, dims: usize, rng: &mut R) -> Vec<Vec<f64>> {
     (0..n)
-        .map(|_| (0..dims).map(|_| lvf2_stats::sampling::standard_normal(rng)).collect())
+        .map(|_| {
+            (0..dims)
+                .map(|_| lvf2_stats::sampling::standard_normal(rng))
+                .collect()
+        })
         .collect()
 }
 
@@ -111,8 +125,12 @@ mod tests {
         let ys: Vec<f64> = m.iter().map(|r| r[1]).collect();
         let mx = xs.iter().sum::<f64>() / 512.0;
         let my = ys.iter().sum::<f64>() / 512.0;
-        let cov: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / 512.0;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / 512.0;
         assert!(cov.abs() < 0.1, "cov {cov}");
     }
 }

@@ -44,5 +44,6 @@ pub mod variation;
 pub use alpha_power::AlphaPowerParams;
 pub use arc_model::{Mechanism, RegimeCompetitionArc, Selector, TimingArcModel, TimingSample};
 pub use engine::{McEngine, McResult, SamplingScheme};
+pub use lvf2_parallel::Parallelism;
 pub use spatial::{correlated_variations, SpatialCorrelation};
 pub use variation::{Corner, VariationSample, VariationSpace};

@@ -101,8 +101,9 @@ pub fn correlated_variations<R: Rng + ?Sized>(
         // One correlated field per variation dimension.
         let mut fields = [const { Vec::new() }; VariationSample::DIMS];
         for field in fields.iter_mut() {
-            let z: Vec<f64> =
-                (0..m).map(|_| lvf2_stats::sampling::standard_normal(rng)).collect();
+            let z: Vec<f64> = (0..m)
+                .map(|_| lvf2_stats::sampling::standard_normal(rng))
+                .collect();
             *field = (0..m)
                 .map(|i| (0..=i).map(|k| l[i][k] * z[k]).sum::<f64>())
                 .collect::<Vec<f64>>();
@@ -110,7 +111,13 @@ pub fn correlated_variations<R: Rng + ?Sized>(
         let draws: Vec<VariationSample> = (0..m)
             .map(|i| {
                 VariationSample::from_standard(
-                    &[fields[0][i], fields[1][i], fields[2][i], fields[3][i], fields[4][i]],
+                    &[
+                        fields[0][i],
+                        fields[1][i],
+                        fields[2][i],
+                        fields[3][i],
+                        fields[4][i],
+                    ],
                     space,
                 )
             })
@@ -170,8 +177,7 @@ mod tests {
         let locs = [(0.0, 0.0), (5.0, 0.0)];
         let want = c.correlation(locs[0], locs[1]); // e^-1 ≈ 0.368
         let mut rng = StdRng::seed_from_u64(3);
-        let draws =
-            correlated_variations(&locs, &c, &VariationSpace::tt_22nm(), 40_000, &mut rng);
+        let draws = correlated_variations(&locs, &c, &VariationSpace::tt_22nm(), 40_000, &mut rng);
         let xs: Vec<f64> = draws.iter().map(|d| d[0].dvth_n).collect();
         let ys: Vec<f64> = draws.iter().map(|d| d[1].dvth_n).collect();
         let mx = lvf2_stats::sample_mean(&xs);
@@ -192,13 +198,16 @@ mod tests {
         let c = SpatialCorrelation::new(5.0);
         let locs = [(0.0, 0.0)];
         let mut rng = StdRng::seed_from_u64(4);
-        let draws =
-            correlated_variations(&locs, &c, &VariationSpace::tt_22nm(), 30_000, &mut rng);
+        let draws = correlated_variations(&locs, &c, &VariationSpace::tt_22nm(), 30_000, &mut rng);
         let xs: Vec<f64> = draws.iter().map(|d| d[0].dvth_n).collect();
         let ys: Vec<f64> = draws.iter().map(|d| d[0].dvth_p).collect();
         let mx = lvf2_stats::sample_mean(&xs);
         let my = lvf2_stats::sample_mean(&ys);
-        let corr: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>()
+        let corr: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
             / (xs.len() as f64 * lvf2_stats::sample_std(&xs) * lvf2_stats::sample_std(&ys));
         assert!(corr.abs() < 0.03, "cross-dimension corr {corr}");
     }

@@ -157,7 +157,10 @@ impl Corner {
 impl VariationSpace {
     /// The 22nm space at a given global corner, local MC on top.
     pub fn at_corner(corner: Corner) -> Self {
-        VariationSpace { global_vth_shift: corner.vth_shift(), ..VariationSpace::tt_22nm() }
+        VariationSpace {
+            global_vth_shift: corner.vth_shift(),
+            ..VariationSpace::tt_22nm()
+        }
     }
 }
 
@@ -167,7 +170,10 @@ mod corner_tests {
 
     #[test]
     fn corners_shift_thresholds_the_right_way() {
-        assert_eq!(VariationSpace::at_corner(Corner::Tt), VariationSpace::tt_22nm());
+        assert_eq!(
+            VariationSpace::at_corner(Corner::Tt),
+            VariationSpace::tt_22nm()
+        );
         assert!(VariationSpace::at_corner(Corner::Ff).global_vth_shift < 0.0);
         assert!(VariationSpace::at_corner(Corner::Ss).global_vth_shift > 0.0);
     }

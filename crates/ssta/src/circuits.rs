@@ -70,7 +70,11 @@ pub fn fo4_chain(stages: usize, samples: usize, seed: u64) -> Vec<Stage> {
             let arc = spec.synthesize();
             let (nominal, delays) =
                 simulate_stage(&arc, 0.02, load, samples, seed ^ (k as u64) << 8);
-            Stage { name: format!("inv{k}"), nominal, delays }
+            Stage {
+                name: format!("inv{k}"),
+                nominal,
+                delays,
+            }
         })
         .collect()
 }
@@ -84,13 +88,28 @@ pub fn carry_adder_16bit(samples: usize, seed: u64) -> Vec<Stage> {
         .map(|bit| {
             // Each bit uses a different FA arc (carry path personalities vary
             // with surrounding logic, as in a real layout).
-            let spec =
-                TimingArcSpec::of(CellType::FullAdder, bit % CellType::FullAdder.paper_arc_count());
+            let spec = TimingArcSpec::of(
+                CellType::FullAdder,
+                bit % CellType::FullAdder.paper_arc_count(),
+            );
             let arc = spec.synthesize();
-            let load = if bit == 15 { 8.0 * fa_cin_cap } else { 4.5 * fa_cin_cap };
-            let (nominal, delays) =
-                simulate_stage(&arc, 0.065, load, samples, seed ^ 0xADD ^ ((bit as u64) << 9));
-            Stage { name: format!("fa{bit}.cin->cout"), nominal, delays }
+            let load = if bit == 15 {
+                8.0 * fa_cin_cap
+            } else {
+                4.5 * fa_cin_cap
+            };
+            let (nominal, delays) = simulate_stage(
+                &arc,
+                0.065,
+                load,
+                samples,
+                seed ^ 0xADD ^ ((bit as u64) << 9),
+            );
+            Stage {
+                name: format!("fa{bit}.cin->cout"),
+                nominal,
+                delays,
+            }
         })
         .collect()
 }
@@ -116,7 +135,11 @@ pub fn htree_6stage(samples: usize, seed: u64) -> Vec<Stage> {
     });
     let mut stages = Vec::with_capacity(6);
     for level in 0..6u32 {
-        let wire = PiWire { resistance: 1.85, capacitance: 0.27, metal_sensitivity: 1.0 };
+        let wire = PiWire {
+            resistance: 1.85,
+            capacitance: 0.27,
+            metal_sensitivity: 1.0,
+        };
         let spec_a = buf_arcs[(2 * level as usize) % buf_arcs.len()];
         let spec_b = buf_arcs[(2 * level as usize + 1) % buf_arcs.len()];
         let (mut arc_a, mut arc_b) = (spec_a.synthesize(), spec_b.synthesize());
@@ -151,13 +174,21 @@ pub fn htree_6stage(samples: usize, seed: u64) -> Vec<Stage> {
         let ra = McEngine::simulate_with(&arc_a, &draws, 0.03, load_a);
         let rb = McEngine::simulate_with(&arc_b, &draws, 0.03, load_b);
 
-        let nominal = arc_a.evaluate(&VariationSample::nominal(), 0.03, load_a).delay
-            + arc_b.evaluate(&VariationSample::nominal(), 0.03, load_b).delay
+        let nominal = arc_a
+            .evaluate(&VariationSample::nominal(), 0.03, load_a)
+            .delay
+            + arc_b
+                .evaluate(&VariationSample::nominal(), 0.03, load_b)
+                .delay
             + wire.elmore_delay(buf_cap, &VariationSample::nominal());
         let delays: Vec<f64> = (0..samples)
             .map(|k| ra.delays[k] + rb.delays[k] + wire.elmore_delay(buf_cap, &draws[k]))
             .collect();
-        stages.push(Stage { name: format!("htree_l{level}"), nominal, delays });
+        stages.push(Stage {
+            name: format!("htree_l{level}"),
+            nominal,
+            delays,
+        });
     }
     stages
 }
@@ -204,14 +235,22 @@ mod tests {
 
     #[test]
     fn wire_elmore_matches_hand_calc() {
-        let w = PiWire { resistance: 2.0, capacitance: 0.1, metal_sensitivity: 0.0 };
+        let w = PiWire {
+            resistance: 2.0,
+            capacitance: 0.1,
+            metal_sensitivity: 0.0,
+        };
         let d = w.elmore_delay(0.05, &VariationSample::nominal());
         assert!((d - 2.0 * (0.05 + 0.05)).abs() < 1e-12);
     }
 
     #[test]
     fn wire_varies_with_litho() {
-        let w = PiWire { resistance: 2.0, capacitance: 0.1, metal_sensitivity: 3.0 };
+        let w = PiWire {
+            resistance: 2.0,
+            capacitance: 0.1,
+            metal_sensitivity: 3.0,
+        };
         let mut v = VariationSample::nominal();
         v.dl = 0.02;
         assert!(w.elmore_delay(0.05, &v) > w.elmore_delay(0.05, &VariationSample::nominal()));
@@ -263,7 +302,11 @@ pub fn slew_coupled_chain(
         let nom = arc.evaluate(&VariationSample::nominal(), nominal_slew, load);
         nominal_slew = nom.transition;
         slews = next_slews;
-        out.push(Stage { name: format!("{cell}{k}"), nominal: nom.delay, delays });
+        out.push(Stage {
+            name: format!("{cell}{k}"),
+            nominal: nom.delay,
+            delays,
+        });
     }
     out
 }
@@ -286,9 +329,7 @@ mod slew_tests {
         // transition variability: their delay CV exceeds the fixed-slew case.
         let coupled = slew_coupled_chain(CellType::Inv, 6, 4000, 0.02, 6);
         let fixed = fo4_chain(6, 4000, 6);
-        let cv = |s: &Stage| {
-            lvf2_stats::sample_std(&s.delays) / lvf2_stats::sample_mean(&s.delays)
-        };
+        let cv = |s: &Stage| lvf2_stats::sample_std(&s.delays) / lvf2_stats::sample_mean(&s.delays);
         // Compare the last stages (the first stages are equivalent setups).
         let c_last = cv(&coupled[5]);
         let f_last = cv(&fixed[5]);
@@ -330,16 +371,27 @@ pub fn correlated_fo4_chain(
     let locations: Vec<(f64, f64)> = (0..stages).map(|k| (k as f64 * pitch, 0.0)).collect();
     let corr = SpatialCorrelation::new(corr_length);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
-    let draws =
-        correlated_variations(&locations, &corr, &VariationSpace::tt_22nm(), samples, &mut rng);
+    let draws = correlated_variations(
+        &locations,
+        &corr,
+        &VariationSpace::tt_22nm(),
+        samples,
+        &mut rng,
+    );
     (0..stages)
         .map(|k| {
             let spec = TimingArcSpec::of(CellType::Inv, k % CellType::Inv.paper_arc_count());
             let arc = spec.synthesize();
-            let delays: Vec<f64> =
-                draws.iter().map(|d| arc.evaluate(&d[k], 0.02, load).delay).collect();
+            let delays: Vec<f64> = draws
+                .iter()
+                .map(|d| arc.evaluate(&d[k], 0.02, load).delay)
+                .collect();
             let nominal = arc.evaluate(&VariationSample::nominal(), 0.02, load).delay;
-            Stage { name: format!("cinv{k}"), nominal, delays }
+            Stage {
+                name: format!("cinv{k}"),
+                nominal,
+                delays,
+            }
         })
         .collect()
 }
@@ -359,9 +411,7 @@ mod correlated_tests {
         // Nearly independent: stages far apart relative to L.
         let indep = correlated_fo4_chain(n_stages, samples, 100.0, 1.0, 3);
         let gap_at_depth = |stages: &[Stage]| {
-            let cum = cumulative_path(
-                &stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>(),
-            );
+            let cum = cumulative_path(&stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>());
             sup_gap_to_normal(cum.last().expect("stages"))
         };
         let g_corr = gap_at_depth(&corr);
@@ -379,9 +429,7 @@ mod correlated_tests {
         let corr = correlated_fo4_chain(8, samples, 1.0, 100.0, 4);
         let indep = correlated_fo4_chain(8, samples, 100.0, 1.0, 4);
         let total_sd = |stages: &[Stage]| {
-            let cum = cumulative_path(
-                &stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>(),
-            );
+            let cum = cumulative_path(&stages.iter().map(|s| s.delays.clone()).collect::<Vec<_>>());
             lvf2_stats::sample_std(cum.last().expect("stages"))
         };
         assert!(total_sd(&corr) > 1.5 * total_sd(&indep));

@@ -31,7 +31,11 @@ pub fn standardized_abs_third_moment(samples: &[f64]) -> f64 {
     if !(sd > 0.0) {
         return 0.0;
     }
-    samples.iter().map(|x| ((x - mean) / sd).abs().powi(3)).sum::<f64>() / samples.len() as f64
+    samples
+        .iter()
+        .map(|x| ((x - mean) / sd).abs().powi(3))
+        .sum::<f64>()
+        / samples.len() as f64
 }
 
 /// Empirical sup-distance between the standardized ECDF of `samples` and the

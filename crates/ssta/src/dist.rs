@@ -83,12 +83,10 @@ impl TimingDist {
         strategy: ReductionStrategy,
     ) -> Result<TimingDist, SstaError> {
         match (self, other) {
-            (TimingDist::Normal(a), TimingDist::Normal(b)) => {
-                Ok(TimingDist::Normal(Normal::new(
-                    a.mean() + b.mean(),
-                    (a.variance() + b.variance()).sqrt(),
-                )?))
-            }
+            (TimingDist::Normal(a), TimingDist::Normal(b)) => Ok(TimingDist::Normal(Normal::new(
+                a.mean() + b.mean(),
+                (a.variance() + b.variance()).sqrt(),
+            )?)),
             (TimingDist::Lvf(a), TimingDist::Lvf(b)) => {
                 let c = sum_component(&sn_component(a, 1.0), &sn_component(b, 1.0));
                 Ok(TimingDist::Lvf(component_to_sn(&c)?))
@@ -108,7 +106,10 @@ impl TimingDist {
                 let red = reduce_components(comps, 2, strategy);
                 Ok(TimingDist::Lvf2(components_to_lvf2(&red)?))
             }
-            _ => Err(SstaError::FamilyMismatch { left: self.family(), right: other.family() }),
+            _ => Err(SstaError::FamilyMismatch {
+                left: self.family(),
+                right: other.family(),
+            }),
         }
     }
 
@@ -167,7 +168,10 @@ impl TimingDist {
                 let red = reduce_components(comps, 2, strategy);
                 Ok(TimingDist::Lvf2(components_to_lvf2(&red)?))
             }
-            _ => Err(SstaError::FamilyMismatch { left: self.family(), right: other.family() }),
+            _ => Err(SstaError::FamilyMismatch {
+                left: self.family(),
+                right: other.family(),
+            }),
         }
     }
 }
@@ -252,15 +256,30 @@ fn lesn_config() -> FitConfig {
 
 fn sn_component(sn: &SkewNormal, w: f64) -> MomentComponent {
     let var = sn.variance();
-    MomentComponent { w, mean: sn.mean(), var, m3: sn.skewness() * var.powf(1.5) }
+    MomentComponent {
+        w,
+        mean: sn.mean(),
+        var,
+        m3: sn.skewness() * var.powf(1.5),
+    }
 }
 
 fn normal_component(n: &Normal, w: f64) -> MomentComponent {
-    MomentComponent { w, mean: n.mean(), var: n.variance(), m3: 0.0 }
+    MomentComponent {
+        w,
+        mean: n.mean(),
+        var: n.variance(),
+        m3: 0.0,
+    }
 }
 
 fn sum_component(a: &MomentComponent, b: &MomentComponent) -> MomentComponent {
-    MomentComponent { w: a.w * b.w, mean: a.mean + b.mean, var: a.var + b.var, m3: a.m3 + b.m3 }
+    MomentComponent {
+        w: a.w * b.w,
+        mean: a.mean + b.mean,
+        var: a.var + b.var,
+        m3: a.m3 + b.m3,
+    }
 }
 
 fn add_four_moments(a: &FourMoments, b: &FourMoments) -> FourMoments {
@@ -268,15 +287,26 @@ fn add_four_moments(a: &FourMoments, b: &FourMoments) -> FourMoments {
     let k2 = a.sigma * a.sigma + b.sigma * b.sigma;
     let k3 = a.skewness * a.sigma.powi(3) + b.skewness * b.sigma.powi(3);
     let k4 = a.excess_kurtosis * a.sigma.powi(4) + b.excess_kurtosis * b.sigma.powi(4);
-    FourMoments::new(a.mean + b.mean, k2.sqrt(), k3 / k2.powf(1.5), k4 / (k2 * k2))
+    FourMoments::new(
+        a.mean + b.mean,
+        k2.sqrt(),
+        k3 / k2.powf(1.5),
+        k4 / (k2 * k2),
+    )
 }
 
 fn norm2_components(m: &Norm2) -> [MomentComponent; 2] {
-    [normal_component(m.first(), 1.0 - m.lambda()), normal_component(m.second(), m.lambda())]
+    [
+        normal_component(m.first(), 1.0 - m.lambda()),
+        normal_component(m.second(), m.lambda()),
+    ]
 }
 
 fn lvf2_components(m: &Lvf2) -> [MomentComponent; 2] {
-    [sn_component(m.first(), 1.0 - m.lambda()), sn_component(m.second(), m.lambda())]
+    [
+        sn_component(m.first(), 1.0 - m.lambda()),
+        sn_component(m.second(), m.lambda()),
+    ]
 }
 
 fn norm2_dists(m: &Norm2) -> [(f64, Normal); 2] {
@@ -302,7 +332,12 @@ fn pairwise_maxes<D: Distribution>(a: &[(f64, D); 2], b: &[(f64, D); 2]) -> Vec<
     for (wa, da) in a {
         for (wb, db) in b {
             let (mean, var, m3, _) = raw_to_central(max_raw_moments(da, db));
-            out.push(MomentComponent { w: wa * wb, mean, var, m3 });
+            out.push(MomentComponent {
+                w: wa * wb,
+                mean,
+                var,
+                m3,
+            });
         }
     }
     out
@@ -310,8 +345,14 @@ fn pairwise_maxes<D: Distribution>(a: &[(f64, D); 2], b: &[(f64, D); 2]) -> Vec<
 
 fn component_to_sn(c: &MomentComponent) -> Result<SkewNormal, SstaError> {
     let sd = c.var.sqrt();
-    let skew = if c.var > 0.0 { c.m3 / (c.var * sd) } else { 0.0 };
-    Ok(SkewNormal::from_moments_clamped(Moments::new(c.mean, sd, skew))?)
+    let skew = if c.var > 0.0 {
+        c.m3 / (c.var * sd)
+    } else {
+        0.0
+    };
+    Ok(SkewNormal::from_moments_clamped(Moments::new(
+        c.mean, sd, skew,
+    ))?)
 }
 
 fn components_to_norm2(comps: &[MomentComponent]) -> Result<Norm2, SstaError> {
@@ -388,8 +429,9 @@ mod tests {
         // Monte-Carlo reference: sum of independent draws.
         let mut rng = StdRng::seed_from_u64(5);
         let n = 100_000;
-        let xs: Vec<f64> =
-            (0..n).map(|_| stage.sample(&mut rng) + stage.sample(&mut rng)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| stage.sample(&mut rng) + stage.sample(&mut rng))
+            .collect();
         assert!((s.mean() - lvf2_stats::sample_mean(&xs)).abs() < 5e-4);
         let mc_sd = lvf2_stats::sample_std(&xs);
         assert!((s.std_dev() - mc_sd).abs() / mc_sd < 0.02);
@@ -409,7 +451,11 @@ mod tests {
         assert!((s.variance() - 2.0 * a.variance()).abs() / a.variance() < 0.05);
         // Skewness of a sum of two iid: γ/√2.
         let want = a.skewness() / 2f64.sqrt();
-        assert!((s.skewness() - want).abs() < 0.08, "{} vs {want}", s.skewness());
+        assert!(
+            (s.skewness() - want).abs() < 0.08,
+            "{} vs {want}",
+            s.skewness()
+        );
     }
 
     #[test]
@@ -421,7 +467,9 @@ mod tests {
         )
         .unwrap();
         let s = TimingDist::Norm2(m).sum(&TimingDist::Norm2(m)).unwrap();
-        let TimingDist::Norm2(sum) = &s else { panic!("family changed") };
+        let TimingDist::Norm2(sum) = &s else {
+            panic!("family changed")
+        };
         // Mean/variance preserved exactly by moment-preserving reduction.
         assert!((sum.mean() - 2.0 * m.mean()).abs() < 1e-10);
         assert!((sum.variance() - 2.0 * m.variance()).abs() < 1e-10);
@@ -470,12 +518,12 @@ impl TimingDist {
     /// [`SstaError::FamilyMismatch`] for `Lesn` (no negative-support LESN).
     pub fn negate(&self) -> Result<TimingDist, SstaError> {
         match self {
-            TimingDist::Normal(d) => {
-                Ok(TimingDist::Normal(Normal::new(-d.mean(), d.std_dev())?))
-            }
-            TimingDist::Lvf(d) => {
-                Ok(TimingDist::Lvf(SkewNormal::new(-d.xi(), d.omega(), -d.alpha())?))
-            }
+            TimingDist::Normal(d) => Ok(TimingDist::Normal(Normal::new(-d.mean(), d.std_dev())?)),
+            TimingDist::Lvf(d) => Ok(TimingDist::Lvf(SkewNormal::new(
+                -d.xi(),
+                d.omega(),
+                -d.alpha(),
+            )?)),
             TimingDist::Norm2(d) => {
                 // Negate components; re-order so the first has the smaller mean.
                 let a = Normal::new(-d.second().mean(), d.second().std_dev())?;
@@ -488,9 +536,10 @@ impl TimingDist {
                 let b = neg(d.first())?;
                 Ok(TimingDist::Lvf2(Lvf2::new(1.0 - d.lambda(), a, b)?))
             }
-            TimingDist::Lesn(_) => {
-                Err(SstaError::FamilyMismatch { left: "LESN", right: "negation" })
-            }
+            TimingDist::Lesn(_) => Err(SstaError::FamilyMismatch {
+                left: "LESN",
+                right: "negation",
+            }),
         }
     }
 
@@ -534,7 +583,10 @@ impl TimingDist {
                 TimingDist::Lvf2(Lvf2::from_lvf(sn))
             }
             TimingDist::Lesn(_) => {
-                return Err(SstaError::FamilyMismatch { left: "LESN", right: "constant" })
+                return Err(SstaError::FamilyMismatch {
+                    left: "LESN",
+                    right: "constant",
+                })
             }
         })
     }
@@ -585,9 +637,8 @@ mod negate_tests {
 
     #[test]
     fn sub_gives_slack_like_distributions() {
-        let arrival = TimingDist::Lvf(
-            SkewNormal::from_moments(Moments::new(0.5, 0.05, 0.3)).unwrap(),
-        );
+        let arrival =
+            TimingDist::Lvf(SkewNormal::from_moments(Moments::new(0.5, 0.05, 0.3)).unwrap());
         let required = arrival.constant_like(0.6).unwrap();
         let slack = required.sub(&arrival).unwrap();
         assert!((slack.mean() - 0.1).abs() < 1e-6);
@@ -603,10 +654,15 @@ mod negate_tests {
         let b = TimingDist::Lvf(SkewNormal::from_moments(Moments::new(0.55, 0.04, -0.3)).unwrap());
         let m = a.min(&b).unwrap();
         let mut rng = StdRng::seed_from_u64(66);
-        let xs: Vec<f64> =
-            (0..200_000).map(|_| a.sample(&mut rng).min(b.sample(&mut rng))).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| a.sample(&mut rng).min(b.sample(&mut rng)))
+            .collect();
         let mc_mean = lvf2_stats::sample_mean(&xs);
-        assert!((m.mean() - mc_mean).abs() < 1e-3, "mean {} vs MC {mc_mean}", m.mean());
+        assert!(
+            (m.mean() - mc_mean).abs() < 1e-3,
+            "mean {} vs MC {mc_mean}",
+            m.mean()
+        );
         assert!(m.mean() < a.mean() && m.mean() < b.mean());
     }
 }

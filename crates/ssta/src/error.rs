@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SstaError::FamilyMismatch { left: "LVF", right: "LESN" };
+        let e = SstaError::FamilyMismatch {
+            left: "LVF",
+            right: "LESN",
+        };
         assert!(e.to_string().contains("LVF"));
         let f: SstaError = StatsError::EmptyMixture.into();
         assert!(std::error::Error::source(&f).is_some());

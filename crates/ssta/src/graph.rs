@@ -53,7 +53,11 @@ pub struct TimingGraph {
 impl TimingGraph {
     /// Creates a graph with `nodes` nodes (ids `0..nodes`) and no edges.
     pub fn new(nodes: usize) -> Self {
-        TimingGraph { nodes, edges: Vec::new(), strategy: ReductionStrategy::default() }
+        TimingGraph {
+            nodes,
+            edges: Vec::new(),
+            strategy: ReductionStrategy::default(),
+        }
     }
 
     /// Sets the mixture-reduction strategy used at sums and maxes.
@@ -94,8 +98,7 @@ impl TimingGraph {
         for e in &self.edges {
             indeg[e.to] += 1;
         }
-        let mut queue: Vec<usize> =
-            (0..self.nodes).filter(|&n| indeg[n] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.nodes).filter(|&n| indeg[n] == 0).collect();
         let mut order = Vec::with_capacity(self.nodes);
         while let Some(n) = queue.pop() {
             order.push(n);
@@ -195,7 +198,10 @@ mod tests {
     #[test]
     fn bad_edges_are_rejected() {
         let mut g = TimingGraph::new(2);
-        assert!(matches!(g.add_edge(0, 5, nd(0.1)), Err(SstaError::BadEdge { node: 5 })));
+        assert!(matches!(
+            g.add_edge(0, 5, nd(0.1)),
+            Err(SstaError::BadEdge { node: 5 })
+        ));
     }
 
     #[test]
@@ -208,9 +214,7 @@ mod tests {
 
     #[test]
     fn lvf2_graph_propagates() {
-        let sn = |m: f64, s: f64, g: f64| {
-            SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
-        };
+        let sn = |m: f64, s: f64, g: f64| SkewNormal::from_moments(Moments::new(m, s, g)).unwrap();
         let d = TimingDist::Lvf2(
             lvf2_stats::Lvf2::new(0.3, sn(0.1, 0.008, 0.4), sn(0.13, 0.01, -0.2)).unwrap(),
         );
@@ -222,6 +226,10 @@ mod tests {
         let a = g.arrival_times(0).unwrap();
         let sink = a[3].as_ref().unwrap();
         assert_eq!(sink.family(), "LVF2");
-        assert!(sink.mean() > 0.2 && sink.mean() < 0.35, "mean {}", sink.mean());
+        assert!(
+            sink.mean() > 0.2 && sink.mean() < 0.35,
+            "mean {}",
+            sink.mean()
+        );
     }
 }

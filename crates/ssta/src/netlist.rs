@@ -62,7 +62,11 @@ impl Netlist {
     pub fn nets(&self) -> Vec<String> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for n in self.inputs.iter().chain(self.gates.iter().map(|g| &g.output)) {
+        for n in self
+            .inputs
+            .iter()
+            .chain(self.gates.iter().map(|g| &g.output))
+        {
             if seen.insert(n.clone()) {
                 out.push(n.clone());
             }
@@ -73,15 +77,22 @@ impl Netlist {
     /// Fanout count of a net (number of gate inputs it drives; primary
     /// outputs count once).
     pub fn fanout(&self, net: &str) -> usize {
-        let gate_loads =
-            self.gates.iter().flat_map(|g| &g.inputs).filter(|i| i.as_str() == net).count();
+        let gate_loads = self
+            .gates
+            .iter()
+            .flat_map(|g| &g.inputs)
+            .filter(|i| i.as_str() == net)
+            .count();
         let po = usize::from(self.outputs.iter().any(|o| o == net));
         (gate_loads + po).max(1)
     }
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> SstaError {
-    SstaError::Netlist { line, message: message.into() }
+    SstaError::Netlist {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses the netlist format described in the module docs.
@@ -130,11 +141,14 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, SstaError> {
                         ),
                     ));
                 }
-                nl.gates.push(Gate { name, cell, inputs: nets, output });
+                nl.gates.push(Gate {
+                    name,
+                    cell,
+                    inputs: nets,
+                    output,
+                });
             }
-            Some(other) => {
-                return Err(parse_err(line_no, format!("unknown directive `{other}`")))
-            }
+            Some(other) => return Err(parse_err(line_no, format!("unknown directive `{other}`"))),
             None => unreachable!("empty lines were skipped"),
         }
     }
@@ -143,13 +157,19 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, SstaError> {
         nl.inputs.iter().map(String::as_str).collect();
     for (gi, g) in nl.gates.iter().enumerate() {
         if !driven.insert(&g.output) {
-            return Err(parse_err(0, format!("net `{}` has multiple drivers (gate {})", g.output, gi)));
+            return Err(parse_err(
+                0,
+                format!("net `{}` has multiple drivers (gate {})", g.output, gi),
+            ));
         }
     }
     for g in &nl.gates {
         for i in &g.inputs {
             if !driven.contains(i.as_str()) {
-                return Err(parse_err(0, format!("net `{i}` (input of {}) is undriven", g.name)));
+                return Err(parse_err(
+                    0,
+                    format!("net `{i}` (input of {}) is undriven", g.name),
+                ));
             }
         }
     }
@@ -178,7 +198,13 @@ pub struct StaOptions {
 
 impl Default for StaOptions {
     fn default() -> Self {
-        StaOptions { samples: 2000, slew: 0.03, clock: 0.5, fit: FitConfig::fast(), seed: 1 }
+        StaOptions {
+            samples: 2000,
+            slew: 0.03,
+            clock: 0.5,
+            fit: FitConfig::fast(),
+            seed: 1,
+        }
     }
 }
 
@@ -214,8 +240,11 @@ pub struct StaReport {
 pub fn run_sta(netlist: &Netlist, opts: &StaOptions) -> Result<StaReport, SstaError> {
     let lib = CellLibrary::tsmc22_like();
     let nets = netlist.nets();
-    let index: HashMap<&str, usize> =
-        nets.iter().enumerate().map(|(i, n)| (n.as_str(), i + 1)).collect();
+    let index: HashMap<&str, usize> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i + 1))
+        .collect();
     let source = 0usize; // virtual source, node ids shift by 1
     let n_nodes = nets.len() + 1;
 
@@ -230,7 +259,11 @@ pub fn run_sta(netlist: &Netlist, opts: &StaOptions) -> Result<StaReport, SstaEr
     for pi in &netlist.inputs {
         let node = index[pi.as_str()];
         g_lvf.add_edge(source, node, TimingDist::Lvf(zero_sn))?;
-        g_lvf2.add_edge(source, node, TimingDist::Lvf2(lvf2_stats::Lvf2::from_lvf(zero_sn)))?;
+        g_lvf2.add_edge(
+            source,
+            node,
+            TimingDist::Lvf2(lvf2_stats::Lvf2::from_lvf(zero_sn)),
+        )?;
         golden[node] = Some(vec![0.0; opts.samples]);
     }
 
@@ -258,10 +291,14 @@ pub fn run_sta(netlist: &Netlist, opts: &StaOptions) -> Result<StaReport, SstaEr
             g_lvf2.add_edge(in_node, out_node, lvf2)?;
 
             // Golden: arrival(out) = max(arrival(out), arrival(in) + delays).
-            let in_samples =
-                golden[in_node].clone().expect("topological order guarantees inputs");
-            let through: Vec<f64> =
-                in_samples.iter().zip(&r.delays).map(|(a, d)| a + d).collect();
+            let in_samples = golden[in_node]
+                .clone()
+                .expect("topological order guarantees inputs");
+            let through: Vec<f64> = in_samples
+                .iter()
+                .zip(&r.delays)
+                .map(|(a, d)| a + d)
+                .collect();
             golden[out_node] = Some(match golden[out_node].take() {
                 Some(existing) => crate::golden::max_samples(&existing, &through),
                 None => through,
@@ -295,13 +332,17 @@ pub fn run_sta(netlist: &Netlist, opts: &StaOptions) -> Result<StaReport, SstaEr
         .map(|net| {
             let node = index[net.as_str()];
             let samples = golden[node].as_ref().expect("outputs are driven");
-            let p = samples.iter().filter(|&&t| t > opts.clock).count() as f64
-                / samples.len() as f64;
+            let p =
+                samples.iter().filter(|&&t| t > opts.clock).count() as f64 / samples.len() as f64;
             (net.clone(), p)
         })
         .collect();
 
-    Ok(StaReport { lvf: report_for(&g_lvf)?, lvf2: report_for(&g_lvf2)?, golden_violation })
+    Ok(StaReport {
+        lvf: report_for(&g_lvf)?,
+        lvf2: report_for(&g_lvf2)?,
+        golden_violation,
+    })
 }
 
 /// Topological order of gate indices (a gate is ready when all its input
@@ -376,17 +417,15 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let nl = parse_netlist("# top\n\ninput A B # pins\noutput y\ngate u1 NAND2 A B y\n")
-            .unwrap();
+        let nl =
+            parse_netlist("# top\n\ninput A B # pins\noutput y\ngate u1 NAND2 A B y\n").unwrap();
         assert_eq!(nl.gates.len(), 1);
     }
 
     #[test]
     fn out_of_order_gates_are_handled() {
         // u2 consumes t1 before u1 defines it, textually.
-        let nl = parse_netlist(
-            "input A B\noutput y\ngate u2 INV t1 y\ngate u1 NAND2 A B t1\n",
-        );
+        let nl = parse_netlist("input A B\noutput y\ngate u2 INV t1 y\ngate u1 NAND2 A B t1\n");
         // Parse-time check only requires *some* driver, which exists.
         let nl = nl.unwrap();
         let order = topo_gate_order(&nl).unwrap();
@@ -398,9 +437,20 @@ mod tests {
         let nl = full_adder_netlist();
         // A clock around the COUT mean keeps violation probability in the
         // informative mid-range.
-        let probe = run_sta(&nl, &StaOptions { samples: 1500, ..Default::default() }).unwrap();
+        let probe = run_sta(
+            &nl,
+            &StaOptions {
+                samples: 1500,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let cout_mean = probe.lvf2[1].arrival.mean();
-        let opts = StaOptions { samples: 1500, clock: cout_mean, ..Default::default() };
+        let opts = StaOptions {
+            samples: 1500,
+            clock: cout_mean,
+            ..Default::default()
+        };
         let report = run_sta(&nl, &opts).unwrap();
         assert_eq!(report.lvf.len(), 2);
         assert_eq!(report.lvf2.len(), 2);
@@ -422,7 +472,10 @@ mod tests {
     #[test]
     fn sta_is_deterministic() {
         let nl = full_adder_netlist();
-        let opts = StaOptions { samples: 400, ..Default::default() };
+        let opts = StaOptions {
+            samples: 400,
+            ..Default::default()
+        };
         let a = run_sta(&nl, &opts).unwrap();
         let b = run_sta(&nl, &opts).unwrap();
         assert_eq!(a, b);

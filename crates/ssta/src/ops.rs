@@ -86,7 +86,10 @@ mod tests {
         let m = max_raw_moments(&n, &n);
         let (mean, var, _, _) = raw_to_central(m);
         let want_mean = 2.0 + 0.5 / std::f64::consts::PI.sqrt();
-        assert!((mean - want_mean).abs() < 1e-9, "mean {mean} want {want_mean}");
+        assert!(
+            (mean - want_mean).abs() < 1e-9,
+            "mean {mean} want {want_mean}"
+        );
         // Var(max) = σ²(1 − 1/π) for iid normals.
         let want_var = 0.25 * (1.0 - 1.0 / std::f64::consts::PI);
         assert!((var - want_var).abs() < 1e-9, "var {var} want {want_var}");
@@ -116,7 +119,10 @@ mod tests {
         let mc_var = lvf2_stats::sample_std(&xs).powi(2);
         let mc_skew = lvf2_stats::sample_skewness(&xs);
         assert!((mean - mc_mean).abs() < 2e-3, "mean {mean} vs {mc_mean}");
-        assert!((var - mc_var).abs() / mc_var < 0.02, "var {var} vs {mc_var}");
+        assert!(
+            (var - mc_var).abs() / mc_var < 0.02,
+            "var {var} vs {mc_var}"
+        );
         assert!((m3 / var.powf(1.5) - mc_skew).abs() < 0.05, "skew");
     }
 }
@@ -138,7 +144,10 @@ pub fn clark_max_correlated(
     sigma_b: f64,
     rho: f64,
 ) -> (f64, f64) {
-    assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation must be in [-1, 1]"
+    );
     assert!(sigma_a > 0.0 && sigma_b > 0.0, "sigmas must be positive");
     use lvf2_stats::special::{norm_cdf, norm_pdf};
     let nu2 = sigma_a * sigma_a + sigma_b * sigma_b - 2.0 * rho * sigma_a * sigma_b;

@@ -5,7 +5,6 @@
 use lvf2_binning::{score_model, GoldenReference, ModelScore};
 use lvf2_fit::{fit_lesn, fit_lvf, fit_lvf2, fit_norm2, FitConfig};
 
-
 use crate::circuits::Stage;
 use crate::dist::TimingDist;
 use crate::error::SstaError;
@@ -76,9 +75,7 @@ pub fn propagate_path(
         // Block-based accumulation.
         acc = Some(match acc {
             None => (lvf, norm2, lesn, lvf2),
-            Some((a, b, c, d)) => {
-                (a.sum(&lvf)?, b.sum(&norm2)?, c.sum(&lesn)?, d.sum(&lvf2)?)
-            }
+            Some((a, b, c, d)) => (a.sum(&lvf)?, b.sum(&norm2)?, c.sum(&lesn)?, d.sum(&lvf2)?),
         });
         let (a, b, c, d) = acc.as_ref().expect("just set");
 
@@ -118,7 +115,9 @@ where
             Some(a) => a.sum(&d)?,
         });
     }
-    acc.ok_or(SstaError::Fit(lvf2_fit::FitError::DegenerateData { why: "no stages" }))
+    acc.ok_or(SstaError::Fit(lvf2_fit::FitError::DegenerateData {
+        why: "no stages",
+    }))
 }
 
 #[cfg(test)]
@@ -147,7 +146,10 @@ mod tests {
             Ok(TimingDist::Lvf2(fit_lvf2(xs, c)?.model))
         })
         .unwrap();
-        let golden: f64 = stages.iter().map(|s| lvf2_stats::sample_mean(&s.delays)).sum();
+        let golden: f64 = stages
+            .iter()
+            .map(|s| lvf2_stats::sample_mean(&s.delays))
+            .sum();
         assert!(
             (total.mean() - golden).abs() / golden < 0.01,
             "mean {} vs golden {golden}",

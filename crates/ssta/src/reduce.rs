@@ -185,7 +185,11 @@ mod tests {
             comp(0.1, 0.2, 0.02, 0.0),
         ];
         let truth = mixture_moments(&comps);
-        let a = reduce_components(comps.clone(), 2, ReductionStrategy::MomentPreservingPairwise);
+        let a = reduce_components(
+            comps.clone(),
+            2,
+            ReductionStrategy::MomentPreservingPairwise,
+        );
         let b = reduce_components(comps, 2, ReductionStrategy::TopKByWeight);
         let ea = (mixture_moments(&a).0 - truth.0).abs();
         let eb = (mixture_moments(&b).0 - truth.0).abs();

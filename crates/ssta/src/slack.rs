@@ -98,7 +98,11 @@ pub fn slack_analysis(
             None => None,
         };
         let violation_probability = slack.as_ref().map_or(0.0, |s| s.cdf(0.0));
-        out.push(NodeSlack { node, slack, violation_probability });
+        out.push(NodeSlack {
+            node,
+            slack,
+            violation_probability,
+        });
     }
     Ok(out)
 }

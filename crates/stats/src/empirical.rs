@@ -47,7 +47,10 @@ impl SampleMoments {
     /// [`StatsError::NotEnoughSamples`] for fewer than 2 samples.
     pub fn from_samples(xs: &[f64]) -> Result<Self, StatsError> {
         if xs.len() < 2 {
-            return Err(StatsError::NotEnoughSamples { got: xs.len(), need: 2 });
+            return Err(StatsError::NotEnoughSamples {
+                got: xs.len(),
+                need: 2,
+            });
         }
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
@@ -68,7 +71,13 @@ impl SampleMoments {
         } else {
             (0.0, 0.0)
         };
-        Ok(SampleMoments { mean, variance: m2, skewness, excess_kurtosis, n: xs.len() })
+        Ok(SampleMoments {
+            mean,
+            variance: m2,
+            skewness,
+            excess_kurtosis,
+            n: xs.len(),
+        })
     }
 
     /// Standard deviation.
@@ -83,7 +92,12 @@ impl SampleMoments {
 
     /// The four-moment record.
     pub fn to_four_moments(&self) -> FourMoments {
-        FourMoments::new(self.mean, self.std_dev(), self.skewness, self.excess_kurtosis)
+        FourMoments::new(
+            self.mean,
+            self.std_dev(),
+            self.skewness,
+            self.excess_kurtosis,
+        )
     }
 }
 
@@ -103,12 +117,16 @@ pub fn sample_std(xs: &[f64]) -> f64 {
 
 /// Sample skewness (biased).
 pub fn sample_skewness(xs: &[f64]) -> f64 {
-    SampleMoments::from_samples(xs).map(|m| m.skewness).unwrap_or(f64::NAN)
+    SampleMoments::from_samples(xs)
+        .map(|m| m.skewness)
+        .unwrap_or(f64::NAN)
 }
 
 /// Sample excess kurtosis (biased).
 pub fn sample_kurtosis(xs: &[f64]) -> f64 {
-    SampleMoments::from_samples(xs).map(|m| m.excess_kurtosis).unwrap_or(f64::NAN)
+    SampleMoments::from_samples(xs)
+        .map(|m| m.excess_kurtosis)
+        .unwrap_or(f64::NAN)
 }
 
 /// Empirical cumulative distribution function over a sorted copy of the data.
@@ -145,7 +163,10 @@ impl Ecdf {
             return Err(StatsError::NotEnoughSamples { got: 0, need: 1 });
         }
         if xs.iter().any(|x| x.is_nan()) {
-            return Err(StatsError::NonFinite { name: "sample", value: f64::NAN });
+            return Err(StatsError::NonFinite {
+                name: "sample",
+                value: f64::NAN,
+            });
         }
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
         Ok(Ecdf { sorted: xs })
@@ -220,7 +241,10 @@ impl Histogram {
     /// [`StatsError::NotEnoughSamples`] for empty input or zero bins.
     pub fn new(xs: &[f64], bins: usize) -> Result<Self, StatsError> {
         if xs.is_empty() || bins == 0 {
-            return Err(StatsError::NotEnoughSamples { got: xs.len(), need: 1 });
+            return Err(StatsError::NotEnoughSamples {
+                got: xs.len(),
+                need: 1,
+            });
         }
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -231,7 +255,12 @@ impl Histogram {
             let idx = (((x - lo) / w) as usize).min(bins - 1);
             counts[idx] += 1;
         }
-        Ok(Histogram { lo, hi, counts, total: xs.len() as u64 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts,
+            total: xs.len() as u64,
+        })
     }
 
     /// Raw bucket counts.
@@ -242,13 +271,18 @@ impl Histogram {
     /// Bucket centers, aligned with [`counts`](Self::counts).
     pub fn centers(&self) -> Vec<f64> {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        (0..self.counts.len()).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
     }
 
     /// Normalized density values (integrates to ~1), aligned with centers.
     pub fn densities(&self) -> Vec<f64> {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts.iter().map(|&c| c as f64 / (self.total as f64 * w)).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / (self.total as f64 * w))
+            .collect()
     }
 
     /// Number of local maxima in the smoothed density — a crude peak counter
@@ -383,7 +417,9 @@ pub fn ks_distance<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<f64, St
     let mut sup: f64 = 0.0;
     for (k, &x) in ecdf.samples().iter().enumerate() {
         let f = cdf(x);
-        sup = sup.max(((k as f64 + 1.0) / n - f).abs()).max((k as f64 / n - f).abs());
+        sup = sup
+            .max(((k as f64 + 1.0) / n - f).abs())
+            .max((k as f64 / n - f).abs());
     }
     Ok(sup)
 }

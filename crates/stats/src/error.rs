@@ -83,13 +83,19 @@ impl fmt::Display for StatsError {
                 write!(f, "mixture weights must sum to 1, got {sum}")
             }
             StatsError::SkewnessOutOfRange { value, limit } => {
-                write!(f, "skewness {value} outside representable range (|γ| < {limit})")
+                write!(
+                    f,
+                    "skewness {value} outside representable range (|γ| < {limit})"
+                )
             }
             StatsError::NotEnoughSamples { got, need } => {
                 write!(f, "need at least {need} samples, got {got}")
             }
             StatsError::NonPositiveSample { value } => {
-                write!(f, "log-domain family requires positive samples, got {value}")
+                write!(
+                    f,
+                    "log-domain family requires positive samples, got {value}"
+                )
             }
             StatsError::NoConvergence { what } => {
                 write!(f, "numerical routine `{what}` failed to converge")
@@ -126,7 +132,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = StatsError::NonPositiveScale { name: "sigma", value: -1.0 };
+        let e = StatsError::NonPositiveScale {
+            name: "sigma",
+            value: -1.0,
+        };
         let s = e.to_string();
         assert!(s.starts_with("scale parameter"));
         assert!(!s.ends_with('.'));

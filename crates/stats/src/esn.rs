@@ -71,7 +71,12 @@ impl ExtendedSkewNormal {
         ensure_positive("omega", omega)?;
         ensure_finite("alpha", alpha)?;
         ensure_finite("tau", tau)?;
-        Ok(ExtendedSkewNormal { xi, omega, alpha, tau })
+        Ok(ExtendedSkewNormal {
+            xi,
+            omega,
+            alpha,
+            tau,
+        })
     }
 
     /// Location parameter ξ.
@@ -120,7 +125,8 @@ impl ExtendedSkewNormal {
     /// `log M(t)`, the cumulant generating function.
     pub fn log_mgf(&self, t: f64) -> f64 {
         let d = self.delta();
-        self.xi * t + 0.5 * self.omega * self.omega * t * t
+        self.xi * t
+            + 0.5 * self.omega * self.omega * t * t
             + log_norm_cdf(self.tau + d * self.omega * t)
             - log_norm_cdf(self.tau)
     }
@@ -132,7 +138,11 @@ impl ExtendedSkewNormal {
 
 impl std::fmt::Display for ExtendedSkewNormal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ESN(ξ={}, ω={}, α={}, τ={})", self.xi, self.omega, self.alpha, self.tau)
+        write!(
+            f,
+            "ESN(ξ={}, ω={}, α={}, τ={})",
+            self.xi, self.omega, self.alpha, self.tau
+        )
     }
 }
 
@@ -246,7 +256,10 @@ mod tests {
         let m3 = adaptive_simpson(|x| (x - mean).powi(3) * esn.pdf(x), -10.0, 10.0, 1e-12);
         assert!((m3 / var.powf(1.5) - esn.skewness()).abs() < 1e-5, "skew");
         let m4 = adaptive_simpson(|x| (x - mean).powi(4) * esn.pdf(x), -10.0, 10.0, 1e-12);
-        assert!((m4 / (var * var) - 3.0 - esn.excess_kurtosis()).abs() < 1e-4, "kurt");
+        assert!(
+            (m4 / (var * var) - 3.0 - esn.excess_kurtosis()).abs() < 1e-4,
+            "kurt"
+        );
     }
 
     #[test]
@@ -265,8 +278,16 @@ mod tests {
         let xs = esn.sample_n(&mut rng, 200_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        assert!((mean - esn.mean()).abs() < 0.01, "mean {mean} want {}", esn.mean());
-        assert!((var - esn.variance()).abs() < 0.02, "var {var} want {}", esn.variance());
+        assert!(
+            (mean - esn.mean()).abs() < 0.01,
+            "mean {mean} want {}",
+            esn.mean()
+        );
+        assert!(
+            (var - esn.variance()).abs() < 0.02,
+            "var {var} want {}",
+            esn.variance()
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl Lesn {
     ///
     /// Propagates [`ExtendedSkewNormal::new`] validation errors.
     pub fn from_log_params(xi: f64, omega: f64, alpha: f64, tau: f64) -> Result<Self, StatsError> {
-        Ok(LogDomain::new(ExtendedSkewNormal::new(xi, omega, alpha, tau)?))
+        Ok(LogDomain::new(ExtendedSkewNormal::new(
+            xi, omega, alpha, tau,
+        )?))
     }
 
     /// The log-domain ESN parameters `(ξ, ω, α, τ)`.

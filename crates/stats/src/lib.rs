@@ -52,8 +52,8 @@ pub mod special;
 pub mod traits;
 
 pub use empirical::{
-    ks_distance,
-    sample_kurtosis, sample_mean, sample_skewness, sample_std, Ecdf, Histogram, SampleMoments,
+    ks_distance, sample_kurtosis, sample_mean, sample_skewness, sample_std, Ecdf, Histogram,
+    SampleMoments,
 };
 pub use error::StatsError;
 pub use esn::ExtendedSkewNormal;

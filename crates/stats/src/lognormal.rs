@@ -226,7 +226,11 @@ mod tests {
         let mass = adaptive_simpson(|x| lsn.pdf(x), 1e-9, 5.0, 1e-11);
         assert!((mass - 1.0).abs() < 1e-6, "mass={mass}");
         let mean = adaptive_simpson(|x| x * lsn.pdf(x), 1e-9, 5.0, 1e-12);
-        assert!((mean - lsn.mean()).abs() < 1e-6, "mean {mean} want {}", lsn.mean());
+        assert!(
+            (mean - lsn.mean()).abs() < 1e-6,
+            "mean {mean} want {}",
+            lsn.mean()
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl<D: Distribution> Mixture<D> {
             return Err(StatsError::WeightsNotNormalized { sum });
         }
         let weights = weights.iter().map(|w| w / sum).collect();
-        Ok(Mixture { components, weights })
+        Ok(Mixture {
+            components,
+            weights,
+        })
     }
 
     /// The component distributions.
@@ -151,7 +154,10 @@ impl<D: Distribution> Distribution for Mixture<D> {
             }
         }
         // Floating-point slack: fall back to the last component.
-        self.components.last().expect("mixture is non-empty").sample(rng)
+        self.components
+            .last()
+            .expect("mixture is non-empty")
+            .sample(rng)
     }
 }
 
@@ -218,7 +224,11 @@ macro_rules! two_component_impl {
                 if !(0.0..=1.0).contains(&lambda) {
                     return Err(StatsError::WeightOutOfRange { value: lambda });
                 }
-                Ok($ty { lambda, first, second })
+                Ok($ty {
+                    lambda,
+                    first,
+                    second,
+                })
             }
 
             /// Weight λ of the second component.
@@ -310,7 +320,11 @@ two_component_impl!(Lvf2, SkewNormal, "LVF2");
 impl Lvf2 {
     /// Embeds a plain LVF skew-normal as an LVF² with `λ = 0` (Eq. 10).
     pub fn from_lvf(sn: SkewNormal) -> Self {
-        Lvf2 { lambda: 0.0, first: sn, second: sn }
+        Lvf2 {
+            lambda: 0.0,
+            first: sn,
+            second: sn,
+        }
     }
 
     /// Builds both components from LVF moment triples plus a weight.
@@ -346,7 +360,11 @@ impl From<SkewNormal> for Lvf2 {
 impl Norm2 {
     /// Embeds a single Gaussian as a Norm² with `λ = 0`.
     pub fn from_normal(n: Normal) -> Self {
-        Norm2 { lambda: 0.0, first: n, second: n }
+        Norm2 {
+            lambda: 0.0,
+            first: n,
+            second: n,
+        }
     }
 }
 
@@ -446,7 +464,11 @@ mod tests {
         let xs = m.sample_n(&mut rng, 200_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        assert!((mean - m.mean()).abs() < 0.005, "mean {mean} want {}", m.mean());
+        assert!(
+            (mean - m.mean()).abs() < 0.005,
+            "mean {mean} want {}",
+            m.mean()
+        );
         assert!((var - m.variance()).abs() / m.variance() < 0.03);
     }
 

@@ -31,7 +31,11 @@ impl Moments {
     /// Creates a moment triple. No validation is performed here; distribution
     /// constructors validate on use.
     pub fn new(mean: f64, sigma: f64, skewness: f64) -> Self {
-        Moments { mean, sigma, skewness }
+        Moments {
+            mean,
+            sigma,
+            skewness,
+        }
     }
 
     /// Validates that the triple can define a distribution (finite, σ > 0).
@@ -77,7 +81,12 @@ pub struct FourMoments {
 impl FourMoments {
     /// Creates a four-moment record.
     pub fn new(mean: f64, sigma: f64, skewness: f64, excess_kurtosis: f64) -> Self {
-        FourMoments { mean, sigma, skewness, excess_kurtosis }
+        FourMoments {
+            mean,
+            sigma,
+            skewness,
+            excess_kurtosis,
+        }
     }
 
     /// Raw (non-excess) kurtosis, i.e. `excess_kurtosis + 3`.

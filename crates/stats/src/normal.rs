@@ -47,7 +47,10 @@ impl Normal {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mean: 0.0, sigma: 1.0 }
+        Normal {
+            mean: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Builds the normal matching a moment triple (skewness is ignored — a

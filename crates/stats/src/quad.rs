@@ -173,8 +173,10 @@ mod tests {
     fn real_line_moments_of_normal() {
         let mean = integrate_real_line(|x| x * norm_pdf((x - 2.0) / 0.5) / 0.5, 1e-11);
         assert!((mean - 2.0).abs() < 1e-7);
-        let var =
-            integrate_real_line(|x| (x - 2.0) * (x - 2.0) * norm_pdf((x - 2.0) / 0.5) / 0.5, 1e-11);
+        let var = integrate_real_line(
+            |x| (x - 2.0) * (x - 2.0) * norm_pdf((x - 2.0) / 0.5) / 0.5,
+            1e-11,
+        );
         assert!((var - 0.25).abs() < 1e-7);
     }
 

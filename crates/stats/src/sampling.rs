@@ -74,7 +74,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let lower = 0.5;
         let n = 50_000;
-        let xs: Vec<f64> = (0..n).map(|_| truncated_standard_normal(&mut rng, lower)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| truncated_standard_normal(&mut rng, lower))
+            .collect();
         assert!(xs.iter().all(|&x| x >= lower));
         // E[Z | Z > a] = φ(a)/(1−Φ(a))
         let want = crate::special::norm_pdf(lower) / (1.0 - norm_cdf(lower));

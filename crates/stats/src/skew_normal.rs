@@ -141,7 +141,11 @@ impl SkewNormal {
 impl Default for SkewNormal {
     /// The standard skew-normal `SN(0, 1, 0)` (i.e. `N(0,1)`).
     fn default() -> Self {
-        SkewNormal { xi: 0.0, omega: 1.0, alpha: 0.0 }
+        SkewNormal {
+            xi: 0.0,
+            omega: 1.0,
+            alpha: 0.0,
+        }
     }
 }
 
@@ -280,8 +284,16 @@ mod tests {
         let xs = sn.sample_n(&mut rng, 200_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        assert!((mean - sn.mean()).abs() < 0.01, "mean {mean} vs {}", sn.mean());
-        assert!((var - sn.variance()).abs() < 0.01, "var {var} vs {}", sn.variance());
+        assert!(
+            (mean - sn.mean()).abs() < 0.01,
+            "mean {mean} vs {}",
+            sn.mean()
+        );
+        assert!(
+            (var - sn.variance()).abs() < 0.01,
+            "var {var} vs {}",
+            sn.variance()
+        );
     }
 
     #[test]

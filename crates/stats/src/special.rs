@@ -445,8 +445,14 @@ mod tests {
     #[test]
     fn owen_t_matches_adaptive_quadrature() {
         use crate::quad::adaptive_simpson;
-        for &(h, a) in &[(0.5, 0.5), (1.0, 2.0), (2.0, 0.5), (4.0, 1.0), (0.3, 7.0), (3.0, 0.05)]
-        {
+        for &(h, a) in &[
+            (0.5, 0.5),
+            (1.0, 2.0),
+            (2.0, 0.5),
+            (4.0, 1.0),
+            (0.3, 7.0),
+            (3.0, 0.05),
+        ] {
             let want = adaptive_simpson(
                 |x| (-0.5 * h * h * (1.0 + x * x)).exp() / (1.0 + x * x),
                 0.0,
@@ -454,7 +460,10 @@ mod tests {
                 1e-14,
             ) / (2.0 * std::f64::consts::PI);
             let got = owen_t(h, a);
-            assert!((got - want).abs() < 1e-12, "T({h},{a}) got {got} want {want}");
+            assert!(
+                (got - want).abs() < 1e-12,
+                "T({h},{a}) got {got} want {want}"
+            );
         }
     }
 }

@@ -64,7 +64,12 @@ pub trait Distribution {
 
     /// The four-moment record (μ, σ, γ, excess kurtosis).
     fn four_moments(&self) -> FourMoments {
-        FourMoments::new(self.mean(), self.std_dev(), self.skewness(), self.excess_kurtosis())
+        FourMoments::new(
+            self.mean(),
+            self.std_dev(),
+            self.skewness(),
+            self.excess_kurtosis(),
+        )
     }
 
     /// Quantile `F⁻¹(p)`: the default bisects the CDF on a bracket expanded
@@ -77,7 +82,11 @@ pub trait Distribution {
             return f64::NAN;
         }
         if p == 0.0 {
-            return if self.cdf(f64::MIN_POSITIVE) <= 0.0 { 0.0 } else { f64::NEG_INFINITY };
+            return if self.cdf(f64::MIN_POSITIVE) <= 0.0 {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         if p == 1.0 {
             return f64::INFINITY;

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 
 /// Strategy: a valid LVF moment triple.
 fn moments() -> impl Strategy<Value = Moments> {
-    (-5.0..5.0f64, 0.01..2.0f64, -0.9..0.9f64)
-        .prop_map(|(m, s, g)| Moments::new(m, s, g))
+    (-5.0..5.0f64, 0.01..2.0f64, -0.9..0.9f64).prop_map(|(m, s, g)| Moments::new(m, s, g))
 }
 
 fn skew_normal() -> impl Strategy<Value = SkewNormal> {

@@ -21,15 +21,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden_probs = golden.golden_probs().to_vec();
     let golden_revenue = profile.expected_revenue(&golden_probs);
     println!("golden (Monte-Carlo) expected revenue: ${golden_revenue:.3}/die");
-    println!("golden usable yield: {:.2}%\n", 100.0 * profile.usable_yield(&golden_probs));
+    println!(
+        "golden usable yield: {:.2}%\n",
+        100.0 * profile.usable_yield(&golden_probs)
+    );
 
     let fits = fit_all_models(&samples, &FitConfig::default())?;
-    println!("{:<8} {:>12} {:>16} {:>16}", "model", "revenue/die", "revenue error", "yield error");
+    println!(
+        "{:<8} {:>12} {:>16} {:>16}",
+        "model", "revenue/die", "revenue error", "yield error"
+    );
     for (kind, model) in fits.iter() {
         let probs = golden.bins().probabilities(|x| model.cdf(x));
         let rev = profile.expected_revenue(&probs);
-        let yield_err =
-            (profile.usable_yield(&probs) - profile.usable_yield(&golden_probs)).abs();
+        let yield_err = (profile.usable_yield(&probs) - profile.usable_yield(&golden_probs)).abs();
         println!(
             "{:<8} {:>11.3}$ {:>15.4}$ {:>15.6}",
             kind.name(),
@@ -43,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-bin probability (golden vs LVF vs LVF²):");
     let lvf_probs = golden.bins().probabilities(|x| fits.lvf.cdf(x));
     let lvf2_probs = golden.bins().probabilities(|x| fits.lvf2.cdf(x));
-    println!("{:<6} {:>9} {:>9} {:>9} {:>11} {:>11}", "bin", "golden", "LVF", "LVF2", "LVF err", "LVF2 err");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "bin", "golden", "LVF", "LVF2", "LVF err", "LVF2 err"
+    );
     for (i, g) in golden_probs.iter().enumerate() {
         println!(
             "Bin{:<3} {:>9.4} {:>9.4} {:>9.4} {:>11.5} {:>11.5}",

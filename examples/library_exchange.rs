@@ -9,7 +9,9 @@ use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
 use lvf2::fit::{fit_lvf2, FitConfig};
 use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2::liberty::model::{lvf2_entry, lvf_entry};
-use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::liberty::{
+    parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
+};
 use lvf2::stats::Distribution;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             timings: vec![TimingGroup {
                 related_pin: "A".into(),
                 tables: model_grid.to_tables("delay_template_3x3"),
-            ..Default::default() }],
+                ..Default::default()
+            }],
         }],
     });
     let text = write_library(&lib);
@@ -68,8 +71,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let timing = &parsed.cell("XOR2_X1").expect("cell present").pins[0].timings[0];
     let as_lvf2 = lvf2_entry(timing, BaseKind::CellRise, 1, 1)?;
     let as_lvf = lvf_entry(timing, BaseKind::CellRise, 1, 1)?;
-    println!("LVF²-capable reader at (1,1): λ = {:.3}, mean = {:.5} ns", as_lvf2.model.lambda(), as_lvf2.model.mean());
-    println!("LVF-only reader at (1,1):               mean = {:.5} ns", as_lvf.mean());
+    println!(
+        "LVF²-capable reader at (1,1): λ = {:.3}, mean = {:.5} ns",
+        as_lvf2.model.lambda(),
+        as_lvf2.model.mean()
+    );
+    println!(
+        "LVF-only reader at (1,1):               mean = {:.5} ns",
+        as_lvf.mean()
+    );
     println!(
         "overall moments agree to {:.2e} (the LVF tables carry the mixture's moments)",
         (as_lvf2.model.mean() - as_lvf.mean()).abs()

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut probes = Vec::new();
     for &(i, j) in &plan {
         let score = reduction(i, j)?;
-        println!("  ({i},{j}) parity {}: LVF2 reduction {score:.1}x", (i + j) % 2);
+        println!(
+            "  ({i},{j}) parity {}: LVF2 reduction {score:.1}x",
+            (i + j) % 2
+        );
         probes.push(Probe { i, j, score });
     }
 
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p.even_mean(),
         p.odd_mean()
     );
-    println!("predicted LVF2 fraction: {:.0}%", 100.0 * p.lvf2_fraction(8, 8));
+    println!(
+        "predicted LVF2 fraction: {:.0}%",
+        100.0 * p.lvf2_fraction(8, 8)
+    );
 
     // 3. Verify against the (normally never-run) full characterization.
     let mut agree = 0;

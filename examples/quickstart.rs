@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fit LVF (the industry baseline), Norm², LESN and LVF².
     let fits = fit_all_models(&samples, &FitConfig::default())?;
-    let lvf2::ssta::TimingDist::Lvf2(model) = &fits.lvf2 else { unreachable!() };
+    let lvf2::ssta::TimingDist::Lvf2(model) = &fits.lvf2 else {
+        unreachable!()
+    };
     println!(
         "\nLVF² fit: λ={:.3}  θ₁=(μ={:.4}, σ={:.4}, γ={:.2})  θ₂=(μ={:.4}, σ={:.4}, γ={:.2})",
         model.lambda(),

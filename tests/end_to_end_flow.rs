@@ -8,7 +8,9 @@ use lvf2::cells::{characterize_arc, CellType, SlewLoadGrid, TimingArcSpec};
 use lvf2::fit::{fit_lvf2, FitConfig};
 use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2::liberty::model::lvf2_entry;
-use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::liberty::{
+    parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
+};
 use lvf2::stats::Distribution;
 use lvf2::{recommend_model, ModelKind};
 
@@ -54,7 +56,8 @@ fn characterize_fit_export_import_score() {
             timings: vec![TimingGroup {
                 related_pin: "A".into(),
                 tables: model_grid.to_tables("t3x3"),
-            ..Default::default() }],
+                ..Default::default()
+            }],
         }],
     });
     let lib_text = write_library(&lib);
@@ -85,10 +88,12 @@ fn switch_heuristic_runs_on_real_arc_data() {
     let grid = SlewLoadGrid::small_3x3();
     let ch = characterize_arc(&spec, &grid, 4000);
     let delays = &ch.at(1, 1).delays;
-    let report =
-        recommend_model(delays, 4, 1.2, &FitConfig::fast()).expect("switch analysis runs");
+    let report = recommend_model(delays, 4, 1.2, &FitConfig::fast()).expect("switch analysis runs");
     assert!(report.stage_reduction.is_finite() && report.stage_reduction > 0.0);
-    assert!(matches!(report.recommendation, ModelKind::Lvf | ModelKind::Lvf2));
+    assert!(matches!(
+        report.recommendation,
+        ModelKind::Lvf | ModelKind::Lvf2
+    ));
     // Deeper paths can only lower the projected benefit.
     let deep = recommend_model(delays, 400, 1.2, &FitConfig::fast()).expect("deep analysis");
     assert!(deep.depth_reduction <= report.depth_reduction + 1e-12);

@@ -68,9 +68,7 @@ fn normal_diamond_matches_monte_carlo() {
 
 #[test]
 fn lvf_diamond_matches_monte_carlo() {
-    let sn = |m: f64, s: f64, g: f64| {
-        SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
-    };
+    let sn = |m: f64, s: f64, g: f64| SkewNormal::from_moments(Moments::new(m, s, g)).unwrap();
     let edges = [
         sn(0.10, 0.010, 0.5),
         sn(0.12, 0.012, -0.3),
@@ -84,9 +82,7 @@ fn lvf_diamond_matches_monte_carlo() {
 
 #[test]
 fn lvf2_diamond_matches_monte_carlo() {
-    let sn = |m: f64, s: f64, g: f64| {
-        SkewNormal::from_moments(Moments::new(m, s, g)).unwrap()
-    };
+    let sn = |m: f64, s: f64, g: f64| SkewNormal::from_moments(Moments::new(m, s, g)).unwrap();
     let mix = |l: f64, a: SkewNormal, b: SkewNormal| Lvf2::new(l, a, b).unwrap();
     let edges = [
         mix(0.3, sn(0.10, 0.008, 0.4), sn(0.13, 0.010, -0.2)),
@@ -118,9 +114,8 @@ fn norm2_diamond_matches_monte_carlo() {
 #[test]
 fn wider_dag_with_multiple_reconvergences() {
     // Two diamonds in series: 0→{1,2}→3→{4,5}→6.
-    let sn = |m: f64| {
-        TimingDist::Lvf(SkewNormal::from_moments(Moments::new(m, 0.01, 0.3)).unwrap())
-    };
+    let sn =
+        |m: f64| TimingDist::Lvf(SkewNormal::from_moments(Moments::new(m, 0.01, 0.3)).unwrap());
     let mut g = TimingGraph::new(7);
     g.add_edge(0, 1, sn(0.1)).unwrap();
     g.add_edge(0, 2, sn(0.12)).unwrap();
@@ -134,6 +129,10 @@ fn wider_dag_with_multiple_reconvergences() {
     let sink = arrivals[6].as_ref().unwrap();
     // Longest nominal path ≈ 0.12+0.09(max upper/lower ~0.21..0.22) + ... :
     // sanity bounds rather than exact values.
-    assert!(sink.mean() > 0.4 && sink.mean() < 0.5, "sink mean {}", sink.mean());
+    assert!(
+        sink.mean() > 0.4 && sink.mean() < 0.5,
+        "sink mean {}",
+        sink.mean()
+    );
     assert!(sink.std_dev() > 0.005 && sink.std_dev() < 0.05);
 }

@@ -6,14 +6,18 @@ use lvf2::cells::Scenario;
 use lvf2::fit::{fit_lvf2, FitConfig};
 use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2::liberty::model::{lvf2_entry, lvf_entry};
-use lvf2::liberty::{parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2::liberty::{
+    parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
+};
 use lvf2::stats::Distribution;
 
 /// Builds a 2×2 grid of fitted models from two scenarios.
 fn fitted_grid() -> TimingModelGrid {
     let cfg = FitConfig::fast();
     let mk = |scenario: Scenario, seed: u64| {
-        fit_lvf2(&scenario.sample(4000, seed), &cfg).expect("fit succeeds").model
+        fit_lvf2(&scenario.sample(4000, seed), &cfg)
+            .expect("fit succeeds")
+            .model
     };
     TimingModelGrid {
         base: BaseKind::CellRise,
@@ -42,7 +46,8 @@ fn library_with(grid: &TimingModelGrid) -> Library {
             timings: vec![TimingGroup {
                 related_pin: "A".into(),
                 tables: grid.to_tables("t2x2"),
-            ..Default::default() }],
+                ..Default::default()
+            }],
         }],
     });
     lib
@@ -66,7 +71,10 @@ fn fitted_models_roundtrip_through_lib_text() {
             let lo = a.mean() - 4.0 * a.std_dev();
             for k in 0..=20 {
                 let x = lo + k as f64 * 0.4 * a.std_dev();
-                assert!((a.cdf(x) - b.cdf(x)).abs() < 1e-7, "cdf at ({i},{j}), x={x}");
+                assert!(
+                    (a.cdf(x) - b.cdf(x)).abs() < 1e-7,
+                    "cdf at ({i},{j}), x={x}"
+                );
             }
         }
     }
@@ -128,6 +136,9 @@ fn library_supports_both_standards_simultaneously() {
         "ocv_std_dev2_cell_rise",
         "ocv_skewness2_cell_rise",
     ] {
-        assert!(text.contains(&format!("{stem} (t2x2)")), "missing table {stem}");
+        assert!(
+            text.contains(&format!("{stem} (t2x2)")),
+            "missing table {stem}"
+        );
     }
 }

@@ -27,7 +27,10 @@ fn two_peaks_needs_skewness_lvf2_far_ahead_of_norm2() {
     // while LVF² excels.
     let (lvf2_x, norm2_x, _) = reductions_for(Scenario::TwoPeaks, 12);
     assert!(lvf2_x > 4.0, "LVF2 {lvf2_x:.2}x");
-    assert!(lvf2_x > 2.0 * norm2_x, "LVF2 {lvf2_x:.2}x vs Norm2 {norm2_x:.2}x");
+    assert!(
+        lvf2_x > 2.0 * norm2_x,
+        "LVF2 {lvf2_x:.2}x vs Norm2 {norm2_x:.2}x"
+    );
 }
 
 #[test]
@@ -35,8 +38,14 @@ fn kurtosis_scenario_norm2_is_competitive() {
     // Table 1, row "Kurtosis": even without skewness, two Gaussians capture
     // high kurtosis — Norm² is close to LVF² there.
     let (lvf2_x, norm2_x, _) = reductions_for(Scenario::Kurtosis, 13);
-    assert!(norm2_x > 2.0, "Norm2 should improve markedly, got {norm2_x:.2}x");
-    assert!(lvf2_x < 4.0 * norm2_x, "gap should be modest: {lvf2_x:.2} vs {norm2_x:.2}");
+    assert!(
+        norm2_x > 2.0,
+        "Norm2 should improve markedly, got {norm2_x:.2}x"
+    );
+    assert!(
+        lvf2_x < 4.0 * norm2_x,
+        "gap should be modest: {lvf2_x:.2} vs {norm2_x:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,123 @@
+//! Cross-thread-count determinism of the parallel pipeline.
+//!
+//! The contract of `lvf2-parallel` is that thread count and chunk size are
+//! pure speed knobs: for a fixed seed, every stage of the pipeline — raw
+//! Monte-Carlo sampling, grid characterization, batched EM fitting, and the
+//! full characterize-to-Liberty flow — produces **bit-identical** output at
+//! 1, 2, and N threads. These tests pin that contract with fixed-seed
+//! goldens and a property sweep over (seed, threads, chunk size).
+
+use lvf2::cells::{characterize_arc_par, CellType, Scenario, SlewLoadGrid, TimingArcSpec};
+use lvf2::fit::{fit_lvf2, fit_lvf2_batch, FitConfig};
+use lvf2::flow::{characterize_to_library, FlowOptions};
+use lvf2::liberty::write_library;
+use lvf2::mc::{McEngine, RegimeCompetitionArc, SamplingScheme, VariationSpace};
+use lvf2::parallel::Parallelism;
+use proptest::prelude::*;
+
+fn engine(seed: u64, scheme: SamplingScheme, par: Parallelism) -> McEngine {
+    McEngine::new(VariationSpace::tt_22nm(), 3000, seed)
+        .with_scheme(scheme)
+        .with_parallelism(par)
+}
+
+/// `McEngine::simulate` is bit-identical across thread counts and chunk
+/// sizes, for both sampling schemes.
+#[test]
+fn mc_result_identical_across_thread_counts() {
+    let arc = RegimeCompetitionArc::balanced_bimodal();
+    for scheme in [SamplingScheme::LatinHypercube, SamplingScheme::Plain] {
+        let golden = engine(7, scheme, Parallelism::serial()).simulate(&arc, 0.02, 0.05);
+        assert_eq!(golden.delays.len(), 3000);
+        for threads in [2usize, 3, 8] {
+            for chunk in [64usize, 997, 5000] {
+                let par = Parallelism::auto()
+                    .with_threads(threads)
+                    .with_chunk_size(chunk);
+                let got = engine(7, scheme, par).simulate(&arc, 0.02, 0.05);
+                assert_eq!(
+                    golden, got,
+                    "{scheme:?} diverged at {threads} threads, chunk {chunk}"
+                );
+            }
+        }
+    }
+}
+
+/// Grid characterization fans out over conditions; the per-condition sample
+/// vectors must not depend on the fan-out width.
+#[test]
+fn characterization_identical_across_thread_counts() {
+    let spec = TimingArcSpec::of(CellType::Nand2, 0);
+    let grid = SlewLoadGrid::small_3x3();
+    let golden = characterize_arc_par(&spec, &grid, 500, &Parallelism::serial());
+    for threads in [2usize, 8] {
+        let par = Parallelism::auto().with_threads(threads).with_chunk_size(2);
+        let got = characterize_arc_par(&spec, &grid, 500, &par);
+        assert_eq!(
+            golden, got,
+            "characterization diverged at {threads} threads"
+        );
+    }
+}
+
+/// Batched fitting returns exactly what per-dataset serial fitting returns,
+/// in the same order, at every thread count.
+#[test]
+fn batch_fit_identical_to_serial_fit() {
+    let cfg = FitConfig::fast();
+    let datasets: Vec<Vec<f64>> = (0..6)
+        .map(|i| Scenario::TwoPeaks.sample(800, 100 + i))
+        .collect();
+    let refs: Vec<&[f64]> = datasets.iter().map(|d| d.as_slice()).collect();
+    let golden: Vec<_> = datasets
+        .iter()
+        .map(|d| fit_lvf2(d, &cfg).unwrap())
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let par = Parallelism::auto().with_threads(threads).with_chunk_size(1);
+        let fitted = fit_lvf2_batch(&refs, &cfg, &par).unwrap();
+        assert_eq!(fitted.len(), golden.len());
+        for (g, f) in golden.iter().zip(&fitted) {
+            assert_eq!(g.model, f.model, "fit diverged at {threads} threads");
+        }
+    }
+}
+
+/// End to end: the emitted Liberty text is byte-identical across thread
+/// counts.
+#[test]
+fn flow_library_text_identical_across_thread_counts() {
+    let opts_at = |par: Parallelism| FlowOptions {
+        samples: 400,
+        grid: SlewLoadGrid::small_3x3(),
+        parallelism: par,
+        ..FlowOptions::default()
+    };
+    let golden = write_library(
+        &characterize_to_library(&[CellType::Inv], &opts_at(Parallelism::serial())).unwrap(),
+    );
+    let par = Parallelism::auto().with_threads(6).with_chunk_size(97);
+    let got = write_library(&characterize_to_library(&[CellType::Inv], &opts_at(par)).unwrap());
+    assert_eq!(golden, got, "Liberty output depends on thread count");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property sweep: any (seed, threads, chunk size) matches the serial
+    /// golden for the same seed.
+    fn mc_determinism_property(
+        seed in 0u64..1_000_000,
+        threads in 1usize..9,
+        chunk in 16usize..2048,
+    ) {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let golden = engine(seed, SamplingScheme::LatinHypercube, Parallelism::serial())
+            .simulate(&arc, 0.03, 0.08);
+        let par = Parallelism::auto().with_threads(threads).with_chunk_size(chunk);
+        let got = engine(seed, SamplingScheme::LatinHypercube, par)
+            .simulate(&arc, 0.03, 0.08);
+        prop_assert_eq!(golden, got);
+    }
+}

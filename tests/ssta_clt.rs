@@ -20,7 +20,10 @@ fn advantage_decays_with_depth_on_fo4_chain() {
         "LVF2 advantage should decay: first {first:.2}x vs last {last:.2}x"
     );
     // At depth the model errors converge; the reduction heads toward 1×.
-    assert!(last < 0.7 * first + 1.0, "decay too weak: {first:.2} → {last:.2}");
+    assert!(
+        last < 0.7 * first + 1.0,
+        "decay too weak: {first:.2} → {last:.2}"
+    );
 }
 
 #[test]
@@ -31,13 +34,21 @@ fn cumulative_sums_become_gaussian_at_berry_esseen_rate() {
 
     let gaps: Vec<f64> = cum.iter().map(|c| sup_gap_to_normal(c)).collect();
     // Monotone-ish decay: depth 16 must be much more Gaussian than depth 1.
-    assert!(gaps[15] < 0.5 * gaps[0], "gap did not shrink: {:?}", &gaps[..3]);
+    assert!(
+        gaps[15] < 0.5 * gaps[0],
+        "gap did not shrink: {:?}",
+        &gaps[..3]
+    );
 
     // Theorem 1: the measured gap respects C·ρ/√n (with MC noise slack).
     let rho = standardized_abs_third_moment(&stages[0].delays);
     for (idx, gap) in gaps.iter().enumerate() {
         let bound = berry_esseen_bound(rho, idx + 1) + 0.05;
-        assert!(*gap <= bound, "stage {}: gap {gap:.4} exceeds bound {bound:.4}", idx + 1);
+        assert!(
+            *gap <= bound,
+            "stage {}: gap {gap:.4} exceeds bound {bound:.4}",
+            idx + 1
+        );
     }
 }
 
@@ -47,15 +58,25 @@ fn model_sums_track_golden_mean_and_sigma_at_depth() {
     let stages = circuits::htree_6stage(4000, 33);
     let cfg = FitConfig::fast();
     let total = propagate::accumulate_family(&stages, &cfg, |xs, c| {
-        Ok(lvf2::ssta::TimingDist::Lvf2(lvf2::fit::fit_lvf2(xs, c)?.model))
+        Ok(lvf2::ssta::TimingDist::Lvf2(
+            lvf2::fit::fit_lvf2(xs, c)?.model,
+        ))
     })
     .expect("accumulates");
     let sample_stages: Vec<Vec<f64>> = stages.iter().map(|s| s.delays.clone()).collect();
     let golden = cumulative_path(&sample_stages).pop().expect("stages");
     let g_mean = lvf2::stats::sample_mean(&golden);
     let g_sd = lvf2::stats::sample_std(&golden);
-    assert!((total.mean() - g_mean).abs() / g_mean < 0.01, "mean {} vs {g_mean}", total.mean());
-    assert!((total.std_dev() - g_sd).abs() / g_sd < 0.05, "σ {} vs {g_sd}", total.std_dev());
+    assert!(
+        (total.mean() - g_mean).abs() / g_mean < 0.01,
+        "mean {} vs {g_mean}",
+        total.mean()
+    );
+    assert!(
+        (total.std_dev() - g_sd).abs() / g_sd < 0.05,
+        "σ {} vs {g_sd}",
+        total.std_dev()
+    );
 }
 
 #[test]
