@@ -13,10 +13,13 @@ use lvf2::cells::Scenario;
 use lvf2::fit::{fit_lvf2, FitConfig, InitStrategy, MStep};
 use lvf2::ssta::{ReductionStrategy, TimingDist};
 use lvf2::stats::Distribution;
-use lvf2_bench::arg;
+use lvf2_bench::{arg, BenchReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = lvf2_bench::obs_init();
     let samples: usize = arg("--samples", 20_000);
+    let mut report = BenchReport::start("ablation_quality");
+    report.param("samples", samples);
 
     // --- Ablation 1: initialization strategy -------------------------------
     println!("=== Ablation 1: EM initialization (CDF RMSE of the LVF2 fit) ===");
@@ -91,6 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             acc = acc.sum_with(&TimingDist::Lvf2(stage), strategy)?;
         }
         let s = score_model(&acc, &golden);
+        let slug = if matches!(strategy, ReductionStrategy::MomentPreservingPairwise) {
+            "pairwise"
+        } else {
+            "topk"
+        };
+        report.quality(&format!("reduction.{slug}_cdf_rmse"), s.cdf_rmse);
         println!(
             "{name:<28} binning error {:.5}  cdf rmse {:.5}  mean drift {:.2e}",
             s.binning_error,
@@ -125,5 +134,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         err[1] / trials as f64,
         err[1] / err[0]
     );
+    report.quality("sampling.lhs_abs_err", err[0] / trials as f64);
+    report.quality("sampling.plain_abs_err", err[1] / trials as f64);
+    report.quality("sampling.lhs_tightening_x", err[1] / err[0]);
+    report.finish();
     Ok(())
 }

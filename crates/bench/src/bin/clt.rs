@@ -6,12 +6,17 @@
 use lvf2::ssta::circuits::fo4_chain;
 use lvf2::ssta::clt::{berry_esseen_bound, standardized_abs_third_moment, sup_gap_to_normal};
 use lvf2::ssta::golden::cumulative_path;
-use lvf2_bench::arg;
+use lvf2_bench::{arg, BenchReport};
 
 fn main() {
+    let _obs = lvf2_bench::obs_init();
     let n_stages: usize = arg("--stages", 32);
     let samples: usize = arg("--samples", 8000);
     let seed: u64 = arg("--seed", 5);
+    let mut report = BenchReport::start("clt");
+    report.param("stages", n_stages);
+    report.param("samples", samples);
+    report.param("seed", seed);
 
     let stages = fo4_chain(n_stages, samples, seed);
     let sample_stages: Vec<Vec<f64>> = stages.iter().map(|s| s.delays.clone()).collect();
@@ -50,4 +55,9 @@ fn main() {
     println!("\nwith spatial correlation (L ≫ pitch): sup-gap stays at {gn:.4} after {n_stages}");
     println!("stages (vs {g1:.4} at one stage) — correlated paths keep their non-Gaussian");
     println!("shape, which is where LVF² keeps paying even at depth.");
+
+    report.quality("rho", rho);
+    report.quality("final_gap", sup_gap_to_normal(cum.last().expect("stages")));
+    report.quality("correlated_final_gap", gn);
+    report.finish();
 }

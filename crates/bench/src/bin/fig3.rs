@@ -14,12 +14,17 @@ use lvf2::fit::FitConfig;
 use lvf2::ssta::TimingDist;
 use lvf2::stats::{Distribution, Histogram};
 use lvf2::{fit_all_models, score_all};
-use lvf2_bench::arg;
+use lvf2_bench::{arg, BenchReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = lvf2_bench::obs_init();
     let samples: usize = arg("--samples", 50_000);
     let points: usize = arg("--points", 240);
     let seed: u64 = arg("--seed", 33);
+    let mut report = BenchReport::start("fig3");
+    report.param("samples", samples);
+    report.param("points", points);
+    report.param("seed", seed);
     let cfg = FitConfig::default();
     fs::create_dir_all("results")?;
 
@@ -45,6 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // CSV: golden histogram density + the four model pdfs + the two
         // weighted LVF² components (the "decomposition" row of Figure 3).
         let slug = scenario.name().to_lowercase().replace([' ', '-'], "_");
+        report.quality(&format!("{slug}.lvf_rmse"), scores.lvf.cdf_rmse);
+        report.quality(&format!("{slug}.lvf2_rmse"), scores.lvf2.cdf_rmse);
         let path = format!("results/fig3_{slug}.csv");
         let mut f = fs::File::create(&path)?;
         writeln!(
@@ -102,5 +109,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nplot each CSV to reproduce Figure 3 (top: fits; bottom: lvf2_comp1/comp2).");
+    report.finish();
     Ok(())
 }

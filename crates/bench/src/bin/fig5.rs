@@ -8,9 +8,16 @@
 use lvf2::cells::CellLibrary;
 use lvf2::fit::FitConfig;
 use lvf2::ssta::{circuits, propagate, Stage};
-use lvf2_bench::{arg, fmt_x};
+use lvf2_bench::{arg, fmt_x, BenchReport};
 
-fn run(name: &str, stages: &[Stage], fo4: f64, cfg: &FitConfig) {
+fn run(
+    name: &str,
+    slug: &str,
+    stages: &[Stage],
+    fo4: f64,
+    cfg: &FitConfig,
+    report: &mut BenchReport,
+) {
     println!(
         "\n=== {name}: {} stages, {:.1} FO4 total ===",
         stages.len(),
@@ -45,6 +52,8 @@ fn run(name: &str, stages: &[Stage], fo4: f64, cfg: &FitConfig) {
     let last = pts.last().expect("non-empty");
     let (r8, ..) = at8.binning_reductions();
     let (rend, ..) = last.binning_reductions();
+    report.quality(&format!("{slug}.lvf2_x_8fo4"), r8);
+    report.quality(&format!("{slug}.lvf2_x_end"), rend);
     println!(
         "LVF2 reduction: {}x near 8-FO4 (at {:.1} FO4), {}x at path end ({:.1} FO4)",
         fmt_x(r8),
@@ -55,18 +64,30 @@ fn run(name: &str, stages: &[Stage], fo4: f64, cfg: &FitConfig) {
 }
 
 fn main() {
+    let _obs = lvf2_bench::obs_init();
     let samples: usize = arg("--samples", 8000);
     let seed: u64 = arg("--seed", 77);
+    let mut report = BenchReport::start("fig5");
+    report.param("samples", samples);
+    report.param("seed", seed);
     let cfg = FitConfig::fast();
     let fo4 = CellLibrary::tsmc22_like().fo4_delay();
     println!("FO4 unit delay: {fo4:.4} ns; {samples} MC samples/stage");
 
     let adder = circuits::carry_adder_16bit(samples, seed);
-    run("16-bit carry adder critical path", &adder, fo4, &cfg);
+    run(
+        "16-bit carry adder critical path",
+        "adder",
+        &adder,
+        fo4,
+        &cfg,
+        &mut report,
+    );
 
     let htree = circuits::htree_6stage(samples, seed);
-    run("6-stage H-tree", &htree, fo4, &cfg);
+    run("6-stage H-tree", "htree", &htree, fo4, &cfg, &mut report);
 
     println!("\npaper reference: adder 2x at 8-FO4 → 1.15x at path end;");
     println!("                 H-tree 8x at 8-FO4 → 2.68x at the end (slower convergence).");
+    report.finish();
 }

@@ -6,11 +6,15 @@
 use lvf2::cells::Scenario;
 use lvf2::fit::FitConfig;
 use lvf2::{fit_all_models, score_all};
-use lvf2_bench::{arg, fmt_x};
+use lvf2_bench::{arg, fmt_x, BenchReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = lvf2_bench::obs_init();
     let samples: usize = arg("--samples", 50_000);
     let seed: u64 = arg("--seed", 2024);
+    let mut report = BenchReport::start("table1");
+    report.param("samples", samples);
+    report.param("seed", seed);
     let cfg = FitConfig::default();
     println!("Table 1: Scenarios Assessment among Models ({samples} samples/scenario)");
     println!(
@@ -23,6 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fits = fit_all_models(&xs, &cfg)?;
         let scores = score_all(&fits, &xs)?;
         let (lvf2_x, norm2_x, lesn_x) = scores.reductions(|s| s.binning_error);
+        let slug = scenario.name().to_lowercase().replace([' ', '-'], "_");
+        report.quality(&format!("{slug}.lvf2_x"), lvf2_x);
+        report.quality(&format!("{slug}.norm2_x"), norm2_x);
+        report.quality(&format!("{slug}.lesn_x"), lesn_x);
         println!(
             "{:<14} | {:>8} {:>8} {:>8} {:>5}",
             scenario.name(),
@@ -39,5 +47,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "                  |  Saddle 9.62 / 5.06 / 1.88     Minor Saddle 16.27 / 10.58 / 0.84"
     );
     println!("                  |  Kurtosis 8.63 / 8.16 / 3.43   (LVF2 / Norm2 / LESN)");
+    report.finish();
     Ok(())
 }

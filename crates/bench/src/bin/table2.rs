@@ -11,7 +11,7 @@
 use lvf2::cells::{characterize_arc, CellLibrary, SlewLoadGrid};
 use lvf2::fit::FitConfig;
 use lvf2::{fit_all_models, score_all};
-use lvf2_bench::{arg, flag, fmt_x, geo_mean};
+use lvf2_bench::{arg, flag, fmt_x, geo_mean, BenchReport};
 
 /// Accumulates reduction multiples per metric.
 #[derive(Default)]
@@ -23,9 +23,14 @@ struct Acc {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = lvf2_bench::obs_init();
     let samples: usize = arg("--samples", 4000);
     let arcs_per_type: usize = arg("--arcs", 1);
     let full = flag("--full");
+    let mut report = BenchReport::start("table2");
+    report.param("samples", samples);
+    report.param("arcs", arcs_per_type);
+    report.param("full", full);
     let cfg = FitConfig::fast();
     let lib = CellLibrary::tsmc22_like();
     let grid = SlewLoadGrid::paper_8x8();
@@ -122,6 +127,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ncolumns: 2 = LVF2, N = Norm2, L = LESN (error reduction vs LVF, geometric mean)");
     println!("paper Overall row: delay-bin 7.74/3.93/4.54, trans-bin 9.54/3.88/5.55,");
     println!("                   delay-yield 4.79/4.18/4.05, trans-yield 7.18/5.44/6.34");
+    report.quality("overall.delay_bin_lvf2_x", geo_mean(&overall.delay_bin[0]));
+    report.quality("overall.trans_bin_lvf2_x", geo_mean(&overall.trans_bin[0]));
+    report.quality(
+        "overall.delay_yield_lvf2_x",
+        geo_mean(&overall.delay_yield[0]),
+    );
+    report.quality(
+        "overall.trans_yield_lvf2_x",
+        geo_mean(&overall.trans_yield[0]),
+    );
+    report.finish();
     Ok(())
 }
 

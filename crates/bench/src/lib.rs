@@ -15,6 +15,103 @@
 //! | `clt` | §3.4 — Berry–Esseen convergence of the FO4 chain |
 //! | `ablation_quality` | DESIGN.md ablations — init / M-step / reduction quality |
 
+use std::time::Instant;
+
+use lvf2_obs::json::Value;
+use lvf2_obs::schema::BENCH_SCHEMA;
+use lvf2_obs::{Obs, ObsConfig, ObsGuard};
+
+/// Installs the shared observability flags (`-v`, `-q`, `--progress`,
+/// `--trace-json`, `--metrics-json`) for a bench binary. Call once at the
+/// top of `main` and keep the guard alive for the whole run.
+pub fn obs_init() -> Option<ObsGuard> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ObsConfig::from_args(&args) {
+        Ok((cfg, _rest)) => match Obs::install(&cfg) {
+            Ok(guard) => Some(guard),
+            Err(e) => {
+                eprintln!("error: failed to open observability sinks: {e}");
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    }
+}
+
+/// Accumulates one bench run's parameters and quality figures and writes a
+/// `lvf2-bench-v1` summary (`BENCH_<name>.json`, or the `--bench-json` path)
+/// on [`BenchReport::finish`].
+///
+/// The summary embeds the active metrics snapshot, so a run with
+/// `--metrics-json`-style collection enabled carries its EM/MC counters
+/// alongside wall time and quality.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: &'static str,
+    start: Instant,
+    params: Vec<(String, Value)>,
+    quality: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts the wall clock for a named bench run.
+    pub fn start(name: &'static str) -> Self {
+        BenchReport {
+            name,
+            start: Instant::now(),
+            params: Vec::new(),
+            quality: Vec::new(),
+        }
+    }
+
+    /// Records an input parameter (sample count, seed, …).
+    pub fn param(&mut self, key: &str, value: impl Into<Value>) {
+        self.params.push((key.to_string(), value.into()));
+    }
+
+    /// Records a quality figure (error reductions, gaps, …).
+    pub fn quality(&mut self, key: &str, value: f64) {
+        self.quality.push((key.to_string(), value));
+    }
+
+    /// Writes `BENCH_<name>.json` (override with `--bench-json PATH`).
+    /// Failures are reported to stderr, never panicking the bench.
+    pub fn finish(self) {
+        let path = arg("--bench-json", format!("BENCH_{}.json", self.name));
+        let metrics = match Obs::current().snapshot() {
+            Some(snap) => snap.to_json(),
+            None => Value::Obj(Vec::new()),
+        };
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::from(BENCH_SCHEMA)),
+            ("name".into(), Value::from(self.name)),
+            (
+                "wall_ms".into(),
+                Value::Num(self.start.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("params".into(), Value::Obj(self.params)),
+            (
+                "quality".into(),
+                Value::Obj(
+                    self.quality
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::Num(v)))
+                        .collect(),
+                ),
+            ),
+            ("metrics".into(), metrics),
+        ]);
+        if let Err(e) = std::fs::write(&path, doc.to_json() + "\n") {
+            eprintln!("error: failed to write bench summary {path}: {e}");
+        } else {
+            eprintln!("bench summary: {path}");
+        }
+    }
+}
+
 /// Returns the value following `--name` in the process arguments, parsed.
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let mut args = std::env::args();

@@ -8,7 +8,10 @@
 //! seed derived from `(arc, i, j)`, so parallel runs are bit-identical to
 //! serial ones at any thread count.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use lvf2_mc::{McEngine, VariationSpace};
+use lvf2_obs::{progress, Obs};
 use lvf2_parallel::Parallelism;
 
 use crate::arc::TimingArcSpec;
@@ -93,6 +96,8 @@ pub fn characterize_arc_par(
     samples: usize,
     par: &Parallelism,
 ) -> ArcCharacterization {
+    let obs = Obs::current();
+    let _span = obs.span("cells.characterize_arc");
     let base = spec.synthesize();
     let sign = if base.selector.offset >= 0.0 {
         1.0
@@ -100,6 +105,8 @@ pub fn characterize_arc_par(
         -1.0
     };
     let points: Vec<(usize, usize, f64, f64)> = grid.iter().collect();
+    obs.inc("cells.conditions", points.len() as u64);
+    obs.inc("cells.mc_samples", (points.len() * samples) as u64);
     let conditions = par.par_map(&points, |&(i, j, slew, load)| {
         let mut arc = base;
         // Exact checkerboard in index space (see Figure 4): at even i+j the
@@ -145,8 +152,17 @@ pub fn characterize_library(
     samples: usize,
     par: &Parallelism,
 ) -> Vec<ArcCharacterization> {
+    let obs = Obs::current();
+    let _span = obs.span("cells.characterize_library");
+    obs.inc("cells.arcs", specs.len() as u64);
+    let done = AtomicUsize::new(0);
     par.par_map(specs, |spec| {
-        characterize_arc_par(spec, grid, samples, &Parallelism::serial())
+        let ch = characterize_arc_par(spec, grid, samples, &Parallelism::serial());
+        // The completion order is scheduling-dependent, so the progress line
+        // reports only the running count — never which arc finished.
+        let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress!(obs, "characterize: arc {k}/{} done", specs.len());
+        ch
     })
 }
 

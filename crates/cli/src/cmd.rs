@@ -11,6 +11,7 @@ use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2::liberty::{
     parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
 };
+use lvf2::obs::{info, warn, Obs, ObsConfig};
 use lvf2::parallel::{Parallelism, DEFAULT_CHUNK_SIZE};
 use lvf2::stats::Distribution;
 use lvf2::{fit_model, recommend_model, ModelKind};
@@ -36,6 +37,13 @@ USAGE:
   lvf2 sta NETLIST --clock T [--samples N] [--slew S]
   lvf2 scenario NAME [--samples N] [--seed N]
       NAME ∈ two-peaks | multi-peaks | saddle | minor-saddle | kurtosis
+
+Observability (any command):
+  -v, --verbose         debug logging (EM trajectories in traces)
+  -q, --quiet           errors only
+  --progress            coarse progress lines on stderr
+  --trace-json PATH     JSONL span/event/log stream
+  --metrics-json PATH   metrics snapshot on exit (lvf2-metrics-v1)
 
 `--threads 0` (the default) auto-detects the core count; `--threads 1` forces
 the serial path. Results are bit-identical at every thread count. The
@@ -106,8 +114,10 @@ pub fn characterize(args: &[String]) -> CliResult {
     }
     let spec = TimingArcSpec::of(cell, arc_idx);
     let par = parallelism(&opts)?;
-    eprintln!(
-        "characterizing {spec} over {}x{} grid, {samples} samples/condition, {} thread(s)…",
+    let obs = Obs::current();
+    info!(
+        obs,
+        "characterizing {spec} over {}x{} grid, {samples} samples/condition, {} thread(s)",
         grid.slews().len(),
         grid.loads().len(),
         par.effective_threads()
@@ -121,7 +131,14 @@ pub fn characterize(args: &[String]) -> CliResult {
     let entries: Vec<&[f64]> = (0..rows)
         .flat_map(|i| (0..cols).map(move |j| ch.at(i, j).delays.as_slice()))
         .collect();
-    let mut fits = fit_lvf2_batch(&entries, &cfg, &par)?.into_iter();
+    let fitted = fit_lvf2_batch(&entries, &cfg, &par)?;
+    let bad = fitted.iter().filter(|f| !f.report.converged).count();
+    if bad > 0 {
+        warn!(obs, "{bad}/{} grid fits failed to converge", fitted.len());
+    } else {
+        info!(obs, "all {} grid fits converged", fitted.len());
+    }
+    let mut fits = fitted.into_iter();
     let mut nominal = Vec::with_capacity(rows);
     let mut models = Vec::with_capacity(rows);
     for i in 0..rows {
@@ -188,9 +205,13 @@ pub fn library(args: &[String]) -> CliResult {
         grid,
         fit: FitConfig::fast(),
         parallelism: par,
+        // The CLI installs the process-wide session in main(); the flow's
+        // own config stays off so `Obs::ensure` defers to it.
+        obs: ObsConfig::off(),
     };
-    eprintln!(
-        "characterizing {} cell type(s) on {} thread(s)…",
+    info!(
+        Obs::current(),
+        "characterizing {} cell type(s) on {} thread(s)",
         cells.len(),
         par.effective_threads()
     );
@@ -414,7 +435,8 @@ pub fn sta(args: &[String]) -> CliResult {
         seed: opts.get_or("seed", 1u64)?,
         ..StaOptions::default()
     };
-    eprintln!(
+    info!(
+        Obs::current(),
         "{} gates, {} primary outputs; clock {} ns, {} MC samples/arc",
         netlist.gates.len(),
         netlist.outputs.len(),

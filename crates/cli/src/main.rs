@@ -8,14 +8,34 @@
 //! lvf2 switch samples.txt --depth 8                        # §3.4 LVF vs LVF²
 //! lvf2 scenario two-peaks --samples 50000                  # dump a Fig. 3 scenario
 //! ```
+//!
+//! Every command also accepts the shared observability flags (`-v`, `-q`,
+//! `--progress`, `--trace-json PATH`, `--metrics-json PATH`); see
+//! `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
+
+use lvf2::obs::{error, Obs, ObsConfig};
 
 mod cmd;
 mod opts;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs_cfg, args) = match ObsConfig::from_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _obs_guard = match Obs::install(&obs_cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: failed to open observability sinks: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{}", cmd::USAGE);
         return ExitCode::FAILURE;
@@ -39,7 +59,9 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // Routed through the logger so the failure also lands in the
+            // trace sink; `-q` still prints errors.
+            error!(Obs::current(), "{e}");
             ExitCode::FAILURE
         }
     }

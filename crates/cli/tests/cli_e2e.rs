@@ -149,6 +149,87 @@ fn sta_runs_on_the_example_netlist() {
 }
 
 #[test]
+fn observability_sinks_emit_valid_schemas() {
+    let dir = tempdir();
+    let lib = dir.join("obs_inv.lib");
+    let metrics = dir.join("obs_metrics.json");
+    let trace = dir.join("obs_trace.jsonl");
+    let out = lvf2()
+        .args([
+            "characterize",
+            "--cell",
+            "INV",
+            "--arc",
+            "0",
+            "--grid",
+            "3x3",
+            "--samples",
+            "400",
+            "--out",
+            lib.to_str().expect("utf8"),
+            "--metrics-json",
+            metrics.to_str().expect("utf8"),
+            "--trace-json",
+            trace.to_str().expect("utf8"),
+            "--progress",
+            "-v",
+        ])
+        .output()
+        .expect("characterize runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mtext = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = lvf2::obs::json::parse(&mtext).expect("metrics file is JSON");
+    lvf2::obs::schema::check_metrics(&doc).expect("metrics match lvf2-metrics-v1");
+    assert!(mtext.contains("fit.em.runs"), "metrics: {mtext}");
+    assert!(mtext.contains("mc.samples"), "metrics: {mtext}");
+
+    let ttext = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines = lvf2::obs::schema::check_trace_text(&ttext).expect("trace lines validate");
+    assert!(lines > 0, "trace is non-empty");
+    assert!(ttext.contains("\"span\""), "trace records spans: {ttext}");
+
+    // -v routes the characterization banner and convergence summary through
+    // the stderr logger.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("characterizing"), "stderr: {err}");
+    assert!(err.contains("converge"), "stderr: {err}");
+}
+
+#[test]
+fn quiet_flag_suppresses_info_logging() {
+    let dir = tempdir();
+    let lib = dir.join("quiet_inv.lib");
+    let out = lvf2()
+        .args([
+            "characterize",
+            "--cell",
+            "INV",
+            "--arc",
+            "0",
+            "--grid",
+            "3x3",
+            "--samples",
+            "400",
+            "--out",
+            lib.to_str().expect("utf8"),
+            "-q",
+        ])
+        .output()
+        .expect("characterize runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !err.contains("characterizing"),
+        "-q must silence info lines, got: {err}"
+    );
+}
+
+#[test]
 fn fit_rejects_garbage_input() {
     let dir = tempdir();
     let bad = dir.join("bad.txt");

@@ -11,6 +11,7 @@ use lvf2_cells::{characterize_arc_par, CellLibrary, CellType, SlewLoadGrid, Timi
 use lvf2_fit::{fit_lvf2_batch, FitConfig, FitError};
 use lvf2_liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2_liberty::{BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2_obs::{info, progress, warn, Obs, ObsConfig};
 use lvf2_parallel::Parallelism;
 
 /// Options for [`characterize_to_library`].
@@ -27,6 +28,10 @@ pub struct FlowOptions {
     pub fit: FitConfig,
     /// Thread/chunk configuration for characterization and fitting.
     pub parallelism: Parallelism,
+    /// Observability configuration. The default ([`ObsConfig::off`]) observes
+    /// nothing; when a session is already installed (e.g. by the CLI), this
+    /// field is ignored and the active session is used.
+    pub obs: ObsConfig,
 }
 
 impl Default for FlowOptions {
@@ -37,6 +42,7 @@ impl Default for FlowOptions {
             grid: SlewLoadGrid::paper_8x8(),
             fit: FitConfig::fast(),
             parallelism: Parallelism::auto(),
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -66,6 +72,9 @@ pub fn characterize_to_library(
     cells: &[CellType],
     opts: &FlowOptions,
 ) -> Result<Library, FitError> {
+    let _obs_guard = Obs::ensure(&opts.obs);
+    let obs = Obs::current();
+    let _span = obs.span("flow.characterize_to_library");
     let lib_meta = CellLibrary::tsmc22_like();
     let template = format!(
         "delay_template_{}x{}",
@@ -92,10 +101,23 @@ pub fn characterize_to_library(
                 .map(move |arc_idx| TimingArcSpec::of(cell, arc_idx))
         })
         .collect();
-    let characterized: Vec<_> = jobs
-        .iter()
-        .map(|spec| characterize_arc_par(spec, &opts.grid, opts.samples, par))
-        .collect();
+    info!(
+        obs,
+        "characterizing {} arcs over a {rows}x{cols} grid ({} samples/condition)",
+        jobs.len(),
+        opts.samples
+    );
+    let characterized: Vec<_> = {
+        let _span = obs.span("flow.characterize");
+        jobs.iter()
+            .enumerate()
+            .map(|(k, spec)| {
+                let ch = characterize_arc_par(spec, &opts.grid, opts.samples, par);
+                progress!(obs, "characterize: arc {}/{} done", k + 1, jobs.len());
+                ch
+            })
+            .collect()
+    };
 
     // Stage 2 — fitting: every (job, base-kind, grid-entry) sample set is an
     // independent EM run; flatten them all into one batch so the pool stays
@@ -118,7 +140,34 @@ pub fn characterize_to_library(
             })
         })
         .collect();
-    let fitted = fit_lvf2_batch(&entries, &opts.fit, par)?;
+    let fitted = {
+        let _span = obs.span("flow.fit");
+        fit_lvf2_batch(&entries, &opts.fit, par)?
+    };
+
+    // Per-library convergence summary: an arc "failed to converge" when any
+    // of its 2·rows·cols table-entry fits hit the iteration cap.
+    let per_job = 2 * rows * cols;
+    let bad_entries = fitted.iter().filter(|f| !f.report.converged).count();
+    let bad_arcs = fitted
+        .chunks(per_job)
+        .filter(|c| c.iter().any(|f| !f.report.converged))
+        .count();
+    if bad_arcs > 0 {
+        warn!(
+            obs,
+            "{bad_arcs}/{} arcs failed to converge ({bad_entries}/{} table-entry fits)",
+            jobs.len(),
+            fitted.len()
+        );
+    } else {
+        info!(
+            obs,
+            "all {} arcs converged ({} table-entry fits)",
+            jobs.len(),
+            fitted.len()
+        );
+    }
 
     // Stage 3 — reassembly (serial; pure bookkeeping).
     let mut fit_iter = fitted.into_iter();

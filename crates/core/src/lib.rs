@@ -24,6 +24,7 @@
 //! | [`liberty`] | `.lib` reader/writer with the LVF and LVF² OCV attributes |
 //! | [`ssta`] | block-based SSTA (sum/max, mixture reduction, benchmark circuits) |
 //! | [`binning`] | speed bins, yield, error metrics, pricing |
+//! | [`obs`] | structured tracing, deterministic metrics, fit telemetry |
 //!
 //! plus the top-level conveniences [`ModelKind`], [`fit_model`],
 //! [`fit_all_models`], and the §3.4 [`switch`] heuristic.
@@ -50,6 +51,7 @@ pub use lvf2_cells as cells;
 pub use lvf2_fit as fit;
 pub use lvf2_liberty as liberty;
 pub use lvf2_mc as mc;
+pub use lvf2_obs as obs;
 pub use lvf2_parallel as parallel;
 pub use lvf2_ssta as ssta;
 pub use lvf2_stats as stats;

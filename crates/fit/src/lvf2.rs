@@ -12,6 +12,7 @@
 //! - **Termination**: mean incomplete-data log-likelihood improvement below
 //!   `tolerance`, or the iteration cap.
 
+use lvf2_obs::{FitEvent, Obs};
 use lvf2_stats::{Distribution, Lvf2, Moments, SampleMoments, SkewNormal};
 
 use crate::config::{FitConfig, InitStrategy, MStep};
@@ -57,6 +58,16 @@ const ALPHA_BOUND: f64 = 60.0;
 /// # }
 /// ```
 pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, FitError> {
+    let obs = Obs::current();
+    let _span = obs.span("fit.em");
+    let result = fit_lvf2_impl(samples, config, &obs);
+    if let Err(e) = &result {
+        obs.fit_error("lvf2.em", e);
+    }
+    result
+}
+
+fn fit_lvf2_impl(samples: &[f64], config: &FitConfig, obs: &Obs) -> Result<Fitted<Lvf2>, FitError> {
     let global = SampleMoments::from_samples(samples)?;
     if global.variance <= 0.0 {
         return Err(FitError::DegenerateData {
@@ -75,6 +86,7 @@ pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, Fit
     // (b) a same-center narrow/wide split — finds kurtosis-style mixtures
     //     that a location-based clustering cannot see.
     let mut inits: Vec<(SkewNormal, SkewNormal, f64)> = Vec::with_capacity(2);
+    let mut degenerate_components = 0usize;
     let km = kmeans1d(samples, 2, config.kmeans_iterations)?;
     let sizes = km.sizes();
     let n = samples.len();
@@ -92,6 +104,7 @@ pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, Fit
         ));
     } else if want_kmeans {
         // Degenerate split: seed two copies of the global fit, offset ±σ/2.
+        degenerate_components = 2;
         inits.push((
             SkewNormal::from_moments_clamped(Moments::new(
                 m.mean - 0.5 * m.sigma,
@@ -114,22 +127,35 @@ pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, Fit
         ));
     }
 
-    let mut best: Option<(Lvf2, FitReport)> = None;
+    let restarts = inits.len();
+    let collect_trajectory = obs.debug_data_enabled();
+    let mut best: Option<(Lvf2, FitReport, Vec<f64>)> = None;
     for (c1, c2, l0) in inits {
-        let (model, report) = run_em(samples, c1, c2, l0, sigma_floor, config)?;
+        let (model, report, traj) =
+            run_em(samples, c1, c2, l0, sigma_floor, config, collect_trajectory)?;
         let better = match &best {
             None => true,
-            Some((_, b)) => report.log_likelihood > b.log_likelihood,
+            Some((_, b, _)) => report.log_likelihood > b.log_likelihood,
         };
         if better {
-            best = Some((model, report));
+            best = Some((model, report, traj));
         }
     }
-    let (model, report) = best.expect("at least one initialization ran");
+    let (model, report, trajectory) = best.expect("at least one initialization ran");
+    obs.fit_event(&FitEvent {
+        fitter: "lvf2.em",
+        iterations: report.iterations,
+        converged: report.converged,
+        restarts,
+        log_likelihood: report.log_likelihood,
+        trajectory: &trajectory,
+        degenerate_components,
+    });
     Ok(Fitted::new(model, report))
 }
 
-/// One EM run from a fixed initialization.
+/// One EM run from a fixed initialization. `collect_trajectory` additionally
+/// returns the per-iteration log-likelihood (for debug telemetry).
 fn run_em(
     samples: &[f64],
     mut comp1: SkewNormal,
@@ -137,7 +163,8 @@ fn run_em(
     lambda0: f64,
     sigma_floor: f64,
     config: &FitConfig,
-) -> Result<(Lvf2, FitReport), FitError> {
+    collect_trajectory: bool,
+) -> Result<(Lvf2, FitReport, Vec<f64>), FitError> {
     let n = samples.len();
     let mut lambda = lambda0.clamp(config.min_weight, 1.0 - config.min_weight);
 
@@ -147,6 +174,7 @@ fn run_em(
     let mut ll = f64::NEG_INFINITY;
     let mut iterations = 0;
     let mut converged = false;
+    let mut trajectory = Vec::new();
     for it in 0..config.max_iterations {
         iterations = it + 1;
 
@@ -177,6 +205,9 @@ fn run_em(
         comp1 = m_step_component(samples, &resp1, comp1, sigma_floor, config);
         comp2 = m_step_component(samples, &resp2, comp2, sigma_floor, config);
 
+        if collect_trajectory {
+            trajectory.push(ll);
+        }
         if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
             converged = true;
             break;
@@ -198,6 +229,7 @@ fn run_em(
             iterations,
             converged,
         },
+        trajectory,
     ))
 }
 

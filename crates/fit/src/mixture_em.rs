@@ -6,6 +6,7 @@
 //! initialization into K clusters, K-way log-space responsibilities, and the
 //! same per-component M-step (weighted MLE or weighted moments).
 
+use lvf2_obs::{FitEvent, Obs};
 use lvf2_stats::{Distribution, Mixture, Moments, SampleMoments, SkewNormal};
 
 use crate::config::FitConfig;
@@ -51,6 +52,21 @@ pub fn fit_sn_mixture(
     k: usize,
     config: &FitConfig,
 ) -> Result<Fitted<Mixture<SkewNormal>>, FitError> {
+    let obs = Obs::current();
+    let _span = obs.span("fit.em");
+    let result = fit_sn_mixture_impl(samples, k, config, &obs);
+    if let Err(e) = &result {
+        obs.fit_error("sn_mixture.em", e);
+    }
+    result
+}
+
+fn fit_sn_mixture_impl(
+    samples: &[f64],
+    k: usize,
+    config: &FitConfig,
+    obs: &Obs,
+) -> Result<Fitted<Mixture<SkewNormal>>, FitError> {
     if k == 0 {
         return Err(FitError::DegenerateData {
             why: "mixture order must be at least 1",
@@ -75,6 +91,7 @@ pub fn fit_sn_mixture(
     let sizes = km.sizes();
     let mut comps: Vec<SkewNormal> = Vec::with_capacity(k);
     let mut weights: Vec<f64> = Vec::with_capacity(k);
+    let mut degenerate_components = 0usize;
     #[allow(clippy::needless_range_loop)] // j indexes clusters, sizes and centers together
     for j in 0..k {
         let cluster = km.cluster(samples, j);
@@ -87,6 +104,7 @@ pub fn fit_sn_mixture(
             ))?
         } else {
             // Empty-ish cluster: seed from the global fit near its center.
+            degenerate_components += 1;
             SkewNormal::from_moments_clamped(Moments::new(
                 km.centers[j.min(km.centers.len() - 1)],
                 global.std_dev(),
@@ -104,6 +122,8 @@ pub fn fit_sn_mixture(
     let mut ll = f64::NEG_INFINITY;
     let mut iterations = 0;
     let mut converged = false;
+    let collect_trajectory = obs.debug_data_enabled();
+    let mut trajectory = Vec::new();
     for it in 0..config.max_iterations {
         iterations = it + 1;
 
@@ -140,6 +160,9 @@ pub fn fit_sn_mixture(
         }
         normalize(&mut weights);
 
+        if collect_trajectory {
+            trajectory.push(ll);
+        }
         if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
             converged = true;
             break;
@@ -159,6 +182,15 @@ pub fn fit_sn_mixture(
     let weights: Vec<f64> = order.iter().map(|&j| weights[j]).collect();
 
     let model = Mixture::new(comps, weights)?;
+    obs.fit_event(&FitEvent {
+        fitter: "sn_mixture.em",
+        iterations,
+        converged,
+        restarts: 1,
+        log_likelihood: ll,
+        trajectory: &trajectory,
+        degenerate_components,
+    });
     Ok(Fitted::new(
         model,
         FitReport {

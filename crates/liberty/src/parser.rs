@@ -283,6 +283,8 @@ fn table_from_group(g: &RawGroup, kind: TableKind) -> Result<TimingTable, Libert
 /// # Ok::<(), lvf2_liberty::LibertyError>(())
 /// ```
 pub fn parse_library(text: &str) -> Result<Library, LibertyError> {
+    let obs = lvf2_obs::Obs::current();
+    let _span = obs.span("liberty.parse");
     let raw = parse_raw(text)?;
     if raw.name != "library" {
         return Err(LibertyError::Parse {
@@ -346,6 +348,16 @@ pub fn parse_library(text: &str) -> Result<Library, LibertyError> {
             _ => {}
         }
     }
+    obs.inc("liberty.cells_parsed", lib.cells.len() as u64);
+    obs.inc(
+        "liberty.tables_parsed",
+        lib.cells
+            .iter()
+            .flat_map(|c| &c.pins)
+            .flat_map(|p| &p.timings)
+            .map(|t| t.tables.len() as u64)
+            .sum(),
+    );
     Ok(lib)
 }
 

@@ -50,6 +50,9 @@ fn write_table(out: &mut String, indent: &str, table: &TimingTable) {
 /// assert!(text.starts_with("library (demo) {"));
 /// ```
 pub fn write_library(lib: &Library) -> String {
+    let obs = lvf2_obs::Obs::current();
+    let _span = obs.span("liberty.write");
+    obs.inc("liberty.cells_written", lib.cells.len() as u64);
     let mut out = String::new();
     let _ = writeln!(out, "library ({}) {{", lib.name);
     let _ = writeln!(out, "  delay_model : table_lookup;");

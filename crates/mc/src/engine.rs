@@ -14,6 +14,7 @@
 //!   never on which thread produced it;
 //! - arc evaluation is a pure per-sample function written back by index.
 
+use lvf2_obs::Obs;
 use lvf2_parallel::{chunk_seed, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +119,7 @@ impl McEngine {
     /// Draws the variation matrix for this engine's configuration.
     pub fn draw_variations(&self) -> Vec<VariationSample> {
         const DIMS: usize = VariationSample::DIMS;
+        let _span = Obs::current().span("mc.draw");
         let n = self.samples;
         match self.scheme {
             SamplingScheme::LatinHypercube => {
@@ -162,7 +164,10 @@ impl McEngine {
 
     /// Runs the arc over a fresh variation matrix at one (slew, load) point.
     pub fn simulate<A: TimingArcModel>(&self, arc: &A, slew: f64, load: f64) -> McResult {
+        let obs = Obs::current();
+        let _span = obs.span("mc.simulate");
         let draws = self.draw_variations();
+        obs.inc("mc.samples", draws.len() as u64);
         Self::evaluate_all(arc, &draws, slew, load, &self.par)
     }
 
@@ -187,6 +192,9 @@ impl McEngine {
         load: f64,
         par: &Parallelism,
     ) -> McResult {
+        let obs = Obs::current();
+        let _span = obs.span("mc.simulate");
+        obs.inc("mc.samples", draws.len() as u64);
         Self::evaluate_all(arc, draws, slew, load, par)
     }
 

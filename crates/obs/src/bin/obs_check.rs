@@ -1,0 +1,84 @@
+//! `obs-check` — validates emitted observability artifacts against the
+//! documented schemas (`docs/OBSERVABILITY.md`). CI runs this over real
+//! pipeline output so the schemas cannot silently drift.
+//!
+//! ```text
+//! obs-check --metrics metrics.json --trace trace.jsonl --bench BENCH_table1.json
+//! ```
+//!
+//! Each flag may repeat; exits non-zero on the first invalid file.
+
+use std::process::ExitCode;
+
+use lvf2_obs::{json, schema};
+
+const USAGE: &str = "\
+obs-check — validate lvf2 observability artifacts
+
+USAGE:
+  obs-check [--metrics FILE]... [--trace FILE]... [--bench FILE]...
+
+Validates --metrics-json output, --trace-json JSONL streams, and
+BENCH_*.json summaries against the schemas in docs/OBSERVABILITY.md.";
+
+fn check_file(kind: &str, path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match kind {
+        "trace" => {
+            let n = schema::check_trace_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("ok: {path} ({n} trace records)"))
+        }
+        _ => {
+            let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            match kind {
+                "metrics" => schema::check_metrics(&doc),
+                "bench" => schema::check_bench(&doc),
+                _ => unreachable!("kinds are fixed above"),
+            }
+            .map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("ok: {path} ({kind})"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs: Vec<(&str, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let kind = match a.as_str() {
+            "--metrics" => "metrics",
+            "--trace" => "trace",
+            "--bench" => "bench",
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match it.next() {
+            Some(path) => jobs.push((kind, path.clone())),
+            None => {
+                eprintln!("error: --{kind} requires a file path");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if jobs.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    for (kind, path) in jobs {
+        match check_file(kind, &path) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

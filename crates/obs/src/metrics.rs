@@ -1,0 +1,453 @@
+//! The counter/histogram metrics registry.
+//!
+//! # Determinism
+//!
+//! The registry is written to from many worker threads at once, yet its
+//! aggregates must be **bit-identical at any thread count** — the same
+//! guarantee `lvf2-parallel` gives for pipeline outputs. Two mechanisms make
+//! that hold:
+//!
+//! 1. Values are stored as *integers*: counters as `u64`, histogram samples
+//!    quantized to fixed-point ticks (`round(value · 10⁶)` as `i64`, summed
+//!    in `i128`). Integer addition and min/max are associative and
+//!    commutative, so the merged totals cannot depend on arrival order —
+//!    unlike floating-point sums.
+//! 2. Writes land in per-worker shards (indexed by
+//!    [`crate::worker_index`], which `lvf2-parallel` assigns to its scoped
+//!    threads) and a snapshot merges the shards in worker-index order into
+//!    name-sorted maps.
+//!
+//! Wall-clock metrics (span durations, recorded via
+//! [`crate::Obs::observe_time`]) are inherently nondeterministic; they carry
+//! a `timing` flag so the deterministic fingerprint can exclude them.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use crate::json::Value;
+
+/// Number of write shards. Workers map to shards by
+/// `worker_index % SHARDS`; 64 comfortably covers the thread counts the
+/// pipeline runs at.
+pub const SHARDS: usize = 64;
+
+/// Fixed-point ticks per unit for histogram quantization (micro-units).
+pub const TICKS_PER_UNIT: f64 = 1e6;
+
+fn to_ticks(value: f64) -> Option<i64> {
+    if !value.is_finite() {
+        return None;
+    }
+    let t = (value * TICKS_PER_UNIT).round();
+    if t >= i64::MIN as f64 && t <= i64::MAX as f64 {
+        Some(t as i64)
+    } else {
+        None
+    }
+}
+
+/// Sign-aware power-of-two bucket index for a tick count: 0 for 0,
+/// `±(1 + ⌊log₂|t|⌋)` otherwise.
+fn bucket_of(ticks: i64) -> i16 {
+    if ticks == 0 {
+        return 0;
+    }
+    let mag = (64 - ticks.unsigned_abs().leading_zeros()) as i16;
+    if ticks > 0 {
+        mag
+    } else {
+        -mag
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(u64),
+    Hist(Hist),
+}
+
+#[derive(Debug, Clone)]
+struct Hist {
+    timing: bool,
+    count: u64,
+    nonfinite: u64,
+    sum_ticks: i128,
+    min_ticks: i64,
+    max_ticks: i64,
+    buckets: BTreeMap<i16, u64>,
+}
+
+impl Hist {
+    fn new(timing: bool) -> Self {
+        Hist {
+            timing,
+            count: 0,
+            nonfinite: 0,
+            sum_ticks: 0,
+            min_ticks: i64::MAX,
+            max_ticks: i64::MIN,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        match to_ticks(value) {
+            None => self.nonfinite += 1,
+            Some(t) => {
+                self.count += 1;
+                self.sum_ticks += t as i128;
+                self.min_ticks = self.min_ticks.min(t);
+                self.max_ticks = self.max_ticks.max(t);
+                *self.buckets.entry(bucket_of(t)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        self.timing |= other.timing;
+        self.count += other.count;
+        self.nonfinite += other.nonfinite;
+        self.sum_ticks += other.sum_ticks;
+        self.min_ticks = self.min_ticks.min(other.min_ticks);
+        self.max_ticks = self.max_ticks.max(other.max_ticks);
+        for (b, n) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += n;
+        }
+    }
+}
+
+/// Sharded counter/histogram store. See the module docs for the determinism
+/// argument.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, Cell>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self) -> &Mutex<HashMap<String, Cell>> {
+        &self.shards[crate::worker_index() % SHARDS]
+    }
+
+    /// Adds `by` to the counter `name`.
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut shard = self.shard().lock().expect("metrics shard poisoned");
+        match shard.get_mut(name) {
+            Some(Cell::Counter(c)) => *c += by,
+            Some(Cell::Hist(_)) => {} // name collision across kinds: drop
+            None => {
+                shard.insert(name.to_string(), Cell::Counter(by));
+            }
+        }
+    }
+
+    /// Records `value` into the histogram `name`. `timing` marks wall-clock
+    /// observations, which the deterministic fingerprint excludes.
+    pub fn observe(&self, name: &str, value: f64, timing: bool) {
+        let mut shard = self.shard().lock().expect("metrics shard poisoned");
+        match shard.get_mut(name) {
+            Some(Cell::Hist(h)) => h.record(value),
+            Some(Cell::Counter(_)) => {}
+            None => {
+                let mut h = Hist::new(timing);
+                h.record(value);
+                shard.insert(name.to_string(), Cell::Hist(h));
+            }
+        }
+    }
+
+    /// Merges every shard (in shard order) into a point-in-time snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut hists: BTreeMap<String, Hist> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("metrics shard poisoned");
+            for (name, cell) in shard.iter() {
+                match cell {
+                    Cell::Counter(c) => *counters.entry(name.clone()).or_insert(0) += c,
+                    Cell::Hist(h) => match hists.get_mut(name) {
+                        Some(acc) => acc.merge(h),
+                        None => {
+                            hists.insert(name.clone(), h.clone());
+                        }
+                    },
+                }
+            }
+        }
+        Snapshot {
+            counters,
+            histograms: hists
+                .into_iter()
+                .map(|(name, h)| (name, HistSummary::from_hist(&h)))
+                .collect(),
+        }
+    }
+}
+
+/// Aggregated view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Whether this histogram holds wall-clock observations.
+    pub timing: bool,
+    /// Number of finite observations.
+    pub count: u64,
+    /// Number of dropped non-finite observations.
+    pub nonfinite: u64,
+    /// Sum of observations (exact, from fixed-point ticks).
+    pub sum: f64,
+    /// Smallest observation (`NaN` when empty).
+    pub min: f64,
+    /// Largest observation (`NaN` when empty).
+    pub max: f64,
+    /// Log₂ bucket counts keyed by signed bucket index.
+    pub buckets: BTreeMap<i16, u64>,
+    /// Sum in raw ticks — the exact integer the determinism tests compare.
+    pub sum_ticks: i128,
+}
+
+impl HistSummary {
+    fn from_hist(h: &Hist) -> Self {
+        let unticks = |t: i64| t as f64 / TICKS_PER_UNIT;
+        HistSummary {
+            timing: h.timing,
+            count: h.count,
+            nonfinite: h.nonfinite,
+            sum: h.sum_ticks as f64 / TICKS_PER_UNIT,
+            min: if h.count > 0 {
+                unticks(h.min_ticks)
+            } else {
+                f64::NAN
+            },
+            max: if h.count > 0 {
+                unticks(h.max_ticks)
+            } else {
+                f64::NAN
+            },
+            buckets: h.buckets.clone(),
+            sum_ticks: h.sum_ticks,
+        }
+    }
+
+    /// Mean of the observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A merged point-in-time view of the registry, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistSummary>,
+}
+
+impl Snapshot {
+    /// The full snapshot as the documented `lvf2-metrics-v1` JSON document.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Obj(
+                        h.buckets
+                            .iter()
+                            .map(|(b, n)| (b.to_string(), Value::from(*n)))
+                            .collect(),
+                    );
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("timing".into(), Value::Bool(h.timing)),
+                            ("count".into(), Value::from(h.count)),
+                            ("nonfinite".into(), Value::from(h.nonfinite)),
+                            ("sum".into(), Value::Num(h.sum)),
+                            ("min".into(), Value::Num(h.min)),
+                            ("max".into(), Value::Num(h.max)),
+                            ("mean".into(), Value::Num(h.mean())),
+                            ("buckets".into(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("schema".into(), Value::Str("lvf2-metrics-v1".into())),
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+            ("derived".into(), self.derived_json()),
+        ])
+    }
+
+    /// Derived rates that need two metrics at once — currently the
+    /// Monte-Carlo sampling throughput.
+    fn derived_json(&self) -> Value {
+        let mut pairs = Vec::new();
+        if let (Some(&samples), Some(t)) = (
+            self.counters.get("mc.samples"),
+            self.histograms.get("time.mc.simulate.us"),
+        ) {
+            let secs = t.sum / 1e6;
+            if secs > 0.0 {
+                pairs.push((
+                    "mc.samples_per_sec".to_string(),
+                    Value::Num(samples as f64 / secs),
+                ));
+            }
+        }
+        if let (Some(&fits), Some(t)) = (
+            self.counters.get("fit.em.runs"),
+            self.histograms.get("time.fit.em.us"),
+        ) {
+            let secs = t.sum / 1e6;
+            if secs > 0.0 {
+                pairs.push((
+                    "fit.em.fits_per_sec".to_string(),
+                    Value::Num(fits as f64 / secs),
+                ));
+            }
+        }
+        Value::Obj(pairs)
+    }
+
+    /// A canonical string over the *deterministic* subset of the snapshot:
+    /// all counters, plus non-timing histograms reduced to their exact
+    /// integer state (count, tick sum, tick extrema, bucket counts).
+    /// Identical runs must produce identical fingerprints at any thread
+    /// count and chunk size.
+    pub fn deterministic_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+        for (name, h) in &self.histograms {
+            if h.timing {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "hist {name} count={} nonfinite={} sum_ticks={} buckets=[",
+                h.count, h.nonfinite, h.sum_ticks
+            );
+            for (b, n) in &h.buckets {
+                let _ = write!(out, "{b}:{n} ");
+            }
+            let _ = writeln!(out, "]");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_shards() {
+        let r = Registry::new();
+        // Simulate writes from distinct workers.
+        crate::set_worker_index(0);
+        r.inc("a", 2);
+        crate::set_worker_index(3);
+        r.inc("a", 5);
+        crate::set_worker_index(0);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 7);
+    }
+
+    #[test]
+    fn histogram_summary_is_exact_in_ticks() {
+        let r = Registry::new();
+        r.observe("h", 1.5, false);
+        r.observe("h", -0.25, false);
+        r.observe("h", f64::NAN, false);
+        let s = r.snapshot();
+        let h = &s.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.nonfinite, 1);
+        assert_eq!(h.sum_ticks, 1_250_000);
+        assert_eq!(h.min, -0.25);
+        assert_eq!(h.max, 1.5);
+        assert!((h.mean() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_are_sign_aware_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(-4), -3);
+        assert_eq!(bucket_of(i64::MAX), 63);
+        assert_eq!(bucket_of(i64::MIN), -64);
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing_histograms() {
+        let r = Registry::new();
+        r.inc("fit.em.runs", 3);
+        r.observe("fit.em.iterations", 12.0, false);
+        r.observe("time.mc.simulate.us", 523.0, true);
+        let fp = r.snapshot().deterministic_fingerprint();
+        assert!(fp.contains("fit.em.runs"));
+        assert!(fp.contains("fit.em.iterations"));
+        assert!(!fp.contains("time.mc.simulate.us"));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let values = [0.5, -2.0, 1e6, 0.0, 3.25];
+        for v in values {
+            a.observe("x", v, false);
+        }
+        for v in values.iter().rev() {
+            b.observe("x", *v, false);
+        }
+        a.inc("c", 1);
+        a.inc("c", 9);
+        b.inc("c", 10);
+        assert_eq!(
+            a.snapshot().deterministic_fingerprint(),
+            b.snapshot().deterministic_fingerprint()
+        );
+    }
+
+    #[test]
+    fn snapshot_json_has_schema_header() {
+        let r = Registry::new();
+        r.inc("mc.samples", 1000);
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            json.get("schema").unwrap().as_str(),
+            Some("lvf2-metrics-v1")
+        );
+        assert!(json.get("counters").unwrap().get("mc.samples").is_some());
+    }
+}

@@ -1,0 +1,221 @@
+//! Validators for the JSON documents this workspace emits.
+//!
+//! The authoritative prose description lives in `docs/OBSERVABILITY.md`;
+//! these checks are what CI runs against real pipeline output (via the
+//! `obs-check` binary), so schema drift fails the build instead of rotting
+//! the docs.
+
+use crate::json::Value;
+
+/// Current metrics document schema tag.
+pub const METRICS_SCHEMA: &str = "lvf2-metrics-v1";
+/// Current bench summary schema tag.
+pub const BENCH_SCHEMA: &str = "lvf2-bench-v1";
+
+fn want<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{what}: missing `{key}`"))
+}
+
+fn want_num(v: &Value, key: &str, what: &str) -> Result<f64, String> {
+    want(v, key, what)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: `{key}` is not a number"))
+}
+
+fn want_str<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a str, String> {
+    want(v, key, what)?
+        .as_str()
+        .ok_or_else(|| format!("{what}: `{key}` is not a string"))
+}
+
+fn want_obj<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a [(String, Value)], String> {
+    want(v, key, what)?
+        .as_obj()
+        .ok_or_else(|| format!("{what}: `{key}` is not an object"))
+}
+
+fn want_schema(v: &Value, expected: &str, what: &str) -> Result<(), String> {
+    let got = want_str(v, "schema", what)?;
+    if got != expected {
+        return Err(format!("{what}: schema `{got}`, expected `{expected}`"));
+    }
+    Ok(())
+}
+
+/// Validates a `lvf2-metrics-v1` document (`--metrics-json` output).
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn check_metrics(doc: &Value) -> Result<(), String> {
+    let what = "metrics";
+    want_schema(doc, METRICS_SCHEMA, what)?;
+    for (name, v) in want_obj(doc, "counters", what)? {
+        let n = v
+            .as_f64()
+            .ok_or_else(|| format!("{what}: counter `{name}` is not a number"))?;
+        if n < 0.0 || n != n.trunc() {
+            return Err(format!("{what}: counter `{name}` is not a whole number"));
+        }
+    }
+    for (name, h) in want_obj(doc, "histograms", what)? {
+        let what = format!("metrics histogram `{name}`");
+        for key in ["count", "nonfinite", "sum", "min", "max", "mean"] {
+            want(h, key, &what)?;
+        }
+        match want(h, "timing", &what)? {
+            Value::Bool(_) => {}
+            _ => return Err(format!("{what}: `timing` is not a bool")),
+        }
+        for (bucket, n) in want_obj(h, "buckets", &what)? {
+            bucket
+                .parse::<i16>()
+                .map_err(|_| format!("{what}: bucket key `{bucket}` is not an integer"))?;
+            n.as_f64()
+                .ok_or_else(|| format!("{what}: bucket `{bucket}` count is not a number"))?;
+        }
+    }
+    for (name, v) in want_obj(doc, "derived", what)? {
+        v.as_f64()
+            .ok_or_else(|| format!("{what}: derived `{name}` is not a number"))?;
+    }
+    Ok(())
+}
+
+/// Validates one line of a `--trace-json` JSONL stream.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn check_trace_line(line: &Value) -> Result<(), String> {
+    let what = "trace line";
+    want_num(line, "t_us", what)?;
+    want_num(line, "seq", what)?;
+    let kind = want_str(line, "type", what)?;
+    match kind {
+        "span" => {
+            want_str(line, "name", what)?;
+            want_num(line, "us", what)?;
+        }
+        "event" => {
+            want_str(line, "name", what)?;
+            check_level(want_str(line, "level", what)?)?;
+        }
+        "log" => {
+            want_str(line, "msg", what)?;
+            check_level(want_str(line, "level", what)?)?;
+        }
+        "progress" => {
+            want_str(line, "msg", what)?;
+        }
+        other => return Err(format!("{what}: unknown type `{other}`")),
+    }
+    Ok(())
+}
+
+fn check_level(level: &str) -> Result<(), String> {
+    match level {
+        "error" | "warn" | "info" | "debug" => Ok(()),
+        other => Err(format!("trace line: unknown level `{other}`")),
+    }
+}
+
+/// Validates a `BENCH_*.json` summary (`lvf2-bench-v1`).
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn check_bench(doc: &Value) -> Result<(), String> {
+    let what = "bench summary";
+    want_schema(doc, BENCH_SCHEMA, what)?;
+    want_str(doc, "name", what)?;
+    let wall = want_num(doc, "wall_ms", what)?;
+    if wall < 0.0 {
+        return Err(format!("{what}: negative wall_ms"));
+    }
+    want_obj(doc, "params", what)?;
+    for (name, v) in want_obj(doc, "quality", what)? {
+        v.as_f64()
+            .ok_or_else(|| format!("{what}: quality `{name}` is not a number"))?;
+    }
+    // `metrics` is either an empty object (observability off) or a full
+    // metrics document.
+    let metrics = want(doc, "metrics", what)?;
+    match metrics.as_obj() {
+        Some([]) => Ok(()),
+        Some(_) => check_metrics(metrics),
+        None => Err(format!("{what}: `metrics` is not an object")),
+    }
+}
+
+/// Validates a whole trace file (one JSON document per line).
+///
+/// # Errors
+///
+/// The first unparseable or schema-violating line, with its line number.
+pub fn check_trace_text(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = crate::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        check_trace_line(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn accepts_real_registry_output() {
+        let reg = crate::Registry::new();
+        reg.inc("mc.samples", 100);
+        reg.observe("fit.em.iterations", 12.0, false);
+        reg.observe("time.mc.simulate.us", 88.0, true);
+        let doc = reg.snapshot().to_json();
+        check_metrics(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_schema_tag() {
+        let doc = parse(r#"{"schema":"nope","counters":{},"histograms":{},"derived":{}}"#).unwrap();
+        assert!(check_metrics(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn rejects_fractional_counter() {
+        let doc = parse(
+            r#"{"schema":"lvf2-metrics-v1","counters":{"x":1.5},"histograms":{},"derived":{}}"#,
+        )
+        .unwrap();
+        assert!(check_metrics(&doc).is_err());
+    }
+
+    #[test]
+    fn trace_lines_validate() {
+        let ok = parse(r#"{"t_us":1,"seq":0,"type":"span","name":"mc.simulate","us":42}"#).unwrap();
+        check_trace_line(&ok).unwrap();
+        let bad = parse(r#"{"t_us":1,"seq":0,"type":"mystery"}"#).unwrap();
+        assert!(check_trace_line(&bad).is_err());
+        let text = format!("{}\n\n{}", ok.to_json(), ok.to_json());
+        assert_eq!(check_trace_text(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn bench_summary_validates() {
+        let doc = parse(
+            r#"{"schema":"lvf2-bench-v1","name":"table1","wall_ms":102.5,
+                "params":{"samples":5000},"quality":{"two_peaks_lvf2_x":12.1},
+                "metrics":{}}"#,
+        )
+        .unwrap();
+        check_bench(&doc).unwrap();
+        let bad = parse(r#"{"schema":"lvf2-bench-v1","name":"t","params":{}}"#).unwrap();
+        assert!(check_bench(&bad).is_err());
+    }
+}

@@ -216,39 +216,46 @@ impl Parallelism {
         let abort = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let lo = c * chunk;
-                    let hi = n.min(lo + chunk);
-                    let mut out = Vec::with_capacity(hi - lo);
-                    let mut failure = None;
-                    for i in lo..hi {
-                        match f(i) {
-                            Ok(v) => out.push(v),
-                            Err(e) => {
-                                failure = Some((i, e));
-                                break;
+            for worker in 0..threads {
+                let (results, cursor, abort, f) = (&results, &cursor, &abort, &f);
+                scope.spawn(move || {
+                    // Tag the thread with its worker slot so the
+                    // observability layer (`lvf2-obs`) can shard metric
+                    // writes per worker and merge them deterministically.
+                    lvf2_obs::set_worker_index(worker + 1);
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = n.min(lo + chunk);
+                        let mut out = Vec::with_capacity(hi - lo);
+                        let mut failure = None;
+                        for i in lo..hi {
+                            match f(i) {
+                                Ok(v) => out.push(v),
+                                Err(e) => {
+                                    failure = Some((i, e));
+                                    break;
+                                }
                             }
                         }
-                    }
-                    let failed = failure.is_some();
-                    results
-                        .lock()
-                        .expect("parallel worker panicked while holding results lock")
-                        .push((c, failure.map_or(Ok(out), Err)));
-                    if failed {
-                        // Unclaimed chunks all have higher indices than every
-                        // claimed chunk, so skipping them cannot hide a
-                        // lower-index error (see module docs).
-                        abort.store(true, Ordering::Relaxed);
-                        break;
+                        let failed = failure.is_some();
+                        results
+                            .lock()
+                            .expect("parallel worker panicked while holding results lock")
+                            .push((c, failure.map_or(Ok(out), Err)));
+                        if failed {
+                            // Unclaimed chunks all have higher indices than every
+                            // claimed chunk, so skipping them cannot hide a
+                            // lower-index error (see module docs).
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
                 });
             }

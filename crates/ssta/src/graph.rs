@@ -126,9 +126,15 @@ impl TimingGraph {
     /// [`SstaError::GraphCycle`] on cyclic graphs, plus any family/fit error
     /// from the statistical operators.
     pub fn arrival_times(&self, source: usize) -> Result<Vec<Option<TimingDist>>, SstaError> {
+        let obs = lvf2_obs::Obs::current();
+        let _span = obs.span("ssta.arrival_times");
         let order = self.topo_order()?;
         let mut arrival: Vec<Option<TimingDist>> = vec![None; self.nodes];
         let mut reached = vec![false; self.nodes];
+        // Propagation depth per node (edges on the longest path from the
+        // source) and statistical-operator counts, for telemetry.
+        let mut depth = vec![0usize; self.nodes];
+        let (mut sums, mut maxes) = (0u64, 0u64);
         if source < self.nodes {
             reached[source] = true;
         }
@@ -139,16 +145,29 @@ impl TimingGraph {
             for e in self.edges.iter().filter(|e| e.from == n) {
                 // Arrival through this edge: arrival(n) + delay.
                 let through = match &arrival[n] {
-                    Some(a) => a.sum_with(&e.delay, self.strategy)?,
+                    Some(a) => {
+                        sums += 1;
+                        a.sum_with(&e.delay, self.strategy)?
+                    }
                     None => e.delay.clone(),
                 };
                 reached[e.to] = true;
+                depth[e.to] = depth[e.to].max(depth[n] + 1);
                 arrival[e.to] = Some(match arrival[e.to].take() {
-                    Some(existing) => existing.max_with(&through, self.strategy)?,
+                    Some(existing) => {
+                        maxes += 1;
+                        existing.max_with(&through, self.strategy)?
+                    }
                     None => through,
                 });
             }
         }
+        obs.inc("ssta.ops.sum", sums);
+        obs.inc("ssta.ops.max", maxes);
+        obs.observe(
+            "ssta.depth",
+            depth.iter().copied().max().unwrap_or(0) as f64,
+        );
         Ok(arrival)
     }
 }

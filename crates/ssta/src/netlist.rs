@@ -238,6 +238,9 @@ pub struct StaReport {
 ///
 /// Propagates netlist/graph/fit errors.
 pub fn run_sta(netlist: &Netlist, opts: &StaOptions) -> Result<StaReport, SstaError> {
+    let obs = lvf2_obs::Obs::current();
+    let _span = obs.span("ssta.run_sta");
+    obs.inc("ssta.gates", netlist.gates.len() as u64);
     let lib = CellLibrary::tsmc22_like();
     let nets = netlist.nets();
     let index: HashMap<&str, usize> = nets

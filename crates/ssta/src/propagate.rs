@@ -57,6 +57,9 @@ pub fn propagate_path(
     fo4: f64,
     config: &FitConfig,
 ) -> Result<Vec<StagePoint>, SstaError> {
+    let obs = lvf2_obs::Obs::current();
+    let _span = obs.span("ssta.propagate_path");
+    obs.inc("ssta.stages", stages.len() as u64);
     let sample_stages: Vec<Vec<f64>> = stages.iter().map(|s| s.delays.clone()).collect();
     let golden_cum = cumulative_path(&sample_stages);
 

@@ -7,13 +7,27 @@
 //! 1, 2, and N threads. These tests pin that contract with fixed-seed
 //! goldens and a property sweep over (seed, threads, chunk size).
 
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
 use lvf2::cells::{characterize_arc_par, CellType, Scenario, SlewLoadGrid, TimingArcSpec};
 use lvf2::fit::{fit_lvf2, fit_lvf2_batch, FitConfig};
 use lvf2::flow::{characterize_to_library, FlowOptions};
 use lvf2::liberty::write_library;
 use lvf2::mc::{McEngine, RegimeCompetitionArc, SamplingScheme, VariationSpace};
+use lvf2::obs::{Obs, ObsConfig};
 use lvf2::parallel::Parallelism;
 use proptest::prelude::*;
+
+/// Observability sessions are process-global, and the test harness runs the
+/// tests in this binary on parallel threads: serialize them so a
+/// metrics-collecting test never absorbs another test's counter increments.
+/// Poisoning is ignored — a failed test must not cascade into lock panics.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
 
 fn engine(seed: u64, scheme: SamplingScheme, par: Parallelism) -> McEngine {
     McEngine::new(VariationSpace::tt_22nm(), 3000, seed)
@@ -25,6 +39,7 @@ fn engine(seed: u64, scheme: SamplingScheme, par: Parallelism) -> McEngine {
 /// sizes, for both sampling schemes.
 #[test]
 fn mc_result_identical_across_thread_counts() {
+    let _g = obs_lock();
     let arc = RegimeCompetitionArc::balanced_bimodal();
     for scheme in [SamplingScheme::LatinHypercube, SamplingScheme::Plain] {
         let golden = engine(7, scheme, Parallelism::serial()).simulate(&arc, 0.02, 0.05);
@@ -48,6 +63,7 @@ fn mc_result_identical_across_thread_counts() {
 /// vectors must not depend on the fan-out width.
 #[test]
 fn characterization_identical_across_thread_counts() {
+    let _g = obs_lock();
     let spec = TimingArcSpec::of(CellType::Nand2, 0);
     let grid = SlewLoadGrid::small_3x3();
     let golden = characterize_arc_par(&spec, &grid, 500, &Parallelism::serial());
@@ -65,6 +81,7 @@ fn characterization_identical_across_thread_counts() {
 /// in the same order, at every thread count.
 #[test]
 fn batch_fit_identical_to_serial_fit() {
+    let _g = obs_lock();
     let cfg = FitConfig::fast();
     let datasets: Vec<Vec<f64>> = (0..6)
         .map(|i| Scenario::TwoPeaks.sample(800, 100 + i))
@@ -88,6 +105,7 @@ fn batch_fit_identical_to_serial_fit() {
 /// counts.
 #[test]
 fn flow_library_text_identical_across_thread_counts() {
+    let _g = obs_lock();
     let opts_at = |par: Parallelism| FlowOptions {
         samples: 400,
         grid: SlewLoadGrid::small_3x3(),
@@ -102,16 +120,70 @@ fn flow_library_text_identical_across_thread_counts() {
     assert_eq!(golden, got, "Liberty output depends on thread count");
 }
 
+/// Runs a characterize + batched-fit workload under a metrics-only
+/// observability session and returns the deterministic fingerprint of the
+/// resulting registry snapshot. Timing histograms are excluded from the
+/// fingerprint by design — everything else must be bit-identical.
+fn metrics_fingerprint(par: Parallelism) -> String {
+    let cfg = ObsConfig {
+        metrics: true,
+        ..ObsConfig::off()
+    };
+    let guard = Obs::install(&cfg).expect("metrics-only session opens no sinks");
+    let spec = TimingArcSpec::of(CellType::Nand2, 0);
+    let grid = SlewLoadGrid::small_3x3();
+    let _ = characterize_arc_par(&spec, &grid, 300, &par);
+    let datasets: Vec<Vec<f64>> = (0..4)
+        .map(|i| Scenario::TwoPeaks.sample(500, 50 + i))
+        .collect();
+    let refs: Vec<&[f64]> = datasets.iter().map(|d| d.as_slice()).collect();
+    fit_lvf2_batch(&refs, &FitConfig::fast(), &par).expect("fits succeed");
+    let fp = Obs::current()
+        .snapshot()
+        .expect("metrics registry active")
+        .deterministic_fingerprint();
+    drop(guard);
+    fp
+}
+
+/// The metric shards aggregate deterministically: the same workload yields a
+/// bit-identical fingerprint (counters + value histograms) at every thread
+/// count and chunk size.
+#[test]
+fn metrics_fingerprint_identical_across_thread_counts() {
+    let _g = obs_lock();
+    let golden = metrics_fingerprint(Parallelism::serial());
+    assert!(golden.contains("fit.em.runs"), "workload recorded EM runs");
+    assert!(
+        golden.contains("mc.samples"),
+        "workload recorded MC samples"
+    );
+    for threads in [1usize, 2, 8] {
+        for chunk in [1usize, 3, 64] {
+            let par = Parallelism::auto()
+                .with_threads(threads)
+                .with_chunk_size(chunk);
+            assert_eq!(
+                golden,
+                metrics_fingerprint(par),
+                "metrics diverged at {threads} threads, chunk {chunk}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Property sweep: any (seed, threads, chunk size) matches the serial
     /// golden for the same seed.
+    #[test]
     fn mc_determinism_property(
         seed in 0u64..1_000_000,
         threads in 1usize..9,
         chunk in 16usize..2048,
     ) {
+        let _g = obs_lock();
         let arc = RegimeCompetitionArc::balanced_bimodal();
         let golden = engine(seed, SamplingScheme::LatinHypercube, Parallelism::serial())
             .simulate(&arc, 0.03, 0.08);
@@ -119,5 +191,18 @@ proptest! {
         let got = engine(seed, SamplingScheme::LatinHypercube, par)
             .simulate(&arc, 0.03, 0.08);
         prop_assert_eq!(golden, got);
+    }
+
+    /// Property: the deterministic metrics fingerprint is invariant under
+    /// any (threads, chunk size) for a fixed workload.
+    #[test]
+    fn metrics_fingerprint_property(threads in 1usize..9, chunk in 1usize..128) {
+        let _g = obs_lock();
+        prop_assert_eq!(
+            metrics_fingerprint(Parallelism::serial()),
+            metrics_fingerprint(
+                Parallelism::auto().with_threads(threads).with_chunk_size(chunk)
+            )
+        );
     }
 }
