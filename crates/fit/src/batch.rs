@@ -12,9 +12,10 @@ use lvf2_stats::{Lvf2, Mixture, SkewNormal};
 
 use crate::config::FitConfig;
 use crate::error::FitError;
-use crate::lvf2::fit_lvf2;
-use crate::mixture_em::fit_sn_mixture;
+use crate::lvf2::fit_lvf2_with;
+use crate::mixture_em::fit_sn_mixture_with;
 use crate::report::Fitted;
+use crate::workspace::FitWorkspace;
 
 /// Fits LVF² to every sample set in `datasets` concurrently.
 ///
@@ -59,7 +60,12 @@ pub fn fit_lvf2_batch<S>(
 where
     S: AsRef<[f64]> + Sync,
 {
-    par.try_par_map_indexed(datasets.len(), |i| fit_lvf2(datasets[i].as_ref(), config))
+    // One FitWorkspace per worker thread: every fit after a worker's first
+    // reuses its buffers, so the sweep's steady state allocates nothing in
+    // the EM hot path.
+    par.try_par_map_with(datasets.len(), FitWorkspace::new, |ws, i| {
+        fit_lvf2_with(datasets[i].as_ref(), config, ws)
+    })
 }
 
 /// Fits a `k`-component skew-normal mixture to every sample set in
@@ -78,14 +84,15 @@ pub fn fit_sn_mixture_batch<S>(
 where
     S: AsRef<[f64]> + Sync,
 {
-    par.try_par_map_indexed(datasets.len(), |i| {
-        fit_sn_mixture(datasets[i].as_ref(), k, config)
+    par.try_par_map_with(datasets.len(), FitWorkspace::new, |ws, i| {
+        fit_sn_mixture_with(datasets[i].as_ref(), k, config, ws)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{fit_lvf2, fit_sn_mixture};
     use lvf2_stats::{Distribution, Moments};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -1,6 +1,12 @@
 //! One-dimensional k-means (Hartigan–Wong style Lloyd iterations), used to
 //! initialize the LVF² EM algorithm (§3.2, ref \[13\]).
+//!
+//! [`kmeans1d`] allocates a fresh [`KMeansResult`]; [`kmeans1d_with`] runs
+//! entirely inside a reusable [`KMeansScratch`] — the assignment, center and
+//! per-cluster accumulator buffers are recycled across calls and across Lloyd
+//! iterations, so repeat runs allocate nothing (`tests/no_alloc.rs`).
 
+use crate::workspace::KMeansScratch;
 use crate::FitError;
 
 /// Result of a 1-D k-means run.
@@ -59,21 +65,60 @@ impl KMeansResult {
 /// # }
 /// ```
 pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansResult, FitError> {
+    let mut scratch = KMeansScratch::new();
+    kmeans1d_with(xs, k, max_iterations, &mut scratch)?;
+    Ok(KMeansResult {
+        centers: scratch.centers,
+        assignments: scratch.assignments,
+        iterations: scratch.iterations,
+    })
+}
+
+/// Allocation-free [`kmeans1d`]: runs inside `scratch`, leaving the centers,
+/// assignments and iteration count readable through the scratch's accessors.
+///
+/// Results are bit-identical to [`kmeans1d`] (which is a thin wrapper around
+/// this function). Once the scratch has seen its largest `(n, k)`, repeat
+/// calls allocate nothing.
+///
+/// # Errors
+///
+/// [`FitError::DegenerateData`] when `xs` has fewer samples than `k`, or
+/// `k == 0`.
+pub fn kmeans1d_with(
+    xs: &[f64],
+    k: usize,
+    max_iterations: usize,
+    scratch: &mut KMeansScratch,
+) -> Result<(), FitError> {
     if k == 0 || xs.len() < k {
         return Err(FitError::DegenerateData {
             why: "k-means needs at least k samples",
         });
     }
+    let KMeansScratch {
+        sorted,
+        centers,
+        assignments,
+        sums,
+        counts,
+        order,
+        remap,
+        iterations,
+    } = scratch;
     // Quantile initialization on a sorted copy.
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.clear();
+    sorted.extend_from_slice(xs);
+    // Unstable sort: it allocates nothing (stable sort buys a merge buffer),
+    // and on a value-only `f64` slice it produces the same sorted sequence
+    // as a stable sort — equal keys carry no payload to distinguish.
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
     let n = sorted.len();
-    let mut centers: Vec<f64> = (0..k)
-        .map(|j| {
-            let q = (j as f64 + 0.5) / k as f64;
-            sorted[((q * n as f64) as usize).min(n - 1)]
-        })
-        .collect();
+    centers.clear();
+    centers.extend((0..k).map(|j| {
+        let q = (j as f64 + 0.5) / k as f64;
+        sorted[((q * n as f64) as usize).min(n - 1)]
+    }));
     // Collapse duplicate initial centers by nudging.
     for j in 1..k {
         if centers[j] <= centers[j - 1] {
@@ -81,10 +126,15 @@ pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansRes
         }
     }
 
-    let mut assignments = vec![0usize; n];
-    let mut iterations = 0;
+    assignments.clear();
+    assignments.resize(n, 0);
+    sums.clear();
+    sums.resize(k, 0.0);
+    counts.clear();
+    counts.resize(k, 0);
+    *iterations = 0;
     for it in 0..max_iterations {
-        iterations = it + 1;
+        *iterations = it + 1;
         // Assignment step.
         let mut changed = false;
         for (i, &x) in xs.iter().enumerate() {
@@ -102,9 +152,9 @@ pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansRes
                 changed = true;
             }
         }
-        // Update step.
-        let mut sums = vec![0.0; k];
-        let mut counts = vec![0usize; k];
+        // Update step (accumulators reused across iterations).
+        sums.fill(0.0);
+        counts.fill(0);
         for (i, &x) in xs.iter().enumerate() {
             sums[assignments[i]] += x;
             counts[assignments[i]] += 1;
@@ -121,21 +171,23 @@ pub fn kmeans1d(xs: &[f64], k: usize, max_iterations: usize) -> Result<KMeansRes
     }
 
     // Sort centers ascending and remap assignments accordingly.
-    let mut order: Vec<usize> = (0..k).collect();
+    order.clear();
+    order.extend(0..k);
     order.sort_by(|&a, &b| centers[a].partial_cmp(&centers[b]).expect("finite centers"));
-    let mut remap = vec![0usize; k];
+    remap.clear();
+    remap.resize(k, 0);
     for (new_idx, &old_idx) in order.iter().enumerate() {
         remap[old_idx] = new_idx;
     }
-    let centers = order.iter().map(|&j| centers[j]).collect();
-    for a in &mut assignments {
+    // Permute centers through the (already spent) sums buffer.
+    for (slot, &j) in sums.iter_mut().zip(order.iter()) {
+        *slot = centers[j];
+    }
+    centers.copy_from_slice(sums);
+    for a in assignments.iter_mut() {
         *a = remap[*a];
     }
-    Ok(KMeansResult {
-        centers,
-        assignments,
-        iterations,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -186,6 +238,31 @@ mod tests {
         let r = kmeans1d(&xs, 2, 100).unwrap();
         assert_eq!(r.assignments.len(), 20);
         assert!(r.iterations <= 100);
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + f64::from(i % 3))
+            .collect();
+        let mut scratch = KMeansScratch::new();
+        for k in 1..=4 {
+            let r = kmeans1d(&xs, k, 50).unwrap();
+            kmeans1d_with(&xs, k, 50, &mut scratch).unwrap();
+            assert_eq!(scratch.centers(), r.centers.as_slice(), "k={k}");
+            assert_eq!(scratch.assignments(), r.assignments.as_slice(), "k={k}");
+            assert_eq!(scratch.iterations(), r.iterations, "k={k}");
+            let mut sizes = vec![0usize; k];
+            scratch.sizes_into(&mut sizes);
+            assert_eq!(sizes, r.sizes(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_rejects_degenerate_requests() {
+        let mut scratch = KMeansScratch::new();
+        assert!(kmeans1d_with(&[1.0], 2, 10, &mut scratch).is_err());
+        assert!(kmeans1d_with(&[1.0, 2.0], 0, 10, &mut scratch).is_err());
     }
 
     #[test]

@@ -54,17 +54,19 @@ pub mod norm2;
 pub mod report;
 pub mod select;
 pub mod weighted;
+pub mod workspace;
 
 pub use batch::{fit_lvf2_batch, fit_sn_mixture_batch};
-pub use config::{FitConfig, InitStrategy, MStep};
+pub use config::{Engine, FitConfig, InitStrategy, MStep};
 pub use error::FitError;
-pub use kmeans::{kmeans1d, KMeansResult};
+pub use kmeans::{kmeans1d, kmeans1d_with, KMeansResult};
 pub use lesn::{fit_lesn, fit_lesn_moments};
 pub use lvf::fit_lvf;
-pub use lvf2::fit_lvf2;
+pub use lvf2::{fit_lvf2, fit_lvf2_with};
 pub use lvf2_parallel::Parallelism;
-pub use mixture_em::fit_sn_mixture;
-pub use nelder_mead::{nelder_mead, NelderMeadOptions, NelderMeadResult};
+pub use mixture_em::{fit_sn_mixture, fit_sn_mixture_with};
+pub use nelder_mead::{nelder_mead, nelder_mead_with, NelderMeadOptions, NelderMeadResult};
 pub use norm2::fit_norm2;
 pub use report::{FitReport, Fitted};
 pub use select::{select_order, Criterion, OrderSelection};
+pub use workspace::{FitWorkspace, KMeansScratch, NmScratch};

@@ -11,15 +11,24 @@
 //!   moments.
 //! - **Termination**: mean incomplete-data log-likelihood improvement below
 //!   `tolerance`, or the iteration cap.
+//!
+//! Two engines share the algorithm (selected by [`FitConfig::engine`]):
+//! [`Engine::Batched`] evaluates component densities with the batched kernels
+//! of [`lvf2_stats::kernels`] and keeps every buffer in a reusable
+//! [`FitWorkspace`] (zero steady-state allocations);
+//! [`Engine::ScalarReference`] is the straight-line per-sample loop the
+//! batched engine is tested bit-identical against
+//! (`tests/batched_equivalence.rs`).
 
 use lvf2_obs::{FitEvent, Obs};
 use lvf2_stats::{Distribution, Lvf2, Moments, SampleMoments, SkewNormal};
 
-use crate::config::{FitConfig, InitStrategy, MStep};
-use crate::kmeans::kmeans1d;
-use crate::nelder_mead::{nelder_mead, NelderMeadOptions};
+use crate::config::{Engine, FitConfig, InitStrategy, MStep};
+use crate::kmeans::{kmeans1d, kmeans1d_with};
+use crate::nelder_mead::{nelder_mead, nelder_mead_with, NelderMeadOptions};
 use crate::report::{FitReport, Fitted};
 use crate::weighted::weighted_moments;
+use crate::workspace::{reset, FitWorkspace, MStepScratch};
 use crate::FitError;
 
 /// Largest |α| the M-step will consider; beyond this the skew-normal shape is
@@ -58,16 +67,41 @@ const ALPHA_BOUND: f64 = 60.0;
 /// # }
 /// ```
 pub fn fit_lvf2(samples: &[f64], config: &FitConfig) -> Result<Fitted<Lvf2>, FitError> {
+    // `FitWorkspace::new` is free (buffers are lazy); per-arc reuse goes
+    // through `fit_lvf2_with`.
+    fit_lvf2_with(samples, config, &mut FitWorkspace::new())
+}
+
+/// [`fit_lvf2`] with caller-provided scratch memory.
+///
+/// Reusing one [`FitWorkspace`] across fits removes all steady-state heap
+/// allocations from the EM hot path (with the default
+/// [`Engine::Batched`]) — `tests/no_alloc.rs` pins this. Results are
+/// bit-identical to [`fit_lvf2`] whether the workspace is fresh or recycled.
+///
+/// # Errors
+///
+/// As [`fit_lvf2`].
+pub fn fit_lvf2_with(
+    samples: &[f64],
+    config: &FitConfig,
+    ws: &mut FitWorkspace,
+) -> Result<Fitted<Lvf2>, FitError> {
     let obs = Obs::current();
     let _span = obs.span("fit.em");
-    let result = fit_lvf2_impl(samples, config, &obs);
+    let result = fit_lvf2_impl(samples, config, &obs, ws);
     if let Err(e) = &result {
         obs.fit_error("lvf2.em", e);
     }
     result
 }
 
-fn fit_lvf2_impl(samples: &[f64], config: &FitConfig, obs: &Obs) -> Result<Fitted<Lvf2>, FitError> {
+fn fit_lvf2_impl(
+    samples: &[f64],
+    config: &FitConfig,
+    obs: &Obs,
+    ws: &mut FitWorkspace,
+) -> Result<Fitted<Lvf2>, FitError> {
     let global = SampleMoments::from_samples(samples)?;
     if global.variance <= 0.0 {
         return Err(FitError::DegenerateData {
@@ -85,10 +119,10 @@ fn fit_lvf2_impl(samples: &[f64], config: &FitConfig, obs: &Obs) -> Result<Fitte
     // (a) k-means + method of moments (§3.2) — finds separated peaks;
     // (b) a same-center narrow/wide split — finds kurtosis-style mixtures
     //     that a location-based clustering cannot see.
-    let mut inits: Vec<(SkewNormal, SkewNormal, f64)> = Vec::with_capacity(2);
+    // Fixed-size candidate storage: at most two, no heap.
+    let mut inits: [Option<(SkewNormal, SkewNormal, f64)>; 2] = [None, None];
+    let mut n_inits = 0usize;
     let mut degenerate_components = 0usize;
-    let km = kmeans1d(samples, 2, config.kmeans_iterations)?;
-    let sizes = km.sizes();
     let n = samples.len();
     let m = global.to_moments();
     let want_kmeans = matches!(
@@ -96,16 +130,46 @@ fn fit_lvf2_impl(samples: &[f64], config: &FitConfig, obs: &Obs) -> Result<Fitte
         InitStrategy::Best | InitStrategy::KMeansMoments
     );
     let want_scale = matches!(config.init, InitStrategy::Best | InitStrategy::ScaleSplit);
-    if want_kmeans && sizes[0] >= 4 && sizes[1] >= 4 {
-        inits.push((
-            cluster_skew_normal(&km.cluster(samples, 0), sigma_floor)?,
-            cluster_skew_normal(&km.cluster(samples, 1), sigma_floor)?,
-            sizes[1] as f64 / n as f64,
-        ));
+    // Both engines produce the same clustering; the batched one runs inside
+    // the workspace's scratch.
+    let (sizes, kmeans_init) = match config.engine {
+        Engine::Batched => {
+            kmeans1d_with(samples, 2, config.kmeans_iterations, &mut ws.kmeans)?;
+            let mut sizes = [0usize; 2];
+            ws.kmeans.sizes_into(&mut sizes);
+            let init = if want_kmeans && sizes[0] >= 4 && sizes[1] >= 4 {
+                gather_cluster(&mut ws.cluster, samples, ws.kmeans.assignments(), 0);
+                let c1 = cluster_skew_normal(&ws.cluster, sigma_floor)?;
+                gather_cluster(&mut ws.cluster, samples, ws.kmeans.assignments(), 1);
+                let c2 = cluster_skew_normal(&ws.cluster, sigma_floor)?;
+                Some((c1, c2))
+            } else {
+                None
+            };
+            (sizes, init)
+        }
+        Engine::ScalarReference => {
+            let km = kmeans1d(samples, 2, config.kmeans_iterations)?;
+            let sizes = km.sizes();
+            let sizes = [sizes[0], sizes[1]];
+            let init = if want_kmeans && sizes[0] >= 4 && sizes[1] >= 4 {
+                Some((
+                    cluster_skew_normal(&km.cluster(samples, 0), sigma_floor)?,
+                    cluster_skew_normal(&km.cluster(samples, 1), sigma_floor)?,
+                ))
+            } else {
+                None
+            };
+            (sizes, init)
+        }
+    };
+    if let Some((c1, c2)) = kmeans_init {
+        inits[n_inits] = Some((c1, c2, sizes[1] as f64 / n as f64));
+        n_inits += 1;
     } else if want_kmeans {
         // Degenerate split: seed two copies of the global fit, offset ±σ/2.
         degenerate_components = 2;
-        inits.push((
+        inits[n_inits] = Some((
             SkewNormal::from_moments_clamped(Moments::new(
                 m.mean - 0.5 * m.sigma,
                 m.sigma,
@@ -118,21 +182,51 @@ fn fit_lvf2_impl(samples: &[f64], config: &FitConfig, obs: &Obs) -> Result<Fitte
             ))?,
             0.5,
         ));
+        n_inits += 1;
     }
     if want_scale {
-        inits.push((
+        inits[n_inits] = Some((
             SkewNormal::from_moments_clamped(Moments::new(m.mean, 0.55 * m.sigma, m.skewness))?,
             SkewNormal::from_moments_clamped(Moments::new(m.mean, 1.6 * m.sigma, m.skewness))?,
             0.35,
         ));
+        n_inits += 1;
     }
 
-    let restarts = inits.len();
+    let restarts = n_inits;
     let collect_trajectory = obs.debug_data_enabled();
     let mut best: Option<(Lvf2, FitReport, Vec<f64>)> = None;
-    for (c1, c2, l0) in inits {
-        let (model, report, traj) =
-            run_em(samples, c1, c2, l0, sigma_floor, config, collect_trajectory)?;
+    for slot in inits.iter().take(n_inits) {
+        let (c1, c2, l0) = slot.expect("init slot filled");
+        // A later restart is abandoned once it provably trails the best
+        // finished restart (see the check inside the EM loops).
+        let bar = best
+            .as_ref()
+            .map(|(_, b, _)| b.log_likelihood)
+            .unwrap_or(f64::NEG_INFINITY);
+        let (model, report, traj) = match config.engine {
+            Engine::Batched => run_em_batched(
+                samples,
+                c1,
+                c2,
+                l0,
+                sigma_floor,
+                config,
+                collect_trajectory,
+                bar,
+                ws,
+            )?,
+            Engine::ScalarReference => run_em(
+                samples,
+                c1,
+                c2,
+                l0,
+                sigma_floor,
+                config,
+                collect_trajectory,
+                bar,
+            )?,
+        };
         let better = match &best {
             None => true,
             Some((_, b, _)) => report.log_likelihood > b.log_likelihood,
@@ -156,6 +250,7 @@ fn fit_lvf2_impl(samples: &[f64], config: &FitConfig, obs: &Obs) -> Result<Fitte
 
 /// One EM run from a fixed initialization. `collect_trajectory` additionally
 /// returns the per-iteration log-likelihood (for debug telemetry).
+#[allow(clippy::too_many_arguments)] // mirrors run_em_batched minus workspace
 fn run_em(
     samples: &[f64],
     mut comp1: SkewNormal,
@@ -164,6 +259,7 @@ fn run_em(
     sigma_floor: f64,
     config: &FitConfig,
     collect_trajectory: bool,
+    abandon_below: f64,
 ) -> Result<(Lvf2, FitReport, Vec<f64>), FitError> {
     let n = samples.len();
     let mut lambda = lambda0.clamp(config.min_weight, 1.0 - config.min_weight);
@@ -202,14 +298,26 @@ fn run_em(
 
         // M-step per component.
         let resp2: Vec<f64> = resp1.iter().map(|z| 1.0 - z).collect();
-        comp1 = m_step_component(samples, &resp1, comp1, sigma_floor, config);
-        comp2 = m_step_component(samples, &resp2, comp2, sigma_floor, config);
+        comp1 = m_step_component(samples, &resp1, comp1, sigma_floor, config, it > 0);
+        comp2 = m_step_component(samples, &resp2, comp2, sigma_floor, config, it > 0);
 
         if collect_trajectory {
             trajectory.push(ll);
         }
         if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
             converged = true;
+            break;
+        }
+        // Restart pruning: EM improves monotonically with (in practice)
+        // shrinking steps, so once even `remaining × last_gain` cannot close
+        // the gap to a restart that already finished better, further
+        // iterations are wasted — the selection below keeps strictly the
+        // highest log-likelihood either way. On the first iteration
+        // `last_gain` is +∞ (prev_ll = −∞), which correctly disables the
+        // check. Identical in both engines (same ll sequence, same bar).
+        let remaining = (config.max_iterations - iterations) as f64;
+        let last_gain = (ll - prev_ll).max(0.0);
+        if ll + remaining * last_gain < abandon_below {
             break;
         }
         prev_ll = ll;
@@ -233,6 +341,135 @@ fn run_em(
     ))
 }
 
+/// The batched-engine twin of [`run_em`]: identical arithmetic, identical
+/// accumulation order, but component densities come from one
+/// [`Distribution::ln_pdf_batch`] sweep per component and every buffer lives
+/// in the [`FitWorkspace`] — steady-state iterations allocate nothing.
+#[allow(clippy::too_many_arguments)] // mirrors run_em + workspace
+fn run_em_batched(
+    samples: &[f64],
+    mut comp1: SkewNormal,
+    mut comp2: SkewNormal,
+    lambda0: f64,
+    sigma_floor: f64,
+    config: &FitConfig,
+    collect_trajectory: bool,
+    abandon_below: f64,
+    ws: &mut FitWorkspace,
+) -> Result<(Lvf2, FitReport, Vec<f64>), FitError> {
+    let n = samples.len();
+    let mut lambda = lambda0.clamp(config.min_weight, 1.0 - config.min_weight);
+
+    let FitWorkspace {
+        resp1,
+        resp2,
+        logs1,
+        logs2,
+        mstep,
+        ..
+    } = ws;
+    reset(resp1, n);
+    reset(resp2, n);
+    reset(logs1, n);
+    reset(logs2, n);
+
+    // --- EM loop -------------------------------------------------------------
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut trajectory = Vec::new();
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+
+        // Component log-densities for the whole sample vector, one chunked
+        // sweep per component (bit-identical to per-sample `ln_pdf`).
+        comp1.ln_pdf_batch(samples, logs1);
+        comp2.ln_pdf_batch(samples, logs2);
+
+        // Fused E-step (Eq. 6): responsibilities and the total incomplete-data
+        // log-likelihood in a single pass, accumulated in sample order.
+        ll = 0.0;
+        let l1 = (1.0 - lambda).ln();
+        let l2 = lambda.ln();
+        for ((r, &d1), &d2) in resp1.iter_mut().zip(logs1.iter()).zip(logs2.iter()) {
+            let a = l1 + d1;
+            let b = l2 + d2;
+            let m = a.max(b);
+            if m.is_finite() {
+                let log_tot = m + ((a - m).exp() + (b - m).exp()).ln();
+                *r = (a - log_tot).exp();
+                ll += log_tot;
+            } else {
+                *r = 0.5;
+                ll += -745.0; // both densities underflowed; cap the penalty
+            }
+        }
+
+        // λ update: λ = Σ(1 − zᵢ)/n.
+        let w1: f64 = resp1.iter().sum();
+        lambda = ((n as f64 - w1) / n as f64).clamp(config.min_weight, 1.0 - config.min_weight);
+
+        // M-step per component; the complement buffer is reused, not
+        // reallocated.
+        for (r2, &r1) in resp2.iter_mut().zip(resp1.iter()) {
+            *r2 = 1.0 - r1;
+        }
+        comp1 = m_step_component_with(samples, resp1, comp1, sigma_floor, config, it > 0, mstep);
+        comp2 = m_step_component_with(samples, resp2, comp2, sigma_floor, config, it > 0, mstep);
+
+        if collect_trajectory {
+            trajectory.push(ll);
+        }
+        if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
+            converged = true;
+            break;
+        }
+        // Restart pruning: EM improves monotonically with (in practice)
+        // shrinking steps, so once even `remaining × last_gain` cannot close
+        // the gap to a restart that already finished better, further
+        // iterations are wasted — the selection below keeps strictly the
+        // highest log-likelihood either way. On the first iteration
+        // `last_gain` is +∞ (prev_ll = −∞), which correctly disables the
+        // check. Identical in both engines (same ll sequence, same bar).
+        let remaining = (config.max_iterations - iterations) as f64;
+        let last_gain = (ll - prev_ll).max(0.0);
+        if ll + remaining * last_gain < abandon_below {
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    // Canonical order: component 1 has the smaller mean (stable reporting).
+    if comp1.mean() > comp2.mean() {
+        std::mem::swap(&mut comp1, &mut comp2);
+        lambda = 1.0 - lambda;
+    }
+
+    let model = Lvf2::new(lambda, comp1, comp2)?;
+    Ok((
+        model,
+        FitReport {
+            log_likelihood: ll,
+            iterations,
+            converged,
+        },
+        trajectory,
+    ))
+}
+
+/// Collects the samples assigned to cluster `j` into `out`, in input order —
+/// the allocation-free twin of [`crate::KMeansResult::cluster`].
+pub(crate) fn gather_cluster(out: &mut Vec<f64>, xs: &[f64], assignments: &[usize], j: usize) {
+    out.clear();
+    out.extend(
+        xs.iter()
+            .zip(assignments)
+            .filter(|(_, &a)| a == j)
+            .map(|(&x, _)| x),
+    );
+}
+
 /// Skew-normal for one k-means cluster by (clamped) method of moments.
 fn cluster_skew_normal(cluster: &[f64], sigma_floor: f64) -> Result<SkewNormal, FitError> {
     let m = SampleMoments::from_samples(cluster)?;
@@ -242,14 +479,51 @@ fn cluster_skew_normal(cluster: &[f64], sigma_floor: f64) -> Result<SkewNormal, 
     ))?)
 }
 
+/// Inner Nelder–Mead objective tolerance for the weighted-MLE M-step.
+///
+/// The objective is a weighted *total* negative log-likelihood (magnitude
+/// `O(n)`), so this absolute spread is effectively "run until the simplex
+/// plateaus or the budget is spent". Loosening it to a value relative to
+/// the outer EM criterion looked attractive, but empirically the early-
+/// terminated M-steps steer EM into visibly worse basins (the
+/// `mle_mstep_beats_or_matches_moments_mstep_in_likelihood` regression
+/// test catches this), so the inner solve stays tight; wall time is won
+/// through warm starts and dominated-restart pruning instead.
+///
+/// Shared by both engines so their optimizers take bit-identical paths.
+const INNER_F_TOLERANCE: f64 = 1e-8;
+
+/// Initial Nelder–Mead simplex spread for the M-step.
+///
+/// On the first EM iteration the component comes from a method-of-moments
+/// initializer and may sit well away from its weighted-MLE optimum, so the
+/// simplex needs room (0.05 per unit scale). Later iterations re-optimize
+/// from the previous M-step's own optimum, which EM moves only slightly —
+/// a 5×-smaller simplex converges in a fraction of the evaluations without
+/// changing where it converges to. Deterministic and engine-independent.
+#[inline]
+fn warm_initial_step(warm: bool) -> f64 {
+    if warm {
+        0.01
+    } else {
+        0.05
+    }
+}
+
 /// One M-step for a single component under `weights` (shared with the
 /// K-component generalization in `mixture_em`).
+///
+/// `warm` marks every EM iteration after the first: `current` is then the
+/// previous M-step's own optimum, so the Nelder–Mead simplex starts at a
+/// fifth of the cold-start spread instead of re-exploring the whole
+/// neighbourhood ([`warm_initial_step`]).
 pub(crate) fn m_step_component(
     xs: &[f64],
     weights: &[f64],
     current: SkewNormal,
     sigma_floor: f64,
     config: &FitConfig,
+    warm: bool,
 ) -> SkewNormal {
     match config.m_step {
         MStep::WeightedMoments => match weighted_moments(xs, weights) {
@@ -288,13 +562,97 @@ pub(crate) fn m_step_component(
             let x0 = [current.xi(), current.omega().ln(), current.alpha()];
             let opts = NelderMeadOptions {
                 max_evals: config.inner_evals,
-                f_tolerance: 1e-8,
+                f_tolerance: INNER_F_TOLERANCE,
                 x_tolerance: 1e-8,
-                initial_step: 0.05,
+                initial_step: warm_initial_step(warm),
             };
             let r = nelder_mead(objective, &x0, &opts);
             if r.fx.is_finite() {
                 SkewNormal::new(r.x[0], r.x[1].exp(), r.x[2]).unwrap_or(current)
+            } else {
+                current
+            }
+        }
+    }
+}
+
+/// The batched-engine twin of [`m_step_component`]: compacts the support
+/// (`w > 1e-12`) once per M-step — the weights are fixed during the inner
+/// optimization — and evaluates the weighted negative log-likelihood with one
+/// [`Distribution::ln_pdf_batch`] sweep per objective call, inside the
+/// caller's scratch. The nll accumulates over the same subset in the same
+/// order as the scalar reference, so the optimizer sees bit-identical values
+/// and takes the exact same path.
+pub(crate) fn m_step_component_with(
+    xs: &[f64],
+    weights: &[f64],
+    current: SkewNormal,
+    sigma_floor: f64,
+    config: &FitConfig,
+    warm: bool,
+    scratch: &mut MStepScratch,
+) -> SkewNormal {
+    match config.m_step {
+        MStep::WeightedMoments => match weighted_moments(xs, weights) {
+            // Moment matching must see the *full* weight vector — dropping
+            // sub-1e-12 weights would perturb the sums at the ulp level.
+            Some(m) => {
+                let m = Moments::new(m.mean, m.sigma.max(sigma_floor), m.skewness);
+                SkewNormal::from_moments_clamped(m).unwrap_or(current)
+            }
+            None => current,
+        },
+        MStep::WeightedMle => {
+            let MStepScratch {
+                active_xs,
+                active_ws,
+                obj,
+                nm,
+            } = scratch;
+            active_xs.clear();
+            active_ws.clear();
+            for (&x, &w) in xs.iter().zip(weights) {
+                if w > 1e-12 {
+                    active_xs.push(x);
+                    active_ws.push(w);
+                }
+            }
+            reset(obj, active_xs.len());
+            // Maximize Σ wᵢ ln f_SN(xᵢ; ξ, e^{lw}, α) with Nelder–Mead.
+            let objective = |p: &[f64]| -> f64 {
+                let (xi, lw, alpha) = (p[0], p[1], p[2]);
+                if !xi.is_finite() || !lw.is_finite() || alpha.abs() > ALPHA_BOUND {
+                    return f64::INFINITY;
+                }
+                let omega = lw.exp();
+                if omega < sigma_floor * 0.1 || !omega.is_finite() {
+                    return f64::INFINITY;
+                }
+                let Ok(sn) = SkewNormal::new(xi, omega, alpha) else {
+                    return f64::INFINITY;
+                };
+                sn.ln_pdf_batch(active_xs, obj);
+                let mut nll = 0.0;
+                for (&w, &l) in active_ws.iter().zip(obj.iter()) {
+                    nll -= w * l;
+                }
+                if nll.is_finite() {
+                    nll
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let x0 = [current.xi(), current.omega().ln(), current.alpha()];
+            let opts = NelderMeadOptions {
+                max_evals: config.inner_evals,
+                f_tolerance: INNER_F_TOLERANCE,
+                x_tolerance: 1e-8,
+                initial_step: warm_initial_step(warm),
+            };
+            let mut best = [0.0f64; 3];
+            let (fx, _evals, _converged) = nelder_mead_with(objective, &x0, &opts, nm, &mut best);
+            if fx.is_finite() {
+                SkewNormal::new(best[0], best[1].exp(), best[2]).unwrap_or(current)
             } else {
                 current
             }
@@ -404,6 +762,35 @@ mod tests {
     fn rejects_tiny_or_constant_input() {
         assert!(fit_lvf2(&[1.0, 2.0, 3.0], &FitConfig::default()).is_err());
         assert!(fit_lvf2(&[5.0; 100], &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn engines_produce_bit_identical_fits() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs = truth.sample_n(&mut rng, 1500);
+        for cfg in [FitConfig::default(), FitConfig::fast()] {
+            let batched = fit_lvf2(&xs, &cfg).unwrap();
+            let scalar = fit_lvf2(&xs, &cfg.clone().with_engine(Engine::ScalarReference)).unwrap();
+            assert_eq!(batched.model, scalar.model, "m_step {:?}", cfg.m_step);
+            assert_eq!(batched.report, scalar.report, "m_step {:?}", cfg.m_step);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_results() {
+        let truth = bimodal_truth();
+        let mut rng = StdRng::seed_from_u64(18);
+        let cfg = FitConfig::default();
+        let mut ws = FitWorkspace::new();
+        // Different sizes exercise buffer growth and shrink-free reuse.
+        for n in [900, 400, 1200] {
+            let xs = truth.sample_n(&mut rng, n);
+            let fresh = fit_lvf2(&xs, &cfg).unwrap();
+            let reused = fit_lvf2_with(&xs, &cfg, &mut ws).unwrap();
+            assert_eq!(fresh.model, reused.model, "n={n}");
+            assert_eq!(fresh.report, reused.report, "n={n}");
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@
 use lvf2_obs::{FitEvent, Obs};
 use lvf2_stats::{Distribution, Mixture, Moments, SampleMoments, SkewNormal};
 
-use crate::config::FitConfig;
-use crate::kmeans::kmeans1d;
-use crate::lvf2::m_step_component;
+use crate::config::{Engine, FitConfig};
+use crate::kmeans::{kmeans1d, kmeans1d_with};
+use crate::lvf2::{gather_cluster, m_step_component, m_step_component_with};
 use crate::report::{FitReport, Fitted};
+use crate::workspace::{reset, FitWorkspace};
 use crate::FitError;
 
 /// Fits a K-component skew-normal mixture by EM.
@@ -52,9 +53,25 @@ pub fn fit_sn_mixture(
     k: usize,
     config: &FitConfig,
 ) -> Result<Fitted<Mixture<SkewNormal>>, FitError> {
+    fit_sn_mixture_with(samples, k, config, &mut FitWorkspace::new())
+}
+
+/// [`fit_sn_mixture`] with caller-provided scratch memory; see
+/// [`crate::fit_lvf2_with`] for the reuse contract. Results are bit-identical
+/// whether the workspace is fresh or recycled.
+///
+/// # Errors
+///
+/// As [`fit_sn_mixture`].
+pub fn fit_sn_mixture_with(
+    samples: &[f64],
+    k: usize,
+    config: &FitConfig,
+    ws: &mut FitWorkspace,
+) -> Result<Fitted<Mixture<SkewNormal>>, FitError> {
     let obs = Obs::current();
     let _span = obs.span("fit.em");
-    let result = fit_sn_mixture_impl(samples, k, config, &obs);
+    let result = fit_sn_mixture_impl(samples, k, config, &obs, ws);
     if let Err(e) = &result {
         obs.fit_error("sn_mixture.em", e);
     }
@@ -66,6 +83,7 @@ fn fit_sn_mixture_impl(
     k: usize,
     config: &FitConfig,
     obs: &Obs,
+    ws: &mut FitWorkspace,
 ) -> Result<Fitted<Mixture<SkewNormal>>, FitError> {
     if k == 0 {
         return Err(FitError::DegenerateData {
@@ -87,42 +105,137 @@ fn fit_sn_mixture_impl(
     let sigma_floor = config.min_sigma_ratio * global.std_dev();
 
     // --- Initialization: k-means + per-cluster method of moments -----------
-    let km = kmeans1d(samples, k, config.kmeans_iterations)?;
-    let sizes = km.sizes();
+    // Both engines produce the same clustering; the batched one reuses the
+    // workspace's scratch and gather buffers.
     let mut comps: Vec<SkewNormal> = Vec::with_capacity(k);
     let mut weights: Vec<f64> = Vec::with_capacity(k);
     let mut degenerate_components = 0usize;
-    #[allow(clippy::needless_range_loop)] // j indexes clusters, sizes and centers together
-    for j in 0..k {
-        let cluster = km.cluster(samples, j);
-        let comp = if cluster.len() >= 4 {
-            let m = SampleMoments::from_samples(&cluster)?;
-            SkewNormal::from_moments_clamped(Moments::new(
-                m.mean,
-                m.std_dev().max(sigma_floor),
-                m.skewness,
-            ))?
-        } else {
-            // Empty-ish cluster: seed from the global fit near its center.
-            degenerate_components += 1;
-            SkewNormal::from_moments_clamped(Moments::new(
-                km.centers[j.min(km.centers.len() - 1)],
-                global.std_dev(),
-                global.skewness,
-            ))?
-        };
-        comps.push(comp);
-        weights.push((sizes[j].max(1) as f64 / n as f64).max(config.min_weight));
+    match config.engine {
+        Engine::Batched => {
+            kmeans1d_with(samples, k, config.kmeans_iterations, &mut ws.kmeans)?;
+            for j in 0..k {
+                gather_cluster(&mut ws.cluster, samples, ws.kmeans.assignments(), j);
+                let comp = if ws.cluster.len() >= 4 {
+                    let m = SampleMoments::from_samples(&ws.cluster)?;
+                    SkewNormal::from_moments_clamped(Moments::new(
+                        m.mean,
+                        m.std_dev().max(sigma_floor),
+                        m.skewness,
+                    ))?
+                } else {
+                    // Empty-ish cluster: seed from the global fit near its center.
+                    degenerate_components += 1;
+                    let centers = ws.kmeans.centers();
+                    SkewNormal::from_moments_clamped(Moments::new(
+                        centers[j.min(centers.len() - 1)],
+                        global.std_dev(),
+                        global.skewness,
+                    ))?
+                };
+                comps.push(comp);
+                let size = ws.cluster.len();
+                weights.push((size.max(1) as f64 / n as f64).max(config.min_weight));
+            }
+        }
+        Engine::ScalarReference => {
+            let km = kmeans1d(samples, k, config.kmeans_iterations)?;
+            let sizes = km.sizes();
+            #[allow(clippy::needless_range_loop)] // j indexes clusters, sizes and centers together
+            for j in 0..k {
+                let cluster = km.cluster(samples, j);
+                let comp = if cluster.len() >= 4 {
+                    let m = SampleMoments::from_samples(&cluster)?;
+                    SkewNormal::from_moments_clamped(Moments::new(
+                        m.mean,
+                        m.std_dev().max(sigma_floor),
+                        m.skewness,
+                    ))?
+                } else {
+                    // Empty-ish cluster: seed from the global fit near its center.
+                    degenerate_components += 1;
+                    SkewNormal::from_moments_clamped(Moments::new(
+                        km.centers[j.min(km.centers.len() - 1)],
+                        global.std_dev(),
+                        global.skewness,
+                    ))?
+                };
+                comps.push(comp);
+                weights.push((sizes[j].max(1) as f64 / n as f64).max(config.min_weight));
+            }
+        }
     }
     normalize(&mut weights);
 
     // --- EM loop -------------------------------------------------------------
+    let collect_trajectory = obs.debug_data_enabled();
+    let (ll, iterations, converged, trajectory) = match config.engine {
+        Engine::Batched => em_loop_batched(
+            samples,
+            &mut comps,
+            &mut weights,
+            sigma_floor,
+            config,
+            collect_trajectory,
+            ws,
+        ),
+        Engine::ScalarReference => em_loop_scalar(
+            samples,
+            &mut comps,
+            &mut weights,
+            sigma_floor,
+            config,
+            collect_trajectory,
+        ),
+    };
+
+    // Canonical order by component mean.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        comps[a]
+            .mean()
+            .partial_cmp(&comps[b].mean())
+            .expect("finite")
+    });
+    let comps: Vec<SkewNormal> = order.iter().map(|&j| comps[j]).collect();
+    let weights: Vec<f64> = order.iter().map(|&j| weights[j]).collect();
+
+    let model = Mixture::new(comps, weights)?;
+    obs.fit_event(&FitEvent {
+        fitter: "sn_mixture.em",
+        iterations,
+        converged,
+        restarts: 1,
+        log_likelihood: ll,
+        trajectory: &trajectory,
+        degenerate_components,
+    });
+    Ok(Fitted::new(
+        model,
+        FitReport {
+            log_likelihood: ll,
+            iterations,
+            converged,
+        },
+    ))
+}
+
+/// The per-sample reference EM loop ([`Engine::ScalarReference`]) — the
+/// ground truth the batched loop is tested bit-identical against.
+fn em_loop_scalar(
+    samples: &[f64],
+    comps: &mut [SkewNormal],
+    weights: &mut [f64],
+    sigma_floor: f64,
+    config: &FitConfig,
+    collect_trajectory: bool,
+) -> (f64, usize, bool, Vec<f64>) {
+    let n = samples.len();
+    let k = comps.len();
     let mut resp = vec![vec![0.0f64; k]; n];
     let mut prev_ll = f64::NEG_INFINITY;
     let mut ll = f64::NEG_INFINITY;
     let mut iterations = 0;
     let mut converged = false;
-    let collect_trajectory = obs.debug_data_enabled();
     let mut trajectory = Vec::new();
     for it in 0..config.max_iterations {
         iterations = it + 1;
@@ -156,9 +269,9 @@ fn fit_sn_mixture_impl(
             let wj: Vec<f64> = resp.iter().map(|r| r[j]).collect();
             let total: f64 = wj.iter().sum();
             weights[j] = (total / n as f64).max(config.min_weight);
-            comps[j] = m_step_component(samples, &wj, comps[j], sigma_floor, config);
+            comps[j] = m_step_component(samples, &wj, comps[j], sigma_floor, config, it > 0);
         }
-        normalize(&mut weights);
+        normalize(weights);
 
         if collect_trajectory {
             trajectory.push(ll);
@@ -169,36 +282,102 @@ fn fit_sn_mixture_impl(
         }
         prev_ll = ll;
     }
+    (ll, iterations, converged, trajectory)
+}
 
-    // Canonical order by component mean.
-    let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| {
-        comps[a]
-            .mean()
-            .partial_cmp(&comps[b].mean())
-            .expect("finite")
-    });
-    let comps: Vec<SkewNormal> = order.iter().map(|&j| comps[j]).collect();
-    let weights: Vec<f64> = order.iter().map(|&j| weights[j]).collect();
+/// The batched EM loop ([`Engine::Batched`]): per-component densities come
+/// from one [`Distribution::ln_pdf_batch`] sweep each, the responsibility
+/// matrix is one flat row-major buffer, and all scratch lives in the
+/// [`FitWorkspace`] — steady-state iterations allocate nothing. Every
+/// accumulation runs in the same order as [`em_loop_scalar`], so the fits are
+/// bit-identical.
+fn em_loop_batched(
+    samples: &[f64],
+    comps: &mut [SkewNormal],
+    weights: &mut [f64],
+    sigma_floor: f64,
+    config: &FitConfig,
+    collect_trajectory: bool,
+    ws: &mut FitWorkspace,
+) -> (f64, usize, bool, Vec<f64>) {
+    let n = samples.len();
+    let k = comps.len();
+    let FitWorkspace {
+        resp_flat,
+        dens,
+        logw,
+        wj,
+        mstep,
+        ..
+    } = ws;
+    reset(resp_flat, n * k);
+    reset(dens, n * k);
+    reset(logw, k);
+    reset(wj, n);
 
-    let model = Mixture::new(comps, weights)?;
-    obs.fit_event(&FitEvent {
-        fitter: "sn_mixture.em",
-        iterations,
-        converged,
-        restarts: 1,
-        log_likelihood: ll,
-        trajectory: &trajectory,
-        degenerate_components,
-    });
-    Ok(Fitted::new(
-        model,
-        FitReport {
-            log_likelihood: ll,
-            iterations,
-            converged,
-        },
-    ))
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut trajectory = Vec::new();
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+
+        // Component log-densities, one chunked sweep per component.
+        for (j, comp) in comps.iter().enumerate() {
+            comp.ln_pdf_batch(samples, &mut dens[j * n..(j + 1) * n]);
+        }
+
+        // E-step (K-way, log space). Each row of `resp_flat` holds the
+        // per-component log-joint transiently, then the responsibilities.
+        ll = 0.0;
+        for (lw, w) in logw.iter_mut().zip(weights.iter()) {
+            *lw = w.ln();
+        }
+        for i in 0..n {
+            let row = &mut resp_flat[i * k..(i + 1) * k];
+            let mut maxv = f64::NEG_INFINITY;
+            for (j, slot) in row.iter_mut().enumerate() {
+                let l = logw[j] + dens[j * n + i];
+                *slot = l;
+                maxv = maxv.max(l);
+            }
+            if maxv.is_finite() {
+                let log_tot = maxv + row.iter().map(|l| (l - maxv).exp()).sum::<f64>().ln();
+                for l in row.iter_mut() {
+                    *l = (*l - log_tot).exp();
+                }
+                ll += log_tot;
+            } else {
+                for r in row.iter_mut() {
+                    *r = 1.0 / k as f64;
+                }
+                ll += -745.0;
+            }
+        }
+
+        // Weight update + per-component M-step (gather buffer reused).
+        for j in 0..k {
+            for (slot, row) in wj.iter_mut().zip(resp_flat.chunks_exact(k)) {
+                *slot = row[j];
+            }
+            let total: f64 = wj.iter().sum();
+            weights[j] = (total / n as f64).max(config.min_weight);
+            comps[j] =
+                m_step_component_with(samples, wj, comps[j], sigma_floor, config, it > 0, mstep);
+        }
+        normalize(weights);
+
+        if collect_trajectory {
+            trajectory.push(ll);
+        }
+        if (ll - prev_ll).abs() / (n as f64) < config.tolerance {
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+    }
+    (ll, iterations, converged, trajectory)
 }
 
 fn normalize(weights: &mut [f64]) {
@@ -268,6 +447,35 @@ mod tests {
     fn rejects_bad_orders_and_tiny_data() {
         assert!(fit_sn_mixture(&[1.0; 100], 0, &FitConfig::default()).is_err());
         assert!(fit_sn_mixture(&[1.0, 2.0, 3.0], 2, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn engines_produce_bit_identical_mixtures() {
+        let truth = three_peak_truth();
+        let mut rng = StdRng::seed_from_u64(45);
+        let xs = truth.sample_n(&mut rng, 2500);
+        for cfg in [FitConfig::default(), FitConfig::fast()] {
+            let batched = fit_sn_mixture(&xs, 3, &cfg).unwrap();
+            let scalar =
+                fit_sn_mixture(&xs, 3, &cfg.clone().with_engine(Engine::ScalarReference)).unwrap();
+            assert_eq!(batched.model, scalar.model, "m_step {:?}", cfg.m_step);
+            assert_eq!(batched.report, scalar.report, "m_step {:?}", cfg.m_step);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_fits() {
+        let truth = three_peak_truth();
+        let mut rng = StdRng::seed_from_u64(46);
+        let cfg = FitConfig::fast();
+        let mut ws = FitWorkspace::new();
+        for (k, n) in [(2usize, 800usize), (3, 1200), (2, 500)] {
+            let xs = truth.sample_n(&mut rng, n);
+            let fresh = fit_sn_mixture(&xs, k, &cfg).unwrap();
+            let reused = fit_sn_mixture_with(&xs, k, &cfg, &mut ws).unwrap();
+            assert_eq!(fresh.model, reused.model, "k={k} n={n}");
+            assert_eq!(fresh.report, reused.report, "k={k} n={n}");
+        }
     }
 
     #[test]

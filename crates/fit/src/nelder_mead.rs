@@ -3,6 +3,14 @@
 //! Powers the LVF² M-step (weighted skew-normal MLE has no closed form) and
 //! the LESN four-moment matching. Standard reflection/expansion/contraction/
 //! shrink with adaptive coefficients for the low dimensions (2–4) used here.
+//!
+//! Two entry points share one implementation: [`nelder_mead`] allocates its
+//! own state, [`nelder_mead_with`] runs entirely inside a caller-provided
+//! [`NmScratch`] (the simplex is a single flat `(n+1)×n` buffer) so the EM
+//! M-step can call it every iteration without heap traffic. Both execute the
+//! exact same decision sequence and return bit-identical optima.
+
+use crate::workspace::NmScratch;
 
 /// Options for [`nelder_mead`].
 #[derive(Debug, Clone, PartialEq)]
@@ -58,12 +66,43 @@ pub struct NelderMeadResult {
 /// assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3);
 /// ```
 pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
-    mut f: F,
+    f: F,
     x0: &[f64],
     opts: &NelderMeadOptions,
 ) -> NelderMeadResult {
+    let mut scratch = NmScratch::new();
+    let mut x = vec![0.0; x0.len()];
+    let (fx, evals, converged) = nelder_mead_with(f, x0, opts, &mut scratch, &mut x);
+    NelderMeadResult {
+        x,
+        fx,
+        evals,
+        converged,
+    }
+}
+
+/// Allocation-free [`nelder_mead`]: all mutable state lives in `scratch`, the
+/// best point is written to `best` (which must have `x0`'s length), and the
+/// return value is `(fx, evals, converged)`.
+///
+/// The decision sequence — every objective evaluation, in order — is
+/// identical to [`nelder_mead`]'s, so the two produce bit-identical results.
+/// After the scratch has been used once at a given dimension, repeat calls
+/// perform no heap allocation.
+///
+/// # Panics
+///
+/// Panics when `x0` is empty or `best.len() != x0.len()`.
+pub fn nelder_mead_with<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+    scratch: &mut NmScratch,
+    best: &mut [f64],
+) -> (f64, usize, bool) {
     let n = x0.len();
     assert!(n >= 1, "nelder_mead requires at least one dimension");
+    assert_eq!(best.len(), n, "nelder_mead_with: best length mismatch");
     // Adaptive coefficients (Gao & Han 2012) — better for n > 2, identical to
     // the classic values at n = 2.
     let nf = n as f64;
@@ -73,7 +112,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     let delta = 1.0 - 1.0 / nf;
 
     let mut evals = 0usize;
-    let eval = |x: &[f64], f: &mut F, evals: &mut usize| -> f64 {
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
         *evals += 1;
         let v = f(x);
         if v.is_nan() {
@@ -83,42 +122,61 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
     };
 
+    let NmScratch {
+        simplex,
+        simplex_tmp,
+        values,
+        values_tmp,
+        idx,
+        centroid,
+        trial_r,
+        trial_e,
+    } = scratch;
+    let rows = n + 1;
+    crate::workspace::reset(simplex, rows * n);
+    crate::workspace::reset(simplex_tmp, rows * n);
+    crate::workspace::reset(values, rows);
+    crate::workspace::reset(values_tmp, rows);
+    idx.clear();
+    idx.resize(rows, 0);
+    crate::workspace::reset(centroid, n);
+    crate::workspace::reset(trial_r, n);
+    crate::workspace::reset(trial_e, n);
+
     // Initial simplex: x0 plus a step along each axis.
-    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-    simplex.push(x0.to_vec());
+    simplex[..n].copy_from_slice(x0);
     for i in 0..n {
-        let mut v = x0.to_vec();
-        let step = opts.initial_step * (v[i].abs() + 1.0);
-        v[i] += step;
-        simplex.push(v);
+        let row = &mut simplex[(i + 1) * n..(i + 2) * n];
+        row.copy_from_slice(x0);
+        let step = opts.initial_step * (row[i].abs() + 1.0);
+        row[i] += step;
     }
-    let mut values: Vec<f64> = simplex
-        .iter()
-        .map(|v| eval(v, &mut f, &mut evals))
-        .collect();
+    for i in 0..rows {
+        values[i] = eval(&simplex[i * n..(i + 1) * n], &mut evals);
+    }
 
     let mut converged = false;
     while evals < opts.max_evals {
-        // Order the simplex by objective.
-        let mut idx: Vec<usize> = (0..=n).collect();
+        // Order the simplex by objective (stable, as in the reference).
+        for (i, slot) in idx.iter_mut().enumerate() {
+            *slot = i;
+        }
         idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN stored"));
-        let reorder = |s: &[Vec<f64>], v: &[f64], idx: &[usize]| {
-            (
-                idx.iter().map(|&i| s[i].clone()).collect::<Vec<_>>(),
-                idx.iter().map(|&i| v[i]).collect::<Vec<_>>(),
-            )
-        };
-        let (s, v) = reorder(&simplex, &values, &idx);
-        simplex = s;
-        values = v;
+        for (new_row, &old_row) in idx.iter().enumerate() {
+            simplex_tmp[new_row * n..(new_row + 1) * n]
+                .copy_from_slice(&simplex[old_row * n..(old_row + 1) * n]);
+            values_tmp[new_row] = values[old_row];
+        }
+        std::mem::swap(simplex, simplex_tmp);
+        std::mem::swap(values, values_tmp);
 
         // Convergence checks.
         let f_spread = values[n] - values[0];
-        let x_spread = simplex[1..]
-            .iter()
-            .map(|v| {
-                v.iter()
-                    .zip(&simplex[0])
+        let x_spread = (1..rows)
+            .map(|i| {
+                simplex[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(&simplex[..n])
                     .map(|(a, b)| (a - b).abs())
                     .fold(0.0, f64::max)
             })
@@ -129,72 +187,70 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
 
         // Centroid of all but the worst vertex.
-        let mut centroid = vec![0.0; n];
-        for v in &simplex[..n] {
-            for (c, x) in centroid.iter_mut().zip(v) {
+        centroid.fill(0.0);
+        for row in 0..n {
+            for (c, x) in centroid.iter_mut().zip(&simplex[row * n..(row + 1) * n]) {
                 *c += x / nf;
             }
         }
-        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
-            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        // lerp(a, b, t)[j] = a[j] + t * (b[j] - a[j]), written into `out`.
+        let lerp = |a: &[f64], b: &[f64], t: f64, out: &mut [f64]| {
+            for ((x, y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+                *o = x + t * (y - x);
+            }
         };
 
         // Reflection.
-        let xr = lerp(&centroid, &simplex[n], -alpha);
-        let fr = eval(&xr, &mut f, &mut evals);
+        let worst = n * n..rows * n;
+        lerp(centroid, &simplex[worst.clone()], -alpha, trial_r);
+        let fr = eval(trial_r, &mut evals);
         if fr < values[0] {
             // Expansion.
-            let xe = lerp(&centroid, &simplex[n], -beta);
-            let fe = eval(&xe, &mut f, &mut evals);
+            lerp(centroid, &simplex[worst.clone()], -beta, trial_e);
+            let fe = eval(trial_e, &mut evals);
             if fe < fr {
-                simplex[n] = xe;
+                simplex[worst].copy_from_slice(trial_e);
                 values[n] = fe;
             } else {
-                simplex[n] = xr;
+                simplex[worst].copy_from_slice(trial_r);
                 values[n] = fr;
             }
         } else if fr < values[n - 1] {
-            simplex[n] = xr;
+            simplex[worst].copy_from_slice(trial_r);
             values[n] = fr;
         } else {
             // Contraction (outside if the reflected point improved on the
             // worst, inside otherwise).
-            let (xc, fc) = if fr < values[n] {
-                let xc = lerp(&centroid, &simplex[n], -gamma);
-                let fc = eval(&xc, &mut f, &mut evals);
-                (xc, fc)
-            } else {
-                let xc = lerp(&centroid, &simplex[n], gamma);
-                let fc = eval(&xc, &mut f, &mut evals);
-                (xc, fc)
-            };
+            let t = if fr < values[n] { -gamma } else { gamma };
+            lerp(centroid, &simplex[worst.clone()], t, trial_e);
+            let fc = eval(trial_e, &mut evals);
             if fc < values[n].min(fr) {
-                simplex[n] = xc;
+                simplex[worst].copy_from_slice(trial_e);
                 values[n] = fc;
             } else {
                 // Shrink toward the best vertex.
-                for i in 1..=n {
-                    simplex[i] = lerp(&simplex[0], &simplex[i], delta);
-                    values[i] = eval(&simplex[i], &mut f, &mut evals);
+                for i in 1..rows {
+                    for j in 0..n {
+                        let a = simplex[j];
+                        let b = simplex[i * n + j];
+                        simplex[i * n + j] = a + delta * (b - a);
+                    }
+                    values[i] = eval(&simplex[i * n..(i + 1) * n], &mut evals);
                 }
             }
         }
     }
 
     // Return the best vertex.
-    let (mut best, mut best_v) = (0, values[0]);
+    let (mut best_row, mut best_v) = (0, values[0]);
     for (i, &v) in values.iter().enumerate() {
         if v < best_v {
-            best = i;
+            best_row = i;
             best_v = v;
         }
     }
-    NelderMeadResult {
-        x: simplex[best].clone(),
-        fx: best_v,
-        evals,
-        converged,
-    }
+    best.copy_from_slice(&simplex[best_row * n..(best_row + 1) * n]);
+    (best_v, evals, converged)
 }
 
 #[cfg(test)]

@@ -17,13 +17,21 @@ use lvf2_stats::Moments;
 /// let m = weighted_moments(&xs, &w).unwrap();
 /// assert!((m.mean - 2.0).abs() < 1e-14);
 /// ```
+#[inline]
 pub fn weighted_moments(xs: &[f64], weights: &[f64]) -> Option<Moments> {
     debug_assert_eq!(xs.len(), weights.len());
-    let wsum: f64 = weights.iter().sum();
+    // One fused pass for Σw and Σwx. Each accumulator still folds in input
+    // order from 0.0, so both totals are bit-identical to the two-pass form.
+    let mut wsum = 0.0;
+    let mut wx = 0.0;
+    for (&x, &w) in xs.iter().zip(weights) {
+        wsum += w;
+        wx += w * x;
+    }
     if !(wsum > 1e-12) {
         return None;
     }
-    let mean = xs.iter().zip(weights).map(|(x, w)| w * x).sum::<f64>() / wsum;
+    let mean = wx / wsum;
     let mut m2 = 0.0;
     let mut m3 = 0.0;
     for (&x, &w) in xs.iter().zip(weights) {
@@ -41,6 +49,7 @@ pub fn weighted_moments(xs: &[f64], weights: &[f64]) -> Option<Moments> {
 }
 
 /// Weighted log-likelihood `Σ wᵢ · ln f(xᵢ)` for an arbitrary log-density.
+#[inline]
 pub fn weighted_log_likelihood<F: Fn(f64) -> f64>(xs: &[f64], weights: &[f64], ln_pdf: F) -> f64 {
     xs.iter()
         .zip(weights)

@@ -1,0 +1,197 @@
+//! Reusable scratch memory for the EM hot path.
+//!
+//! A [`FitWorkspace`] owns every buffer the batched engine
+//! ([`Engine::Batched`](crate::Engine::Batched)) needs: the responsibility
+//! vectors, per-component log-density slices, the Nelder–Mead simplex, the
+//! k-means assignment arrays and the M-step compaction buffers. Allocate one
+//! per arc (or one per worker thread — see [`crate::fit_lvf2_batch`]) and
+//! every steady-state EM iteration runs without touching the heap:
+//! `tests/no_alloc.rs` pins that with a counting global allocator.
+//!
+//! Buffers grow to the high-water mark of the inputs they have seen and are
+//! never shrunk, so a workspace reused across a characterization sweep
+//! settles after the first fit.
+
+/// Scratch buffers for one fitting thread.
+///
+/// Construct with [`FitWorkspace::new`] (no allocation happens until the
+/// first fit) and pass to [`crate::fit_lvf2_with`] /
+/// [`crate::fit_sn_mixture_with`]. Reusing a workspace never changes
+/// results — fits are bit-identical whether the workspace is fresh or
+/// recycled, and identical to the scalar reference engine.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_fit::{fit_lvf2_with, FitConfig, FitWorkspace};
+/// use lvf2_stats::{Distribution, Lvf2, Moments, SkewNormal};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lvf2_fit::FitError> {
+/// let truth = Lvf2::new(
+///     0.4,
+///     SkewNormal::from_moments(Moments::new(1.0, 0.05, 0.3))?,
+///     SkewNormal::from_moments(Moments::new(1.4, 0.08, -0.2))?,
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let cfg = FitConfig::default();
+/// let mut ws = FitWorkspace::new();
+/// for _ in 0..3 {
+///     let xs = truth.sample_n(&mut rng, 600);
+///     let fit = fit_lvf2_with(&xs, &cfg, &mut ws)?; // buffers reused
+///     assert!(fit.report.iterations >= 1);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FitWorkspace {
+    /// Responsibilities of component 1 (length n).
+    pub(crate) resp1: Vec<f64>,
+    /// Responsibilities of component 2 (length n).
+    pub(crate) resp2: Vec<f64>,
+    /// Log-density of component 1 over the samples (length n).
+    pub(crate) logs1: Vec<f64>,
+    /// Log-density of component 2 over the samples (length n).
+    pub(crate) logs2: Vec<f64>,
+    /// Flattened n×k responsibility matrix for the K-way EM (row-major:
+    /// `resp_flat[i * k + j]`). Holds log-densities transiently inside the
+    /// E-step before being overwritten with responsibilities.
+    pub(crate) resp_flat: Vec<f64>,
+    /// Component-major k×n log-density matrix for the K-way EM
+    /// (`dens[j * n + i]`).
+    pub(crate) dens: Vec<f64>,
+    /// Per-component log-weights (length k).
+    pub(crate) logw: Vec<f64>,
+    /// Per-component responsibility gather for the K-way M-step (length n).
+    pub(crate) wj: Vec<f64>,
+    /// Gather buffer for per-cluster samples during initialization.
+    pub(crate) cluster: Vec<f64>,
+    /// K-means scratch (satellite of the same allocation story).
+    pub(crate) kmeans: KMeansScratch,
+    /// M-step scratch: compaction buffers + Nelder–Mead simplex.
+    pub(crate) mstep: MStepScratch,
+}
+
+impl FitWorkspace {
+    /// Creates an empty workspace; buffers are allocated lazily on first use
+    /// and reused afterwards.
+    pub fn new() -> Self {
+        FitWorkspace::default()
+    }
+}
+
+/// Reusable buffers for [`crate::kmeans1d_with`].
+///
+/// After a successful run the results live in this struct — read them with
+/// [`centers`](KMeansScratch::centers), [`assignments`](KMeansScratch::assignments)
+/// and [`iterations`](KMeansScratch::iterations). Repeat calls reuse every
+/// buffer, so k-means itself allocates nothing once the scratch has seen its
+/// largest input.
+#[derive(Debug, Default, Clone)]
+pub struct KMeansScratch {
+    /// Sorted copy of the samples (quantile initialization).
+    pub(crate) sorted: Vec<f64>,
+    /// Cluster centers, sorted ascending after the run.
+    pub(crate) centers: Vec<f64>,
+    /// Per-sample cluster index.
+    pub(crate) assignments: Vec<usize>,
+    /// Per-cluster running sums (update step).
+    pub(crate) sums: Vec<f64>,
+    /// Per-cluster sample counts (update step).
+    pub(crate) counts: Vec<usize>,
+    /// Sort permutation for the final center ordering.
+    pub(crate) order: Vec<usize>,
+    /// Inverse permutation applied to the assignments.
+    pub(crate) remap: Vec<usize>,
+    /// Lloyd iterations executed by the last run.
+    pub(crate) iterations: usize,
+}
+
+impl KMeansScratch {
+    /// Creates an empty scratch; buffers are allocated lazily.
+    pub fn new() -> Self {
+        KMeansScratch::default()
+    }
+
+    /// Cluster centers from the last run, sorted ascending.
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Per-sample cluster indices from the last run (into
+    /// [`centers`](KMeansScratch::centers)).
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Lloyd iterations executed by the last run.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Cluster sizes from the last run, aligned with
+    /// [`centers`](KMeansScratch::centers). Writes into `sizes` (which must
+    /// have length k) so callers can stay allocation-free.
+    pub fn sizes_into(&self, sizes: &mut [usize]) {
+        assert_eq!(sizes.len(), self.centers.len(), "sizes: length mismatch");
+        sizes.fill(0);
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+    }
+}
+
+/// Reusable buffers for [`crate::nelder_mead_with`].
+///
+/// Holds the simplex in one flat allocation (`(n + 1) × n` row-major) plus
+/// the ordering and trial-point buffers; a run of any dimension `n` reuses
+/// them, growing only on the first call at a new high-water dimension.
+#[derive(Debug, Default, Clone)]
+pub struct NmScratch {
+    /// Flat row-major simplex: vertex `i` is `simplex[i*n..(i+1)*n]`.
+    pub(crate) simplex: Vec<f64>,
+    /// Permutation buffer for the ordering step.
+    pub(crate) simplex_tmp: Vec<f64>,
+    /// Objective value per vertex.
+    pub(crate) values: Vec<f64>,
+    /// Value permutation buffer.
+    pub(crate) values_tmp: Vec<f64>,
+    /// Sort permutation.
+    pub(crate) idx: Vec<usize>,
+    /// Centroid of the n best vertices.
+    pub(crate) centroid: Vec<f64>,
+    /// Reflection trial point.
+    pub(crate) trial_r: Vec<f64>,
+    /// Expansion/contraction trial point.
+    pub(crate) trial_e: Vec<f64>,
+}
+
+impl NmScratch {
+    /// Creates an empty scratch; buffers are allocated lazily.
+    pub fn new() -> Self {
+        NmScratch::default()
+    }
+}
+
+/// M-step scratch: the weighted-MLE objective compaction plus the inner
+/// optimizer's simplex.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct MStepScratch {
+    /// Samples whose responsibility exceeds the 1e-12 support cut,
+    /// in input order.
+    pub(crate) active_xs: Vec<f64>,
+    /// The matching responsibilities, in the same order.
+    pub(crate) active_ws: Vec<f64>,
+    /// Batched log-density output over `active_xs`.
+    pub(crate) obj: Vec<f64>,
+    /// Inner Nelder–Mead scratch.
+    pub(crate) nm: NmScratch,
+}
+
+/// Clears and zero-fills `buf` to length `n`, reusing capacity.
+#[inline]
+pub(crate) fn reset(buf: &mut Vec<f64>, n: usize) {
+    buf.clear();
+    buf.resize(n, 0.0);
+}

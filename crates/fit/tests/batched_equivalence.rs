@@ -1,0 +1,140 @@
+//! `Engine::Batched` vs `Engine::ScalarReference`: identical fits.
+//!
+//! The batched engine reorganizes *memory traffic* (slice kernels, reused
+//! workspace buffers, one-shot weight compaction) but never the arithmetic:
+//! every accumulation folds in the same order as the scalar reference, so
+//! `fit_lvf2` and `fit_sn_mixture` must return bit-identical models and
+//! reports under either engine, at any `FitConfig`. These property tests
+//! pin that over random ground-truth mixtures, sample sizes that leave
+//! ragged 8-lane remainders, and both the MLE (`default`) and
+//! moment-matching (`fast`) M-steps.
+
+use lvf2_fit::{fit_lvf2, fit_sn_mixture, Engine, FitConfig};
+use lvf2_stats::{Distribution, Lvf2, Moments, SkewNormal};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn truth() -> impl Strategy<Value = Lvf2> {
+    (
+        0.15..0.85f64,
+        -1.0..1.0f64,
+        0.2..1.5f64,
+        0.02..0.2f64,
+        -0.6..0.6f64,
+        -0.6..0.6f64,
+    )
+        .prop_map(|(lambda, m1, sep, sd, g1, g2)| {
+            let a = SkewNormal::from_moments(Moments::new(m1, sd, g1)).expect("valid");
+            let b = SkewNormal::from_moments(Moments::new(m1 + sep, sd * 1.3, g2)).expect("valid");
+            Lvf2::new(lambda, a, b).expect("valid lambda")
+        })
+}
+
+fn assert_engines_agree(
+    samples: &[f64],
+    base: &FitConfig,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    let batched_cfg = base.clone().with_engine(Engine::Batched);
+    let scalar_cfg = base.clone().with_engine(Engine::ScalarReference);
+
+    let batched = fit_lvf2(samples, &batched_cfg);
+    let scalar = fit_lvf2(samples, &scalar_cfg);
+    match (batched, scalar) {
+        (Ok(b), Ok(s)) => {
+            prop_assert_eq!(&b.model, &s.model, "{}: models differ", what);
+            prop_assert_eq!(
+                b.report.log_likelihood.to_bits(),
+                s.report.log_likelihood.to_bits(),
+                "{}: log-likelihood bits differ",
+                what
+            );
+            prop_assert_eq!(b.report.iterations, s.report.iterations, "{}", what);
+            prop_assert_eq!(b.report.converged, s.report.converged, "{}", what);
+        }
+        (Err(b), Err(s)) => {
+            prop_assert_eq!(format!("{b}"), format!("{s}"), "{}: errors differ", what);
+        }
+        (b, s) => {
+            return Err(TestCaseError::Fail(format!(
+                "{what}: one engine failed: batched={b:?} scalar={s:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lvf2_engines_bit_identical(t in truth(), seed in 0u64..1_000, extra in 0usize..17) {
+        // `extra` keeps the length off 8-lane boundaries.
+        let n = 300 + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = t.sample_n(&mut rng, n);
+        assert_engines_agree(&xs, &FitConfig::default(), "default/mle")?;
+        assert_engines_agree(&xs, &FitConfig::fast(), "fast/moments")?;
+    }
+
+    #[test]
+    fn mixture_engines_bit_identical(t in truth(), seed in 0u64..1_000, k in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = t.sample_n(&mut rng, 400);
+        let batched_cfg = FitConfig::fast().with_engine(Engine::Batched);
+        let scalar_cfg = FitConfig::fast().with_engine(Engine::ScalarReference);
+        let b = fit_sn_mixture(&xs, k, &batched_cfg);
+        let s = fit_sn_mixture(&xs, k, &scalar_cfg);
+        match (b, s) {
+            (Ok(b), Ok(s)) => {
+                prop_assert_eq!(&b.model, &s.model, "k={}: models differ", k);
+                prop_assert_eq!(
+                    b.report.log_likelihood.to_bits(),
+                    s.report.log_likelihood.to_bits(),
+                    "k={}: log-likelihood bits differ",
+                    k
+                );
+                prop_assert_eq!(b.report.iterations, s.report.iterations, "k={}", k);
+                prop_assert_eq!(b.report.converged, s.report.converged, "k={}", k);
+            }
+            (Err(b), Err(s)) => {
+                prop_assert_eq!(format!("{b}"), format!("{s}"), "k={}: errors differ", k);
+            }
+            (b, s) => {
+                return Err(TestCaseError::Fail(format!(
+                    "k={k}: one engine failed: batched={b:?} scalar={s:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// The acceptance-criterion case spelled out: at the *default* `FitConfig`
+/// (MLE M-step, batched engine) the fit equals the scalar reference exactly
+/// on a realistic two-peak arc dataset.
+#[test]
+fn default_config_bit_identity_on_table1_style_arc() {
+    let t = Lvf2::new(
+        0.45,
+        SkewNormal::from_moments(Moments::new(0.10, 0.010, 0.4)).unwrap(),
+        SkewNormal::from_moments(Moments::new(0.16, 0.012, -0.1)).unwrap(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let xs = t.sample_n(&mut rng, 2000);
+
+    let b = fit_lvf2(&xs, &FitConfig::default().with_engine(Engine::Batched)).unwrap();
+    let s = fit_lvf2(
+        &xs,
+        &FitConfig::default().with_engine(Engine::ScalarReference),
+    )
+    .unwrap();
+    assert_eq!(b.model, s.model);
+    assert_eq!(
+        b.report.log_likelihood.to_bits(),
+        s.report.log_likelihood.to_bits()
+    );
+    assert_eq!(b.report.iterations, s.report.iterations);
+    assert_eq!(b.report.converged, s.report.converged);
+}

@@ -197,13 +197,58 @@ impl Parallelism {
         E: Send,
         F: Fn(usize) -> Result<U, E> + Sync,
     {
+        self.try_par_map_chunked_with(n, chunk, || (), |(), i| f(i))
+    }
+
+    /// Fallible indexed parallel map with **worker-local state**: `init` runs
+    /// once per worker thread and the resulting value is threaded mutably
+    /// through every item that worker claims.
+    ///
+    /// This is how per-thread scratch memory (e.g. `lvf2-fit`'s
+    /// `FitWorkspace`) rides through a parallel sweep without cross-thread
+    /// sharing or per-item allocation. `f` **must** produce the same output
+    /// for a given index regardless of the state's history — item
+    /// distribution across workers is scheduler-dependent, and the ordering
+    /// and lowest-index-error guarantees of
+    /// [`Parallelism::try_par_map_indexed`] only carry over when the state is
+    /// pure scratch.
+    ///
+    /// # Errors
+    ///
+    /// On failure returns the error of the lowest-index failing item.
+    pub fn try_par_map_with<W, U, E, I, F>(&self, n: usize, init: I, f: F) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize) -> Result<U, E> + Sync,
+    {
+        self.try_par_map_chunked_with(n, 1, init, f)
+    }
+
+    /// The chunked engine behind every fallible map: worker-local state +
+    /// index-ordered reassembly + lowest-index error selection.
+    fn try_par_map_chunked_with<W, U, E, I, F>(
+        &self,
+        n: usize,
+        chunk: usize,
+        init: I,
+        f: F,
+    ) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize) -> Result<U, E> + Sync,
+    {
         let chunk = chunk.max(1);
         let n_chunks = Self::chunk_count(n, chunk);
         let threads = self.effective_threads().min(n_chunks.max(1));
         if threads <= 1 || n_chunks <= 1 {
+            let mut state = init();
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
-                out.push(f(i)?);
+                out.push(f(&mut state, i)?);
             }
             return Ok(out);
         }
@@ -217,12 +262,15 @@ impl Parallelism {
 
         std::thread::scope(|scope| {
             for worker in 0..threads {
-                let (results, cursor, abort, f) = (&results, &cursor, &abort, &f);
+                let (results, cursor, abort, f, init) = (&results, &cursor, &abort, &f, &init);
                 scope.spawn(move || {
                     // Tag the thread with its worker slot so the
                     // observability layer (`lvf2-obs`) can shard metric
                     // writes per worker and merge them deterministically.
                     lvf2_obs::set_worker_index(worker + 1);
+                    // Worker-local state, reused across every chunk this
+                    // worker claims.
+                    let mut state = init();
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
@@ -236,7 +284,7 @@ impl Parallelism {
                         let mut out = Vec::with_capacity(hi - lo);
                         let mut failure = None;
                         for i in lo..hi {
-                            match f(i) {
+                            match f(&mut state, i) {
                                 Ok(v) => out.push(v),
                                 Err(e) => {
                                     failure = Some((i, e));
@@ -332,6 +380,50 @@ mod tests {
             let r: Result<Vec<usize>, usize> =
                 par.try_par_map_indexed(400, |i| if i == 313 || i == 77 { Err(i) } else { Ok(i) });
             assert_eq!(r.unwrap_err(), 77, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_per_thread_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 2, 8] {
+            let inits = AtomicUsize::new(0);
+            let par = Parallelism::auto().with_threads(threads);
+            // State is a scratch buffer; output must not depend on which
+            // worker (with whatever buffer history) computes an item.
+            let r: Result<Vec<usize>, Never> = par.try_par_map_with(
+                100,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    scratch.clear();
+                    scratch.extend(0..=i);
+                    Ok(scratch.iter().sum())
+                },
+            );
+            let expect: Vec<usize> = (0..100).map(|i| i * (i + 1) / 2).collect();
+            assert_eq!(r.unwrap(), expect, "threads={threads}");
+            // One state per participating worker, never per item.
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads.max(1),
+                "threads={threads}: {} inits",
+                inits.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    fn worker_state_error_is_lowest_index() {
+        for threads in [1, 4] {
+            let par = Parallelism::auto().with_threads(threads);
+            let r: Result<Vec<usize>, usize> = par.try_par_map_with(
+                300,
+                || (),
+                |(), i| if i == 200 || i == 42 { Err(i) } else { Ok(i) },
+            );
+            assert_eq!(r.unwrap_err(), 42, "threads={threads}");
         }
     }
 

@@ -197,6 +197,51 @@ impl Distribution for TimingDist {
         }
     }
 
+    fn ln_pdf(&self, x: f64) -> f64 {
+        match self {
+            TimingDist::Lvf(d) => d.ln_pdf(x),
+            TimingDist::Norm2(d) => d.ln_pdf(x),
+            TimingDist::Lvf2(d) => d.ln_pdf(x),
+            TimingDist::Lesn(d) => d.ln_pdf(x),
+            TimingDist::Normal(d) => d.ln_pdf(x),
+        }
+    }
+
+    // Batched evaluation dispatches the enum once per *slice*, so the numeric
+    // reductions (`max_raw_moments` quadrature grids) hit the inner family's
+    // chunked kernels instead of re-matching per point. Results stay
+    // bit-identical to the scalar methods above (the kernels' contract).
+
+    fn pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        match self {
+            TimingDist::Lvf(d) => d.pdf_batch(xs, out),
+            TimingDist::Norm2(d) => d.pdf_batch(xs, out),
+            TimingDist::Lvf2(d) => d.pdf_batch(xs, out),
+            TimingDist::Lesn(d) => d.pdf_batch(xs, out),
+            TimingDist::Normal(d) => d.pdf_batch(xs, out),
+        }
+    }
+
+    fn ln_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        match self {
+            TimingDist::Lvf(d) => d.ln_pdf_batch(xs, out),
+            TimingDist::Norm2(d) => d.ln_pdf_batch(xs, out),
+            TimingDist::Lvf2(d) => d.ln_pdf_batch(xs, out),
+            TimingDist::Lesn(d) => d.ln_pdf_batch(xs, out),
+            TimingDist::Normal(d) => d.ln_pdf_batch(xs, out),
+        }
+    }
+
+    fn cdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        match self {
+            TimingDist::Lvf(d) => d.cdf_batch(xs, out),
+            TimingDist::Norm2(d) => d.cdf_batch(xs, out),
+            TimingDist::Lvf2(d) => d.cdf_batch(xs, out),
+            TimingDist::Lesn(d) => d.cdf_batch(xs, out),
+            TimingDist::Normal(d) => d.cdf_batch(xs, out),
+        }
+    }
+
     fn mean(&self) -> f64 {
         match self {
             TimingDist::Lvf(d) => d.mean(),

@@ -16,7 +16,10 @@
 //!   [`Lesn`] (log-extended-skew-normal, ref \[7\]), and the mixtures
 //!   [`Norm2`] (ref \[10\]) and [`Lvf2`] (the paper's contribution, Eq. (4));
 //! - empirical tools: sample moments, [`Ecdf`], histogram and quantiles;
-//! - quadrature: fixed-order Gauss–Legendre and adaptive Simpson.
+//! - quadrature: fixed-order Gauss–Legendre and adaptive Simpson;
+//! - [`kernels`]: batched slice-in/slice-out density evaluation with hoisted
+//!   constants, bit-identical to the scalar [`Distribution`] methods (the EM
+//!   and SSTA hot paths are built on it).
 //!
 //! # Example
 //!
@@ -40,6 +43,8 @@
 pub mod empirical;
 pub mod error;
 pub mod esn;
+pub mod fastmath;
+pub mod kernels;
 pub mod lesn;
 pub mod lognormal;
 pub mod mixture;
@@ -57,6 +62,9 @@ pub use empirical::{
 };
 pub use error::StatsError;
 pub use esn::ExtendedSkewNormal;
+pub use kernels::{
+    DensityKernel, Lvf2Kernel, MixtureKernel, Norm2Kernel, NormalKernel, SkewNormalKernel,
+};
 pub use lesn::Lesn;
 pub use lognormal::{LogNormal, LogSkewNormal};
 pub use mixture::{Lvf2, Mixture, Norm2};

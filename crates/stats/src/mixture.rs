@@ -104,17 +104,73 @@ impl<D: Distribution> Mixture<D> {
         let mut m3 = 0.0;
         let mut m4 = 0.0;
         for (w, c) in self.iter() {
-            let d = c.mean() - mean;
-            let v = c.variance();
-            let s = v.sqrt();
-            let c3 = c.skewness() * s * s * s;
-            let c4 = (c.excess_kurtosis() + 3.0) * v * v;
-            m2 += w * (v + d * d);
-            m3 += w * (c3 + 3.0 * d * v + d * d * d);
-            m4 += w * (c4 + 4.0 * d * c3 + 6.0 * d * d * v + d * d * d * d);
+            let (a2, a3, a4) = central_moment_terms(mean, c);
+            m2 += w * a2;
+            m3 += w * a3;
+            m4 += w * a4;
         }
         (mean, m2, m3, m4)
     }
+
+    /// Component-major batched accumulation `out[i] = Σⱼ wⱼ·evalⱼ(xs[i])`,
+    /// processed in [`crate::special::LANES`]-wide chunks with a stack
+    /// scratch (no allocation). Per element the terms are added in component
+    /// order starting from `0.0` — exactly the order of the scalar
+    /// `iter().map(|(w, c)| w * c.f(x)).sum()`.
+    fn accumulate_batch(&self, xs: &[f64], out: &mut [f64], eval: impl Fn(&D, &[f64], &mut [f64])) {
+        assert_eq!(xs.len(), out.len(), "mixture batch: length mismatch");
+        const LANES: usize = crate::special::LANES;
+        let mut tmp = [0.0_f64; LANES];
+        for (x8, o8) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+            o8.fill(0.0);
+            for (w, c) in self.iter() {
+                let t = &mut tmp[..x8.len()];
+                eval(c, x8, t);
+                for (o, v) in o8.iter_mut().zip(t.iter()) {
+                    *o += w * *v;
+                }
+            }
+        }
+    }
+}
+
+/// The per-component contributions `(μ₂, μ₃, μ₄)` entering a mixture's
+/// central moments, shared by [`Mixture::central_moments`] and the
+/// allocation-free two-component delegation below.
+#[inline]
+fn central_moment_terms<D: Distribution>(mean: f64, c: &D) -> (f64, f64, f64) {
+    let d = c.mean() - mean;
+    let v = c.variance();
+    let s = v.sqrt();
+    let c3 = c.skewness() * s * s * s;
+    let c4 = (c.excess_kurtosis() + 3.0) * v * v;
+    (
+        v + d * d,
+        c3 + 3.0 * d * v + d * d * d,
+        c4 + 4.0 * d * c3 + 6.0 * d * d * v + d * d * d * d,
+    )
+}
+
+/// Central moments of the two-component mixture `w₁·c₁ + w₂·c₂` with the
+/// same accumulation order as [`Mixture::central_moments`], but without
+/// allocating the intermediate [`Mixture`] that `to_mixture()` builds.
+fn two_component_central_moments<D: Distribution>(
+    w1: f64,
+    c1: &D,
+    w2: f64,
+    c2: &D,
+) -> (f64, f64, f64, f64) {
+    let mean = w1 * c1.mean() + w2 * c2.mean();
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut m4 = 0.0;
+    for (w, c) in [(w1, c1), (w2, c2)] {
+        let (a2, a3, a4) = central_moment_terms(mean, c);
+        m2 += w * a2;
+        m3 += w * a3;
+        m4 += w * a4;
+    }
+    (mean, m2, m3, m4)
 }
 
 impl<D: Distribution> Distribution for Mixture<D> {
@@ -124,6 +180,22 @@ impl<D: Distribution> Distribution for Mixture<D> {
 
     fn cdf(&self, x: f64) -> f64 {
         self.iter().map(|(w, c)| w * c.cdf(x)).sum()
+    }
+
+    fn pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        self.accumulate_batch(xs, out, |c, chunk, tmp| c.pdf_batch(chunk, tmp));
+    }
+
+    fn cdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        self.accumulate_batch(xs, out, |c, chunk, tmp| c.cdf_batch(chunk, tmp));
+    }
+
+    fn ln_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        // Matches the trait's default scalar `ln_pdf` (= `pdf(x).ln()`).
+        self.pdf_batch(xs, out);
+        for o in out.iter_mut() {
+            *o = o.ln();
+        }
     }
 
     fn mean(&self) -> f64 {
@@ -211,7 +283,7 @@ pub struct Lvf2 {
 }
 
 macro_rules! two_component_impl {
-    ($ty:ident, $comp:ty, $name:literal) => {
+    ($ty:ident, $comp:ty, $kernel:ident, $name:literal) => {
         impl $ty {
             /// Creates the two-component mixture with second-component weight
             /// `lambda` (the paper's λ).
@@ -268,29 +340,62 @@ macro_rules! two_component_impl {
             }
         }
 
+        impl $ty {
+            /// Central moments via the allocation-free two-component path
+            /// (same accumulation order as `to_mixture().central_moments()`).
+            #[inline]
+            fn central_moments(&self) -> (f64, f64, f64, f64) {
+                two_component_central_moments(
+                    1.0 - self.lambda,
+                    &self.first,
+                    self.lambda,
+                    &self.second,
+                )
+            }
+        }
+
         impl Distribution for $ty {
+            #[inline]
             fn pdf(&self, x: f64) -> f64 {
                 (1.0 - self.lambda) * self.first.pdf(x) + self.lambda * self.second.pdf(x)
             }
 
+            #[inline]
             fn cdf(&self, x: f64) -> f64 {
                 (1.0 - self.lambda) * self.first.cdf(x) + self.lambda * self.second.cdf(x)
             }
 
+            fn ln_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+                use crate::kernels::DensityKernel;
+                crate::kernels::$kernel::from(self).ln_pdf_slice(xs, out);
+            }
+
+            fn pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+                use crate::kernels::DensityKernel;
+                crate::kernels::$kernel::from(self).pdf_slice(xs, out);
+            }
+
+            fn cdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+                use crate::kernels::DensityKernel;
+                crate::kernels::$kernel::from(self).cdf_slice(xs, out);
+            }
+
             fn mean(&self) -> f64 {
-                self.to_mixture().mean()
+                self.central_moments().0
             }
 
             fn variance(&self) -> f64 {
-                self.to_mixture().variance()
+                self.central_moments().1
             }
 
             fn skewness(&self) -> f64 {
-                self.to_mixture().skewness()
+                let (_, m2, m3, _) = self.central_moments();
+                m3 / m2.powf(1.5)
             }
 
             fn excess_kurtosis(&self) -> f64 {
-                self.to_mixture().excess_kurtosis()
+                let (_, m2, _, m4) = self.central_moments();
+                m4 / (m2 * m2) - 3.0
             }
 
             fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
@@ -314,8 +419,8 @@ macro_rules! two_component_impl {
     };
 }
 
-two_component_impl!(Norm2, Normal, "Norm2");
-two_component_impl!(Lvf2, SkewNormal, "LVF2");
+two_component_impl!(Norm2, Normal, Norm2Kernel, "Norm2");
+two_component_impl!(Lvf2, SkewNormal, Lvf2Kernel, "LVF2");
 
 impl Lvf2 {
     /// Embeds a plain LVF skew-normal as an LVF² with `λ = 0` (Eq. 10).

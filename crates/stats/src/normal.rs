@@ -75,6 +75,7 @@ impl Normal {
     }
 
     /// Standardizes `x` to `(x − μ)/σ`.
+    #[inline]
     pub fn standardize(&self, x: f64) -> f64 {
         (x - self.mean) / self.sigma
     }
@@ -93,17 +94,35 @@ impl std::fmt::Display for Normal {
 }
 
 impl Distribution for Normal {
+    #[inline]
     fn pdf(&self, x: f64) -> f64 {
         norm_pdf(self.standardize(x)) / self.sigma
     }
 
+    #[inline]
     fn ln_pdf(&self, x: f64) -> f64 {
         let z = self.standardize(x);
         INV_SQRT_2PI.ln() - self.sigma.ln() - 0.5 * z * z
     }
 
+    #[inline]
     fn cdf(&self, x: f64) -> f64 {
         norm_cdf(self.standardize(x))
+    }
+
+    fn ln_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        use crate::kernels::{DensityKernel, NormalKernel};
+        NormalKernel::new(self).ln_pdf_slice(xs, out);
+    }
+
+    fn pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        use crate::kernels::{DensityKernel, NormalKernel};
+        NormalKernel::new(self).pdf_slice(xs, out);
+    }
+
+    fn cdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        use crate::kernels::{DensityKernel, NormalKernel};
+        NormalKernel::new(self).cdf_slice(xs, out);
     }
 
     fn mean(&self) -> f64 {

@@ -113,26 +113,31 @@ impl SkewNormal {
     }
 
     /// Location parameter ξ.
+    #[inline]
     pub fn xi(&self) -> f64 {
         self.xi
     }
 
     /// Scale parameter ω.
+    #[inline]
     pub fn omega(&self) -> f64 {
         self.omega
     }
 
     /// Shape parameter α.
+    #[inline]
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
 
     /// `δ = α/√(1+α²)`.
+    #[inline]
     pub fn delta(&self) -> f64 {
         self.alpha / (1.0 + self.alpha * self.alpha).sqrt()
     }
 
     /// Standardizes `x` to `z = (x − ξ)/ω`.
+    #[inline]
     pub fn standardize(&self, x: f64) -> f64 {
         (x - self.xi) / self.omega
     }
@@ -156,11 +161,17 @@ impl std::fmt::Display for SkewNormal {
 }
 
 impl Distribution for SkewNormal {
+    #[inline]
     fn pdf(&self, x: f64) -> f64 {
         let z = self.standardize(x);
         2.0 / self.omega * norm_pdf(z) * norm_cdf(self.alpha * z)
     }
 
+    // NOTE: the constant prefix `ln2 + ln(1/√2π) − ln ω` is re-derived per
+    // call here; the batched path (`ln_pdf_batch` → `SkewNormalKernel`)
+    // hoists it with the exact same association order, so both paths return
+    // bit-identical values (pinned by tests/kernel_equivalence.rs).
+    #[inline]
     fn ln_pdf(&self, x: f64) -> f64 {
         let z = self.standardize(x);
         std::f64::consts::LN_2 + INV_SQRT_2PI.ln() - self.omega.ln() - 0.5 * z * z
@@ -168,9 +179,25 @@ impl Distribution for SkewNormal {
     }
 
     /// `F(x) = Φ(z) − 2·T(z, α)` with Owen's T.
+    #[inline]
     fn cdf(&self, x: f64) -> f64 {
         let z = self.standardize(x);
         (norm_cdf(z) - 2.0 * owen_t(z, self.alpha)).clamp(0.0, 1.0)
+    }
+
+    fn ln_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        use crate::kernels::{DensityKernel, SkewNormalKernel};
+        SkewNormalKernel::new(self).ln_pdf_slice(xs, out);
+    }
+
+    fn pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        use crate::kernels::{DensityKernel, SkewNormalKernel};
+        SkewNormalKernel::new(self).pdf_slice(xs, out);
+    }
+
+    fn cdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        use crate::kernels::{DensityKernel, SkewNormalKernel};
+        SkewNormalKernel::new(self).cdf_slice(xs, out);
     }
 
     fn mean(&self) -> f64 {

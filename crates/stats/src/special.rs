@@ -7,6 +7,7 @@
 //! far below the statistical noise of the 50k-sample Monte Carlo experiments
 //! this library targets.
 
+use crate::fastmath::{fast_exp, fast_ln};
 use crate::quad::gauss_legendre_32;
 
 /// √(2π).
@@ -27,6 +28,7 @@ pub const SQRT_2: f64 = std::f64::consts::SQRT_2;
 /// let e = lvf2_stats::special::erf(1.0);
 /// assert!((e - 0.8427007929497149).abs() < 1e-14);
 /// ```
+#[inline]
 pub fn erf(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
@@ -71,6 +73,7 @@ pub fn erf(x: f64) -> f64 {
 /// let tail = lvf2_stats::special::erfc(6.0);
 /// assert!(tail > 0.0 && tail < 3e-17);
 /// ```
+#[inline]
 pub fn erfc(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
@@ -85,71 +88,125 @@ pub fn erfc(x: f64) -> f64 {
 }
 
 /// Cody's erfc for x > 0.46875.
+#[inline]
 fn erfc_abs(ax: f64) -> f64 {
     debug_assert!(ax > 0.46875);
     if ax > 26.0 {
         return 0.0;
     }
     if ax <= 4.0 {
-        const P: [f64; 9] = [
-            1.23033935479799725272e3,
-            2.05107837782607146532e3,
-            1.71204761263407058314e3,
-            8.81952221241769090411e2,
-            2.98635138197400131132e2,
-            6.61191906371416294775e1,
-            8.88314979438837594118e0,
-            5.64188496988670089180e-1,
-            2.15311535474403846343e-8,
-        ];
-        const Q: [f64; 9] = [
-            1.23033935480374942043e3,
-            3.43936767414372163696e3,
-            4.36261909014324715820e3,
-            3.29079923573345962678e3,
-            1.62138957456669018874e3,
-            5.37181101862009857509e2,
-            1.17693950891312499305e2,
-            1.57449261107098347253e1,
-            1.0,
-        ];
-        let mut num = P[8] * ax;
-        let mut den = ax;
-        for i in (1..8).rev() {
-            num = (num + P[i]) * ax;
-            den = (den + Q[i]) * ax;
-        }
-        let r = (num + P[0]) / (den + Q[0]);
-        (-ax * ax).exp() * r
+        (-ax * ax).exp() * erfc_r_mid(ax)
     } else {
-        const P: [f64; 6] = [
-            -6.58749161529837803157e-4,
-            -1.60837851487422766278e-2,
-            -1.25781726111229246204e-1,
-            -3.60344899949804439429e-1,
-            -3.05326634961232344035e-1,
-            -1.63153871373020978498e-2,
-        ];
-        const Q: [f64; 6] = [
-            2.33520497626869185443e-3,
-            6.05183413124413191178e-2,
-            5.27905102951428412248e-1,
-            1.87295284992346047209e0,
-            2.56852019228982242072e0,
-            1.0,
-        ];
-        let z = 1.0 / (ax * ax);
-        let mut num = P[5] * z;
-        let mut den = z;
-        for i in (1..5).rev() {
-            num = (num + P[i]) * z;
-            den = (den + Q[i]) * z;
-        }
-        // erfc(x) ≈ exp(−x²)/x · (1/√π + z·R(z)) for large x (Cody region 3;
-        // the P coefficients here are negated relative to CALERF, hence `+ r`).
-        const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
-        let r = z * (num + P[0]) / (den + Q[0]);
-        ((-ax * ax).exp() / ax) * (FRAC_1_SQRT_PI + r)
+        // erfc(x) ≈ exp(−x²)/x · (1/√π + z·R(z)) for large x (Cody region 3).
+        ((-ax * ax).exp() / ax) * erfc_r_far(ax)
+    }
+}
+
+/// Rational factor of Cody's erfc on `0.46875 < x ≤ 4`:
+/// `erfc(x) = exp(−x²) · R(x)` with `R` = this function.
+#[inline]
+fn erfc_r_mid(ax: f64) -> f64 {
+    const P: [f64; 9] = [
+        1.23033935479799725272e3,
+        2.05107837782607146532e3,
+        1.71204761263407058314e3,
+        8.81952221241769090411e2,
+        2.98635138197400131132e2,
+        6.61191906371416294775e1,
+        8.88314979438837594118e0,
+        5.64188496988670089180e-1,
+        2.15311535474403846343e-8,
+    ];
+    const Q: [f64; 9] = [
+        1.23033935480374942043e3,
+        3.43936767414372163696e3,
+        4.36261909014324715820e3,
+        3.29079923573345962678e3,
+        1.62138957456669018874e3,
+        5.37181101862009857509e2,
+        1.17693950891312499305e2,
+        1.57449261107098347253e1,
+        1.0,
+    ];
+    let mut num = P[8] * ax;
+    let mut den = ax;
+    for i in (1..8).rev() {
+        num = (num + P[i]) * ax;
+        den = (den + Q[i]) * ax;
+    }
+    (num + P[0]) / (den + Q[0])
+}
+
+/// Scaled far-tail factor of Cody's erfc for `x > 4`:
+/// `erfc(x) = exp(−x²)/x · S(x)` with `S` = this function.
+#[inline]
+fn erfc_r_far(ax: f64) -> f64 {
+    const P: [f64; 6] = [
+        -6.58749161529837803157e-4,
+        -1.60837851487422766278e-2,
+        -1.25781726111229246204e-1,
+        -3.60344899949804439429e-1,
+        -3.05326634961232344035e-1,
+        -1.63153871373020978498e-2,
+    ];
+    const Q: [f64; 6] = [
+        2.33520497626869185443e-3,
+        6.05183413124413191178e-2,
+        5.27905102951428412248e-1,
+        1.87295284992346047209e0,
+        2.56852019228982242072e0,
+        1.0,
+    ];
+    let z = 1.0 / (ax * ax);
+    let mut num = P[5] * z;
+    let mut den = z;
+    for i in (1..5).rev() {
+        num = (num + P[i]) * z;
+        den = (den + Q[i]) * z;
+    }
+    // The P coefficients here are negated relative to CALERF, hence `+ r`.
+    const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+    let r = z * (num + P[0]) / (den + Q[0]);
+    FRAC_1_SQRT_PI + r
+}
+
+/// Scaled complementary error function `erfcx(x) = exp(x²)·erfc(x)`.
+///
+/// Unlike `erfc`, this stays representable arbitrarily deep into the right
+/// tail (where it decays like `1/(x√π)`); it is the building block that lets
+/// [`log_norm_cdf`] skip the underflowing `exp(−x²)`/`ln` round-trip. For
+/// `x ≲ −26.6` the result overflows to `+∞`.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_stats::special::{erfc, erfcx};
+/// // Agrees with the definition where the unscaled erfc is representable…
+/// assert!((erfcx(2.0) - (4.0_f64).exp() * erfc(2.0)).abs() < 1e-13);
+/// // …and follows the 1/(x√π) asymptote deep in the tail.
+/// assert!((erfcx(100.0) * 100.0 * std::f64::consts::PI.sqrt() - 1.0).abs() < 1e-4);
+/// ```
+#[inline]
+pub fn erfcx(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x > 0.46875 {
+        erfc_abs_scaled(x)
+    } else {
+        (x * x).exp() * erfc(x)
+    }
+}
+
+/// `exp(ax²)·erfc(ax)` for `ax > 0.46875`, evaluated without the `exp(−ax²)`
+/// factor (the two Cody rational regimes minus their exponential prefactor).
+#[inline]
+fn erfc_abs_scaled(ax: f64) -> f64 {
+    debug_assert!(ax > 0.46875);
+    if ax <= 4.0 {
+        erfc_r_mid(ax)
+    } else {
+        erfc_r_far(ax) / ax
     }
 }
 
@@ -182,9 +239,11 @@ pub fn norm_cdf(x: f64) -> f64 {
 
 /// Natural log of the standard normal CDF, `log Φ(x)`, stable in the left tail.
 ///
-/// For `x < -8` the direct computation underflows long before the value is
-/// meaningless; we switch to the asymptotic expansion
-/// `log Φ(x) ≈ −x²/2 − log(−x√(2π)) + log(1 − 1/x² + 3/x⁴ − 15/x⁶)`.
+/// Defined as `fast_ln(q) − t²` over the decomposition of
+/// [`log_norm_cdf_parts`]; see there for the regime map. Every transcendental
+/// inside is a vendored [`fastmath`](crate::fastmath) kernel (≤ 2 ulp from
+/// libm), so the function is deterministic across platforms and cheap enough
+/// to sit in the EM fitter's innermost loop.
 ///
 /// # Example
 ///
@@ -192,16 +251,146 @@ pub fn norm_cdf(x: f64) -> f64 {
 /// let l = lvf2_stats::special::log_norm_cdf(-20.0);
 /// assert!((l - (-203.917)).abs() < 0.01);
 /// ```
+#[inline]
 pub fn log_norm_cdf(x: f64) -> f64 {
+    let (q, tt) = log_norm_cdf_parts(x);
+    fast_ln(q) - tt
+}
+
+/// Decomposes `log Φ(x)` into `(q, t²)` with `log Φ(x) = ln(q) − t²`.
+///
+/// The split exists so batched callers can run this (branchy, polynomial)
+/// part elementwise and then take all the logarithms in one branch-free,
+/// auto-vectorizable loop over `fast_ln_core` — `q` is guaranteed to be a
+/// positive normal f64 in `[~0.04, 1]` for every input, including NaN and
+/// ±∞ (specials are folded into the `t²` term).
+///
+/// Regimes:
+/// - `x > 0.663` (`t = −x/√2 < −0.46875`): `q = Φ(x)` via Cody's reflected
+///   erfc with [`fast_exp`], `t² = 0`;
+/// - `|x| ≤ 0.663`: `q = Φ(x) = ½·erfc(t)` — the erf rational, no `exp` at
+///   all; `t² = 0`;
+/// - `−8 < x < −0.663`: the *fused* regime `q = ½·erfcx(t)`, `t²` carried
+///   separately — algebraically `Φ(x) = ½·exp(−t²)·erfcx(t)` but skipping
+///   the `exp`/`ln` round-trip through a subnormal-bound intermediate; this
+///   is the hot region for the EM fitter's `SkewNormal::ln_pdf`;
+/// - `x ≤ −8`: the asymptotic expansion
+///   `log Φ(x) ≈ −x²/2 − log(−x√(2π)) + log(1 − 1/x² + 3/x⁴ − 15/x⁶ + …)`,
+///   precomputed in full and returned as `(1, −value)` (exact because
+///   `ln 1 = 0` and `0 − (−v) = v`).
+#[inline]
+pub(crate) fn log_norm_cdf_parts(x: f64) -> (f64, f64) {
     if x > -8.0 {
-        norm_cdf(x).ln()
+        let t = -x / SQRT_2;
+        if t > 0.46875 {
+            (0.5 * erfc_abs_scaled(t), t * t)
+        } else if t >= -0.46875 {
+            (0.5 * (1.0 - erf(t)), 0.0)
+        } else {
+            (0.5 * (2.0 - erfc_abs_fast(-t)), 0.0)
+        }
     } else {
+        // NaN lands here too (the `x > -8` compare is false) and propagates
+        // through the arithmetic into the t² slot.
         let x2 = x * x;
         let x4 = x2 * x2;
         let series = 1.0 - 1.0 / x2 + 3.0 / x4 - 15.0 / (x4 * x2) + 105.0 / (x4 * x4);
-        -0.5 * x2 - (-x * SQRT_2PI).ln() + series.ln()
+        let v = -0.5 * x2 - fast_ln(-x * SQRT_2PI) + fast_ln(series);
+        (1.0, -v)
     }
 }
+
+/// [`erfc_abs`] with the exponential taken by [`fast_exp`]: the body-positive
+/// regime of `log Φ` owns its own accuracy budget (~2 ulp on `q ∈ [0.75, 1]`
+/// is invisible after the log), while `erf`/`erfc`/`norm_cdf` keep libm.
+#[inline]
+fn erfc_abs_fast(ax: f64) -> f64 {
+    debug_assert!(ax > 0.46875);
+    if ax > 26.0 {
+        return 0.0;
+    }
+    if ax <= 4.0 {
+        fast_exp(-ax * ax) * erfc_r_mid(ax)
+    } else {
+        (fast_exp(-ax * ax) / ax) * erfc_r_far(ax)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched slice primitives
+// ---------------------------------------------------------------------------
+
+/// Chunk width of the batched slice primitives ([`erf_slice`] and friends)
+/// and of the [`crate::kernels`] layer built on top of them.
+///
+/// Eight f64 lanes fill two AVX2 registers (or one AVX-512 register); the
+/// fixed-width inner loops below carry no cross-iteration dependency, so the
+/// compiler is free to unroll, interleave and auto-vectorize them.
+pub const LANES: usize = 8;
+
+/// Determinism contract shared by every `*_slice` primitive:
+///
+/// - `out[i]` is **bit-identical** to the matching scalar call on `xs[i]`,
+///   for every chunking — the lanes are pure elementwise maps with no
+///   cross-lane arithmetic, so the chunk width can never change a result.
+/// - Reductions are *not* performed here; callers that sum batched outputs
+///   own their accumulation order (the fit/SSTA layers accumulate strictly
+///   in index order, matching their scalar reference paths).
+macro_rules! slice_map {
+    ($(#[$doc:meta])* $name:ident, $scalar:expr) => {
+        $(#[$doc])*
+        ///
+        /// `out[i]` is bit-identical to the scalar function applied to
+        /// `xs[i]`; empty and non-multiple-of-[`LANES`] slices are handled.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `xs.len() != out.len()`.
+        pub fn $name(xs: &[f64], out: &mut [f64]) {
+            assert_eq!(
+                xs.len(),
+                out.len(),
+                concat!(stringify!($name), ": input/output length mismatch"),
+            );
+            let mut xc = xs.chunks_exact(LANES);
+            let mut oc = out.chunks_exact_mut(LANES);
+            for (x8, o8) in xc.by_ref().zip(oc.by_ref()) {
+                for (x, o) in x8.iter().zip(o8.iter_mut()) {
+                    *o = $scalar(*x);
+                }
+            }
+            for (x, o) in xc.remainder().iter().zip(oc.into_remainder()) {
+                *o = $scalar(*x);
+            }
+        }
+    };
+}
+
+slice_map!(
+    /// Batched [`erf`] over a slice, [`LANES`] elements per chunk.
+    erf_slice,
+    erf
+);
+slice_map!(
+    /// Batched [`erfc`] over a slice, [`LANES`] elements per chunk.
+    erfc_slice,
+    erfc
+);
+slice_map!(
+    /// Batched [`norm_pdf`] over a slice, [`LANES`] elements per chunk.
+    norm_pdf_slice,
+    norm_pdf
+);
+slice_map!(
+    /// Batched [`norm_cdf`] over a slice, [`LANES`] elements per chunk.
+    norm_cdf_slice,
+    norm_cdf
+);
+slice_map!(
+    /// Batched [`log_norm_cdf`] over a slice, [`LANES`] elements per chunk.
+    log_norm_cdf_slice,
+    log_norm_cdf
+);
 
 /// Standard normal quantile `Φ⁻¹(p)` (Acklam's algorithm + one Halley step).
 ///
@@ -414,6 +603,113 @@ mod tests {
             let direct = norm_cdf(x).ln();
             assert!((log_norm_cdf(x) - direct).abs() < 1e-5, "x={x}");
         }
+    }
+
+    #[test]
+    fn log_norm_cdf_parts_decomposition_is_exact() {
+        // The scalar function is *defined* as fast_ln(q) − t² over the parts;
+        // pin that down bitwise (the batched kernels rely on it), and check
+        // that q stays inside fast_ln_core's positive-normal domain for every
+        // regime and for specials.
+        let mut xs: Vec<f64> = (-1300..=1300).map(|i| i as f64 * 0.01).collect();
+        xs.extend([f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1e6, -1e6]);
+        for &x in &xs {
+            let (q, tt) = log_norm_cdf_parts(x);
+            assert!(
+                (f64::MIN_POSITIVE..=1.0).contains(&q),
+                "q out of fast_ln_core domain: x={x} q={q}"
+            );
+            let recomposed = fast_ln(q) - tt;
+            let direct = log_norm_cdf(x);
+            assert_eq!(
+                recomposed.to_bits(),
+                direct.to_bits(),
+                "x={x}: {recomposed} vs {direct}"
+            );
+        }
+        // Specials behave like the mathematical limit.
+        assert_eq!(log_norm_cdf(f64::INFINITY), 0.0);
+        assert_eq!(log_norm_cdf(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert!(log_norm_cdf(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn log_norm_cdf_body_positive_matches_direct() {
+        // x > 0.663 now goes through fast_exp/fast_ln instead of libm; the
+        // result must still track norm_cdf(x).ln() to well below the EM
+        // fitter's tolerance.
+        for i in 0..2000 {
+            let x = 0.664 + i as f64 * 0.01;
+            let direct = norm_cdf(x).ln();
+            assert!(
+                (log_norm_cdf(x) - direct).abs() < 1e-14,
+                "x={x}: {} vs {direct}",
+                log_norm_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erfcx_matches_scaled_erfc() {
+        // Mid range: compare against the definition where exp(x²) is exact
+        // enough; deep range: asymptotic erfcx(x) ~ 1/(x√π).
+        for i in 0..200 {
+            let x = -2.0 + i as f64 * 0.05;
+            let want = (x * x).exp() * erfc(x);
+            let got = erfcx(x);
+            assert!((got - want).abs() / want.abs().max(1.0) < 1e-12, "x={x}");
+        }
+        let x = 50.0;
+        let asym = 1.0 / (x * std::f64::consts::PI.sqrt());
+        assert!((erfcx(x) - asym).abs() / asym < 1e-3);
+        assert!(erfcx(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn log_norm_cdf_fused_region_matches_direct() {
+        // The fused branch covers −8 < x ≤ −0.46875·√2; the direct form is
+        // still exactly representable there, so agreement must be ~1e-13.
+        for i in 0..1000 {
+            let x = -7.99 + i as f64 * 0.0073;
+            let direct = norm_cdf(x).ln();
+            assert!((log_norm_cdf(x) - direct).abs() < 1e-11, "x={x}");
+        }
+    }
+
+    #[test]
+    fn slice_primitives_bit_identical_to_scalar() {
+        // Lengths straddling the chunk width, including empty and odd tails.
+        for n in [0usize, 1, 7, 8, 9, 16, 23] {
+            let xs: Vec<f64> = (0..n).map(|i| -9.0 + i as f64 * 1.3).collect();
+            let mut out = vec![f64::NAN; n];
+            erf_slice(&xs, &mut out);
+            for (x, o) in xs.iter().zip(&out) {
+                assert_eq!(o.to_bits(), erf(*x).to_bits());
+            }
+            erfc_slice(&xs, &mut out);
+            for (x, o) in xs.iter().zip(&out) {
+                assert_eq!(o.to_bits(), erfc(*x).to_bits());
+            }
+            norm_pdf_slice(&xs, &mut out);
+            for (x, o) in xs.iter().zip(&out) {
+                assert_eq!(o.to_bits(), norm_pdf(*x).to_bits());
+            }
+            norm_cdf_slice(&xs, &mut out);
+            for (x, o) in xs.iter().zip(&out) {
+                assert_eq!(o.to_bits(), norm_cdf(*x).to_bits());
+            }
+            log_norm_cdf_slice(&xs, &mut out);
+            for (x, o) in xs.iter().zip(&out) {
+                assert_eq!(o.to_bits(), log_norm_cdf(*x).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn slice_primitives_reject_mismatched_lengths() {
+        let mut out = [0.0; 3];
+        erf_slice(&[1.0, 2.0], &mut out);
     }
 
     #[test]

@@ -37,6 +37,49 @@ pub trait Distribution {
     /// Cumulative distribution `P(X ≤ x)`.
     fn cdf(&self, x: f64) -> f64;
 
+    /// Batched [`ln_pdf`](Self::ln_pdf): `out[i] = ln f(xs[i])`.
+    ///
+    /// The default loops over the scalar method. Implementations that
+    /// override this (via [`crate::kernels`]) **must** keep every `out[i]`
+    /// bit-identical to the scalar call — batching is a pure layout/constant
+    /// hoisting optimization, never a numerical one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != out.len()`.
+    fn ln_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "ln_pdf_batch: length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.ln_pdf(*x);
+        }
+    }
+
+    /// Batched [`pdf`](Self::pdf): `out[i] = f(xs[i])`, bit-identical to the
+    /// scalar method (see [`ln_pdf_batch`](Self::ln_pdf_batch)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != out.len()`.
+    fn pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "pdf_batch: length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.pdf(*x);
+        }
+    }
+
+    /// Batched [`cdf`](Self::cdf): `out[i] = F(xs[i])`, bit-identical to the
+    /// scalar method (see [`ln_pdf_batch`](Self::ln_pdf_batch)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != out.len()`.
+    fn cdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "cdf_batch: length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.cdf(*x);
+        }
+    }
+
     /// Mean of the distribution.
     fn mean(&self) -> f64;
 

@@ -1,0 +1,186 @@
+//! Batched kernels vs scalar evaluation: **bitwise** equivalence.
+//!
+//! The contract of `lvf2_stats::kernels` (and of the `*_batch` methods on
+//! [`Distribution`]) is that batching is purely a memory-layout and
+//! constant-hoisting optimization: for every element, the batched path
+//! performs the same floating-point operations in the same order as the
+//! scalar method, so results are identical *to the bit*, not merely within
+//! tolerance. These property tests pin that over random parameters, random
+//! body/tail evaluation points (|z| up to 12 standard deviations, which
+//! exercises the far-tail `erfc` branches), and awkward slice lengths —
+//! empty, single-element, and odd lengths that leave a ragged remainder
+//! after the 8-lane chunking.
+
+use lvf2_stats::{Distribution, Lvf2, Mixture, Moments, Norm2, Normal, SkewNormal};
+use proptest::prelude::*;
+
+fn moments() -> impl Strategy<Value = Moments> {
+    (-5.0..5.0f64, 0.01..2.0f64, -0.9..0.9f64).prop_map(|(m, s, g)| Moments::new(m, s, g))
+}
+
+fn skew_normal() -> impl Strategy<Value = SkewNormal> {
+    moments().prop_map(|m| SkewNormal::from_moments(m).expect("valid moments"))
+}
+
+/// Evaluation points spanning the body and the far tails of a distribution
+/// with the given location/scale, at an arbitrary (possibly odd, possibly
+/// tiny) length.
+fn probe_points(mean: f64, sd: f64, zs: &[f64]) -> Vec<f64> {
+    zs.iter().map(|&z| mean + z * sd).collect()
+}
+
+/// Asserts `ln_pdf_batch` / `pdf_batch` / `cdf_batch` match the scalar
+/// methods bit-for-bit on `xs`.
+fn assert_bitwise<D: Distribution>(d: &D, xs: &[f64]) -> Result<(), TestCaseError> {
+    let mut out = vec![0.0; xs.len()];
+
+    d.ln_pdf_batch(xs, &mut out);
+    for (i, (&x, &o)) in xs.iter().zip(&out).enumerate() {
+        let s = d.ln_pdf(x);
+        prop_assert_eq!(
+            o.to_bits(),
+            s.to_bits(),
+            "ln_pdf mismatch at i={} x={}: batched {} vs scalar {}",
+            i,
+            x,
+            o,
+            s
+        );
+    }
+
+    d.pdf_batch(xs, &mut out);
+    for (i, (&x, &o)) in xs.iter().zip(&out).enumerate() {
+        let s = d.pdf(x);
+        prop_assert_eq!(
+            o.to_bits(),
+            s.to_bits(),
+            "pdf mismatch at i={} x={}: batched {} vs scalar {}",
+            i,
+            x,
+            o,
+            s
+        );
+    }
+
+    d.cdf_batch(xs, &mut out);
+    for (i, (&x, &o)) in xs.iter().zip(&out).enumerate() {
+        let s = d.cdf(x);
+        prop_assert_eq!(
+            o.to_bits(),
+            s.to_bits(),
+            "cdf mismatch at i={} x={}: batched {} vs scalar {}",
+            i,
+            x,
+            o,
+            s
+        );
+    }
+
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normal_batch_is_bit_identical(
+        mu in -10.0..10.0f64,
+        sigma in 0.001..5.0f64,
+        zs in proptest::collection::vec(-12.0..12.0f64, 0..37),
+    ) {
+        let d = Normal::new(mu, sigma).expect("valid normal");
+        let xs = probe_points(mu, sigma, &zs);
+        assert_bitwise(&d, &xs)?;
+    }
+
+    #[test]
+    fn skew_normal_batch_is_bit_identical(
+        sn in skew_normal(),
+        zs in proptest::collection::vec(-12.0..12.0f64, 0..37),
+    ) {
+        let xs = probe_points(sn.mean(), sn.std_dev(), &zs);
+        assert_bitwise(&sn, &xs)?;
+    }
+
+    #[test]
+    fn lvf2_batch_is_bit_identical(
+        lambda in 0.0..1.0f64,
+        a in skew_normal(),
+        b in skew_normal(),
+        zs in proptest::collection::vec(-12.0..12.0f64, 0..37),
+    ) {
+        let d = Lvf2::new(lambda, a, b).expect("valid lambda");
+        let xs = probe_points(d.mean(), d.std_dev(), &zs);
+        assert_bitwise(&d, &xs)?;
+    }
+
+    #[test]
+    fn norm2_batch_is_bit_identical(
+        lambda in 0.0..1.0f64,
+        m1 in -5.0..5.0f64,
+        m2 in -5.0..5.0f64,
+        s1 in 0.01..2.0f64,
+        s2 in 0.01..2.0f64,
+        zs in proptest::collection::vec(-12.0..12.0f64, 0..37),
+    ) {
+        let d = Norm2::new(
+            lambda,
+            Normal::new(m1, s1).expect("valid"),
+            Normal::new(m2, s2).expect("valid"),
+        )
+        .expect("valid lambda");
+        let xs = probe_points(d.mean(), d.std_dev(), &zs);
+        assert_bitwise(&d, &xs)?;
+    }
+
+    #[test]
+    fn general_mixture_batch_is_bit_identical(
+        comps in proptest::collection::vec(skew_normal(), 1..5),
+        raw_w in proptest::collection::vec(0.05..1.0f64, 1..5),
+        zs in proptest::collection::vec(-12.0..12.0f64, 0..37),
+    ) {
+        // Pair components with weights (vectors may differ in length).
+        let k = comps.len().min(raw_w.len());
+        prop_assume!(k >= 1);
+        let comps = comps[..k].to_vec();
+        let total: f64 = raw_w[..k].iter().sum();
+        let weights: Vec<f64> = raw_w[..k].iter().map(|w| w / total).collect();
+        let d = Mixture::new(comps, weights).expect("valid mixture");
+        let xs = probe_points(d.mean(), d.std_dev(), &zs);
+        assert_bitwise(&d, &xs)?;
+    }
+}
+
+/// Deterministic edge cases that random lengths may rarely hit: empty input,
+/// exactly one chunk, one short of a chunk boundary, and deep-tail points
+/// where the fused `log_norm_cdf` switches to the scaled-`erfc` branch.
+#[test]
+fn fixed_edge_lengths_and_tails() {
+    let sn = SkewNormal::from_moments(Moments::new(0.12, 0.015, 0.6)).expect("valid");
+    for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31] {
+        let xs: Vec<f64> = (0..len)
+            .map(|i| {
+                // Sweep from -11σ to +11σ so every length covers both tails.
+                let z = -11.0 + 22.0 * (i as f64) / (len.max(2) - 1) as f64;
+                sn.mean() + z * sn.std_dev()
+            })
+            .collect();
+        let mut out = vec![0.0; len];
+        sn.ln_pdf_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(
+                o.to_bits(),
+                sn.ln_pdf(x).to_bits(),
+                "ln_pdf len={len} x={x}"
+            );
+        }
+        sn.pdf_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o.to_bits(), sn.pdf(x).to_bits(), "pdf len={len} x={x}");
+        }
+        sn.cdf_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o.to_bits(), sn.cdf(x).to_bits(), "cdf len={len} x={x}");
+        }
+    }
+}
