@@ -87,6 +87,40 @@ impl BinSet {
         counts.iter().map(|&c| c as f64 / n).collect()
     }
 
+    /// Bin masses from **weighted** samples — the importance-sampling analog
+    /// of [`BinSet::probabilities_from_samples`]: each sample contributes its
+    /// weight to its bin, and the result is normalized by the total weight
+    /// (self-normalization), so pre-normalized weights pass through exactly.
+    ///
+    /// The accumulation order is the sample order, so the result is
+    /// deterministic for a deterministic sample stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ or the total weight is not positive.
+    pub fn probabilities_from_weighted_samples(
+        &self,
+        samples: &[f64],
+        weights: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(
+            samples.len(),
+            weights.len(),
+            "weighted bins: length mismatch"
+        );
+        let mut mass = vec![0.0f64; self.bin_count()];
+        let mut total = 0.0;
+        for (&x, &w) in samples.iter().zip(weights) {
+            mass[self.boundaries.partition_point(|&b| b <= x)] += w;
+            total += w;
+        }
+        assert!(total > 0.0, "weighted bins: total weight must be positive");
+        for m in &mut mass {
+            *m /= total;
+        }
+        mass
+    }
+
     /// Index of the bin that a value falls in.
     pub fn bin_of(&self, x: f64) -> usize {
         self.boundaries.partition_point(|&b| b <= x)
@@ -130,6 +164,32 @@ mod tests {
             assert!((e - x).abs() < 0.01, "{e} vs {x}");
         }
         assert!((emp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_plain_counting() {
+        let b = BinSet::new(vec![1.0, 2.0]);
+        let xs = vec![0.5, 1.5, 1.7, 2.5, 0.1];
+        let w = vec![1.0; xs.len()];
+        assert_eq!(
+            b.probabilities_from_weighted_samples(&xs, &w),
+            b.probabilities_from_samples(&xs)
+        );
+    }
+
+    #[test]
+    fn weighted_masses_follow_the_weights() {
+        let b = BinSet::new(vec![1.0]);
+        // All the mass on the one sample above the boundary.
+        let p = b.probabilities_from_weighted_samples(&[0.5, 1.5], &[0.0 + 1e-12, 3.0]);
+        assert!(p[1] > 0.999999);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weighted_masses_reject_mismatched_lengths() {
+        BinSet::new(vec![1.0]).probabilities_from_weighted_samples(&[0.5], &[1.0, 2.0]);
     }
 
     #[test]

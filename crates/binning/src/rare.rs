@@ -7,13 +7,18 @@
 //! shifted into the failure region and reweights by the likelihood ratio —
 //! the standard variance-reduction companion to the paper's LHS golden runs.
 
+use lvf2_stats::special::min_tail_probability;
 use lvf2_stats::{Distribution, StatsError};
 use rand::Rng;
 
 /// An importance-sampling estimate of `P(X > threshold)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TailEstimate {
-    /// The probability estimate.
+    /// The probability estimate. Never exactly `0.0`: an estimator that saw
+    /// no tail mass reports the [`min_tail_probability`] floor instead (and
+    /// sets [`floored`](TailEstimate::floored)), because a hard zero poisons
+    /// the log-space yield math downstream (`ln 0 = −∞` propagates through
+    /// every log-yield sum it touches).
     pub probability: f64,
     /// Standard error of the estimate.
     pub std_error: f64,
@@ -24,6 +29,11 @@ pub struct TailEstimate {
     /// proposal that rarely reaches the failure region or does so with wildly
     /// uneven weights.
     pub effective_samples: f64,
+    /// `true` when the raw estimate collapsed to `0.0` and was replaced by
+    /// the documented [`min_tail_probability`] floor. A floored estimate is
+    /// an *upper-bound-style placeholder*, not a measurement — resolve the
+    /// tail with importance sampling or a bigger budget before trusting it.
+    pub floored: bool,
 }
 
 impl TailEstimate {
@@ -32,7 +42,7 @@ impl TailEstimate {
         1.0 - self.probability
     }
 
-    /// Relative standard error `σ/p` (NaN when the estimate is 0).
+    /// Relative standard error `σ/p` (finite: `p` is floored away from 0).
     pub fn relative_error(&self) -> f64 {
         self.std_error / self.probability
     }
@@ -106,11 +116,13 @@ where
     } else {
         0.0
     };
+    let floored = p == 0.0;
     Ok(TailEstimate {
-        probability: p,
+        probability: if floored { min_tail_probability(n) } else { p },
         std_error: var.sqrt(),
         samples: n,
         effective_samples: ess,
+        floored,
     })
 }
 
@@ -136,10 +148,15 @@ where
     let p = hits as f64 / n as f64;
     let se = (p * (1.0 - p) / n as f64).sqrt();
     Ok(TailEstimate {
-        probability: p,
+        probability: if hits == 0 {
+            min_tail_probability(n)
+        } else {
+            p
+        },
         std_error: se,
         samples: n,
         effective_samples: n as f64,
+        floored: hits == 0,
     })
 }
 
@@ -215,6 +232,33 @@ mod tests {
             est.effective_samples
         );
         assert!((est.yield_fraction() + est.probability - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_hit_estimates_are_floored_not_zero() {
+        // 8σ tail at 200 plain-MC draws: zero hits, guaranteed.
+        let target = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let mc = mc_tail_probability(&target, 8.0, 200, &mut rng).unwrap();
+        assert!(mc.floored);
+        assert_eq!(mc.probability, min_tail_probability(200));
+        assert!(mc.probability > 0.0);
+        assert!(
+            mc.probability.ln().is_finite(),
+            "log-space yield math survives"
+        );
+
+        // IS with a proposal stuck in the bulk never crosses the threshold
+        // either — same floor.
+        let bulk = Normal::new(0.0, 0.1).unwrap();
+        let is = importance_tail_probability(&target, &bulk, 8.0, 200, &mut rng).unwrap();
+        assert!(is.floored);
+        assert_eq!(is.probability, min_tail_probability(200));
+
+        // A resolved tail is not floored.
+        let proposal = shifted_proposal(&target, 4.0).unwrap();
+        let ok = importance_tail_probability(&target, &proposal, 4.0, 5000, &mut rng).unwrap();
+        assert!(!ok.floored);
     }
 
     #[test]

@@ -10,9 +10,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lvf2_mc::{McEngine, VariationSpace};
+use lvf2_mc::{IsConfig, McEngine, McMode, RegimeCompetitionArc, VariationSpace};
 use lvf2_obs::{progress, Obs};
 use lvf2_parallel::Parallelism;
+use lvf2_stats::special::min_tail_probability;
 
 use crate::arc::TimingArcSpec;
 use crate::grid::SlewLoadGrid;
@@ -99,29 +100,17 @@ pub fn characterize_arc_par(
     let obs = Obs::current();
     let _span = obs.span("cells.characterize_arc");
     let base = spec.synthesize();
-    let sign = if base.selector.offset >= 0.0 {
-        1.0
-    } else {
-        -1.0
-    };
     let points: Vec<(usize, usize, f64, f64)> = grid.iter().collect();
     obs.inc("cells.conditions", points.len() as u64);
     obs.inc("cells.mc_samples", (points.len() * samples) as u64);
     let conditions = par.par_map(&points, |&(i, j, slew, load)| {
-        let mut arc = base;
-        // Exact checkerboard in index space (see Figure 4): at even i+j the
-        // two mechanisms are evenly matched (selector bias ≈ 0, strong
-        // multi-Gaussian); at odd i+j one mechanism dominates. The
-        // synthesized smooth checker term is replaced, not stacked.
-        arc.selector.offset = if (i + j) % 2 == 0 {
-            0.25 * base.selector.offset
-        } else {
-            sign * (base.selector.offset.abs() + 1.1 + base.selector.checker_amp)
-        };
-        arc.selector.checker_amp = 0.0;
-        let seed = spec.mc_seed() ^ ((i as u64) << 32) ^ (j as u64).wrapping_mul(0x9E37);
-        let engine = McEngine::new(VariationSpace::tt_22nm(), samples, seed)
-            .with_parallelism(Parallelism::serial());
+        let arc = condition_arc(&base, i, j);
+        let engine = McEngine::new(
+            VariationSpace::tt_22nm(),
+            samples,
+            condition_seed(spec, i, j),
+        )
+        .with_parallelism(Parallelism::serial());
         let r = engine.simulate(&arc, slew, load);
         ConditionSamples {
             slew_index: i,
@@ -138,6 +127,162 @@ pub fn characterize_arc_par(
         rows: grid.slews().len(),
         cols: grid.loads().len(),
     }
+}
+
+/// The per-condition arc: re-biases `base`'s regime balance with an exact
+/// integer-index checkerboard (see Figure 4) — at even `i + j` the two
+/// mechanisms are evenly matched (selector bias ≈ 0, strong multi-Gaussian);
+/// at odd `i + j` one mechanism dominates. The synthesized smooth checker
+/// term is replaced, not stacked. Shared by characterization and tail-yield
+/// estimation so both see the *same* arc at a grid position.
+pub fn condition_arc(base: &RegimeCompetitionArc, i: usize, j: usize) -> RegimeCompetitionArc {
+    let sign = if base.selector.offset >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    };
+    let mut arc = *base;
+    arc.selector.offset = if (i + j).is_multiple_of(2) {
+        0.25 * base.selector.offset
+    } else {
+        sign * (base.selector.offset.abs() + 1.1 + base.selector.checker_amp)
+    };
+    arc.selector.checker_amp = 0.0;
+    arc
+}
+
+/// The per-condition Monte-Carlo seed, derived from `(arc, i, j)` alone so
+/// every fan-out order produces bit-identical results.
+pub fn condition_seed(spec: &TimingArcSpec, i: usize, j: usize) -> u64 {
+    spec.mc_seed() ^ ((i as u64) << 32) ^ (j as u64).wrapping_mul(0x9E37)
+}
+
+/// How tail-yield metrics are produced per grid condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailYieldOptions {
+    /// Sampler: plain LHS counting or mixture importance sampling.
+    pub mode: McMode,
+    /// Main-stage draws per condition (IS adds its own pilot on top).
+    pub samples: usize,
+    /// Importance-sampling configuration (ignored in LHS mode except for
+    /// `target_sigma`, which defines the threshold in both modes).
+    pub is: IsConfig,
+}
+
+impl Default for TailYieldOptions {
+    fn default() -> Self {
+        TailYieldOptions {
+            mode: McMode::Lhs,
+            samples: 2000,
+            is: IsConfig::default(),
+        }
+    }
+}
+
+/// Tail-yield metrics for one (slew, load) grid condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConditionTailYield {
+    /// Slew index `i` in the grid.
+    pub slew_index: usize,
+    /// Load index `j` in the grid.
+    pub load_index: usize,
+    /// Input slew (ns).
+    pub slew: f64,
+    /// Output load (pF).
+    pub load: f64,
+    /// Delay threshold the tail probability was measured at
+    /// (`μ + target_sigma·σ` from the condition's own delay estimate).
+    pub threshold: f64,
+    /// `P(delay > threshold)`. Floored away from exact `0.0` (see
+    /// [`floored`](ConditionTailYield::floored)).
+    pub tail_probability: f64,
+    /// Standard error of the tail probability (binomial in LHS mode,
+    /// delta-method in IS mode).
+    pub std_error: f64,
+    /// Effective sample size of the estimate (`n` in LHS mode).
+    pub ess: f64,
+    /// Total delay-evaluator calls spent on this condition (pilot + main
+    /// in IS mode) — the cost axis of the 25–100× claim.
+    pub evaluator_calls: usize,
+    /// `true` when the raw estimate collapsed to `0.0` and was replaced by
+    /// the documented `min_tail_probability` floor.
+    pub floored: bool,
+}
+
+/// Per-condition tail-yield estimation over the whole grid.
+///
+/// In [`McMode::Lhs`] mode every condition runs the engine's default LHS
+/// scheme and counts the fraction of delays past `μ + target_sigma·σ`
+/// (computed from the same draws); zero-hit conditions report the
+/// `min_tail_probability` floor. In [`McMode::ImportanceSampling`] mode the
+/// pilot stage estimates `(μ, σ)`, the proposal is shifted into the tail,
+/// and the self-normalized estimate resolves probabilities plain counting
+/// cannot, at far fewer evaluator calls per digit of accuracy.
+///
+/// Conditions fan out across `par`'s threads with serial inner engines and
+/// `(arc, i, j)`-derived seeds, so the result is bit-identical at any thread
+/// count — same contract as [`characterize_arc_par`].
+pub fn tail_yield_arc(
+    spec: &TimingArcSpec,
+    grid: &SlewLoadGrid,
+    opts: &TailYieldOptions,
+    par: &Parallelism,
+) -> Vec<ConditionTailYield> {
+    let obs = Obs::current();
+    let _span = obs.span("cells.tail_yield_arc");
+    let base = spec.synthesize();
+    let points: Vec<(usize, usize, f64, f64)> = grid.iter().collect();
+    obs.inc("cells.tail_conditions", points.len() as u64);
+    par.par_map(&points, |&(i, j, slew, load)| {
+        let arc = condition_arc(&base, i, j);
+        let engine = McEngine::new(
+            VariationSpace::tt_22nm(),
+            opts.samples,
+            condition_seed(spec, i, j),
+        )
+        .with_parallelism(Parallelism::serial());
+        match opts.mode {
+            McMode::Lhs => {
+                let r = engine.simulate(&arc, slew, load);
+                let n = r.delays.len();
+                let mean = lvf2_stats::sample_mean(&r.delays);
+                let std = lvf2_stats::sample_std(&r.delays);
+                let threshold = mean + opts.is.target_sigma * std;
+                let hits = r.delays.iter().filter(|d| **d > threshold).count();
+                let p = hits as f64 / n as f64;
+                let floored = hits == 0;
+                ConditionTailYield {
+                    slew_index: i,
+                    load_index: j,
+                    slew,
+                    load,
+                    threshold,
+                    tail_probability: if floored { min_tail_probability(n) } else { p },
+                    std_error: (p * (1.0 - p) / n as f64).sqrt(),
+                    ess: n as f64,
+                    evaluator_calls: n,
+                    floored,
+                }
+            }
+            McMode::ImportanceSampling => {
+                let r = engine.simulate_is(&arc, slew, load, &opts.is);
+                let threshold = r.pilot_mean + opts.is.target_sigma * r.pilot_std;
+                let est = r.tail_estimate(threshold);
+                ConditionTailYield {
+                    slew_index: i,
+                    load_index: j,
+                    slew,
+                    load,
+                    threshold,
+                    tail_probability: est.probability,
+                    std_error: est.std_error,
+                    ess: est.ess,
+                    evaluator_calls: r.evaluator_calls(),
+                    floored: est.floored,
+                }
+            }
+        }
+    })
 }
 
 /// Characterizes many arcs, fanning the *arcs* out across `par`'s threads
@@ -202,6 +347,66 @@ mod tests {
         let ra = a[0] / lvf2_stats::sample_mean(a);
         let rb = b[0] / lvf2_stats::sample_mean(b);
         assert!((ra - rb).abs() > 1e-9);
+    }
+
+    #[test]
+    fn tail_yield_is_deterministic_across_thread_counts() {
+        let spec = TimingArcSpec::of(CellType::Nand2, 0);
+        let opts = TailYieldOptions {
+            mode: McMode::ImportanceSampling,
+            samples: 512,
+            is: IsConfig {
+                pilot_samples: 128,
+                ..IsConfig::default()
+            },
+        };
+        let grid = SlewLoadGrid::small_3x3();
+        let serial = tail_yield_arc(&spec, &grid, &opts, &Parallelism::serial());
+        let wide = tail_yield_arc(&spec, &grid, &opts, &Parallelism::auto().with_threads(8));
+        assert_eq!(serial, wide);
+        assert_eq!(serial.len(), 9);
+        for c in &serial {
+            assert_eq!(c.evaluator_calls, 512 + 128);
+            assert!(c.tail_probability > 0.0);
+        }
+    }
+
+    #[test]
+    fn is_mode_resolves_tails_lhs_mode_floors() {
+        let spec = TimingArcSpec::of(CellType::Inv, 0);
+        let grid = SlewLoadGrid::small_3x3();
+        // At 3σ the true tail mass is O(1e-3): 256 LHS draws usually see a
+        // hit or two, but the IS estimate must always be resolved (ESS ≫ 1,
+        // never floored) at the same budget.
+        let is_opts = TailYieldOptions {
+            mode: McMode::ImportanceSampling,
+            samples: 2048,
+            is: IsConfig {
+                pilot_samples: 256,
+                ..IsConfig::default()
+            },
+        };
+        for c in tail_yield_arc(&spec, &grid, &is_opts, &Parallelism::serial()) {
+            assert!(
+                !c.floored,
+                "IS must resolve the 3σ tail at ({}, {})",
+                c.slew_index, c.load_index
+            );
+            assert!(c.ess > 50.0, "ESS collapsed: {}", c.ess);
+            assert!(c.threshold > 0.0);
+        }
+        let lhs_opts = TailYieldOptions {
+            mode: McMode::Lhs,
+            samples: 256,
+            ..TailYieldOptions::default()
+        };
+        for c in tail_yield_arc(&spec, &grid, &lhs_opts, &Parallelism::serial()) {
+            assert!(
+                c.tail_probability > 0.0,
+                "floor keeps probabilities positive"
+            );
+            assert_eq!(c.evaluator_calls, 256);
+        }
     }
 
     #[test]

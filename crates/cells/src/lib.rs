@@ -29,8 +29,8 @@ pub mod types;
 
 pub use arc::{ArcId, Edge, TimingArcSpec};
 pub use characterize::{
-    characterize_arc, characterize_arc_par, characterize_library, ArcCharacterization,
-    ConditionSamples,
+    characterize_arc, characterize_arc_par, characterize_library, condition_arc, condition_seed,
+    tail_yield_arc, ArcCharacterization, ConditionSamples, ConditionTailYield, TailYieldOptions,
 };
 pub use grid::SlewLoadGrid;
 pub use library::CellLibrary;

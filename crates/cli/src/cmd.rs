@@ -4,13 +4,17 @@ use std::error::Error;
 use std::io::Read as _;
 
 use lvf2::binning::{score_model, GoldenReference};
-use lvf2::cells::{characterize_arc_par, CellType, Scenario, SlewLoadGrid, TimingArcSpec};
+use lvf2::cells::{
+    characterize_arc_par, tail_yield_arc, CellType, ConditionTailYield, Scenario, SlewLoadGrid,
+    TailYieldOptions, TimingArcSpec,
+};
 use lvf2::fit::select::{select_order, Criterion};
 use lvf2::fit::{fit_lvf2_batch, FitConfig};
 use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2::liberty::{
     parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
 };
+use lvf2::mc::{IsConfig, McMode};
 use lvf2::obs::{info, warn, Obs, ObsConfig};
 use lvf2::parallel::{Parallelism, DEFAULT_CHUNK_SIZE};
 use lvf2::stats::Distribution;
@@ -26,8 +30,10 @@ lvf2 — LVF² statistical timing toolkit
 
 USAGE:
   lvf2 characterize --cell NAME [--arc N] [--samples N] [--grid 8x8|3x3] [--seed N]
+                    [--mc-mode lhs|is] [--is-target-sigma K] [--tail-samples N]
                     [--threads N] [--chunk-size N] --out FILE
   lvf2 library --cells NAME,NAME,… [--arcs N] [--samples N] [--grid 8x8|3x3]
+               [--mc-mode lhs|is] [--is-target-sigma K] [--tail-samples N]
                [--threads N] [--chunk-size N] --out FILE
   lvf2 inspect FILE [--cell NAME]
   lvf2 fit FILE|- [--model lvf|norm2|lesn|lvf2] [--fast]
@@ -48,6 +54,11 @@ Observability (any command):
 `--threads 0` (the default) auto-detects the core count; `--threads 1` forces
 the serial path. Results are bit-identical at every thread count. The
 LVF2_THREADS environment variable supplies a default when --threads is absent.
+
+`--mc-mode is` adds a tail-yield stage: per-condition `P(delay > μ + Kσ)` by
+mixture importance sampling (K from --is-target-sigma, default 3), printed with
+ESS and evaluator-call diagnostics. `--mc-mode lhs` (the default) counts the
+same tail from plain LHS draws. The Liberty output is identical either way.
 
 Samples files are whitespace/newline-separated numbers; `-` reads stdin.";
 
@@ -96,6 +107,47 @@ fn parallelism(opts: &Opts) -> Result<Parallelism, String> {
         .with_chunk_size(opts.get_or("chunk-size", DEFAULT_CHUNK_SIZE)?))
 }
 
+/// `--mc-mode`/`--is-target-sigma`/`--tail-samples` → [`TailYieldOptions`].
+fn tail_options(opts: &Opts) -> Result<TailYieldOptions, String> {
+    let mode: McMode = opts
+        .get("mc-mode")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or_default();
+    let target_sigma: f64 = opts.get_or("is-target-sigma", 3.0)?;
+    if target_sigma.is_nan() || target_sigma <= 0.0 {
+        return Err(format!(
+            "--is-target-sigma must be positive, got {target_sigma}"
+        ));
+    }
+    Ok(TailYieldOptions {
+        mode,
+        samples: opts.get_or("tail-samples", 2000)?,
+        is: IsConfig::default().with_target_sigma(target_sigma),
+    })
+}
+
+/// Prints the per-condition tail-yield table produced by the IS stage.
+fn print_tail_report(conditions: &[ConditionTailYield]) {
+    println!(
+        "{:>4} {:>4} {:>12} {:>12} {:>10} {:>8} {:>7}",
+        "i", "j", "threshold", "P(tail)", "std_err", "ESS", "calls"
+    );
+    for c in conditions {
+        println!(
+            "{:>4} {:>4} {:>12.6} {:>12.3e} {:>10.1e} {:>8.0} {:>7}{}",
+            c.slew_index,
+            c.load_index,
+            c.threshold,
+            c.tail_probability,
+            c.std_error,
+            c.ess,
+            c.evaluator_calls,
+            if c.floored { "  (floored)" } else { "" }
+        );
+    }
+}
+
 /// `lvf2 characterize`: Monte-Carlo characterize one arc, fit LVF² on every
 /// grid condition, write a Liberty file carrying both LVF and LVF² tables.
 pub fn characterize(args: &[String]) -> CliResult {
@@ -114,6 +166,7 @@ pub fn characterize(args: &[String]) -> CliResult {
     }
     let spec = TimingArcSpec::of(cell, arc_idx);
     let par = parallelism(&opts)?;
+    let topts = tail_options(&opts)?;
     let obs = Obs::current();
     info!(
         obs,
@@ -179,6 +232,18 @@ pub fn characterize(args: &[String]) -> CliResult {
     });
     std::fs::write(out, write_library(&lib))?;
     println!("wrote {out}");
+
+    if topts.mode == McMode::ImportanceSampling {
+        info!(
+            obs,
+            "tail-yield stage: importance sampling at {}σ, {} samples/condition",
+            opts.get_or("is-target-sigma", 3.0)?,
+            topts.samples
+        );
+        let tails = tail_yield_arc(&spec, &grid, &topts, &par);
+        println!("tail yield for {spec} (P(delay > μ + Kσ), importance-sampled):");
+        print_tail_report(&tails);
+    }
     Ok(())
 }
 
@@ -199,6 +264,7 @@ pub fn library(args: &[String]) -> CliResult {
         other => return Err(format!("unknown grid `{other}` (8x8 or 3x3)").into()),
     };
     let par = parallelism(&opts)?;
+    let topts = tail_options(&opts)?;
     let flow_opts = lvf2::flow::FlowOptions {
         samples: opts.get_or("samples", 2000)?,
         arcs_per_cell: opts.get_or("arcs", 1)?,
@@ -208,6 +274,9 @@ pub fn library(args: &[String]) -> CliResult {
         // The CLI installs the process-wide session in main(); the flow's
         // own config stays off so `Obs::ensure` defers to it.
         obs: ObsConfig::off(),
+        mc_mode: topts.mode,
+        is_target_sigma: topts.is.target_sigma,
+        tail_samples: topts.samples,
     };
     info!(
         Obs::current(),
@@ -218,6 +287,13 @@ pub fn library(args: &[String]) -> CliResult {
     let lib = lvf2::flow::characterize_to_library(&cells, &flow_opts)?;
     std::fs::write(out, write_library(&lib))?;
     println!("wrote {out} ({} cell groups)", lib.cells.len());
+
+    if topts.mode == McMode::ImportanceSampling {
+        for (spec, tails) in lvf2::flow::tail_yield_report(&cells, &flow_opts) {
+            println!("tail yield for {spec} (P(delay > μ + Kσ), importance-sampled):");
+            print_tail_report(&tails);
+        }
+    }
     Ok(())
 }
 

@@ -126,6 +126,63 @@ fn characterize_then_inspect() {
 }
 
 #[test]
+fn characterize_with_is_mode_prints_tail_report() {
+    let dir = tempdir();
+    let lib = dir.join("is_inv.lib");
+    let run = |mode: &str| {
+        lvf2()
+            .args([
+                "characterize",
+                "--cell",
+                "INV",
+                "--arc",
+                "0",
+                "--grid",
+                "3x3",
+                "--samples",
+                "400",
+                "--mc-mode",
+                mode,
+                "--tail-samples",
+                "1024",
+                "--is-target-sigma",
+                "3",
+                "--out",
+                lib.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("characterize runs")
+    };
+    let out = run("is");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tail yield"), "stdout: {text}");
+    assert!(text.contains("ESS"), "stdout: {text}");
+    // 9 grid conditions → 9 data rows after the header.
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit())
+                && l.contains("e-"))
+            .count(),
+        9,
+        "one tail estimate per condition: {text}"
+    );
+
+    // Default mode prints no tail table and still writes the same library.
+    let lhs = run("lhs");
+    assert!(lhs.status.success());
+    assert!(!String::from_utf8_lossy(&lhs.stdout).contains("tail yield"));
+
+    let bad = run("bogus");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown MC mode"));
+}
+
+#[test]
 fn sta_runs_on_the_example_netlist() {
     // The example netlist lives at the workspace root.
     let netlist = concat!(

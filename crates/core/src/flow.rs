@@ -7,10 +7,14 @@
 //! [`FlowOptions::parallelism`]. Outputs are bit-identical at every thread
 //! count (see `lvf2-parallel`), so `--threads` is purely a speed knob.
 
-use lvf2_cells::{characterize_arc_par, CellLibrary, CellType, SlewLoadGrid, TimingArcSpec};
+use lvf2_cells::{
+    characterize_arc_par, tail_yield_arc, CellLibrary, CellType, ConditionTailYield, SlewLoadGrid,
+    TailYieldOptions, TimingArcSpec,
+};
 use lvf2_fit::{fit_lvf2_batch, FitConfig, FitError};
 use lvf2_liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2_liberty::{BaseKind, Library, LutTemplate, TimingModelGrid};
+use lvf2_mc::{IsConfig, McMode};
 use lvf2_obs::{info, progress, warn, Obs, ObsConfig};
 use lvf2_parallel::Parallelism;
 
@@ -32,6 +36,15 @@ pub struct FlowOptions {
     /// nothing; when a session is already installed (e.g. by the CLI), this
     /// field is ignored and the active session is used.
     pub obs: ObsConfig,
+    /// How tail-yield metrics are produced (`--mc-mode`). The Liberty output
+    /// is identical in both modes — the mode only selects the sampler behind
+    /// [`tail_yield_report`] and the flow's tail stage.
+    pub mc_mode: McMode,
+    /// Tail threshold in σ above the mean (`--is-target-sigma`).
+    pub is_target_sigma: f64,
+    /// Main-stage draws per condition for tail-yield estimation
+    /// (`--tail-samples`); IS adds its own pilot on top.
+    pub tail_samples: usize,
 }
 
 impl Default for FlowOptions {
@@ -43,8 +56,91 @@ impl Default for FlowOptions {
             fit: FitConfig::fast(),
             parallelism: Parallelism::auto(),
             obs: ObsConfig::off(),
+            mc_mode: McMode::Lhs,
+            is_target_sigma: 3.0,
+            tail_samples: 2000,
         }
     }
+}
+
+impl FlowOptions {
+    /// The per-condition tail-yield options implied by this flow config.
+    pub fn tail_options(&self) -> TailYieldOptions {
+        TailYieldOptions {
+            mode: self.mc_mode,
+            samples: self.tail_samples,
+            is: IsConfig::default().with_target_sigma(self.is_target_sigma),
+        }
+    }
+}
+
+/// Tail-yield metrics for every arc of `cells`, one entry per (arc, grid
+/// condition), produced with the sampler selected by
+/// [`FlowOptions::mc_mode`].
+///
+/// This is the flow's yield-signoff companion to the Liberty tables: at the
+/// default 3σ target it reports `P(delay > μ + 3σ)` per condition, with the
+/// ESS/evaluator-call diagnostics that justify trusting (or not trusting)
+/// each number. Deterministic at any thread count.
+pub fn tail_yield_report(
+    cells: &[CellType],
+    opts: &FlowOptions,
+) -> Vec<(TimingArcSpec, Vec<ConditionTailYield>)> {
+    let _obs_guard = Obs::ensure(&opts.obs);
+    let obs = Obs::current();
+    let _span = obs.span("flow.tail");
+    let topts = opts.tail_options();
+    let jobs: Vec<TimingArcSpec> = cells
+        .iter()
+        .flat_map(|&cell| {
+            (0..opts.arcs_per_cell.min(cell.paper_arc_count()))
+                .map(move |arc_idx| TimingArcSpec::of(cell, arc_idx))
+        })
+        .collect();
+    info!(
+        obs,
+        "tail-yield stage: {} arcs, mode={}, target={}σ, {} samples/condition",
+        jobs.len(),
+        topts.mode,
+        opts.is_target_sigma,
+        topts.samples
+    );
+    let reports: Vec<_> = jobs
+        .iter()
+        .map(|spec| {
+            (
+                *spec,
+                tail_yield_arc(spec, &opts.grid, &topts, &opts.parallelism),
+            )
+        })
+        .collect();
+    let conditions: usize = reports.iter().map(|(_, c)| c.len()).sum();
+    let floored = reports
+        .iter()
+        .flat_map(|(_, c)| c)
+        .filter(|c| c.floored)
+        .count();
+    let calls: usize = reports
+        .iter()
+        .flat_map(|(_, c)| c)
+        .map(|c| c.evaluator_calls)
+        .sum();
+    obs.inc("flow.tail_conditions", conditions as u64);
+    obs.inc("flow.tail_floored", floored as u64);
+    obs.inc("flow.tail_evaluator_calls", calls as u64);
+    if floored > 0 {
+        warn!(
+            obs,
+            "{floored}/{conditions} tail estimates floored (unresolved tails) — \
+             consider --mc-mode is or a bigger --tail-samples"
+        );
+    } else {
+        info!(
+            obs,
+            "all {conditions} tail estimates resolved ({calls} evaluator calls)"
+        );
+    }
+    reports
 }
 
 /// Characterizes `cells` and returns a Liberty library with one cell group
@@ -251,6 +347,34 @@ mod tests {
                 let g = TimingModelGrid::from_timing(timing, base).unwrap();
                 assert!(g.models.iter().flatten().all(|m| m.mean() > 0.0));
             }
+        }
+    }
+
+    #[test]
+    fn tail_yield_report_covers_every_condition_in_both_modes() {
+        let base = FlowOptions {
+            tail_samples: 512,
+            grid: SlewLoadGrid::small_3x3(),
+            ..FlowOptions::default()
+        };
+        let lhs = tail_yield_report(&[CellType::Inv], &base);
+        assert_eq!(lhs.len(), 1);
+        assert_eq!(lhs[0].1.len(), 9);
+        for c in &lhs[0].1 {
+            assert_eq!(c.evaluator_calls, 512);
+            assert!(c.tail_probability > 0.0);
+        }
+
+        let is = tail_yield_report(
+            &[CellType::Inv],
+            &FlowOptions {
+                mc_mode: McMode::ImportanceSampling,
+                ..base.clone()
+            },
+        );
+        for c in &is[0].1 {
+            assert!(c.evaluator_calls > 512, "pilot rides on top of main draws");
+            assert!(!c.floored, "IS resolves the 3σ tail");
         }
     }
 

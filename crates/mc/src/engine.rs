@@ -20,10 +20,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::arc_model::TimingArcModel;
+use crate::importance::{select_proposal, IsConfig, IsProposal, IsSelection, McIsResult};
 use crate::lhs::lhs_probabilities;
 use crate::variation::{VariationSample, VariationSpace};
 use lvf2_stats::sampling::standard_normal;
 use lvf2_stats::special::norm_quantile;
+
+/// Fixed number of sample rows per RNG stream in index-keyed schemes
+/// (`Plain` and importance sampling). A constant — NOT the configurable
+/// scheduling chunk — so `chunk_size` stays a pure speed knob with no effect
+/// on the drawn values.
+const RNG_BLOCK: usize = 256;
+
+/// Seed decorrelation constant for the IS pilot phase, so the pilot and the
+/// main proposal draw never share an RNG stream.
+const PILOT_SEED_XOR: u64 = 0xC0FF_EE15_7A11_u64;
 
 /// How the variation matrix is sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -138,10 +149,7 @@ impl McEngine {
             SamplingScheme::Plain => {
                 // One RNG stream per fixed-size block of rows: row i's draw
                 // depends only on ⌊i/BLOCK⌋ and its offset, never on the
-                // thread schedule. The block size is a constant — NOT the
-                // configurable scheduling chunk — so `chunk_size` stays a
-                // pure speed knob with no effect on the drawn values.
-                const RNG_BLOCK: usize = 256;
+                // thread schedule.
                 let n_chunks = Parallelism::chunk_count(n, RNG_BLOCK);
                 let rows = self.par.par_map_indexed(n_chunks, |c| {
                     let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c as u64));
@@ -196,6 +204,90 @@ impl McEngine {
         let _span = obs.span("mc.simulate");
         obs.inc("mc.samples", draws.len() as u64);
         Self::evaluate_all(arc, draws, slew, load, par)
+    }
+
+    /// Draws the variation matrix from an explicit mixture proposal,
+    /// returning each row with its log importance weight.
+    ///
+    /// Follows the `Plain` scheme's per-block RNG-stream contract (one
+    /// stream per [`RNG_BLOCK`] rows via [`chunk_seed`]), so the draw is
+    /// bit-identical at any thread count; a [nominal](IsProposal::is_nominal)
+    /// proposal consumes the RNG exactly like [`SamplingScheme::Plain`] and
+    /// reproduces its samples with weights ≡ 1.
+    pub fn draw_proposal(&self, proposal: &IsProposal) -> Vec<(VariationSample, f64)> {
+        let _span = Obs::current().span("mc.draw_is");
+        let n = self.samples;
+        let n_chunks = Parallelism::chunk_count(n, RNG_BLOCK);
+        let rows = self.par.par_map_indexed(n_chunks, |c| {
+            let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c as u64));
+            let lo = c * RNG_BLOCK;
+            let hi = n.min(lo + RNG_BLOCK);
+            (lo..hi)
+                .map(|_| {
+                    let z = proposal.sample_row(&mut rng);
+                    (
+                        VariationSample::from_standard(&z, &self.space),
+                        proposal.ln_weight(&z),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        rows.into_iter().flatten().collect()
+    }
+
+    /// Runs the pilot phase of an importance-sampled run: `cfg.pilot_samples`
+    /// plain-MC draws on a decorrelated seed, evaluated through `arc`, then
+    /// [`select_proposal`] on the standardized pilot coordinates.
+    pub fn select_is_proposal<A: TimingArcModel>(
+        &self,
+        arc: &A,
+        slew: f64,
+        load: f64,
+        cfg: &IsConfig,
+    ) -> IsSelection {
+        let obs = Obs::current();
+        let _span = obs.span("mc.is_pilot");
+        let pilot = McEngine::new(self.space, cfg.pilot_samples, self.seed ^ PILOT_SEED_XOR)
+            .with_scheme(SamplingScheme::Plain)
+            .with_parallelism(self.par);
+        let draws = pilot.draw_variations();
+        obs.inc("mc.is.pilot_calls", draws.len() as u64);
+        let r = Self::evaluate_all(arc, &draws, slew, load, &self.par);
+        let zs: Vec<[f64; VariationSample::DIMS]> =
+            draws.iter().map(|v| v.to_standard(&self.space)).collect();
+        select_proposal(&zs, &r.delays, cfg)
+    }
+
+    /// Importance-sampled run: pilot → proposal selection → weighted main
+    /// draw of this engine's `samples` rows at one (slew, load) point.
+    ///
+    /// Total evaluator calls are `cfg.pilot_samples + samples` (see
+    /// [`McIsResult::evaluator_calls`]); the result is bit-identical at any
+    /// thread count.
+    pub fn simulate_is<A: TimingArcModel>(
+        &self,
+        arc: &A,
+        slew: f64,
+        load: f64,
+        cfg: &IsConfig,
+    ) -> McIsResult {
+        let obs = Obs::current();
+        let _span = obs.span("mc.simulate_is");
+        let sel = self.select_is_proposal(arc, slew, load, cfg);
+        let weighted = self.draw_proposal(&sel.proposal);
+        obs.inc("mc.is.samples", weighted.len() as u64);
+        let draws: Vec<VariationSample> = weighted.iter().map(|(v, _)| *v).collect();
+        let ln_weights: Vec<f64> = weighted.iter().map(|(_, w)| *w).collect();
+        let r = Self::evaluate_all(arc, &draws, slew, load, &self.par);
+        McIsResult {
+            delays: r.delays,
+            transitions: r.transitions,
+            ln_weights,
+            proposal: sel.proposal,
+            pilot_mean: sel.pilot_mean,
+            pilot_std: sel.pilot_std,
+            pilot_calls: sel.pilot_calls,
+        }
     }
 
     /// The shared per-sample evaluation fan-out: output slot `i` is a pure
@@ -273,6 +365,47 @@ mod tests {
         let arc = RegimeCompetitionArc::balanced_bimodal();
         let r = engine.simulate(&arc, 0.02, 0.05);
         assert_eq!(r.delays.len(), 500);
+    }
+
+    #[test]
+    fn simulate_is_is_deterministic_and_counts_calls() {
+        let engine = McEngine::new(VariationSpace::tt_22nm(), 2000, 11);
+        let arc = RegimeCompetitionArc::dominated();
+        let cfg = IsConfig::default();
+        let a = engine.simulate_is(&arc, 0.02, 0.05, &cfg);
+        let b = engine.simulate_is(&arc, 0.02, 0.05, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.evaluator_calls(), 2000 + cfg.pilot_samples);
+        assert_eq!(a.delays.len(), 2000);
+        assert!(a.ess() > 1.0 && a.ess() <= 2000.0);
+    }
+
+    #[test]
+    fn is_tail_estimate_tracks_golden_mc() {
+        let arc = RegimeCompetitionArc::dominated();
+        let golden = McEngine::new(VariationSpace::tt_22nm(), 120_000, 21)
+            .with_scheme(SamplingScheme::Plain)
+            .simulate(&arc, 0.02, 0.05);
+        let mean = lvf2_stats::sample_mean(&golden.delays);
+        let sd = lvf2_stats::sample_std(&golden.delays);
+        let threshold = mean + 3.0 * sd;
+        let p_golden = golden.delays.iter().filter(|&&d| d > threshold).count() as f64
+            / golden.delays.len() as f64;
+
+        let is = McEngine::new(VariationSpace::tt_22nm(), 4000, 22).simulate_is(
+            &arc,
+            0.02,
+            0.05,
+            &IsConfig::default(),
+        );
+        let est = is.tail_estimate(threshold);
+        assert!(
+            (est.probability - p_golden).abs() / p_golden < 0.25,
+            "IS {} vs golden {p_golden}",
+            est.probability
+        );
+        assert!(!est.floored);
+        assert!(est.ess > 100.0, "ESS {}", est.ess);
     }
 
     #[test]

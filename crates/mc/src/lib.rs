@@ -12,6 +12,9 @@
 //!   ΔVth(n/p), Δμ(n/p) and ΔL fluctuations;
 //! - **Latin Hypercube Sampling** ([`lhs::lhs_standard_normal`]) plus plain
 //!   Monte Carlo;
+//! - **mixture importance sampling** ([`importance`]) over the variation
+//!   space — tail-yield accuracy at 25–100× fewer evaluator calls, with
+//!   self-normalized weights and ESS diagnostics;
 //! - an **alpha-power-law gate evaluator** ([`alpha_power`]) whose
 //!   `(V_DD − V_th)^−α` dependence makes delay skewed in ΔVth;
 //! - the **regime-competition arc model** ([`RegimeCompetitionArc`]): two
@@ -37,6 +40,7 @@
 pub mod alpha_power;
 pub mod arc_model;
 pub mod engine;
+pub mod importance;
 pub mod lhs;
 pub mod spatial;
 pub mod variation;
@@ -44,6 +48,9 @@ pub mod variation;
 pub use alpha_power::AlphaPowerParams;
 pub use arc_model::{Mechanism, RegimeCompetitionArc, Selector, TimingArcModel, TimingSample};
 pub use engine::{McEngine, McResult, SamplingScheme};
+pub use importance::{
+    IsComponent, IsConfig, IsProposal, IsSelection, IsTailEstimate, McIsResult, McMode,
+};
 pub use lvf2_parallel::Parallelism;
 pub use spatial::{correlated_variations, SpatialCorrelation};
 pub use variation::{Corner, VariationSample, VariationSpace};

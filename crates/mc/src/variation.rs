@@ -41,6 +41,21 @@ impl VariationSample {
     pub fn nominal() -> Self {
         VariationSample::default()
     }
+
+    /// Inverts [`VariationSample::from_standard`]: recovers the
+    /// standard-normal coordinates of this sample under `space`.
+    ///
+    /// Used by the importance-sampling pilot, which regresses delay against
+    /// the standardized variation axes to pick a proposal shift direction.
+    pub fn to_standard(&self, space: &VariationSpace) -> [f64; Self::DIMS] {
+        [
+            (self.dvth_n - space.global_vth_shift) / space.sigma_vth_n,
+            (self.dvth_p - space.global_vth_shift) / space.sigma_vth_p,
+            self.dmu_n / space.sigma_mu,
+            self.dmu_p / space.sigma_mu,
+            self.dl / space.sigma_l,
+        ]
+    }
 }
 
 /// Standard deviations (and global offset) of the variation space.
@@ -111,6 +126,17 @@ mod tests {
         assert!((v.dvth_p + space.sigma_vth_p).abs() < 1e-15);
         assert!((v.dmu_n - 2.0 * space.sigma_mu).abs() < 1e-15);
         assert!((v.dl + 2.0 * space.sigma_l).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_standard_round_trips() {
+        let space = VariationSpace::at_corner(Corner::Ss);
+        let z = [1.3, -0.4, 2.1, 0.0, -1.7];
+        let v = VariationSample::from_standard(&z, &space);
+        let back = v.to_standard(&space);
+        for (a, b) in z.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property-based tests for the importance-sampling layer.
+//!
+//! The two contracts pinned here are the ones everything downstream leans
+//! on: a **nominal** proposal must reproduce plain Monte Carlo *exactly*
+//! (same RNG stream → bit-identical samples, log-weights ≡ 0), and a
+//! proposal that ignores where the mass is must be *visibly* bad (ESS
+//! collapse) rather than silently wrong.
+
+use lvf2_mc::importance::normalized_weights;
+use lvf2_mc::{
+    IsComponent, IsConfig, IsProposal, McEngine, Parallelism, RegimeCompetitionArc, SamplingScheme,
+    VariationSpace,
+};
+use proptest::prelude::*;
+
+fn ess(ln_weights: &[f64]) -> f64 {
+    let w = normalized_weights(ln_weights);
+    1.0 / w.iter().map(|wi| wi * wi).sum::<f64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Self-normalized IS with the nominal proposal IS plain MC: identical
+    /// delay vectors sample-for-sample, weights exactly 1 (ln-weights
+    /// exactly 0.0), ESS = n — for any seed, sample count, and thread count.
+    #[test]
+    fn nominal_proposal_reproduces_plain_mc(
+        seed in 0u64..10_000,
+        n in 10usize..600,
+        threads in 1usize..8,
+    ) {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let par = Parallelism::auto().with_threads(threads);
+        let engine = McEngine::new(VariationSpace::tt_22nm(), n, seed)
+            .with_scheme(SamplingScheme::Plain)
+            .with_parallelism(par);
+        let plain = engine.simulate(&arc, 0.02, 0.05);
+
+        let rows = engine.draw_proposal(&IsProposal::nominal());
+        prop_assert_eq!(rows.len(), n);
+        let samples: Vec<_> = rows.iter().map(|(v, _)| *v).collect();
+        let is = McEngine::simulate_with_par(&arc, &samples, 0.02, 0.05, &par);
+
+        prop_assert_eq!(&plain.delays, &is.delays, "bit-identical delay stream");
+        prop_assert_eq!(&plain.transitions, &is.transitions);
+        for (_, lw) in &rows {
+            prop_assert_eq!(*lw, 0.0, "nominal log-weights are exactly zero");
+        }
+        let ln: Vec<f64> = rows.iter().map(|(_, lw)| *lw).collect();
+        prop_assert!((ess(&ln) - n as f64).abs() < 1e-9);
+    }
+
+    /// `simulate_is` is bit-identical at any thread count for any seed — the
+    /// determinism contract the CI matrix pins at the CLI level.
+    #[test]
+    fn simulate_is_thread_invariant(seed in 0u64..5000, threads in 2usize..8) {
+        let arc = RegimeCompetitionArc::balanced_bimodal();
+        let cfg = IsConfig { pilot_samples: 64, ..IsConfig::default() };
+        let serial = McEngine::new(VariationSpace::tt_22nm(), 300, seed)
+            .with_parallelism(Parallelism::serial())
+            .simulate_is(&arc, 0.02, 0.05, &cfg);
+        let wide = McEngine::new(VariationSpace::tt_22nm(), 300, seed)
+            .with_parallelism(Parallelism::auto().with_threads(threads))
+            .simulate_is(&arc, 0.02, 0.05, &cfg);
+        prop_assert_eq!(serial.delays, wide.delays);
+        prop_assert_eq!(serial.ln_weights, wide.ln_weights);
+        prop_assert_eq!(serial.pilot_calls, wide.pilot_calls);
+    }
+
+    /// A proposal shifted far from the mass (no defensive component) shows
+    /// degenerate weights: ESS collapses to a small fraction of n. This is
+    /// the diagnostic the docs tell users to watch; it must actually fire.
+    #[test]
+    fn bad_proposal_degrades_ess(seed in 0u64..5000, axis in 0usize..5) {
+        let n = 2000usize;
+        let mut shift = [0.0f64; 5];
+        shift[axis] = 6.0; // 6σ off-center with no nominal guard
+        let bad = IsProposal::new(vec![IsComponent { weight: 1.0, shift, scale: 0.6 }]);
+        let engine = McEngine::new(VariationSpace::tt_22nm(), n, seed);
+        let rows = engine.draw_proposal(&bad);
+        let ln: Vec<f64> = rows.iter().map(|(_, lw)| *lw).collect();
+        let e = ess(&ln);
+        prop_assert!(
+            e < 0.05 * n as f64,
+            "6σ proposal must collapse the ESS: got {e} of {n}"
+        );
+
+        // The selected proposal from a real pilot keeps a healthy ESS on the
+        // same budget — the contrast that makes the diagnostic meaningful.
+        let good = engine.simulate_is(
+            &RegimeCompetitionArc::balanced_bimodal(),
+            0.02,
+            0.05,
+            &IsConfig { pilot_samples: 128, ..IsConfig::default() },
+        );
+        prop_assert!(good.ess() > 0.05 * n as f64, "selected proposal ESS {}", good.ess());
+    }
+}

@@ -1,15 +1,21 @@
 //! `obs-check` — validates emitted observability artifacts against the
-//! documented schemas (`docs/OBSERVABILITY.md`). CI runs this over real
-//! pipeline output so the schemas cannot silently drift.
+//! documented schemas (`docs/OBSERVABILITY.md`) and gates bench summaries
+//! against committed baselines. CI runs this over real pipeline output so
+//! the schemas cannot silently drift and the benches cannot silently regress.
 //!
 //! ```text
-//! obs-check --metrics metrics.json --trace trace.jsonl --bench BENCH_table1.json
+//! obs-check --metrics metrics.json --trace trace.jsonl --bench BENCH_mc.json
+//! obs-check --bench-compare bench/baselines/BENCH_mc.json BENCH_mc.json \
+//!           --wall-tol 0.25 --acc-tol 0.05 --diff-out bench_diff.txt
 //! ```
 //!
-//! Each flag may repeat; exits non-zero on the first invalid file.
+//! Each flag may repeat; exits non-zero on the first invalid file or failed
+//! comparison. `--diff-out` writes the full comparison report (pass or fail)
+//! for artifact upload.
 
 use std::process::ExitCode;
 
+use lvf2_obs::compare::{compare_bench, CompareConfig};
 use lvf2_obs::{json, schema};
 
 const USAGE: &str = "\
@@ -17,9 +23,21 @@ obs-check — validate lvf2 observability artifacts
 
 USAGE:
   obs-check [--metrics FILE]... [--trace FILE]... [--bench FILE]...
+            [--bench-compare BASELINE CURRENT]...
+            [--wall-tol X] [--acc-tol X] [--diff-out FILE]
 
 Validates --metrics-json output, --trace-json JSONL streams, and
-BENCH_*.json summaries against the schemas in docs/OBSERVABILITY.md.";
+BENCH_*.json summaries against the schemas in docs/OBSERVABILITY.md.
+
+--bench-compare gates CURRENT against BASELINE: fails on >X relative
+wall-time growth (--wall-tol, default 0.25) or >X accuracy degradation
+(--acc-tol, default 0.05) on any direction-gated quality key. The full
+diff report goes to stdout and, when --diff-out is given, to that file.";
+
+enum Job {
+    Check(&'static str, String),
+    Compare(String, String),
+}
 
 fn check_file(kind: &str, path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -41,15 +59,86 @@ fn check_file(kind: &str, path: &str) -> Result<String, String> {
     }
 }
 
+fn load_bench(path: &str) -> Result<json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    schema::check_bench(&doc).map_err(|e| format!("{path}: {e}"))?;
+    Ok(doc)
+}
+
+fn run_compare(
+    base_path: &str,
+    cur_path: &str,
+    cfg: &CompareConfig,
+    diff_out: Option<&str>,
+) -> Result<String, String> {
+    let base = load_bench(base_path)?;
+    let current = load_bench(cur_path)?;
+    let cmp = compare_bench(&base, &current, cfg)
+        .map_err(|e| format!("{base_path} vs {cur_path}: {e}"))?;
+    let report = cmp.report();
+    if let Some(path) = diff_out {
+        std::fs::write(path, &report).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if cmp.passed() {
+        Ok(format!(
+            "{report}ok: {cur_path} within tolerances of {base_path}"
+        ))
+    } else {
+        Err(format!(
+            "{report}bench regression: {cur_path} vs baseline {base_path}"
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut jobs: Vec<(&str, String)> = Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut diff_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let kind = match a.as_str() {
             "--metrics" => "metrics",
             "--trace" => "trace",
             "--bench" => "bench",
+            "--bench-compare" => {
+                match (it.next(), it.next()) {
+                    (Some(base), Some(cur)) => {
+                        jobs.push(Job::Compare(base.clone(), cur.clone()));
+                    }
+                    _ => {
+                        eprintln!("error: --bench-compare requires BASELINE and CURRENT paths");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                continue;
+            }
+            "--wall-tol" | "--acc-tol" | "--diff-out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: {a} requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match a.as_str() {
+                    "--diff-out" => diff_out = Some(v.clone()),
+                    flag => {
+                        let Ok(x) = v.parse::<f64>() else {
+                            eprintln!("error: invalid value `{v}` for {flag}");
+                            return ExitCode::FAILURE;
+                        };
+                        if x.is_nan() || x < 0.0 {
+                            eprintln!("error: {flag} must be non-negative, got {x}");
+                            return ExitCode::FAILURE;
+                        }
+                        if flag == "--wall-tol" {
+                            cfg.wall_tol = x;
+                        } else {
+                            cfg.acc_tol = x;
+                        }
+                    }
+                }
+                continue;
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -60,7 +149,7 @@ fn main() -> ExitCode {
             }
         };
         match it.next() {
-            Some(path) => jobs.push((kind, path.clone())),
+            Some(path) => jobs.push(Job::Check(kind, path.clone())),
             None => {
                 eprintln!("error: --{kind} requires a file path");
                 return ExitCode::FAILURE;
@@ -71,8 +160,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
-    for (kind, path) in jobs {
-        match check_file(kind, &path) {
+    for job in jobs {
+        let outcome = match &job {
+            Job::Check(kind, path) => check_file(kind, path),
+            Job::Compare(base, cur) => run_compare(base, cur, &cfg, diff_out.as_deref()),
+        };
+        match outcome {
             Ok(msg) => println!("{msg}"),
             Err(e) => {
                 eprintln!("error: {e}");

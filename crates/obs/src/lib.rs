@@ -50,10 +50,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod compare;
 pub mod json;
 pub mod metrics;
 pub mod schema;
 
+pub use compare::{compare_bench, BenchComparison, CompareConfig};
 use json::Value;
 pub use metrics::{HistSummary, Registry, Snapshot};
 

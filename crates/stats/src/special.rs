@@ -468,6 +468,27 @@ pub fn norm_quantile(p: f64) -> f64 {
     x - u / (1.0 + 0.5 * x * u)
 }
 
+/// Minimum resolvable tail probability for an `n`-draw estimator.
+///
+/// An estimator that observed **zero** hits in `n` draws must not report an
+/// exact `0.0`: downstream yield math works in log space, and `ln 0`
+/// poisons every quantity it touches. The rule of three says zero hits in
+/// `n` draws bounds the true probability below `3/n` at 95% confidence;
+/// this floor reports one third of the midpoint-style bound,
+/// `1 / (3·(n + 1))` — a conservative point estimate that decays with the
+/// sample budget and stays strictly positive.
+///
+/// # Example
+///
+/// ```
+/// let p = lvf2_stats::special::min_tail_probability(999);
+/// assert!((p - 1.0 / 3000.0).abs() < 1e-18);
+/// assert!(lvf2_stats::special::min_tail_probability(0) > 0.0);
+/// ```
+pub fn min_tail_probability(n: usize) -> f64 {
+    1.0 / (3.0 * (n as f64 + 1.0))
+}
+
 /// Owen's T function `T(h, a)`.
 ///
 /// ```text
