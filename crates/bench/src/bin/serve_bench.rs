@@ -1,0 +1,119 @@
+//! Characterization-daemon bench: cold vs warm latency of a full library
+//! job through a real in-process `lvf2-serve` instance (TCP loopback,
+//! length-prefixed JSON, content-addressed arc cache).
+//!
+//! Submits one library job cold (every arc computed: MC + EM), then repeats
+//! it warm (every arc served from the cache) and writes a `lvf2-bench-v1`
+//! summary (`BENCH_serve.json`) with:
+//!
+//! - `cold_ms` — first submission, cache empty (lower better);
+//! - `warm_ms` — min over `--warm-repeats` repeats, cache full (lower better);
+//! - `speedup` — `cold_ms / warm_ms` (higher better; asserted ≥ 10);
+//! - `hit_rate` — warm-phase cache hits / lookups (asserted = 1);
+//! - `bit_identical` — 1.0 iff every warm library matches the cold one
+//!   byte for byte (asserted).
+//!
+//! Flags: `--samples`, `--grid 8x8|3x3`, `--warm-repeats`, `--workers`,
+//! plus the shared observability/bench flags (`--bench-json`,
+//! `--metrics-json`, …).
+
+use std::time::Instant;
+
+use lvf2_bench::{arg, obs_init, BenchReport};
+use lvf2_obs::json::{self, Value};
+use lvf2_serve::{Client, Response, Server, ServerConfig};
+
+fn stat(resp: &Response, name: &str) -> f64 {
+    resp.stats.get(name).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn main() {
+    let _obs = obs_init();
+    // Warm latency is dominated by response serialization and is independent
+    // of the sample count; 4000 samples keeps the cold phase comfortably
+    // above the asserted 10x separation without stretching CI.
+    let samples: usize = arg("--samples", 4000);
+    let grid: String = arg("--grid", "3x3".to_string());
+    let warm_repeats: usize = arg("--warm-repeats", 3usize).max(1);
+    let workers: usize = arg("--workers", 2);
+
+    let job = json::parse(&format!(
+        r#"{{"type":"characterize","cells":["INV","NAND2","XOR2"],
+            "options":{{"samples":{samples},"grid":"{grid}"}}}}"#
+    ))
+    .expect("job literal parses");
+
+    let server = Server::spawn(
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_workers(workers),
+    )
+    .expect("daemon binds a loopback port");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("loopback connect");
+
+    let mut report = BenchReport::start("serve");
+    report.param("samples", samples as f64);
+    report.param("grid", grid.as_str());
+    report.param("warm_repeats", warm_repeats as f64);
+    report.param("workers", workers as f64);
+    report.param("cells", "INV,NAND2,XOR2");
+
+    // Phase 1 — cold: the cache is empty, every arc pays MC + EM.
+    let t0 = Instant::now();
+    let cold = client.call(job.clone()).expect("cold job succeeds");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(stat(&cold, "cache_hits"), 0.0, "cold run must miss");
+    let arcs = stat(&cold, "cache_misses");
+    assert!(arcs > 0.0, "cold run must compute at least one arc");
+    let cold_lib = cold
+        .result
+        .get("library")
+        .and_then(Value::as_str)
+        .expect("characterize returns liberty text")
+        .to_string();
+
+    // Phase 2 — warm: identical job; the content-addressed cache answers
+    // every arc. Min-of-repeats damps loopback scheduling noise.
+    let mut warm_ms = f64::INFINITY;
+    let mut hits = 0.0;
+    let mut lookups = 0.0;
+    let mut bit_identical = true;
+    for _ in 0..warm_repeats {
+        let t1 = Instant::now();
+        let warm = client.call(job.clone()).expect("warm job succeeds");
+        warm_ms = warm_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        hits += stat(&warm, "cache_hits");
+        lookups += stat(&warm, "cache_hits") + stat(&warm, "cache_misses");
+        bit_identical &=
+            warm.result.get("library").and_then(Value::as_str) == Some(cold_lib.as_str());
+    }
+    let hit_rate = hits / lookups;
+    let speedup = cold_ms / warm_ms;
+
+    client.shutdown().expect("daemon acknowledges shutdown");
+    server.join();
+
+    assert!(bit_identical, "warm libraries drifted from the cold one");
+    assert!(
+        (hit_rate - 1.0).abs() < f64::EPSILON,
+        "warm phase must be all hits, got {hit_rate}"
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm repeat must be at least 10x faster than cold, got {speedup:.1}x \
+         (cold {cold_ms:.2} ms, warm {warm_ms:.2} ms)"
+    );
+
+    println!("workload: 3 cells x {arcs:.0} arcs, {samples} samples/condition, {grid} grid");
+    println!("cold    {cold_ms:9.2} ms  (cache empty: MC + EM per arc)");
+    println!("warm    {warm_ms:9.2} ms  (min of {warm_repeats}; all arcs from cache)");
+    println!("speedup {speedup:8.1}x   hit rate {:.0}%", hit_rate * 100.0);
+
+    report.quality("cold_ms", cold_ms);
+    report.quality("warm_ms", warm_ms);
+    report.quality("speedup", speedup);
+    report.quality("hit_rate", hit_rate);
+    report.quality("bit_identical", f64::from(bit_identical));
+    report.finish();
+}

@@ -97,6 +97,20 @@ pub fn characterize_arc_par(
     samples: usize,
     par: &Parallelism,
 ) -> ArcCharacterization {
+    characterize_arc_par_in(&VariationSpace::tt_22nm(), spec, grid, samples, par)
+}
+
+/// [`characterize_arc_par`] in an explicit process-variation space instead
+/// of the built-in `tt_22nm` corner. This is the knob incremental
+/// re-characterization turns: a request that rescales `space` for one cell
+/// dirties only that cell's arcs.
+pub fn characterize_arc_par_in(
+    space: &VariationSpace,
+    spec: &TimingArcSpec,
+    grid: &SlewLoadGrid,
+    samples: usize,
+    par: &Parallelism,
+) -> ArcCharacterization {
     let obs = Obs::current();
     let _span = obs.span("cells.characterize_arc");
     let base = spec.synthesize();
@@ -105,12 +119,8 @@ pub fn characterize_arc_par(
     obs.inc("cells.mc_samples", (points.len() * samples) as u64);
     let conditions = par.par_map(&points, |&(i, j, slew, load)| {
         let arc = condition_arc(&base, i, j);
-        let engine = McEngine::new(
-            VariationSpace::tt_22nm(),
-            samples,
-            condition_seed(spec, i, j),
-        )
-        .with_parallelism(Parallelism::serial());
+        let engine = McEngine::new(*space, samples, condition_seed(spec, i, j))
+            .with_parallelism(Parallelism::serial());
         let r = engine.simulate(&arc, slew, load);
         ConditionSamples {
             slew_index: i,
@@ -228,6 +238,19 @@ pub fn tail_yield_arc(
     opts: &TailYieldOptions,
     par: &Parallelism,
 ) -> Vec<ConditionTailYield> {
+    tail_yield_arc_in(&VariationSpace::tt_22nm(), spec, grid, opts, par)
+}
+
+/// [`tail_yield_arc`] in an explicit process-variation space — the tail-yield
+/// companion of [`characterize_arc_par_in`], with the same determinism
+/// contract.
+pub fn tail_yield_arc_in(
+    space: &VariationSpace,
+    spec: &TimingArcSpec,
+    grid: &SlewLoadGrid,
+    opts: &TailYieldOptions,
+    par: &Parallelism,
+) -> Vec<ConditionTailYield> {
     let obs = Obs::current();
     let _span = obs.span("cells.tail_yield_arc");
     let base = spec.synthesize();
@@ -235,12 +258,8 @@ pub fn tail_yield_arc(
     obs.inc("cells.tail_conditions", points.len() as u64);
     par.par_map(&points, |&(i, j, slew, load)| {
         let arc = condition_arc(&base, i, j);
-        let engine = McEngine::new(
-            VariationSpace::tt_22nm(),
-            opts.samples,
-            condition_seed(spec, i, j),
-        )
-        .with_parallelism(Parallelism::serial());
+        let engine = McEngine::new(*space, opts.samples, condition_seed(spec, i, j))
+            .with_parallelism(Parallelism::serial());
         match opts.mode {
             McMode::Lhs => {
                 let r = engine.simulate(&arc, slew, load);

@@ -29,8 +29,9 @@ pub mod types;
 
 pub use arc::{ArcId, Edge, TimingArcSpec};
 pub use characterize::{
-    characterize_arc, characterize_arc_par, characterize_library, condition_arc, condition_seed,
-    tail_yield_arc, ArcCharacterization, ConditionSamples, ConditionTailYield, TailYieldOptions,
+    characterize_arc, characterize_arc_par, characterize_arc_par_in, characterize_library,
+    condition_arc, condition_seed, tail_yield_arc, tail_yield_arc_in, ArcCharacterization,
+    ConditionSamples, ConditionTailYield, TailYieldOptions,
 };
 pub use grid::SlewLoadGrid;
 pub use library::CellLibrary;

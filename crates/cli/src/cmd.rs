@@ -14,7 +14,7 @@ use lvf2::liberty::ast::{Cell, Pin, TimingGroup};
 use lvf2::liberty::{
     parse_library, write_library, BaseKind, Library, LutTemplate, TimingModelGrid,
 };
-use lvf2::mc::{IsConfig, McMode};
+use lvf2::mc::{IsConfig, McMode, VariationSpace};
 use lvf2::obs::{info, warn, Obs, ObsConfig};
 use lvf2::parallel::{Parallelism, DEFAULT_CHUNK_SIZE};
 use lvf2::stats::Distribution;
@@ -33,8 +33,12 @@ USAGE:
                     [--mc-mode lhs|is] [--is-target-sigma K] [--tail-samples N]
                     [--threads N] [--chunk-size N] --out FILE
   lvf2 library --cells NAME,NAME,… [--arcs N] [--samples N] [--grid 8x8|3x3]
-               [--mc-mode lhs|is] [--is-target-sigma K] [--tail-samples N]
-               [--threads N] [--chunk-size N] --out FILE
+               [--sigma-scale K] [--mc-mode lhs|is] [--is-target-sigma K]
+               [--tail-samples N] [--threads N] [--chunk-size N] --out FILE
+  lvf2 serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]
+             [--threads N] [--chunk-size N] [--port-file PATH]
+  lvf2 submit ping|metrics|shutdown [--addr HOST:PORT]
+  lvf2 submit --job FILE|- [--addr HOST:PORT] [--out FILE]
   lvf2 inspect FILE [--cell NAME]
   lvf2 fit FILE|- [--model lvf|norm2|lesn|lvf2] [--fast]
   lvf2 select FILE|- [--max-order K] [--aic]
@@ -54,6 +58,10 @@ Observability (any command):
 `--threads 0` (the default) auto-detects the core count; `--threads 1` forces
 the serial path. Results are bit-identical at every thread count. The
 LVF2_THREADS environment variable supplies a default when --threads is absent.
+
+`lvf2 serve` runs the characterization daemon (length-prefixed JSON over TCP,
+content-addressed arc cache); `lvf2 submit` sends it one job and prints the
+result. See docs/SERVER.md for the wire protocol and job schema.
 
 `--mc-mode is` adds a tail-yield stage: per-condition `P(delay > μ + Kσ)` by
 mixture importance sampling (K from --is-target-sigma, default 3), printed with
@@ -265,19 +273,20 @@ pub fn library(args: &[String]) -> CliResult {
     };
     let par = parallelism(&opts)?;
     let topts = tail_options(&opts)?;
-    let flow_opts = lvf2::flow::FlowOptions {
-        samples: opts.get_or("samples", 2000)?,
-        arcs_per_cell: opts.get_or("arcs", 1)?,
-        grid,
-        fit: FitConfig::fast(),
-        parallelism: par,
-        // The CLI installs the process-wide session in main(); the flow's
-        // own config stays off so `Obs::ensure` defers to it.
-        obs: ObsConfig::off(),
-        mc_mode: topts.mode,
-        is_target_sigma: topts.is.target_sigma,
-        tail_samples: topts.samples,
-    };
+    // The CLI installs the process-wide obs session in main(); the flow's
+    // own config stays off so `Obs::ensure` defers to it.
+    let flow_opts = lvf2::flow::FlowOptions::builder()
+        .samples(opts.get_or("samples", 2000)?)
+        .arcs_per_cell(opts.get_or("arcs", 1)?)
+        .grid(grid)
+        .fit(FitConfig::fast())
+        .variation(VariationSpace::tt_22nm().scaled(opts.get_or("sigma-scale", 1.0)?))
+        .parallelism(par)
+        .obs(ObsConfig::off())
+        .mc_mode(topts.mode)
+        .is_target_sigma(topts.is.target_sigma)
+        .tail_samples(topts.samples)
+        .build()?;
     info!(
         Obs::current(),
         "characterizing {} cell type(s) on {} thread(s)",
@@ -289,10 +298,78 @@ pub fn library(args: &[String]) -> CliResult {
     println!("wrote {out} ({} cell groups)", lib.cells.len());
 
     if topts.mode == McMode::ImportanceSampling {
-        for (spec, tails) in lvf2::flow::tail_yield_report(&cells, &flow_opts) {
+        let req = lvf2::flow::TailYieldRequest::new(cells).with_options(flow_opts);
+        for (spec, tails) in lvf2::flow::tail_yield_report(&req)? {
             println!("tail yield for {spec} (P(delay > μ + Kσ), importance-sampled):");
             print_tail_report(&tails);
         }
+    }
+    Ok(())
+}
+
+/// `lvf2 serve`: run the characterization daemon until a shutdown job
+/// arrives (or the process is killed).
+pub fn serve(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let par = parallelism(&opts)?;
+    let mut cfg = lvf2_serve::ServerConfig::default()
+        .with_addr(opts.get("addr").unwrap_or("127.0.0.1:7272"))
+        .with_workers(opts.get_or("workers", 2)?)
+        .with_queue_capacity(opts.get_or("queue", 16)?)
+        .with_cache_capacity(opts.get_or("cache-cap", 4096)?)
+        .with_parallelism(par);
+    if let Some(path) = opts.get("port-file") {
+        cfg = cfg.with_port_file(path);
+    }
+    let server = lvf2_serve::Server::spawn(cfg)?;
+    println!("lvf2-serve listening on {}", server.addr());
+    server.join();
+    println!("lvf2-serve stopped");
+    Ok(())
+}
+
+/// `lvf2 submit`: send one job to a running daemon and print the result.
+pub fn submit(args: &[String]) -> CliResult {
+    use lvf2::obs::json;
+    let opts = Opts::parse(args);
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7272");
+    let job_text = if let Some(path) = opts.get("job") {
+        if path == "-" {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s)?;
+            s
+        } else {
+            std::fs::read_to_string(path)?
+        }
+    } else if let Some(kind) = opts.positional(0) {
+        match kind {
+            "ping" | "metrics" | "shutdown" => format!("{{\"type\":\"{kind}\"}}"),
+            other => {
+                return Err(format!(
+                    "unknown shorthand `{other}` (ping, metrics, shutdown; or --job FILE|-)"
+                )
+                .into())
+            }
+        }
+    } else {
+        return Err("provide a job: `lvf2 submit ping|metrics|shutdown` or `--job FILE|-`".into());
+    };
+    let job = json::parse(&job_text).map_err(|e| format!("invalid job JSON: {e}"))?;
+    let mut client = lvf2_serve::Client::connect(addr)
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    let resp = client.call(job)?;
+    info!(Obs::current(), "job stats: {}", resp.stats.to_json());
+    if let Some(out) = opts.get("out") {
+        // Characterize responses carry Liberty text; unwrap it so the file
+        // is directly consumable. Anything else is written as JSON.
+        let payload = match resp.result.get("library").and_then(json::Value::as_str) {
+            Some(lib) => lib.to_string(),
+            None => resp.result.to_json(),
+        };
+        std::fs::write(out, payload)?;
+        println!("wrote {out}");
+    } else {
+        println!("{}", resp.result.to_json());
     }
     Ok(())
 }

@@ -7,6 +7,8 @@
 //! lvf2 select samples.txt --max-order 3                    # BIC order selection
 //! lvf2 switch samples.txt --depth 8                        # §3.4 LVF vs LVF²
 //! lvf2 scenario two-peaks --samples 50000                  # dump a Fig. 3 scenario
+//! lvf2 serve --addr 127.0.0.1:7272                         # characterization daemon
+//! lvf2 submit --job job.json --out out.lib                 # send it one job
 //! ```
 //!
 //! Every command also accepts the shared observability flags (`-v`, `-q`,
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "characterize" => cmd::characterize(rest),
         "library" => cmd::library(rest),
+        "serve" => cmd::serve(rest),
+        "submit" => cmd::submit(rest),
         "inspect" => cmd::inspect(rest),
         "fit" => cmd::fit(rest),
         "select" => cmd::select(rest),

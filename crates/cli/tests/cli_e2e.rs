@@ -28,6 +28,8 @@ fn help_lists_all_subcommands() {
         "scenario",
         "yield",
         "sta",
+        "serve",
+        "submit",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`");
     }
@@ -284,6 +286,108 @@ fn quiet_flag_suppresses_info_logging() {
         !err.contains("characterizing"),
         "-q must silence info lines, got: {err}"
     );
+}
+
+#[test]
+fn serve_and_submit_round_trip() {
+    let dir = tempdir();
+    let port_file = dir.join("serve.port");
+    let metrics = dir.join("serve_metrics.json");
+    let _ = std::fs::remove_file(&port_file);
+    let mut daemon = lvf2()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--port-file",
+            port_file.to_str().expect("utf8"),
+            "--metrics-json",
+            metrics.to_str().expect("utf8"),
+        ])
+        .spawn()
+        .expect("daemon starts");
+
+    // The daemon writes its (ephemeral) address once it is listening.
+    let addr = {
+        let mut waited = 0;
+        loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_string();
+                }
+            }
+            waited += 1;
+            assert!(waited < 200, "daemon never wrote {}", port_file.display());
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    };
+
+    let submit = |args: &[&str]| {
+        lvf2()
+            .args(["submit", "--addr", &addr])
+            .args(args)
+            .output()
+            .expect("submit runs")
+    };
+
+    let ping = submit(&["ping"]);
+    assert!(
+        ping.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&ping.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ping.stdout).contains("pong"));
+
+    let job = dir.join("job.json");
+    std::fs::write(
+        &job,
+        r#"{"type":"characterize","cells":["INV"],"options":{"samples":256,"grid":"3x3"}}"#,
+    )
+    .expect("write job");
+    let out1 = dir.join("one.lib");
+    let out2 = dir.join("two.lib");
+    for out in [&out1, &out2] {
+        let run = submit(&[
+            "--job",
+            job.to_str().expect("utf8"),
+            "--out",
+            out.to_str().expect("utf8"),
+        ]);
+        assert!(
+            run.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+    }
+    let lib1 = std::fs::read_to_string(&out1).expect("first library");
+    assert!(lib1.contains("lu_table_template"), "library: {lib1}");
+    assert_eq!(
+        lib1,
+        std::fs::read_to_string(&out2).expect("second library"),
+        "warm repeat must be bit-identical"
+    );
+
+    let m = submit(&["metrics"]);
+    assert!(m.status.success());
+    let mtext = String::from_utf8_lossy(&m.stdout);
+    let doc = lvf2::obs::json::parse(&mtext).expect("metrics response is JSON");
+    let cache = doc.get("cache").expect("cache block");
+    let hits = cache
+        .get("hits")
+        .and_then(lvf2::obs::json::Value::as_f64)
+        .expect("hit count");
+    assert!(hits >= 1.0, "second job must hit the cache: {mtext}");
+
+    let bye = submit(&["shutdown"]);
+    assert!(bye.status.success());
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit: {status}");
+
+    // The shared --metrics-json sink works for the daemon too.
+    let mtext = std::fs::read_to_string(&metrics).expect("daemon metrics written");
+    assert!(mtext.contains("serve.cache.hits"), "metrics: {mtext}");
 }
 
 #[test]

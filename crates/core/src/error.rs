@@ -1,0 +1,158 @@
+//! The unified workspace error type.
+//!
+//! Every layer of the pipeline has its own precise error enum
+//! ([`FitError`], [`LibertyError`], [`SstaError`], [`StatsError`]); the
+//! flow-level entry points that compose those layers — and the `lvf2-serve`
+//! daemon that serializes their failures over a socket — need one coherent
+//! shape instead of four ad-hoc ones. [`Lvf2Error`] wraps each layer error
+//! losslessly and adds the configuration-validation variant the
+//! [`FlowOptions`](crate::flow::FlowOptions) builder reports.
+
+use std::fmt;
+
+use lvf2_fit::FitError;
+use lvf2_liberty::LibertyError;
+use lvf2_ssta::SstaError;
+use lvf2_stats::StatsError;
+
+/// The unified error type of the flow-level API.
+///
+/// # Example
+///
+/// ```
+/// use lvf2::Lvf2Error;
+///
+/// let err = lvf2::flow::FlowOptions::builder().samples(0).build().unwrap_err();
+/// assert!(matches!(err, Lvf2Error::InvalidConfig { .. }));
+/// assert_eq!(err.kind(), "invalid_config");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lvf2Error {
+    /// A distribution constructor or estimator rejected its inputs.
+    Stats(StatsError),
+    /// A fit failed (degenerate data, non-convergence, …).
+    Fit(FitError),
+    /// Liberty text could not be parsed or interpreted.
+    Liberty(LibertyError),
+    /// SSTA propagation failed.
+    Ssta(SstaError),
+    /// A configuration was rejected before any work ran (builder
+    /// validation, request decoding).
+    InvalidConfig {
+        /// Which field was rejected.
+        field: &'static str,
+        /// Human-readable cause.
+        why: String,
+    },
+}
+
+impl Lvf2Error {
+    /// Constructs an [`Lvf2Error::InvalidConfig`].
+    pub fn invalid(field: &'static str, why: impl Into<String>) -> Self {
+        Lvf2Error::InvalidConfig {
+            field,
+            why: why.into(),
+        }
+    }
+
+    /// A stable machine-readable tag for each variant — the `error.kind`
+    /// field of the `lvf2-serve` wire protocol (see `docs/SERVER.md`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lvf2Error::Stats(_) => "stats",
+            Lvf2Error::Fit(_) => "fit",
+            Lvf2Error::Liberty(_) => "liberty",
+            Lvf2Error::Ssta(_) => "ssta",
+            Lvf2Error::InvalidConfig { .. } => "invalid_config",
+        }
+    }
+}
+
+impl fmt::Display for Lvf2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lvf2Error::Stats(e) => write!(f, "{e}"),
+            Lvf2Error::Fit(e) => write!(f, "{e}"),
+            Lvf2Error::Liberty(e) => write!(f, "{e}"),
+            Lvf2Error::Ssta(e) => write!(f, "{e}"),
+            Lvf2Error::InvalidConfig { field, why } => {
+                write!(f, "invalid `{field}`: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Lvf2Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Lvf2Error::Stats(e) => Some(e),
+            Lvf2Error::Fit(e) => Some(e),
+            Lvf2Error::Liberty(e) => Some(e),
+            Lvf2Error::Ssta(e) => Some(e),
+            Lvf2Error::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<StatsError> for Lvf2Error {
+    fn from(e: StatsError) -> Self {
+        Lvf2Error::Stats(e)
+    }
+}
+
+impl From<FitError> for Lvf2Error {
+    fn from(e: FitError) -> Self {
+        Lvf2Error::Fit(e)
+    }
+}
+
+impl From<LibertyError> for Lvf2Error {
+    fn from(e: LibertyError) -> Self {
+        Lvf2Error::Liberty(e)
+    }
+}
+
+impl From<SstaError> for Lvf2Error {
+    fn from(e: SstaError) -> Self {
+        Lvf2Error::Ssta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer_error() {
+        let s: Lvf2Error = StatsError::EmptyMixture.into();
+        assert_eq!(s.kind(), "stats");
+        assert!(std::error::Error::source(&s).is_some());
+
+        let f: Lvf2Error = FitError::DegenerateData { why: "flat" }.into();
+        assert_eq!(f.kind(), "fit");
+        assert!(f.to_string().contains("degenerate"));
+
+        let l: Lvf2Error = LibertyError::MissingTable {
+            attribute: "ocv_std_dev_cell_rise".into(),
+        }
+        .into();
+        assert_eq!(l.kind(), "liberty");
+
+        let t: Lvf2Error = SstaError::GraphCycle.into();
+        assert_eq!(t.kind(), "ssta");
+    }
+
+    #[test]
+    fn invalid_config_names_the_field() {
+        let e = Lvf2Error::invalid("samples", "must be positive");
+        assert_eq!(e.kind(), "invalid_config");
+        assert!(e.to_string().contains("`samples`"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Lvf2Error>();
+    }
+}

@@ -56,9 +56,11 @@ pub use lvf2_parallel as parallel;
 pub use lvf2_ssta as ssta;
 pub use lvf2_stats as stats;
 
+pub mod error;
 pub mod flow;
 pub mod model;
 pub mod switch;
 
+pub use error::Lvf2Error;
 pub use model::{fit_all_models, fit_model, score_all, AllFits, AllScores, ModelKind};
 pub use switch::{recommend_model, SwitchReport};

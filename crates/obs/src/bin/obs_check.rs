@@ -7,6 +7,7 @@
 //! obs-check --metrics metrics.json --trace trace.jsonl --bench BENCH_mc.json
 //! obs-check --bench-compare bench/baselines/BENCH_mc.json BENCH_mc.json \
 //!           --wall-tol 0.25 --acc-tol 0.05 --diff-out bench_diff.txt
+//! obs-check --counter-at-least metrics.json serve.cache.hits 1
 //! ```
 //!
 //! Each flag may repeat; exits non-zero on the first invalid file or failed
@@ -24,10 +25,15 @@ obs-check — validate lvf2 observability artifacts
 USAGE:
   obs-check [--metrics FILE]... [--trace FILE]... [--bench FILE]...
             [--bench-compare BASELINE CURRENT]...
+            [--counter-at-least FILE NAME MIN]...
             [--wall-tol X] [--acc-tol X] [--diff-out FILE]
 
 Validates --metrics-json output, --trace-json JSONL streams, and
 BENCH_*.json summaries against the schemas in docs/OBSERVABILITY.md.
+
+--counter-at-least validates FILE as lvf2-metrics-v1 and fails unless its
+counter NAME is present with a value of at least MIN (CI uses this to gate
+the daemon's cache hit-rate).
 
 --bench-compare gates CURRENT against BASELINE: fails on >X relative
 wall-time growth (--wall-tol, default 0.25) or >X accuracy degradation
@@ -37,6 +43,7 @@ diff report goes to stdout and, when --diff-out is given, to that file.";
 enum Job {
     Check(&'static str, String),
     Compare(String, String),
+    CounterAtLeast(String, String, u64),
 }
 
 fn check_file(kind: &str, path: &str) -> Result<String, String> {
@@ -64,6 +71,23 @@ fn load_bench(path: &str) -> Result<json::Value, String> {
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     schema::check_bench(&doc).map_err(|e| format!("{path}: {e}"))?;
     Ok(doc)
+}
+
+fn check_counter(path: &str, name: &str, min: u64) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    schema::check_metrics(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let value = doc
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(json::Value::as_f64)
+        .ok_or_else(|| format!("{path}: counter `{name}` not present"))?;
+    if value < min as f64 {
+        return Err(format!(
+            "{path}: counter `{name}` is {value}, expected at least {min}"
+        ));
+    }
+    Ok(format!("ok: {path} ({name} = {value} >= {min})"))
 }
 
 fn run_compare(
@@ -109,6 +133,22 @@ fn main() -> ExitCode {
                     }
                     _ => {
                         eprintln!("error: --bench-compare requires BASELINE and CURRENT paths");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                continue;
+            }
+            "--counter-at-least" => {
+                match (it.next(), it.next(), it.next()) {
+                    (Some(path), Some(name), Some(min)) => {
+                        let Ok(min) = min.parse::<u64>() else {
+                            eprintln!("error: invalid minimum `{min}` for --counter-at-least");
+                            return ExitCode::FAILURE;
+                        };
+                        jobs.push(Job::CounterAtLeast(path.clone(), name.clone(), min));
+                    }
+                    _ => {
+                        eprintln!("error: --counter-at-least requires FILE NAME MIN");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -164,6 +204,7 @@ fn main() -> ExitCode {
         let outcome = match &job {
             Job::Check(kind, path) => check_file(kind, path),
             Job::Compare(base, cur) => run_compare(base, cur, &cfg, diff_out.as_deref()),
+            Job::CounterAtLeast(path, name, min) => check_counter(path, name, *min),
         };
         match outcome {
             Ok(msg) => println!("{msg}"),

@@ -260,6 +260,13 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The counter `name`'s total, or 0 when it was never written — the
+    /// ergonomic form of `snapshot.counters.get(name)` for assertions like
+    /// "a warm cache repeat performed zero MC draws".
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// The full snapshot as the documented `lvf2-metrics-v1` JSON document.
     pub fn to_json(&self) -> Value {
         let counters = Value::Obj(

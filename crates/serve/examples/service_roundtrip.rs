@@ -1,0 +1,45 @@
+//! Characterization-as-a-service round trip: spawn the daemon in-process on
+//! an ephemeral port, submit the same library job twice, and watch the
+//! second one come back from the content-addressed arc cache.
+//!
+//! The request path is the typed one everywhere: the JSON job is decoded
+//! through `FlowOptions::builder()`, so a library caller, the CLI, and a
+//! wire client all validate (and cache-key) identically.
+//!
+//! Run with: `cargo run -p lvf2-serve --example service_roundtrip --release`
+
+use std::time::Instant;
+
+use lvf2_obs::json::{self, Value};
+use lvf2_serve::{Client, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::spawn(ServerConfig::default().with_addr("127.0.0.1:0"))?;
+    let addr = server.addr().to_string();
+    println!("daemon listening on {addr}");
+
+    let job = json::parse(
+        r#"{"type":"characterize","cells":["INV","NAND2"],
+            "options":{"samples":1000,"grid":"3x3"}}"#,
+    )
+    .expect("job literal parses");
+
+    let mut client = Client::connect(&addr)?;
+    for phase in ["cold", "warm"] {
+        let t0 = Instant::now();
+        let resp = client.call(job.clone())?;
+        let hits = resp.stats.get("cache_hits").and_then(Value::as_f64);
+        let misses = resp.stats.get("cache_misses").and_then(Value::as_f64);
+        println!(
+            "{phase}: {:7.1} ms  (cache hits {:?}, misses {:?})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            hits,
+            misses,
+        );
+    }
+
+    client.shutdown()?;
+    server.join();
+    println!("daemon stopped");
+    Ok(())
+}

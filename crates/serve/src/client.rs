@@ -1,0 +1,178 @@
+//! A blocking client for the wire protocol — used by `lvf2 submit`, the
+//! serve bench, and the e2e tests.
+
+use std::net::TcpStream;
+
+use lvf2_obs::json::Value;
+
+use crate::proto::{read_frame, write_frame, Envelope, ProtoError};
+
+/// A decoded success response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// The job's `result` object.
+    pub result: Value,
+    /// The job's `stats` object (`wall_us`, `cache_hits`, `cache_misses`).
+    pub stats: Value,
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered `ok: false`.
+    Server {
+        /// Stable error tag (`invalid_config`, `fit`, `queue_full`, …).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// One connection to a daemon; requests are issued serially.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Connection I/O errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            next_id: 1,
+        })
+    }
+
+    /// Submits one job object and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Proto`] for transport failures (including a server
+    /// that closed without answering), [`ClientError::Server`] when the
+    /// response is `ok: false`.
+    pub fn call(&mut self, job: Value) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = Envelope { id, job };
+        write_frame(&mut self.stream, &env.encode())?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| ProtoError::Malformed("server closed before responding".into()))?;
+        decode_response(&frame)
+    }
+
+    /// `{"type":"ping"}`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.call(Value::Obj(vec![("type".into(), Value::from("ping"))]))
+    }
+
+    /// `{"type":"metrics"}`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.call(Value::Obj(vec![("type".into(), Value::from("metrics"))]))
+    }
+
+    /// `{"type":"shutdown"}` — stops the daemon.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(Value::Obj(vec![("type".into(), Value::from("shutdown"))]))
+    }
+}
+
+fn decode_response(frame: &[u8]) -> Result<Response, ClientError> {
+    let text = std::str::from_utf8(frame)
+        .map_err(|e| ProtoError::Malformed(format!("non-UTF-8 response: {e}")))?;
+    let v = lvf2_obs::json::parse(text).map_err(ProtoError::Malformed)?;
+    let id = v.get("id").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    match v.get("ok") {
+        Some(Value::Bool(true)) => Ok(Response {
+            id,
+            result: v.get("result").cloned().unwrap_or(Value::Null),
+            stats: v.get("stats").cloned().unwrap_or(Value::Null),
+        }),
+        Some(Value::Bool(false)) => {
+            let err = v.get("error").cloned().unwrap_or(Value::Null);
+            Err(ClientError::Server {
+                kind: err
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                message: err
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })
+        }
+        _ => Err(ProtoError::Malformed("response missing `ok`".into()).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{encode_err, encode_ok};
+
+    #[test]
+    fn decodes_ok_and_error_responses() {
+        let ok = encode_ok(
+            3,
+            Value::Obj(vec![("pong".into(), Value::from(1u64))]),
+            Value::Obj(vec![]),
+        );
+        let r = decode_response(&ok).unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(r.result.get("pong").unwrap().as_f64(), Some(1.0));
+
+        let err = encode_err(4, "fit", "degenerate data");
+        match decode_response(&err).unwrap_err() {
+            ClientError::Server { kind, message } => {
+                assert_eq!(kind, "fit");
+                assert!(message.contains("degenerate"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `lvf2-serve` — characterization-as-a-service for the LVF² pipeline.
+//!
+//! The batch flow (`lvf2::flow`) characterizes a library once and exits; a
+//! library vendor serving many concurrent consumers re-characterizes the
+//! *same* arcs over and over. This crate turns the pipeline into a
+//! long-running daemon whose warm cache makes repeated and overlapping jobs
+//! memoized model lookups:
+//!
+//! - **Wire protocol** ([`proto`]): `u32` big-endian length-prefixed JSON
+//!   frames over TCP, using `lvf2-obs`'s dependency-free JSON — the whole
+//!   crate keeps the workspace's zero-dependency stance.
+//! - **Typed requests** ([`request`]): the wire-level job types
+//!   (`characterize`, `fit`, `tail_yield`, `bin`) decode into the same
+//!   structs the in-process API takes ([`lvf2::flow::FlowOptions`] via its
+//!   validating builder, [`lvf2::flow::TailYieldRequest`]), so a malformed
+//!   job is rejected with an [`lvf2::Lvf2Error`] before any work runs.
+//! - **Content-addressed cache** ([`cache`]): fitted arc models are keyed
+//!   by a canonical FNV-1a hash of (cell, arc, grid, variation config, fit
+//!   config, seed). Overlapping jobs share single-flight computation;
+//!   repeated jobs skip Monte-Carlo and EM entirely. Because keys hash the
+//!   *inputs* and the pipeline is bit-identical at any thread count, a hit
+//!   returns exactly the bytes a recompute would produce.
+//! - **Bounded job queue + workers** ([`server`]): connections enqueue jobs
+//!   into a bounded queue drained by worker threads; execution fans out on
+//!   the deterministic `lvf2-parallel` pool. Queue depth, cache hit rates,
+//!   and per-job spans flow through `lvf2-obs`.
+//!
+//! See `docs/SERVER.md` for the protocol and cache-key contract, and
+//! `lvf2 serve` / `lvf2 submit` for the CLI front ends.
+//!
+//! # Example
+//!
+//! ```
+//! use lvf2_serve::{Client, ServerConfig, Server};
+//! use lvf2_obs::json;
+//!
+//! let server = Server::spawn(ServerConfig::default().with_addr("127.0.0.1:0")).unwrap();
+//! let mut client = Client::connect(&server.addr().to_string()).unwrap();
+//! let pong = client.call(json::parse(r#"{"type":"ping"}"#).unwrap()).unwrap();
+//! assert_eq!(pong.result.get("pong").and_then(|v| v.as_f64()), Some(1.0));
+//! client.shutdown().unwrap();
+//! server.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod request;
+pub mod server;
+pub mod service;
+
+pub use cache::{arc_cache_key, tail_cache_key, CacheStats, KeyHasher, SingleFlightCache};
+pub use client::{Client, ClientError, Response};
+pub use proto::{read_frame, write_frame, Envelope, ProtoError, MAX_FRAME, PROTOCOL_VERSION};
+pub use request::{BinJob, CharacterizeJob, FitJob, JobRequest, TailYieldJob};
+pub use server::{Server, ServerConfig};
+pub use service::Service;

@@ -1,0 +1,245 @@
+//! The wire protocol: length-prefixed JSON frames and request/response
+//! envelopes.
+//!
+//! Every frame is a `u32` big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Requests and responses are one frame each:
+//!
+//! ```json
+//! {"v":1,"id":7,"job":{"type":"ping"}}
+//! {"v":1,"id":7,"ok":true,"result":{"pong":1},"stats":{"wall_us":12}}
+//! {"v":1,"id":7,"ok":false,"error":{"kind":"invalid_config","message":"…"}}
+//! ```
+//!
+//! `id` is chosen by the client and echoed verbatim; `error.kind` carries
+//! [`lvf2::Lvf2Error::kind`]'s stable tags plus the transport-level kinds
+//! `bad_request` and `queue_full`. The full schema lives in
+//! `docs/SERVER.md`.
+
+use std::io::{Read, Write};
+
+use lvf2_obs::json::{self, Value};
+
+/// Protocol version carried in every envelope (`"v"`).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a frame payload (64 MiB) — a full 25-cell library with
+/// LVF² tables is ~1 MiB of Liberty text, so this is generous without
+/// letting a corrupt length prefix allocate unbounded memory.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A protocol-level failure: transport I/O, framing, or a malformed
+/// envelope.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The frame or envelope was malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one `u32`-BE length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors, or [`ProtoError::Malformed`] when `payload` exceeds
+/// [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(ProtoError::Malformed(format!(
+            "frame of {} bytes exceeds the {} byte cap",
+            payload.len(),
+            MAX_FRAME
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF at a frame boundary
+/// (the peer closed the connection between requests).
+///
+/// # Errors
+///
+/// I/O errors, or [`ProtoError::Malformed`] for an over-cap length prefix.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Malformed(format!(
+            "length prefix {len} exceeds the {MAX_FRAME} byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A decoded request envelope: the client-chosen `id` plus the raw `job`
+/// object (decoded further by [`crate::request::JobRequest::from_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The `job` object.
+    pub job: Value,
+}
+
+impl Envelope {
+    /// Encodes a request envelope to JSON bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        Value::Obj(vec![
+            ("v".into(), Value::from(PROTOCOL_VERSION)),
+            ("id".into(), Value::from(self.id)),
+            ("job".into(), self.job.clone()),
+        ])
+        .to_json()
+        .into_bytes()
+    }
+
+    /// Decodes a request envelope from JSON bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] for non-JSON payloads, missing fields, or a
+    /// version other than [`PROTOCOL_VERSION`].
+    pub fn decode(payload: &[u8]) -> Result<Envelope, ProtoError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| ProtoError::Malformed(format!("non-UTF-8 payload: {e}")))?;
+        let v = json::parse(text).map_err(ProtoError::Malformed)?;
+        let version = v
+            .get("v")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ProtoError::Malformed("missing `v`".into()))?;
+        if version != PROTOCOL_VERSION as f64 {
+            return Err(ProtoError::Malformed(format!(
+                "unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let id = v
+            .get("id")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ProtoError::Malformed("missing `id`".into()))?;
+        let job = v
+            .get("job")
+            .cloned()
+            .ok_or_else(|| ProtoError::Malformed("missing `job`".into()))?;
+        Ok(Envelope { id: id as u64, job })
+    }
+}
+
+/// Encodes a success response.
+pub fn encode_ok(id: u64, result: Value, stats: Value) -> Vec<u8> {
+    Value::Obj(vec![
+        ("v".into(), Value::from(PROTOCOL_VERSION)),
+        ("id".into(), Value::from(id)),
+        ("ok".into(), Value::Bool(true)),
+        ("result".into(), result),
+        ("stats".into(), stats),
+    ])
+    .to_json()
+    .into_bytes()
+}
+
+/// Encodes an error response. `kind` is a stable machine-readable tag:
+/// [`lvf2::Lvf2Error::kind`]'s values, `bad_request`, or `queue_full`.
+pub fn encode_err(id: u64, kind: &str, message: &str) -> Vec<u8> {
+    Value::Obj(vec![
+        ("v".into(), Value::from(PROTOCOL_VERSION)),
+        ("id".into(), Value::from(id)),
+        ("ok".into(), Value::Bool(false)),
+        (
+            "error".into(),
+            Value::Obj(vec![
+                ("kind".into(), Value::from(kind)),
+                ("message".into(), Value::from(message)),
+            ]),
+        ),
+    ])
+    .to_json()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"a\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"a\":1}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let prefix = u32::MAX.to_be_bytes();
+        let mut r = prefix.as_slice();
+        assert!(matches!(read_frame(&mut r), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 8 promised bytes
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        let env = Envelope {
+            id: 42,
+            job: json::parse(r#"{"type":"ping"}"#).unwrap(),
+        };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_version_and_missing_fields() {
+        assert!(Envelope::decode(br#"{"v":2,"id":1,"job":{}}"#).is_err());
+        assert!(Envelope::decode(br#"{"v":1,"job":{}}"#).is_err());
+        assert!(Envelope::decode(br#"{"v":1,"id":1}"#).is_err());
+        assert!(Envelope::decode(b"not json").is_err());
+    }
+
+    #[test]
+    fn error_responses_carry_kind_and_message() {
+        let bytes = encode_err(9, "queue_full", "queue at capacity (16 jobs)");
+        let v = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("queue_full"));
+        assert!(err.get("message").unwrap().as_str().unwrap().contains("16"));
+    }
+}

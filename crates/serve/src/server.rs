@@ -1,0 +1,353 @@
+//! The daemon: accept loop, bounded job queue, worker threads.
+//!
+//! Each connection is serviced by a reader thread that decodes envelopes
+//! and enqueues jobs into a bounded queue (one in-flight request per
+//! connection; concurrency comes from multiple clients). Worker threads
+//! drain the queue and execute on the shared [`Service`], whose inner
+//! fan-out runs on the deterministic `lvf2-parallel` pool. When the queue
+//! is full the job is rejected immediately with a `queue_full` error —
+//! callers retry, the daemon never buffers unboundedly.
+//!
+//! Shutdown is a job: `{"type":"shutdown"}` acknowledges, closes the queue,
+//! and stops the accept loop; in-flight jobs finish first.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use lvf2_obs::{info, warn, Obs};
+use lvf2_parallel::Parallelism;
+
+use crate::proto::{encode_err, encode_ok, read_frame, write_frame, Envelope, ProtoError};
+use crate::request::JobRequest;
+use crate::service::Service;
+
+/// Daemon configuration; see `lvf2 serve` for the CLI flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 picks an ephemeral port (pair with
+    /// `port_file` so clients can find it).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity; jobs beyond it are rejected `queue_full`.
+    pub queue_capacity: usize,
+    /// Completed arc entries each cache retains.
+    pub cache_capacity: usize,
+    /// Thread/chunk configuration for job execution.
+    pub parallelism: Parallelism,
+    /// When set, the bound address (`host:port`) is written here after
+    /// listening starts — how scripts discover an ephemeral port.
+    pub port_file: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7272".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 4096,
+            parallelism: Parallelism::auto(),
+            port_file: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_string();
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the queue capacity (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the per-cache arc capacity (clamped to ≥ 1).
+    pub fn with_cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the execution parallelism.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// Sets the port file path.
+    pub fn with_port_file(mut self, path: &str) -> Self {
+        self.port_file = Some(path.to_string());
+        self
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    req: JobRequest,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// Bounded Mutex+Condvar job queue.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues and returns the new depth, or `None` (dropping the job)
+    /// when full or closed so the caller can answer `queue_full`.
+    fn push(&self, job: QueuedJob) -> Option<usize> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            return None;
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.nonempty.notify_one();
+        Some(depth)
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+struct Shared {
+    service: Service,
+    queue: Queue,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon. Stop it by submitting a `shutdown` job (e.g.
+/// [`crate::Client::shutdown`]), then [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, writes the port file (if configured), and spawns the accept
+    /// loop plus worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind and port-file I/O errors.
+    pub fn spawn(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        if let Some(path) = &cfg.port_file {
+            std::fs::write(path, format!("{addr}\n"))?;
+        }
+        let shared = Arc::new(Shared {
+            service: Service::new(cfg.cache_capacity, cfg.parallelism),
+            queue: Queue::new(cfg.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let obs = Obs::current();
+        info!(
+            obs,
+            "lvf2-serve listening on {addr} ({} workers, queue {}, cache {} arcs)",
+            cfg.workers.max(1),
+            cfg.queue_capacity,
+            cfg.cache_capacity
+        );
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(Server {
+            addr,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the accept loop and workers to finish (i.e. for a
+    /// `shutdown` job).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(shared);
+                connections.push(std::thread::spawn(move || {
+                    connection_loop(stream, &shared);
+                }));
+            }
+            Err(e) => {
+                warn!(Obs::current(), "accept failed: {e}");
+            }
+        }
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let obs = Obs::current();
+    obs.inc("serve.connections", 1);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // client closed cleanly
+            Err(ProtoError::Io(_)) => return,
+            Err(ProtoError::Malformed(m)) => {
+                let _ = write_frame(&mut stream, &encode_err(0, "bad_request", &m));
+                return; // framing is unrecoverable mid-stream
+            }
+        };
+        let env = match Envelope::decode(&frame) {
+            Ok(env) => env,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &encode_err(0, "bad_request", &e.to_string()));
+                continue;
+            }
+        };
+        let req = match JobRequest::from_json(&env.job) {
+            Ok(req) => req,
+            Err(e) => {
+                obs.inc("serve.jobs.rejected", 1);
+                let _ = write_frame(&mut stream, &encode_err(env.id, e.kind(), &e.to_string()));
+                continue;
+            }
+        };
+        if matches!(req, JobRequest::Shutdown) {
+            info!(obs, "shutdown requested");
+            let ok = encode_ok(
+                env.id,
+                lvf2_obs::json::Value::Obj(vec![(
+                    "stopping".into(),
+                    lvf2_obs::json::Value::Bool(true),
+                )]),
+                lvf2_obs::json::Value::Obj(vec![]),
+            );
+            let _ = write_frame(&mut stream, &ok);
+            shared.trigger_shutdown();
+            return;
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let queued = QueuedJob {
+            id: env.id,
+            req,
+            reply: tx,
+        };
+        let response = match shared.queue.push(queued) {
+            Some(depth) => {
+                obs.observe("serve.queue.depth", depth as f64);
+                match rx.recv() {
+                    Ok(bytes) => bytes,
+                    Err(_) => encode_err(env.id, "shutdown", "server stopped during execution"),
+                }
+            }
+            None => {
+                obs.inc("serve.queue.rejected", 1);
+                encode_err(
+                    env.id,
+                    "queue_full",
+                    &format!("queue at capacity ({} jobs)", shared.queue.capacity),
+                )
+            }
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let bytes = match shared.service.execute(&job.req) {
+            Ok((result, stats)) => encode_ok(job.id, result, stats),
+            Err(e) => encode_err(job.id, e.kind(), &e.to_string()),
+        };
+        // A vanished client is not a worker error; drop the reply.
+        let _ = job.reply.send(bytes);
+    }
+}

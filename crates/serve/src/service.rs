@@ -1,0 +1,389 @@
+//! Job execution: typed requests in, JSON results out, cache in the middle.
+//!
+//! The [`Service`] owns the content-addressed caches and is shared by every
+//! worker thread. Execution delegates to the same `lvf2::flow` entry points
+//! the batch CLI uses — the daemon adds memoization and wiring, never its
+//! own math — so a served result is bit-identical to a batch run with the
+//! same options.
+
+use std::time::Instant;
+
+use lvf2::binning::BinSet;
+use lvf2::cells::{CellType, ConditionTailYield};
+use lvf2::flow::{
+    arc_jobs, characterize_arc_models, library_from_models, tail_yield_arc_models, ArcModelGrids,
+    FlowOptions,
+};
+use lvf2::liberty::write_library;
+use lvf2::stats::Distribution;
+use lvf2::{fit_model, Lvf2Error};
+use lvf2_obs::json::Value;
+use lvf2_obs::Obs;
+use lvf2_parallel::Parallelism;
+
+use crate::cache::{arc_cache_key, tail_cache_key, CacheStats, SingleFlightCache};
+use crate::request::{BinJob, CharacterizeJob, FitJob, JobRequest, TailYieldJob};
+
+/// Executes jobs against the shared caches. One per server, shared by all
+/// workers.
+#[derive(Debug)]
+pub struct Service {
+    models: SingleFlightCache<ArcModelGrids>,
+    tails: SingleFlightCache<Vec<ConditionTailYield>>,
+    parallelism: Parallelism,
+}
+
+/// Per-job cache accounting, reported in the response `stats` object.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobCacheStats {
+    hits: u64,
+    misses: u64,
+}
+
+impl Service {
+    /// A service whose caches hold at most `cache_capacity` arcs each,
+    /// executing on `parallelism`'s pool.
+    pub fn new(cache_capacity: usize, parallelism: Parallelism) -> Self {
+        Service {
+            models: SingleFlightCache::new(cache_capacity),
+            tails: SingleFlightCache::new(cache_capacity),
+            parallelism,
+        }
+    }
+
+    /// Combined statistics of both caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let m = self.models.stats();
+        let t = self.tails.stats();
+        CacheStats {
+            hits: m.hits + t.hits,
+            misses: m.misses + t.misses,
+            waits: m.waits + t.waits,
+            len: m.len + t.len,
+            evictions: m.evictions + t.evictions,
+        }
+    }
+
+    /// Executes one job, returning `(result, stats)` JSON for the response
+    /// envelope. `Shutdown` is handled by the server before jobs reach the
+    /// service; executing it here is a no-op acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`Lvf2Error`], serialized by the server as `{kind, message}`.
+    pub fn execute(&self, req: &JobRequest) -> Result<(Value, Value), Lvf2Error> {
+        let obs = Obs::current();
+        obs.inc("serve.jobs", 1);
+        let start = Instant::now();
+        let mut cache = JobCacheStats::default();
+        let result = match req {
+            JobRequest::Ping | JobRequest::Shutdown => {
+                Value::Obj(vec![("pong".into(), Value::from(1u64))])
+            }
+            JobRequest::Metrics => self.metrics_json(&obs),
+            JobRequest::Invalidate { cells } => self.invalidate(cells.as_deref()),
+            JobRequest::Characterize(job) => {
+                let _span = obs.span("serve.job.characterize");
+                obs.inc("serve.jobs.characterize", 1);
+                self.characterize(job, &obs, &mut cache)?
+            }
+            JobRequest::TailYield(job) => {
+                let _span = obs.span("serve.job.tail_yield");
+                obs.inc("serve.jobs.tail_yield", 1);
+                self.tail_yield(job, &obs, &mut cache)?
+            }
+            JobRequest::Fit(job) => {
+                let _span = obs.span("serve.job.fit");
+                obs.inc("serve.jobs.fit", 1);
+                Self::fit(job)?
+            }
+            JobRequest::Bin(job) => {
+                let _span = obs.span("serve.job.bin");
+                obs.inc("serve.jobs.bin", 1);
+                Self::bin(job)
+            }
+        };
+        let stats = Value::Obj(vec![
+            (
+                "wall_us".into(),
+                Value::from(start.elapsed().as_micros() as u64),
+            ),
+            ("cache_hits".into(), Value::from(cache.hits)),
+            ("cache_misses".into(), Value::from(cache.misses)),
+        ]);
+        Ok((result, stats))
+    }
+
+    /// Server-side parallelism applied to a request's options (requests
+    /// never carry thread counts — see `crate::request`).
+    fn effective(&self, opts: &FlowOptions) -> FlowOptions {
+        let mut opts = opts.clone();
+        opts.parallelism = self.parallelism;
+        opts
+    }
+
+    fn characterize(
+        &self,
+        job: &CharacterizeJob,
+        obs: &Obs,
+        cache: &mut JobCacheStats,
+    ) -> Result<Value, Lvf2Error> {
+        let mut models: Vec<ArcModelGrids> = Vec::new();
+        for &cell in &job.cells {
+            let opts = self.effective(&job.options_for(cell));
+            for spec in arc_jobs(&[cell], &opts) {
+                let key = arc_cache_key(&spec, &opts);
+                let (model, hit) = self
+                    .models
+                    .get_or_compute(key, cell.name(), || characterize_arc_models(&spec, &opts))?;
+                Self::account(obs, cache, hit);
+                models.push((*model).clone());
+            }
+        }
+        let lib = library_from_models(&models, &job.options.grid);
+        let text = write_library(&lib);
+        Ok(Value::Obj(vec![
+            ("library".into(), Value::from(text)),
+            ("cells".into(), Value::from(lib.cells.len())),
+            ("arcs".into(), Value::from(models.len())),
+        ]))
+    }
+
+    fn tail_yield(
+        &self,
+        job: &TailYieldJob,
+        obs: &Obs,
+        cache: &mut JobCacheStats,
+    ) -> Result<Value, Lvf2Error> {
+        let req = &job.request;
+        req.options.validate()?;
+        let mut arcs = Vec::new();
+        for &cell in &req.cells {
+            let opts = self.effective(&req.options);
+            for spec in arc_jobs(&[cell], &opts) {
+                let key = tail_cache_key(&spec, &opts);
+                let (tails, hit) = self.tails.get_or_compute(key, cell.name(), || {
+                    Ok::<_, Lvf2Error>(tail_yield_arc_models(&spec, &opts))
+                })?;
+                Self::account(obs, cache, hit);
+                arcs.push(Value::Obj(vec![
+                    ("cell".into(), Value::from(cell.name())),
+                    ("arc".into(), Value::from(spec.id.index)),
+                    (
+                        "conditions".into(),
+                        Value::Arr(tails.iter().map(condition_json).collect()),
+                    ),
+                ]));
+            }
+        }
+        Ok(Value::Obj(vec![("arcs".into(), Value::Arr(arcs))]))
+    }
+
+    fn fit(job: &FitJob) -> Result<Value, Lvf2Error> {
+        let fitted = fit_model(job.model, &job.samples, &job.config)?;
+        Ok(Value::Obj(vec![
+            ("family".into(), Value::from(job.model.name())),
+            ("mean".into(), Value::Num(fitted.model.mean())),
+            ("std".into(), Value::Num(fitted.model.std_dev())),
+            (
+                "log_likelihood".into(),
+                Value::Num(fitted.report.log_likelihood),
+            ),
+            ("iterations".into(), Value::from(fitted.report.iterations)),
+            ("converged".into(), Value::Bool(fitted.report.converged)),
+        ]))
+    }
+
+    fn bin(job: &BinJob) -> Value {
+        let bins = BinSet::new(job.edges.clone());
+        let probs = bins.probabilities_from_samples(&job.samples);
+        Value::Obj(vec![
+            ("bin_count".into(), Value::from(probs.len())),
+            (
+                "probabilities".into(),
+                Value::Arr(probs.into_iter().map(Value::Num).collect()),
+            ),
+        ])
+    }
+
+    fn invalidate(&self, cells: Option<&[CellType]>) -> Value {
+        let dropped = match cells {
+            None => {
+                let n = self.models.stats().len + self.tails.stats().len;
+                self.models.clear();
+                self.tails.clear();
+                n
+            }
+            Some(cells) => cells
+                .iter()
+                .map(|c| self.models.invalidate_tag(c.name()) + self.tails.invalidate_tag(c.name()))
+                .sum(),
+        };
+        Value::Obj(vec![("invalidated".into(), Value::from(dropped))])
+    }
+
+    fn metrics_json(&self, obs: &Obs) -> Value {
+        let s = self.cache_stats();
+        let cache = Value::Obj(vec![
+            ("hits".into(), Value::from(s.hits)),
+            ("misses".into(), Value::from(s.misses)),
+            ("waits".into(), Value::from(s.waits)),
+            ("entries".into(), Value::from(s.len)),
+            ("evictions".into(), Value::from(s.evictions)),
+        ]);
+        let metrics = match obs.snapshot() {
+            Some(snap) => snap.to_json(),
+            None => Value::Null,
+        };
+        Value::Obj(vec![("cache".into(), cache), ("metrics".into(), metrics)])
+    }
+
+    fn account(obs: &Obs, cache: &mut JobCacheStats, hit: bool) {
+        if hit {
+            cache.hits += 1;
+            obs.inc("serve.cache.hits", 1);
+        } else {
+            cache.misses += 1;
+            obs.inc("serve.cache.misses", 1);
+        }
+    }
+}
+
+fn condition_json(c: &ConditionTailYield) -> Value {
+    Value::Obj(vec![
+        ("slew_index".into(), Value::from(c.slew_index)),
+        ("load_index".into(), Value::from(c.load_index)),
+        ("slew".into(), Value::Num(c.slew)),
+        ("load".into(), Value::Num(c.load)),
+        ("threshold".into(), Value::Num(c.threshold)),
+        ("tail_probability".into(), Value::Num(c.tail_probability)),
+        ("std_error".into(), Value::Num(c.std_error)),
+        ("ess".into(), Value::Num(c.ess)),
+        ("evaluator_calls".into(), Value::from(c.evaluator_calls)),
+        ("floored".into(), Value::Bool(c.floored)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2_obs::json;
+
+    fn service() -> Service {
+        Service::new(256, Parallelism::auto())
+    }
+
+    fn job(text: &str) -> JobRequest {
+        JobRequest::from_json(&json::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn warm_repeat_hits_every_arc() {
+        let svc = service();
+        let req = job(r#"{"type":"characterize","cells":["INV","NAND2"],
+                "options":{"samples":400,"grid":"3x3"}}"#);
+        let (cold, cold_stats) = svc.execute(&req).unwrap();
+        let (warm, warm_stats) = svc.execute(&req).unwrap();
+        assert_eq!(
+            cold.get("library").unwrap().as_str(),
+            warm.get("library").unwrap().as_str(),
+            "cache hits must be bit-identical"
+        );
+        assert_eq!(cold_stats.get("cache_misses").unwrap().as_f64(), Some(2.0));
+        assert_eq!(cold_stats.get("cache_hits").unwrap().as_f64(), Some(0.0));
+        assert_eq!(warm_stats.get("cache_hits").unwrap().as_f64(), Some(2.0));
+        assert_eq!(warm_stats.get("cache_misses").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn overlapping_jobs_share_arcs() {
+        let svc = service();
+        svc.execute(&job(
+            r#"{"type":"characterize","cells":["INV"],"options":{"samples":400,"grid":"3x3"}}"#,
+        ))
+        .unwrap();
+        // INV is shared; XOR2 is new.
+        let (_, stats) = svc
+            .execute(&job(r#"{"type":"characterize","cells":["INV","XOR2"],
+                    "options":{"samples":400,"grid":"3x3"}}"#))
+            .unwrap();
+        assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("cache_misses").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn sigma_scale_dirties_only_that_cell() {
+        let svc = service();
+        svc.execute(&job(r#"{"type":"characterize","cells":["INV","NAND2"],
+                "options":{"samples":400,"grid":"3x3"}}"#))
+            .unwrap();
+        // Re-characterize with NAND2's variation widened: INV stays warm.
+        let (_, stats) = svc
+            .execute(&job(r#"{"type":"characterize","cells":["INV","NAND2"],
+                    "options":{"samples":400,"grid":"3x3"},
+                    "sigma_scale":{"NAND2":1.5}}"#))
+            .unwrap();
+        assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("cache_misses").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn invalidate_drops_selected_cells() {
+        let svc = service();
+        let req = job(r#"{"type":"characterize","cells":["INV","NAND2"],
+                "options":{"samples":400,"grid":"3x3"}}"#);
+        svc.execute(&req).unwrap();
+        let (res, _) = svc
+            .execute(&job(r#"{"type":"invalidate","cells":["INV"]}"#))
+            .unwrap();
+        assert_eq!(res.get("invalidated").unwrap().as_f64(), Some(1.0));
+        let (_, stats) = svc.execute(&req).unwrap();
+        assert_eq!(stats.get("cache_misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn fit_and_bin_jobs_execute() {
+        let svc = service();
+        let xs = lvf2::cells::Scenario::TwoPeaks.sample(2000, 7);
+        let samples = Value::Arr(xs.iter().map(|&x| Value::Num(x)).collect());
+        let fit_job = JobRequest::from_json(&Value::Obj(vec![
+            ("type".into(), Value::from("fit")),
+            ("model".into(), Value::from("lvf2")),
+            ("samples".into(), samples.clone()),
+        ]))
+        .unwrap();
+        let (res, _) = svc.execute(&fit_job).unwrap();
+        assert_eq!(res.get("family").unwrap().as_str(), Some("LVF2"));
+        assert!(res.get("mean").unwrap().as_f64().unwrap().is_finite());
+
+        let bin_job = JobRequest::from_json(&Value::Obj(vec![
+            ("type".into(), Value::from("bin")),
+            ("samples".into(), samples),
+            (
+                "edges".into(),
+                Value::Arr(vec![Value::Num(0.9), Value::Num(1.1)]),
+            ),
+        ]))
+        .unwrap();
+        let (res, _) = svc.execute(&bin_job).unwrap();
+        let Value::Arr(probs) = res.get("probabilities").unwrap() else {
+            panic!("probabilities must be an array")
+        };
+        assert_eq!(probs.len(), 3);
+        let total: f64 = probs.iter().map(|p| p.as_f64().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_yield_jobs_cache_per_arc() {
+        let svc = service();
+        let req = job(r#"{"type":"tail_yield","cells":["INV"],
+                "options":{"grid":"3x3","tail_samples":256}}"#);
+        let (a, s1) = svc.execute(&req).unwrap();
+        let (b, s2) = svc.execute(&req).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s1.get("cache_misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(s2.get("cache_hits").unwrap().as_f64(), Some(1.0));
+    }
+}
