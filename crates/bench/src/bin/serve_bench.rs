@@ -115,5 +115,20 @@ fn main() {
     report.quality("speedup", speedup);
     report.quality("hit_rate", hit_rate);
     report.quality("bit_identical", f64::from(bit_identical));
+    // Server-side job latency percentiles from the daemon's own timing
+    // histogram (needs --metrics; CI gates p99 on these via
+    // `obs-check --quantile-at-most`).
+    if let Some(snap) = lvf2_obs::Obs::current().snapshot() {
+        if let Some(h) = snap.histograms.get("time.serve.job.characterize.us") {
+            report.quality("job_p50_ms", h.p50() / 1e3);
+            report.quality("job_p99_ms", h.p99() / 1e3);
+            println!(
+                "job latency (server-side): p50 {:.2} ms, p99 {:.2} ms over {} jobs",
+                h.p50() / 1e3,
+                h.p99() / 1e3,
+                h.count
+            );
+        }
+    }
     report.finish();
 }

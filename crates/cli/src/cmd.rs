@@ -39,6 +39,9 @@ USAGE:
              [--threads N] [--chunk-size N] [--port-file PATH]
   lvf2 submit ping|metrics|shutdown [--addr HOST:PORT]
   lvf2 submit --job FILE|- [--addr HOST:PORT] [--out FILE]
+  lvf2 top [--addr HOST:PORT] [--interval MS] [--once] [--json]
+  lvf2 trace export FILE [--format chrome|collapsed] [--out FILE]
+  lvf2 trace check FILE [--trace-id HEX]
   lvf2 inspect FILE [--cell NAME]
   lvf2 fit FILE|- [--model lvf|norm2|lesn|lvf2] [--fast]
   lvf2 select FILE|- [--max-order K] [--aic]
@@ -61,7 +64,12 @@ LVF2_THREADS environment variable supplies a default when --threads is absent.
 
 `lvf2 serve` runs the characterization daemon (length-prefixed JSON over TCP,
 content-addressed arc cache); `lvf2 submit` sends it one job and prints the
-result. See docs/SERVER.md for the wire protocol and job schema.
+result. `lvf2 top` polls a running daemon and renders queue depth, cache hit
+rate, jobs in flight, and per-job-type latency percentiles (`--once --json`
+for scripting). `lvf2 trace export` converts a --trace-json JSONL file to
+Chrome trace_event JSON (Perfetto) or collapsed stacks (flamegraphs), and
+`lvf2 trace check` validates an exported Chrome trace. See docs/SERVER.md
+for the wire protocol and job schema.
 
 `--mc-mode is` adds a tail-yield stage: per-condition `P(delay > μ + Kσ)` by
 mixture importance sampling (K from --is-target-sigma, default 3), printed with
@@ -372,6 +380,236 @@ pub fn submit(args: &[String]) -> CliResult {
         println!("{}", resp.result.to_json());
     }
     Ok(())
+}
+
+/// The job types the daemon executes, in display order.
+const TOP_JOB_TYPES: [&str; 4] = ["characterize", "tail_yield", "fit", "bin"];
+
+/// Builds the `lvf2 top` status document from one `metrics` job response:
+/// queue counters, job counts, the cache block, and per-job-type latency
+/// percentiles pulled from the `time.serve.job.*.us` histograms.
+fn top_doc(result: &lvf2::obs::json::Value) -> Result<lvf2::obs::json::Value, Box<dyn Error>> {
+    use lvf2::obs::json::Value;
+    let metrics = result
+        .get("metrics")
+        .ok_or("response has no metrics block")?;
+    if metrics.get("counters").is_none() {
+        return Err(
+            "daemon has no metrics registry (start it via `lvf2 serve`, which enables metrics, \
+             or pass --metrics)"
+                .into(),
+        );
+    }
+    let counter = |name: &str| -> f64 {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let enqueued = counter("serve.queue.enqueued");
+    let dequeued = counter("serve.queue.dequeued");
+    let done = counter("serve.jobs.done");
+    let queue = Value::Obj(vec![
+        ("depth".into(), Value::Num((enqueued - dequeued).max(0.0))),
+        ("enqueued".into(), Value::Num(enqueued)),
+        ("dequeued".into(), Value::Num(dequeued)),
+        (
+            "rejected".into(),
+            Value::Num(counter("serve.queue.rejected")),
+        ),
+    ]);
+    let by_type = Value::Obj(
+        TOP_JOB_TYPES
+            .iter()
+            .map(|t| {
+                (
+                    t.to_string(),
+                    Value::Num(counter(&format!("serve.jobs.{t}"))),
+                )
+            })
+            .collect(),
+    );
+    let jobs = Value::Obj(vec![
+        ("total".into(), Value::Num(counter("serve.jobs"))),
+        ("inflight".into(), Value::Num((dequeued - done).max(0.0))),
+        ("done".into(), Value::Num(done)),
+        ("by_type".into(), by_type),
+    ]);
+    let cache = result.get("cache").cloned().unwrap_or(Value::Obj(vec![]));
+    let latency = Value::Obj(
+        TOP_JOB_TYPES
+            .iter()
+            .filter_map(|t| {
+                let h = metrics
+                    .get("histograms")?
+                    .get(&format!("time.serve.job.{t}.us"))?;
+                let num = |k: &str| h.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                Some((
+                    t.to_string(),
+                    Value::Obj(vec![
+                        ("count".into(), Value::Num(num("count"))),
+                        ("p50_us".into(), Value::Num(num("p50"))),
+                        ("p95_us".into(), Value::Num(num("p95"))),
+                        ("p99_us".into(), Value::Num(num("p99"))),
+                    ]),
+                ))
+            })
+            .collect(),
+    );
+    Ok(Value::Obj(vec![
+        ("queue".into(), queue),
+        ("jobs".into(), jobs),
+        ("cache".into(), cache),
+        ("latency".into(), latency),
+    ]))
+}
+
+/// Renders the `lvf2 top` document as the human dashboard text.
+fn render_top(addr: &str, doc: &lvf2::obs::json::Value) -> String {
+    use lvf2::obs::json::Value;
+    let num = |path: &[&str]| -> f64 {
+        let mut v = doc;
+        for key in path {
+            match v.get(key) {
+                Some(inner) => v = inner,
+                None => return 0.0,
+            }
+        }
+        v.as_f64().unwrap_or(0.0)
+    };
+    let hits = num(&["cache", "hits"]);
+    let misses = num(&["cache", "misses"]);
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0.0 {
+        100.0 * hits / lookups
+    } else {
+        0.0
+    };
+    let mut out = format!("lvf2 top — {addr}\n\n");
+    out.push_str(&format!(
+        "queue    depth {:<6} enqueued {:<8} dequeued {:<8} rejected {}\n",
+        num(&["queue", "depth"]),
+        num(&["queue", "enqueued"]),
+        num(&["queue", "dequeued"]),
+        num(&["queue", "rejected"]),
+    ));
+    out.push_str(&format!(
+        "jobs     total {:<6} inflight {:<8} done {}\n",
+        num(&["jobs", "total"]),
+        num(&["jobs", "inflight"]),
+        num(&["jobs", "done"]),
+    ));
+    out.push_str(&format!(
+        "cache    hits {:<7} misses {:<10} hit-rate {hit_rate:.1}%  entries {}  evictions {}\n",
+        hits,
+        misses,
+        num(&["cache", "entries"]),
+        num(&["cache", "evictions"]),
+    ));
+    let latency = doc.get("latency").and_then(Value::as_obj).unwrap_or(&[]);
+    if latency.is_empty() {
+        out.push_str("\nlatency  (no jobs executed yet)\n");
+    } else {
+        out.push_str(&format!(
+            "\nlatency (µs)      {:>8} {:>12} {:>12} {:>12}\n",
+            "count", "p50", "p95", "p99"
+        ));
+        for (job, h) in latency {
+            let q = |k: &str| h.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            out.push_str(&format!(
+                "  {job:<15} {:>8} {:>12.0} {:>12.0} {:>12.0}\n",
+                q("count"),
+                q("p50_us"),
+                q("p95_us"),
+                q("p99_us"),
+            ));
+        }
+    }
+    out
+}
+
+/// `lvf2 top`: live dashboard over a running daemon's `metrics` job.
+pub fn top(args: &[String]) -> CliResult {
+    let opts = Opts::parse(args);
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7272");
+    let once = opts.flag("once");
+    let json = opts.flag("json");
+    let interval = std::time::Duration::from_millis(opts.get_or("interval", 1000u64)?.max(100));
+    let mut client = lvf2_serve::Client::connect(addr)
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    loop {
+        let resp = client.metrics()?;
+        let doc = top_doc(&resp.result)?;
+        if json {
+            println!("{}", doc.to_json());
+        } else {
+            let body = render_top(addr, &doc);
+            if once {
+                print!("{body}");
+            } else {
+                // ANSI clear screen + home, like `top` itself.
+                print!("\x1b[2J\x1b[H{body}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `lvf2 trace`: export a `--trace-json` JSONL file to standard profiling
+/// formats, or validate an exported Chrome trace.
+pub fn trace(args: &[String]) -> CliResult {
+    use lvf2::obs::json;
+    use lvf2::obs::trace_export as tx;
+    const TRACE_USAGE: &str =
+        "usage: lvf2 trace export FILE [--format chrome|collapsed] [--out FILE]\n\
+         \x20      lvf2 trace check FILE [--trace-id HEX]";
+    let opts = Opts::parse(args);
+    let sub = opts.positional(0).ok_or(TRACE_USAGE)?;
+    let path = opts.positional(1).ok_or(TRACE_USAGE)?;
+    let text = std::fs::read_to_string(path)?;
+    match sub {
+        "export" => {
+            let spans = tx::parse_spans(&text);
+            if spans.is_empty() {
+                return Err(format!("{path}: no span records found").into());
+            }
+            let format = opts.get("format").unwrap_or("chrome");
+            let payload = match format {
+                "chrome" => {
+                    let mut doc = tx::to_chrome_trace(&spans).to_json();
+                    doc.push('\n');
+                    doc
+                }
+                "collapsed" => tx::to_collapsed(&spans),
+                other => return Err(format!("unknown format `{other}` (chrome, collapsed)").into()),
+            };
+            match opts.get("out") {
+                Some(out) => {
+                    std::fs::write(out, payload)?;
+                    println!("wrote {out} ({} spans, {format})", spans.len());
+                }
+                None => print!("{payload}"),
+            }
+            Ok(())
+        }
+        "check" => {
+            let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let n = tx::validate_chrome_trace(&doc, opts.get("trace-id"))
+                .map_err(|e| format!("{path}: {e}"))?;
+            match opts.get("trace-id") {
+                Some(id) => println!("ok: {path} ({n} events, all on trace {id})"),
+                None => println!("ok: {path} ({n} events)"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown trace subcommand `{other}`\n{TRACE_USAGE}").into()),
+    }
 }
 
 /// `lvf2 inspect`: parse a .lib and summarize its statistical content.

@@ -9,6 +9,8 @@
 //! lvf2 scenario two-peaks --samples 50000                  # dump a Fig. 3 scenario
 //! lvf2 serve --addr 127.0.0.1:7272                         # characterization daemon
 //! lvf2 submit --job job.json --out out.lib                 # send it one job
+//! lvf2 top --once --json                                   # daemon status snapshot
+//! lvf2 trace export trace.jsonl --format chrome            # Perfetto-loadable trace
 //! ```
 //!
 //! Every command also accepts the shared observability flags (`-v`, `-q`,
@@ -24,13 +26,18 @@ mod opts;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (obs_cfg, args) = match ObsConfig::from_args(&raw) {
+    let (mut obs_cfg, args) = match ObsConfig::from_args(&raw) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // The daemon always keeps a metrics registry: its `metrics` job and
+    // `lvf2 top` are useless without one, and the integer registry is cheap.
+    if args.first().is_some_and(|c| c == "serve") {
+        obs_cfg.metrics = true;
+    }
     let _obs_guard = match Obs::install(&obs_cfg) {
         Ok(g) => g,
         Err(e) => {
@@ -47,6 +54,8 @@ fn main() -> ExitCode {
         "library" => cmd::library(rest),
         "serve" => cmd::serve(rest),
         "submit" => cmd::submit(rest),
+        "top" => cmd::top(rest),
+        "trace" => cmd::trace(rest),
         "inspect" => cmd::inspect(rest),
         "fit" => cmd::fit(rest),
         "select" => cmd::select(rest),

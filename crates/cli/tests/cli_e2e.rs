@@ -30,6 +30,8 @@ fn help_lists_all_subcommands() {
         "sta",
         "serve",
         "submit",
+        "top",
+        "trace",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`");
     }
@@ -293,6 +295,7 @@ fn serve_and_submit_round_trip() {
     let dir = tempdir();
     let port_file = dir.join("serve.port");
     let metrics = dir.join("serve_metrics.json");
+    let trace = dir.join("serve_trace.jsonl");
     let _ = std::fs::remove_file(&port_file);
     let mut daemon = lvf2()
         .args([
@@ -305,6 +308,8 @@ fn serve_and_submit_round_trip() {
             port_file.to_str().expect("utf8"),
             "--metrics-json",
             metrics.to_str().expect("utf8"),
+            "--trace-json",
+            trace.to_str().expect("utf8"),
         ])
         .spawn()
         .expect("daemon starts");
@@ -369,6 +374,37 @@ fn serve_and_submit_round_trip() {
         "warm repeat must be bit-identical"
     );
 
+    // `lvf2 top --once --json` snapshots the live daemon: the two library
+    // jobs above must show up with non-zero latency percentiles.
+    let top = lvf2()
+        .args(["top", "--addr", &addr, "--once", "--json"])
+        .output()
+        .expect("top runs");
+    assert!(
+        top.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&top.stderr)
+    );
+    let tdoc = lvf2::obs::json::parse(&String::from_utf8_lossy(&top.stdout))
+        .expect("top --json emits JSON");
+    let jobs_done = tdoc
+        .get("jobs")
+        .and_then(|j| j.get("done"))
+        .and_then(lvf2::obs::json::Value::as_f64)
+        .expect("jobs.done gauge");
+    assert!(jobs_done >= 2.0, "top: {tdoc:?}");
+    let lat = tdoc
+        .get("latency")
+        .and_then(|l| l.get("characterize"))
+        .expect("characterize latency block");
+    for q in ["p50_us", "p99_us"] {
+        let v = lat
+            .get(q)
+            .and_then(lvf2::obs::json::Value::as_f64)
+            .expect("latency quantile");
+        assert!(v > 0.0, "{q} must be non-zero after two jobs: {tdoc:?}");
+    }
+
     let m = submit(&["metrics"]);
     assert!(m.status.success());
     let mtext = String::from_utf8_lossy(&m.stdout);
@@ -388,6 +424,56 @@ fn serve_and_submit_round_trip() {
     // The shared --metrics-json sink works for the daemon too.
     let mtext = std::fs::read_to_string(&metrics).expect("daemon metrics written");
     assert!(mtext.contains("serve.cache.hits"), "metrics: {mtext}");
+
+    // The daemon's JSONL trace exports to a Chrome trace that its own
+    // validator accepts, and to non-empty collapsed stacks.
+    let chrome = dir.join("serve_trace_chrome.json");
+    let export = lvf2()
+        .args([
+            "trace",
+            "export",
+            trace.to_str().expect("utf8"),
+            "--format",
+            "chrome",
+            "--out",
+            chrome.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("trace export runs");
+    assert!(
+        export.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    let check = lvf2()
+        .args(["trace", "check", chrome.to_str().expect("utf8")])
+        .output()
+        .expect("trace check runs");
+    assert!(
+        check.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("ok"));
+
+    let folded = lvf2()
+        .args([
+            "trace",
+            "export",
+            trace.to_str().expect("utf8"),
+            "--format",
+            "collapsed",
+        ])
+        .output()
+        .expect("collapsed export runs");
+    assert!(folded.status.success());
+    let ftext = String::from_utf8_lossy(&folded.stdout);
+    assert!(
+        ftext
+            .lines()
+            .any(|l| l.starts_with("serve.request;serve.job.characterize")),
+        "collapsed stacks: {ftext}"
+    );
 }
 
 #[test]

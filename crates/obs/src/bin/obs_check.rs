@@ -8,6 +8,7 @@
 //! obs-check --bench-compare bench/baselines/BENCH_mc.json BENCH_mc.json \
 //!           --wall-tol 0.25 --acc-tol 0.05 --diff-out bench_diff.txt
 //! obs-check --counter-at-least metrics.json serve.cache.hits 1
+//! obs-check --quantile-at-most BENCH_serve.json time.serve.job.characterize.us p99 2e6
 //! ```
 //!
 //! Each flag may repeat; exits non-zero on the first invalid file or failed
@@ -26,6 +27,7 @@ USAGE:
   obs-check [--metrics FILE]... [--trace FILE]... [--bench FILE]...
             [--bench-compare BASELINE CURRENT]...
             [--counter-at-least FILE NAME MIN]...
+            [--quantile-at-most FILE METRIC P MAX]...
             [--wall-tol X] [--acc-tol X] [--diff-out FILE]
 
 Validates --metrics-json output, --trace-json JSONL streams, and
@@ -34,6 +36,11 @@ BENCH_*.json summaries against the schemas in docs/OBSERVABILITY.md.
 --counter-at-least validates FILE as lvf2-metrics-v1 and fails unless its
 counter NAME is present with a value of at least MIN (CI uses this to gate
 the daemon's cache hit-rate).
+
+--quantile-at-most reads histogram METRIC from FILE — either an
+lvf2-metrics-v1 document or an lvf2-bench-v1 summary with embedded metrics
+— and fails when its P (p50|p95|p99) quantile exceeds MAX (CI uses this to
+gate the daemon's p99 job latency from BENCH_serve.json).
 
 --bench-compare gates CURRENT against BASELINE: fails on >X relative
 wall-time growth (--wall-tol, default 0.25) or >X accuracy degradation
@@ -44,6 +51,7 @@ enum Job {
     Check(&'static str, String),
     Compare(String, String),
     CounterAtLeast(String, String, u64),
+    QuantileAtMost(String, String, String, f64),
 }
 
 fn check_file(kind: &str, path: &str) -> Result<String, String> {
@@ -88,6 +96,49 @@ fn check_counter(path: &str, name: &str, min: u64) -> Result<String, String> {
         ));
     }
     Ok(format!("ok: {path} ({name} = {value} >= {min})"))
+}
+
+fn check_quantile(path: &str, metric: &str, p: &str, max: f64) -> Result<String, String> {
+    if !matches!(p, "p50" | "p95" | "p99") {
+        return Err(format!("quantile `{p}` is not one of p50, p95, p99"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Accept either a metrics document or a bench summary carrying one.
+    let metrics = match doc.get("schema").and_then(json::Value::as_str) {
+        Some(schema::METRICS_SCHEMA) => {
+            schema::check_metrics(&doc).map_err(|e| format!("{path}: {e}"))?;
+            doc
+        }
+        Some(schema::BENCH_SCHEMA) => {
+            schema::check_bench(&doc).map_err(|e| format!("{path}: {e}"))?;
+            let metrics = doc.get("metrics").cloned().unwrap_or(json::Value::Null);
+            if metrics.as_obj().is_none_or(<[_]>::is_empty) {
+                return Err(format!(
+                    "{path}: bench summary has no embedded metrics (run the bench with --metrics)"
+                ));
+            }
+            metrics
+        }
+        other => {
+            return Err(format!(
+                "{path}: schema {other:?} is neither metrics nor bench"
+            ))
+        }
+    };
+    let value = metrics
+        .get("histograms")
+        .and_then(|h| h.get(metric))
+        .ok_or_else(|| format!("{path}: histogram `{metric}` not present"))?
+        .get(p)
+        .and_then(json::Value::as_f64)
+        .ok_or_else(|| format!("{path}: histogram `{metric}` has no `{p}`"))?;
+    if value > max {
+        return Err(format!(
+            "{path}: {metric} {p} is {value}, expected at most {max}"
+        ));
+    }
+    Ok(format!("ok: {path} ({metric} {p} = {value} <= {max})"))
 }
 
 fn run_compare(
@@ -154,6 +205,27 @@ fn main() -> ExitCode {
                 }
                 continue;
             }
+            "--quantile-at-most" => {
+                match (it.next(), it.next(), it.next(), it.next()) {
+                    (Some(path), Some(metric), Some(p), Some(max)) => {
+                        let Ok(max) = max.parse::<f64>() else {
+                            eprintln!("error: invalid maximum `{max}` for --quantile-at-most");
+                            return ExitCode::FAILURE;
+                        };
+                        jobs.push(Job::QuantileAtMost(
+                            path.clone(),
+                            metric.clone(),
+                            p.clone(),
+                            max,
+                        ));
+                    }
+                    _ => {
+                        eprintln!("error: --quantile-at-most requires FILE METRIC P MAX");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                continue;
+            }
             "--wall-tol" | "--acc-tol" | "--diff-out" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {a} requires a value");
@@ -205,6 +277,7 @@ fn main() -> ExitCode {
             Job::Check(kind, path) => check_file(kind, path),
             Job::Compare(base, cur) => run_compare(base, cur, &cfg, diff_out.as_deref()),
             Job::CounterAtLeast(path, name, min) => check_counter(path, name, *min),
+            Job::QuantileAtMost(path, metric, p, max) => check_quantile(path, metric, p, *max),
         };
         match outcome {
             Ok(msg) => println!("{msg}"),

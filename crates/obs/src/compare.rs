@@ -10,8 +10,10 @@
 //!
 //! Direction is inferred from the key name:
 //!
-//! - `wall_ms` and any `wall_ms*` quality key — **lower is better**, judged
-//!   against [`CompareConfig::wall_tol`];
+//! - `wall_ms`, any `wall_ms*` quality key, and latency keys ending in
+//!   `_ms` or `_us` (e.g. `cold_ms`, `job_p99_ms`) — **lower is better**,
+//!   judged against the loose [`CompareConfig::wall_tol`] since they all
+//!   measure the wall clock;
 //! - keys ending in `_err`, `_error`, `_rmse`, `_gap`, or `_cv2` — **lower
 //!   is better**, judged against [`CompareConfig::acc_tol`];
 //! - keys ending in `_x` or `_ratio`, starting with `speedup`, or
@@ -51,8 +53,13 @@ enum Direction {
     Informational,
 }
 
+/// Wall-clock keys: judged with the loose [`CompareConfig::wall_tol`].
+fn is_wall_key(key: &str) -> bool {
+    key.starts_with("wall_ms") || key.ends_with("_ms") || key.ends_with("_us")
+}
+
 fn direction(key: &str) -> Direction {
-    if key.starts_with("wall_ms")
+    if is_wall_key(key)
         || key.ends_with("_err")
         || key.ends_with("_error")
         || key.ends_with("_rmse")
@@ -120,7 +127,7 @@ fn rel_change(base: f64, current: f64) -> f64 {
 
 fn judge(out: &mut BenchComparison, key: &str, base: f64, current: f64, cfg: &CompareConfig) {
     let dir = direction(key);
-    let tol = if key.starts_with("wall_ms") {
+    let tol = if is_wall_key(key) {
         cfg.wall_tol
     } else {
         cfg.acc_tol
@@ -330,6 +337,61 @@ mod tests {
         assert!(compare_bench(&b, &other, &CompareConfig::default())
             .unwrap_err()
             .contains("mismatch"));
+    }
+
+    #[test]
+    fn latency_quantile_keys_gate_like_wall_time() {
+        // `*_ms` latency keys (serve bench p50/p99) are lower-better under
+        // the loose wall tolerance, not the tight accuracy one.
+        let b = bench(100.0, r#""job_p50_ms":10.0,"job_p99_ms":40.0"#);
+        // +20%: noisy but within the 25% wall tolerance.
+        let ok = compare_bench(
+            &b,
+            &bench(100.0, r#""job_p50_ms":12.0,"job_p99_ms":48.0"#),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(ok.passed(), "{}", ok.report());
+        // +50% p99: a real latency regression.
+        let bad = compare_bench(
+            &b,
+            &bench(100.0, r#""job_p50_ms":10.0,"job_p99_ms":60.0"#),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(!bad.passed());
+        assert!(bad.report().contains("job_p99_ms"));
+        // Faster is never a failure.
+        let faster = compare_bench(
+            &b,
+            &bench(100.0, r#""job_p50_ms":1.0,"job_p99_ms":2.0"#),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(faster.passed(), "{}", faster.report());
+    }
+
+    #[test]
+    fn zero_baseline_fails_any_growth_but_allows_zero() {
+        // A zero baseline on a gated key: rel_change is +inf for any
+        // nonzero current value, so growth always fails...
+        let b = bench(100.0, r#""queue_wait_ms":0.0"#);
+        let bad = compare_bench(
+            &b,
+            &bench(100.0, r#""queue_wait_ms":0.001"#),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(!bad.passed(), "{}", bad.report());
+        // ...while zero-to-zero is no change and passes.
+        let same = compare_bench(&b, &b, &CompareConfig::default()).unwrap();
+        assert!(same.passed(), "{}", same.report());
+        // Informational keys shrug off a zero baseline entirely.
+        let b = bench(100.0, r#""some_gauge":0.0"#);
+        let c = bench(100.0, r#""some_gauge":5.0"#);
+        assert!(compare_bench(&b, &c, &CompareConfig::default())
+            .unwrap()
+            .passed());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell as StdCell;
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +55,7 @@ pub mod compare;
 pub mod json;
 pub mod metrics;
 pub mod schema;
+pub mod trace_export;
 
 pub use compare::{compare_bench, BenchComparison, CompareConfig};
 use json::Value;
@@ -76,6 +78,91 @@ pub fn set_worker_index(index: usize) {
 /// The current thread's worker slot (0 outside a worker pool).
 pub fn worker_index() -> usize {
     WORKER_INDEX.with(|w| w.get())
+}
+
+// ---------------------------------------------------------------------------
+// Trace context (request-scoped trace id + active span id)
+
+/// The ambient trace position of the current thread: which request trace it
+/// belongs to and which span is currently open. [`Obs::span`] saves and
+/// restores it automatically, so nested spans form a tree; `lvf2-parallel`
+/// copies it onto its scoped workers so pool spans stay parented to the
+/// submitting span; the serve worker loop installs the client's trace id
+/// before executing a job. A zero field means "none".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// The end-to-end request trace this thread is working for (0 = none).
+    pub trace_id: u64,
+    /// The innermost open span on this logical call path (0 = root).
+    pub span_id: u64,
+}
+
+thread_local! {
+    static SPAN_CONTEXT: StdCell<TraceContext> = const { StdCell::new(TraceContext { trace_id: 0, span_id: 0 }) };
+    static SPAN_COLLECTOR: RefCell<Option<Vec<CollectedSpan>>> = const { RefCell::new(None) };
+}
+
+/// Process-wide span id allocator (ids start at 1; 0 means "no span").
+/// Global rather than per-session so ids stay unique across nested
+/// [`Obs::install`] scopes.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The current thread's [`TraceContext`].
+pub fn span_context() -> TraceContext {
+    SPAN_CONTEXT.with(|c| c.get())
+}
+
+/// Replaces the current thread's [`TraceContext`]. Used by `lvf2-parallel`
+/// (propagating the submitter's context onto pool workers) and by the serve
+/// worker loop (installing the client's trace id); plain nesting should go
+/// through [`Obs::span`], which saves and restores around itself.
+pub fn set_span_context(ctx: TraceContext) {
+    SPAN_CONTEXT.with(|c| c.set(ctx));
+}
+
+/// Formats a trace id as the 16-digit hex string used on the wire and in
+/// JSONL records (`u64` doesn't survive a round-trip through f64 JSON
+/// numbers, a fixed-width string does).
+pub fn trace_id_hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a hex trace id as emitted by [`trace_id_hex`] (leading zeros
+/// optional). Returns `None` for empty or non-hex input.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// One finished span captured by the thread-local collector; see
+/// [`begin_span_collection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectedSpan {
+    /// Span name (e.g. `serve.job.characterize`).
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub us: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The enclosing span's id (0 = root of the collection).
+    pub parent_id: u64,
+}
+
+/// Starts capturing finished spans on the *current thread* (clearing any
+/// previous capture). The serve worker loop uses this to echo server-side
+/// span timings back to the client. Spans that close on other threads —
+/// e.g. inside a `lvf2-parallel` scope — are not captured; they still reach
+/// the JSONL trace with the propagated trace id.
+pub fn begin_span_collection() {
+    SPAN_COLLECTOR.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stops the current thread's span capture and returns everything collected
+/// since [`begin_span_collection`] (empty if capture was never started).
+pub fn take_collected_spans() -> Vec<CollectedSpan> {
+    SPAN_COLLECTOR.with(|c| c.borrow_mut().take().unwrap_or_default())
 }
 
 // ---------------------------------------------------------------------------
@@ -428,15 +515,29 @@ impl Obs {
 
     // -- spans --------------------------------------------------------------
 
-    /// Opens a monotonic wall-clock span. On drop it records the
-    /// `time.<name>.us` timing histogram and a JSONL `span` record. No-op
-    /// when disabled.
+    /// Opens a monotonic wall-clock span. While open it is the current
+    /// thread's [`TraceContext`] span (so nested spans parent to it); on
+    /// drop it restores the previous context, records the `time.<name>.us`
+    /// timing histogram, and emits a JSONL `span` record carrying span id,
+    /// parent, worker index, and the ambient trace id. No-op when disabled.
     pub fn span(&self, name: &'static str) -> SpanGuard {
         SpanGuard {
-            state: self
-                .inner
-                .as_ref()
-                .map(|i| (Arc::clone(i), name, Instant::now())),
+            state: self.inner.as_ref().map(|i| {
+                let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+                let prev = span_context();
+                set_span_context(TraceContext {
+                    trace_id: prev.trace_id,
+                    span_id,
+                });
+                SpanState {
+                    inner: Arc::clone(i),
+                    name,
+                    start: Instant::now(),
+                    start_us: i.start.elapsed().as_micros() as u64,
+                    span_id,
+                    prev,
+                }
+            }),
         }
     }
 
@@ -565,26 +666,60 @@ pub struct FitEvent<'a> {
     pub degenerate_components: usize,
 }
 
+#[derive(Debug)]
+struct SpanState {
+    inner: Arc<Inner>,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    span_id: u64,
+    prev: TraceContext,
+}
+
 /// Ends a span on drop; see [`Obs::span`].
 #[derive(Debug)]
 pub struct SpanGuard {
-    state: Option<(Arc<Inner>, &'static str, Instant)>,
+    state: Option<SpanState>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((inner, name, start)) = self.state.take() else {
+        let Some(s) = self.state.take() else {
             return;
         };
-        let us = start.elapsed().as_micros() as u64;
-        if let Some(reg) = &inner.registry {
-            reg.observe(&format!("time.{name}.us"), us as f64, true);
+        let us = s.start.elapsed().as_micros() as u64;
+        set_span_context(s.prev);
+        if let Some(reg) = &s.inner.registry {
+            reg.observe(&format!("time.{}.us", s.name), us as f64, true);
         }
-        inner.emit(vec![
+        SPAN_COLLECTOR.with(|c| {
+            if let Some(collected) = c.borrow_mut().as_mut() {
+                collected.push(CollectedSpan {
+                    name: s.name.to_string(),
+                    us,
+                    span_id: s.span_id,
+                    parent_id: s.prev.span_id,
+                });
+            }
+        });
+        let mut pairs = vec![
             ("type".to_string(), Value::from("span")),
-            ("name".to_string(), Value::from(name)),
+            ("name".to_string(), Value::from(s.name)),
             ("us".to_string(), Value::from(us)),
-        ]);
+            ("start_us".to_string(), Value::from(s.start_us)),
+            ("span_id".to_string(), Value::from(s.span_id)),
+            ("worker".to_string(), Value::from(worker_index() as u64)),
+        ];
+        if s.prev.span_id != 0 {
+            pairs.push(("parent".to_string(), Value::from(s.prev.span_id)));
+        }
+        if s.prev.trace_id != 0 {
+            pairs.push((
+                "trace".to_string(),
+                Value::from(trace_id_hex(s.prev.trace_id)),
+            ));
+        }
+        s.inner.emit(pairs);
     }
 }
 
@@ -752,6 +887,111 @@ mod tests {
             .unwrap()
             .as_f64();
         assert_eq!(nonconv, Some(1.0));
+    }
+
+    #[test]
+    fn spans_nest_and_restore_trace_context() {
+        let _l = lock();
+        let _g = Obs::install(&ObsConfig {
+            metrics: true,
+            ..ObsConfig::off()
+        })
+        .unwrap();
+        let obs = Obs::current();
+        set_span_context(TraceContext {
+            trace_id: 0xabcd,
+            span_id: 0,
+        });
+        begin_span_collection();
+        let (outer_id, inner_id, inner_parent);
+        {
+            let outer = obs.span("ctx.outer");
+            outer_id = outer.state.as_ref().unwrap().span_id;
+            assert_eq!(span_context().span_id, outer_id);
+            assert_eq!(span_context().trace_id, 0xabcd, "trace id is inherited");
+            {
+                let inner = obs.span("ctx.inner");
+                inner_id = inner.state.as_ref().unwrap().span_id;
+                inner_parent = inner.state.as_ref().unwrap().prev.span_id;
+                assert_eq!(span_context().span_id, inner_id);
+            }
+            assert_eq!(span_context().span_id, outer_id, "inner drop restores");
+        }
+        assert_eq!(span_context().span_id, 0, "outer drop restores");
+        assert_eq!(inner_parent, outer_id, "nesting parents correctly");
+        assert_ne!(outer_id, inner_id);
+
+        let spans = take_collected_spans();
+        assert_eq!(spans.len(), 2, "both spans collected");
+        assert_eq!(spans[0].name, "ctx.inner");
+        assert_eq!(spans[0].parent_id, outer_id);
+        assert_eq!(spans[1].name, "ctx.outer");
+        assert_eq!(spans[1].parent_id, 0);
+        assert!(take_collected_spans().is_empty(), "collector is one-shot");
+        set_span_context(TraceContext::default());
+    }
+
+    #[test]
+    fn trace_id_hex_round_trips() {
+        for id in [1u64, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_trace_id(&trace_id_hex(id)), Some(id));
+        }
+        assert_eq!(trace_id_hex(0xab).len(), 16);
+        assert_eq!(parse_trace_id("ab"), Some(0xab), "leading zeros optional");
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("not-hex"), None);
+        assert_eq!(parse_trace_id("00112233445566778899"), None, "too long");
+    }
+
+    #[test]
+    fn span_records_carry_trace_fields() {
+        let _l = lock();
+        let dir = std::env::temp_dir().join(format!("lvf2_obs_span_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("spans.jsonl");
+        {
+            let _g = Obs::install(&ObsConfig {
+                verbosity: Level::Silent,
+                metrics: false,
+                trace_path: Some(trace.to_str().unwrap().to_string()),
+                metrics_path: None,
+                progress: false,
+            })
+            .unwrap();
+            set_span_context(TraceContext {
+                trace_id: 0x1234_5678_9abc_def0,
+                span_id: 0,
+            });
+            let obs = Obs::current();
+            {
+                let _outer = obs.span("rec.outer");
+                let _inner = obs.span("rec.inner");
+            }
+            set_span_context(TraceContext::default());
+        }
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<Value> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            schema::check_trace_line(line).unwrap();
+            assert_eq!(
+                line.get("trace").and_then(Value::as_str),
+                Some("123456789abcdef0")
+            );
+            assert!(line.get("span_id").and_then(Value::as_f64).unwrap() >= 1.0);
+            assert!(line.get("start_us").is_some());
+            assert_eq!(line.get("worker").and_then(Value::as_f64), Some(0.0));
+        }
+        // Inner closes first and must be parented to the outer span.
+        assert_eq!(
+            lines[0].get("name").and_then(Value::as_str),
+            Some("rec.inner")
+        );
+        assert_eq!(
+            lines[0].get("parent").and_then(Value::as_f64),
+            lines[1].get("span_id").and_then(Value::as_f64)
+        );
+        assert!(lines[1].get("parent").is_none(), "root span has no parent");
     }
 
     #[test]

@@ -17,6 +17,19 @@
 //!    threads) and a snapshot merges the shards in worker-index order into
 //!    name-sorted maps.
 //!
+//! # Binning
+//!
+//! Histogram samples land in **fixed-ratio log-linear bins**: each octave of
+//! the tick magnitude is split into 8 equal-width sub-bins, so every bin
+//! spans at most ~12.5% of its lower bound (the `TimeDistribution` idiom:
+//! deterministic quantiles from pure integer bin arithmetic, no stored
+//! samples). The bin key is a pure function of the tick value, so bin counts
+//! obey the same determinism contract as the sums. Magnitudes at or above
+//! [`CLIP_TICKS`] fall into explicit `underflow`/`overflow` counters instead
+//! of a bin; quantile extraction ([`HistSummary::quantile`]) walks the
+//! cumulative counts and answers with the bin representative clamped to the
+//! observed `[min, max]`.
+//!
 //! Wall-clock metrics (span durations, recorded via
 //! [`crate::Obs::observe_time`]) are inherently nondeterministic; they carry
 //! a `timing` flag so the deterministic fingerprint can exclude them.
@@ -34,6 +47,16 @@ pub const SHARDS: usize = 64;
 /// Fixed-point ticks per unit for histogram quantization (micro-units).
 pub const TICKS_PER_UNIT: f64 = 1e6;
 
+/// Sub-bins per octave of the log-linear binning (bin width ≤ 12.5% of the
+/// bin's lower bound).
+pub const SUBBINS_PER_OCTAVE: i64 = 8;
+
+/// Tick magnitudes at or above this land in the explicit
+/// underflow/overflow counters instead of a bin (2⁴⁸ ticks ≈ 2.8·10⁸
+/// units — far beyond any delay, iteration count, or latency the pipeline
+/// records).
+pub const CLIP_TICKS: i64 = 1 << 48;
+
 fn to_ticks(value: f64) -> Option<i64> {
     if !value.is_finite() {
         return None;
@@ -46,17 +69,54 @@ fn to_ticks(value: f64) -> Option<i64> {
     }
 }
 
-/// Sign-aware power-of-two bucket index for a tick count: 0 for 0,
-/// `±(1 + ⌊log₂|t|⌋)` otherwise.
-fn bucket_of(ticks: i64) -> i16 {
+/// Log-linear bin key for a tick count within `(-CLIP_TICKS, CLIP_TICKS)`:
+/// 0 for 0; otherwise the sign times a key that is exact below 8 and splits
+/// each octave of the magnitude into [`SUBBINS_PER_OCTAVE`] equal sub-bins.
+/// Monotone in the tick value, so ascending key order is ascending value
+/// order.
+fn bin_key(ticks: i64) -> i16 {
     if ticks == 0 {
         return 0;
     }
-    let mag = (64 - ticks.unsigned_abs().leading_zeros()) as i16;
-    if ticks > 0 {
-        mag
+    let m = ticks.unsigned_abs();
+    let o = 63 - m.leading_zeros() as i64; // ⌊log₂ m⌋
+    let key = if o < 3 {
+        m as i64 // 1..=7: exact
     } else {
-        -mag
+        let sub = ((m >> (o - 3)) as i64) & (SUBBINS_PER_OCTAVE - 1);
+        (o - 2) * SUBBINS_PER_OCTAVE + sub
+    };
+    if ticks > 0 {
+        key as i16
+    } else {
+        -(key as i16)
+    }
+}
+
+/// Half-open tick range `[lo, hi)` of a positive bin key (negative keys are
+/// the mirrored range; key 0 is exactly `[0, 1)`).
+fn bin_bounds(key: i16) -> (i64, i64) {
+    let k = key as i64;
+    debug_assert!(k >= 0);
+    if k < SUBBINS_PER_OCTAVE {
+        (k, k + 1)
+    } else {
+        let o = (k / SUBBINS_PER_OCTAVE + 2) as u32;
+        let sub = k % SUBBINS_PER_OCTAVE;
+        let lo = (SUBBINS_PER_OCTAVE + sub) << (o - 3);
+        (lo, lo + (1i64 << (o - 3)))
+    }
+}
+
+/// The representative tick value of a bin: the integer midpoint of its
+/// range, which for the exact low bins is the value itself.
+fn bin_representative(key: i16) -> i64 {
+    if key >= 0 {
+        let (lo, hi) = bin_bounds(key);
+        lo + (hi - lo - 1) / 2
+    } else {
+        let (lo, hi) = bin_bounds(-key);
+        -(lo + (hi - lo - 1) / 2)
     }
 }
 
@@ -71,6 +131,8 @@ struct Hist {
     timing: bool,
     count: u64,
     nonfinite: u64,
+    underflow: u64,
+    overflow: u64,
     sum_ticks: i128,
     min_ticks: i64,
     max_ticks: i64,
@@ -83,6 +145,8 @@ impl Hist {
             timing,
             count: 0,
             nonfinite: 0,
+            underflow: 0,
+            overflow: 0,
             sum_ticks: 0,
             min_ticks: i64::MAX,
             max_ticks: i64::MIN,
@@ -98,7 +162,13 @@ impl Hist {
                 self.sum_ticks += t as i128;
                 self.min_ticks = self.min_ticks.min(t);
                 self.max_ticks = self.max_ticks.max(t);
-                *self.buckets.entry(bucket_of(t)).or_insert(0) += 1;
+                if t >= CLIP_TICKS {
+                    self.overflow += 1;
+                } else if t <= -CLIP_TICKS {
+                    self.underflow += 1;
+                } else {
+                    *self.buckets.entry(bin_key(t)).or_insert(0) += 1;
+                }
             }
         }
     }
@@ -107,6 +177,8 @@ impl Hist {
         self.timing |= other.timing;
         self.count += other.count;
         self.nonfinite += other.nonfinite;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
         self.sum_ticks += other.sum_ticks;
         self.min_ticks = self.min_ticks.min(other.min_ticks);
         self.max_ticks = self.max_ticks.max(other.max_ticks);
@@ -205,48 +277,95 @@ pub struct HistSummary {
     pub count: u64,
     /// Number of dropped non-finite observations.
     pub nonfinite: u64,
+    /// Observations below `-CLIP_TICKS` ticks (counted, not binned).
+    pub underflow: u64,
+    /// Observations at or above `CLIP_TICKS` ticks (counted, not binned).
+    pub overflow: u64,
     /// Sum of observations (exact, from fixed-point ticks).
     pub sum: f64,
-    /// Smallest observation (`NaN` when empty).
+    /// Smallest observation (0 when empty — never `NaN`).
     pub min: f64,
-    /// Largest observation (`NaN` when empty).
+    /// Largest observation (0 when empty — never `NaN`).
     pub max: f64,
-    /// Log₂ bucket counts keyed by signed bucket index.
+    /// Log-linear bin counts keyed by signed bin index (see [`module
+    /// docs`](self)); ascending key order is ascending value order.
     pub buckets: BTreeMap<i16, u64>,
     /// Sum in raw ticks — the exact integer the determinism tests compare.
     pub sum_ticks: i128,
+    min_ticks: i64,
+    max_ticks: i64,
 }
 
 impl HistSummary {
     fn from_hist(h: &Hist) -> Self {
         let unticks = |t: i64| t as f64 / TICKS_PER_UNIT;
+        let empty = h.count == 0;
         HistSummary {
             timing: h.timing,
             count: h.count,
             nonfinite: h.nonfinite,
+            underflow: h.underflow,
+            overflow: h.overflow,
             sum: h.sum_ticks as f64 / TICKS_PER_UNIT,
-            min: if h.count > 0 {
-                unticks(h.min_ticks)
-            } else {
-                f64::NAN
-            },
-            max: if h.count > 0 {
-                unticks(h.max_ticks)
-            } else {
-                f64::NAN
-            },
+            min: if empty { 0.0 } else { unticks(h.min_ticks) },
+            max: if empty { 0.0 } else { unticks(h.max_ticks) },
             buckets: h.buckets.clone(),
             sum_ticks: h.sum_ticks,
+            min_ticks: if empty { 0 } else { h.min_ticks },
+            max_ticks: if empty { 0 } else { h.max_ticks },
         }
     }
 
-    /// Mean of the observations (`NaN` when empty).
+    /// Mean of the observations (0 when empty — never `NaN`).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            f64::NAN
+            0.0
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`) by nearest rank over the bin counts:
+    /// the representative value of the bin holding the target rank, clamped
+    /// to the exact observed `[min, max]`. Underflow/overflow ranks answer
+    /// with `min`/`max` themselves. Returns 0 when the histogram is empty
+    /// (never `NaN`), and is exact in the bin resolution (≤ ~12.5% relative
+    /// error, exact below 8 ticks).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Nearest rank: smallest rank r in 1..=count with r >= p*count.
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = self.underflow;
+        if rank <= cum {
+            return self.min;
+        }
+        for (&key, &n) in &self.buckets {
+            cum += n;
+            if rank <= cum {
+                let rep = bin_representative(key);
+                let clamped = rep.clamp(self.min_ticks, self.max_ticks);
+                return clamped as f64 / TICKS_PER_UNIT;
+            }
+        }
+        self.max
+    }
+
+    /// Median ([`HistSummary::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -291,10 +410,15 @@ impl Snapshot {
                             ("timing".into(), Value::Bool(h.timing)),
                             ("count".into(), Value::from(h.count)),
                             ("nonfinite".into(), Value::from(h.nonfinite)),
+                            ("underflow".into(), Value::from(h.underflow)),
+                            ("overflow".into(), Value::from(h.overflow)),
                             ("sum".into(), Value::Num(h.sum)),
                             ("min".into(), Value::Num(h.min)),
                             ("max".into(), Value::Num(h.max)),
                             ("mean".into(), Value::Num(h.mean())),
+                            ("p50".into(), Value::Num(h.p50())),
+                            ("p95".into(), Value::Num(h.p95())),
+                            ("p99".into(), Value::Num(h.p99())),
                             ("buckets".into(), buckets),
                         ]),
                     )
@@ -342,9 +466,9 @@ impl Snapshot {
 
     /// A canonical string over the *deterministic* subset of the snapshot:
     /// all counters, plus non-timing histograms reduced to their exact
-    /// integer state (count, tick sum, tick extrema, bucket counts).
-    /// Identical runs must produce identical fingerprints at any thread
-    /// count and chunk size.
+    /// integer state (count, tick sum, tick extrema, under/overflow, bin
+    /// counts). Identical runs must produce identical fingerprints at any
+    /// thread count and chunk size.
     pub fn deterministic_fingerprint(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -357,8 +481,8 @@ impl Snapshot {
             }
             let _ = write!(
                 out,
-                "hist {name} count={} nonfinite={} sum_ticks={} buckets=[",
-                h.count, h.nonfinite, h.sum_ticks
+                "hist {name} count={} nonfinite={} sum_ticks={} under={} over={} buckets=[",
+                h.count, h.nonfinite, h.sum_ticks, h.underflow, h.overflow
             );
             for (b, n) in &h.buckets {
                 let _ = write!(out, "{b}:{n} ");
@@ -403,15 +527,109 @@ mod tests {
     }
 
     #[test]
-    fn buckets_are_sign_aware_log2() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(-4), -3);
-        assert_eq!(bucket_of(i64::MAX), 63);
-        assert_eq!(bucket_of(i64::MIN), -64);
+    fn bin_keys_are_monotone_and_continuous() {
+        // Exact low range.
+        for t in 0..8i64 {
+            assert_eq!(bin_key(t), t as i16);
+        }
+        // Monotone, no gaps: keys over a dense value sweep never decrease
+        // and never skip more than one step.
+        let mut prev = bin_key(1);
+        for t in 2..100_000i64 {
+            let k = bin_key(t);
+            assert!(k >= prev, "key regressed at {t}");
+            assert!(k - prev <= 1, "key jumped at {t}: {prev} -> {k}");
+            prev = k;
+        }
+        // Sign-mirrored.
+        for t in [1i64, 7, 8, 100, 12345, CLIP_TICKS - 1] {
+            assert_eq!(bin_key(-t), -bin_key(t));
+        }
+    }
+
+    #[test]
+    fn bin_bounds_partition_the_axis() {
+        // Every key's range starts where the previous one ended, and
+        // bin_key maps both ends of the range back to the key.
+        let mut expected_lo = 0i64;
+        for key in 0..200i16 {
+            let (lo, hi) = bin_bounds(key);
+            assert_eq!(lo, expected_lo, "gap/overlap before key {key}");
+            assert!(hi > lo);
+            assert_eq!(bin_key(lo.max(1)), key.max(1), "lo of key {key}");
+            assert_eq!(bin_key(hi - 1), key.max(0), "hi-1 of key {key}");
+            expected_lo = hi;
+        }
+        // Representatives live inside their bin and are exact below 8.
+        for key in 1..8i16 {
+            assert_eq!(bin_representative(key), key as i64);
+        }
+        let (lo, hi) = bin_bounds(100);
+        let rep = bin_representative(100);
+        assert!(lo <= rep && rep < hi);
+    }
+
+    #[test]
+    fn quantiles_track_known_distributions() {
+        let r = Registry::new();
+        // 1..=100 in micro-units steps (values i/1e6 → ticks i): the
+        // p-quantile of 1..=100 is ~100p, and bins are exact-ish at this
+        // scale (≤12.5% wide).
+        for i in 1..=100 {
+            r.observe("q", i as f64 / TICKS_PER_UNIT, false);
+        }
+        let h = &r.snapshot().histograms["q"];
+        let q50 = h.p50() * TICKS_PER_UNIT;
+        let q95 = h.p95() * TICKS_PER_UNIT;
+        let q99 = h.p99() * TICKS_PER_UNIT;
+        assert!((q50 - 50.0).abs() <= 50.0 * 0.13, "p50 = {q50}");
+        assert!((q95 - 95.0).abs() <= 95.0 * 0.13, "p95 = {q95}");
+        assert!((q99 - 99.0).abs() <= 99.0 * 0.13, "p99 = {q99}");
+        // Quantiles never leave the observed range.
+        assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+        // A point mass answers exactly.
+        let r = Registry::new();
+        for _ in 0..10 {
+            r.observe("point", 3e-6, false);
+        }
+        let h = &r.snapshot().histograms["point"];
+        assert_eq!(h.p50(), 3e-6);
+        assert_eq!(h.p99(), 3e-6);
+    }
+
+    #[test]
+    fn empty_histograms_are_nan_free() {
+        let r = Registry::new();
+        r.observe("only_nan", f64::NAN, false);
+        let s = r.snapshot();
+        let h = &s.histograms["only_nan"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.nonfinite, 1);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        // The JSON form stays numeric (the writer would serialize NaN as
+        // null, which the schema checker rejects).
+        crate::schema::check_metrics(&s.to_json()).unwrap();
+    }
+
+    #[test]
+    fn clip_ticks_route_to_underflow_and_overflow() {
+        let r = Registry::new();
+        let big = (CLIP_TICKS as f64 + 5.0) / TICKS_PER_UNIT;
+        r.observe("c", big, false);
+        r.observe("c", -big, false);
+        r.observe("c", 1.0, false);
+        let h = &r.snapshot().histograms["c"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.buckets.values().sum::<u64>(), 1);
+        // Overflowing ranks answer with the exact extrema.
+        assert_eq!(h.quantile(1.0), h.max);
+        assert_eq!(h.quantile(0.0), h.min);
     }
 
     #[test]
@@ -424,6 +642,7 @@ mod tests {
         assert!(fp.contains("fit.em.runs"));
         assert!(fp.contains("fit.em.iterations"));
         assert!(!fp.contains("time.mc.simulate.us"));
+        assert!(fp.contains("under=0 over=0"));
     }
 
     #[test]

@@ -60,8 +60,20 @@ pub fn check_metrics(doc: &Value) -> Result<(), String> {
     }
     for (name, h) in want_obj(doc, "histograms", what)? {
         let what = format!("metrics histogram `{name}`");
-        for key in ["count", "nonfinite", "sum", "min", "max", "mean"] {
-            want(h, key, &what)?;
+        for key in [
+            "count",
+            "nonfinite",
+            "underflow",
+            "overflow",
+            "sum",
+            "min",
+            "max",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+        ] {
+            want_num(h, key, &what)?;
         }
         match want(h, "timing", &what)? {
             Value::Bool(_) => {}
@@ -96,6 +108,25 @@ pub fn check_trace_line(line: &Value) -> Result<(), String> {
         "span" => {
             want_str(line, "name", what)?;
             want_num(line, "us", what)?;
+            // Trace-propagation fields are optional (absent in legacy
+            // traces) but must be well-typed when present.
+            for key in ["start_us", "span_id", "parent", "worker"] {
+                if let Some(v) = line.get(key) {
+                    let n = v
+                        .as_f64()
+                        .ok_or_else(|| format!("{what}: `{key}` is not a number"))?;
+                    if n < 0.0 || n != n.trunc() {
+                        return Err(format!("{what}: `{key}` is not a whole number"));
+                    }
+                }
+            }
+            if let Some(t) = line.get("trace") {
+                let s = t
+                    .as_str()
+                    .ok_or_else(|| format!("{what}: `trace` is not a string"))?;
+                crate::parse_trace_id(s)
+                    .ok_or_else(|| format!("{what}: `trace` is not a hex trace id"))?;
+            }
         }
         "event" => {
             want_str(line, "name", what)?;
@@ -204,6 +235,23 @@ mod tests {
         assert!(check_trace_line(&bad).is_err());
         let text = format!("{}\n\n{}", ok.to_json(), ok.to_json());
         assert_eq!(check_trace_text(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn span_trace_fields_are_typed_when_present() {
+        let full = parse(
+            r#"{"t_us":1,"seq":0,"type":"span","name":"serve.request","us":42,
+                "start_us":10,"span_id":7,"parent":3,"worker":1,
+                "trace":"00c0ffee00c0ffee"}"#,
+        )
+        .unwrap();
+        check_trace_line(&full).unwrap();
+        let bad_trace =
+            parse(r#"{"t_us":1,"seq":0,"type":"span","name":"x","us":1,"trace":"zz"}"#).unwrap();
+        assert!(check_trace_line(&bad_trace).unwrap_err().contains("trace"));
+        let bad_span_id =
+            parse(r#"{"t_us":1,"seq":0,"type":"span","name":"x","us":1,"span_id":1.5}"#).unwrap();
+        assert!(check_trace_line(&bad_span_id).is_err());
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Converters from the JSONL span trace to standard profiling formats.
+//!
+//! The daemon (and every CLI run with `--trace-json`) writes span records as
+//! JSONL. This module turns that stream into:
+//!
+//! - **Chrome `trace_event` JSON** ([`to_chrome_trace`]): complete (`"X"`)
+//!   events, one track (`tid`) per worker index, loadable in Perfetto or
+//!   `chrome://tracing`. [`validate_chrome_trace`] checks the structural
+//!   invariants the CI trace-smoke step gates on.
+//! - **Collapsed stacks** ([`to_collapsed`]): `a;b;c <self-us>` lines
+//!   aggregated over the parent chain, directly consumable by inferno /
+//!   `flamegraph.pl`.
+//!
+//! Both are exposed as `lvf2 trace export --format chrome|collapsed`.
+
+use std::collections::HashMap;
+
+use crate::json::{self, Value};
+
+/// One span parsed back out of a JSONL trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `serve.job.characterize`).
+    pub name: String,
+    /// Start offset from session start, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Worker index the span closed on (0 = orchestrator thread).
+    pub worker: u64,
+    /// Unique span id (0 when the record predates span ids).
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_id: u64,
+    /// Originating request trace id as lowercase hex (empty = untraced).
+    pub trace_id: String,
+}
+
+/// Parses every `span` record out of a JSONL trace text, skipping other
+/// record types (events, logs, progress) and — for robustness on truncated
+/// daemon traces — unparseable lines. Span records without `start_us`
+/// (written before trace propagation existed) are skipped too, since
+/// neither exporter can place them on a timeline.
+pub fn parse_spans(text: &str) -> Vec<SpanEvent> {
+    let mut spans = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = json::parse(line) else { continue };
+        if v.get("type").and_then(Value::as_str) != Some("span") {
+            continue;
+        }
+        let num = |key: &str| v.get(key).and_then(Value::as_f64);
+        let (Some(name), Some(us), Some(start_us)) = (
+            v.get("name").and_then(Value::as_str),
+            num("us"),
+            num("start_us"),
+        ) else {
+            continue;
+        };
+        spans.push(SpanEvent {
+            name: name.to_string(),
+            start_us: start_us as u64,
+            dur_us: us as u64,
+            worker: num("worker").unwrap_or(0.0) as u64,
+            span_id: num("span_id").unwrap_or(0.0) as u64,
+            parent_id: num("parent").unwrap_or(0.0) as u64,
+            trace_id: v
+                .get("trace")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
+    }
+    spans
+}
+
+/// Converts spans to a Chrome `trace_event` document: complete (`ph:"X"`)
+/// events sorted by `(tid, ts)`, one `tid` track per worker index, with
+/// span/parent/trace ids preserved under `args`.
+pub fn to_chrome_trace(spans: &[SpanEvent]) -> Value {
+    let mut sorted: Vec<&SpanEvent> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.worker, s.start_us, s.span_id));
+    let events = sorted
+        .into_iter()
+        .map(|s| {
+            let mut args = vec![("span_id".to_string(), Value::from(s.span_id))];
+            if s.parent_id != 0 {
+                args.push(("parent".to_string(), Value::from(s.parent_id)));
+            }
+            if !s.trace_id.is_empty() {
+                args.push(("trace".to_string(), Value::from(s.trace_id.as_str())));
+            }
+            Value::Obj(vec![
+                ("name".to_string(), Value::from(s.name.as_str())),
+                ("ph".to_string(), Value::from("X")),
+                ("ts".to_string(), Value::from(s.start_us)),
+                ("dur".to_string(), Value::from(s.dur_us)),
+                ("pid".to_string(), Value::from(1u64)),
+                ("tid".to_string(), Value::from(s.worker)),
+                ("args".to_string(), Value::Obj(args)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(events)),
+        ("displayTimeUnit".to_string(), Value::from("ms")),
+    ])
+}
+
+/// Converts spans to collapsed-stack text: for each span, the `;`-joined
+/// parent chain weighted by the span's *self time* (duration minus direct
+/// children, clamped at 0 so clock jitter can't go negative), aggregated
+/// and emitted in sorted order. Feed the output to inferno or
+/// `flamegraph.pl` to get an SVG flamegraph.
+pub fn to_collapsed(spans: &[SpanEvent]) -> String {
+    let by_id: HashMap<u64, &SpanEvent> = spans
+        .iter()
+        .filter(|s| s.span_id != 0)
+        .map(|s| (s.span_id, s))
+        .collect();
+    let mut child_us: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if s.parent_id != 0 && by_id.contains_key(&s.parent_id) {
+            *child_us.entry(s.parent_id).or_insert(0) += s.dur_us;
+        }
+    }
+    let mut stacks: HashMap<String, u64> = HashMap::new();
+    for s in spans {
+        let self_us = s
+            .dur_us
+            .saturating_sub(child_us.get(&s.span_id).copied().unwrap_or(0));
+        // Walk the parent chain (bounded by the span count to survive a
+        // corrupt trace with an id cycle).
+        let mut chain = vec![s.name.as_str()];
+        let mut cur = s.parent_id;
+        let mut hops = 0;
+        while cur != 0 && hops <= spans.len() {
+            match by_id.get(&cur) {
+                Some(p) => {
+                    chain.push(p.name.as_str());
+                    cur = p.parent_id;
+                }
+                None => break,
+            }
+            hops += 1;
+        }
+        chain.reverse();
+        *stacks.entry(chain.join(";")).or_insert(0) += self_us;
+    }
+    let mut lines: Vec<String> = stacks
+        .into_iter()
+        .map(|(stack, us)| format!("{stack} {us}"))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates a Chrome trace document against the invariants the CI
+/// trace-smoke step gates on: a non-empty `traceEvents` array of complete
+/// events with the required fields, timestamps monotonically non-decreasing
+/// within each `tid` track, and — when `expect_trace` is given — every
+/// event's `args.trace` equal to it. Returns the event count.
+///
+/// # Errors
+///
+/// A message describing the first violated invariant.
+pub fn validate_chrome_trace(doc: &Value, expect_trace: Option<&str>) -> Result<usize, String> {
+    let events = match doc.get("traceEvents") {
+        Some(Value::Arr(events)) => events,
+        Some(_) => return Err("traceEvents is not an array".to_string()),
+        None => return Err("missing traceEvents".to_string()),
+    };
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: missing or invalid {field}");
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            return Err(ctx("name"));
+        }
+        if ev.get("ph").and_then(Value::as_str) != Some("X") {
+            return Err(format!("event {i}: ph is not \"X\""));
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("ts"))?;
+        let dur = ev
+            .get("dur")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("dur"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("tid"))? as u64;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts {ts} regresses below {prev} on tid {tid}"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        if let Some(want) = expect_trace {
+            let got = ev
+                .get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_str);
+            if got != Some(want) {
+                return Err(format!(
+                    "event {i}: trace id {got:?} does not match expected {want:?}"
+                ));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        // A serve.request containing a job span, plus a pool-worker span
+        // parented into the job, all on one trace; and one untraced span.
+        [
+            r#"{"t_us":10,"seq":0,"type":"span","name":"mc.draw","us":30,"start_us":25,"span_id":3,"worker":2,"parent":2,"trace":"00000000000000ab"}"#,
+            r#"{"t_us":20,"seq":1,"type":"event","name":"noise","level":"info"}"#,
+            r#"{"t_us":80,"seq":2,"type":"span","name":"serve.job.characterize","us":70,"start_us":20,"span_id":2,"worker":1,"parent":1,"trace":"00000000000000ab"}"#,
+            r#"{"t_us":95,"seq":3,"type":"span","name":"serve.request","us":90,"start_us":10,"span_id":1,"worker":1,"trace":"00000000000000ab"}"#,
+            r#"{"t_us":99,"seq":4,"type":"span","name":"stray","us":5,"start_us":90,"span_id":9,"worker":0}"#,
+            "not json at all",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn parse_spans_extracts_span_records_only() {
+        let spans = parse_spans(&sample_trace());
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].name, "mc.draw");
+        assert_eq!(spans[0].parent_id, 2);
+        assert_eq!(spans[0].trace_id, "00000000000000ab");
+        assert_eq!(spans[3].trace_id, "", "untraced span parses");
+        // Legacy span records without start_us are skipped, not an error.
+        let legacy = r#"{"t_us":1,"seq":0,"type":"span","name":"old","us":3}"#;
+        assert!(parse_spans(legacy).is_empty());
+    }
+
+    #[test]
+    fn chrome_export_validates_and_groups_by_worker() {
+        let spans = parse_spans(&sample_trace());
+        let doc = to_chrome_trace(&spans);
+        let n = validate_chrome_trace(&doc, None).unwrap();
+        assert_eq!(n, 4);
+        // Worker 1's two events are ts-sorted within the track.
+        let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents array");
+        };
+        let w1: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("tid").and_then(Value::as_f64) == Some(1.0))
+            .collect();
+        assert_eq!(w1.len(), 2);
+        assert_eq!(
+            w1[0].get("name").and_then(Value::as_str),
+            Some("serve.request")
+        );
+        assert_eq!(w1[0].get("ts").and_then(Value::as_f64), Some(10.0));
+        // Round-trips through its own serializer/parser.
+        let reparsed = json::parse(&doc.to_json()).unwrap();
+        assert_eq!(validate_chrome_trace(&reparsed, None).unwrap(), 4);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_bad_documents() {
+        let empty = json::parse(r#"{"traceEvents":[]}"#).unwrap();
+        assert!(validate_chrome_trace(&empty, None).is_err());
+
+        let regressing = json::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"X","ts":50,"dur":1,"pid":1,"tid":1,"args":{}},
+                {"name":"b","ph":"X","ts":10,"dur":1,"pid":1,"tid":1,"args":{}}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&regressing, None).unwrap_err();
+        assert!(err.contains("regresses"), "got: {err}");
+
+        // Same timestamps on different tracks are fine.
+        let two_tracks = json::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"X","ts":50,"dur":1,"pid":1,"tid":1,"args":{}},
+                {"name":"b","ph":"X","ts":10,"dur":1,"pid":1,"tid":2,"args":{}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(validate_chrome_trace(&two_tracks, None).unwrap(), 2);
+
+        // Trace-id mismatch (the stray span has none).
+        let spans = parse_spans(&sample_trace());
+        let doc = to_chrome_trace(&spans);
+        let err = validate_chrome_trace(&doc, Some("00000000000000ab")).unwrap_err();
+        assert!(err.contains("trace id"), "got: {err}");
+        let traced: Vec<SpanEvent> = spans
+            .into_iter()
+            .filter(|s| !s.trace_id.is_empty())
+            .collect();
+        let doc = to_chrome_trace(&traced);
+        assert_eq!(
+            validate_chrome_trace(&doc, Some("00000000000000ab")).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn collapsed_stacks_use_self_time_along_parent_chains() {
+        let spans = parse_spans(&sample_trace());
+        let out = to_collapsed(&spans);
+        let lines: Vec<&str> = out.lines().collect();
+        // request: 90 total − 70 child = 20 self; job: 70 − 30 = 40;
+        // mc.draw is a leaf with 30; stray is a root with 5.
+        assert!(lines.contains(&"serve.request 20"), "{out}");
+        assert!(
+            lines.contains(&"serve.request;serve.job.characterize 40"),
+            "{out}"
+        );
+        assert!(
+            lines.contains(&"serve.request;serve.job.characterize;mc.draw 30"),
+            "{out}"
+        );
+        assert!(lines.contains(&"stray 5"), "{out}");
+        // Self time clamps at zero when children overlap-exceed the parent.
+        let weird = parse_spans(
+            r#"{"t_us":1,"seq":0,"type":"span","name":"kid","us":99,"start_us":0,"span_id":2,"worker":0,"parent":1}
+{"t_us":2,"seq":1,"type":"span","name":"dad","us":10,"start_us":0,"span_id":1,"worker":0}"#,
+        );
+        let out = to_collapsed(&weird);
+        assert!(out.lines().any(|l| l == "dad 0"), "{out}");
+        assert!(out.lines().any(|l| l == "dad;kid 99"), "{out}");
+        assert_eq!(to_collapsed(&[]), "");
+    }
+}

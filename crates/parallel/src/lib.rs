@@ -259,6 +259,10 @@ impl Parallelism {
         let results: Mutex<Vec<ChunkResult<U, E>>> = Mutex::new(Vec::with_capacity(n_chunks));
         let cursor = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        // The submitting thread's trace position: propagated onto every
+        // worker so spans opened inside `f` stay parented to the span that
+        // submitted the parallel region (and keep its request trace id).
+        let span_ctx = lvf2_obs::span_context();
 
         std::thread::scope(|scope| {
             for worker in 0..threads {
@@ -268,6 +272,7 @@ impl Parallelism {
                     // observability layer (`lvf2-obs`) can shard metric
                     // writes per worker and merge them deterministically.
                     lvf2_obs::set_worker_index(worker + 1);
+                    lvf2_obs::set_span_context(span_ctx);
                     // Worker-local state, reused across every chunk this
                     // worker claims.
                     let mut state = init();

@@ -2,10 +2,11 @@
 //! serve bench, and the e2e tests.
 
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use lvf2_obs::json::Value;
 
-use crate::proto::{read_frame, write_frame, Envelope, ProtoError};
+use crate::proto::{read_frame, write_frame, Envelope, ProtoError, TraceInfo};
 
 /// A decoded success response.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,11 +56,33 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Mints a fresh non-zero trace id. Uniqueness is what matters (two
+/// concurrent clients must not collide), determinism doesn't — trace ids
+/// never enter the metrics fingerprint — so a SplitMix64 step over
+/// pid/time/counter entropy is plenty.
+fn mint_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seed = nanos
+        ^ (u64::from(std::process::id()) << 32)
+        ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    // SplitMix64 finalizer.
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = z ^ (z >> 31);
+    z.max(1) // 0 means "untraced"
+}
+
 /// One connection to a daemon; requests are issued serially.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    last_trace_id: u64,
 }
 
 impl Client {
@@ -72,10 +95,14 @@ impl Client {
         Ok(Client {
             stream: TcpStream::connect(addr)?,
             next_id: 1,
+            last_trace_id: 0,
         })
     }
 
-    /// Submits one job object and blocks for its response.
+    /// Submits one job object and blocks for its response. Each call mints
+    /// a fresh trace id (see [`Client::last_trace_id`]) and attaches the
+    /// calling thread's current span as the trace parent, so server-side
+    /// spans correlate back to this exact request.
     ///
     /// # Errors
     ///
@@ -85,11 +112,26 @@ impl Client {
     pub fn call(&mut self, job: Value) -> Result<Response, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let env = Envelope { id, job };
+        self.last_trace_id = mint_trace_id();
+        let env = Envelope {
+            id,
+            job,
+            trace: Some(TraceInfo {
+                trace_id: self.last_trace_id,
+                parent_span: lvf2_obs::span_context().span_id,
+            }),
+        };
         write_frame(&mut self.stream, &env.encode())?;
         let frame = read_frame(&mut self.stream)?
             .ok_or_else(|| ProtoError::Malformed("server closed before responding".into()))?;
         decode_response(&frame)
+    }
+
+    /// The trace id minted for the most recent [`Client::call`] (0 before
+    /// the first call). Matches the `trace` field on every server-side span
+    /// that request produced.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// `{"type":"ping"}`.

@@ -54,7 +54,9 @@ pub mod service;
 
 pub use cache::{arc_cache_key, tail_cache_key, CacheStats, KeyHasher, SingleFlightCache};
 pub use client::{Client, ClientError, Response};
-pub use proto::{read_frame, write_frame, Envelope, ProtoError, MAX_FRAME, PROTOCOL_VERSION};
+pub use proto::{
+    read_frame, write_frame, Envelope, ProtoError, TraceInfo, MAX_FRAME, PROTOCOL_VERSION,
+};
 pub use request::{BinJob, CharacterizeJob, FitJob, JobRequest, TailYieldJob};
 pub use server::{Server, ServerConfig};
 pub use service::Service;

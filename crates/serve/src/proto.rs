@@ -98,6 +98,49 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
     Ok(Some(payload))
 }
 
+/// The trace context a client attaches to a request so server-side spans
+/// can be correlated with it: the client-minted trace id plus the client's
+/// submitting span (0 = none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceInfo {
+    /// Client-minted end-to-end trace id (0 = untraced request).
+    pub trace_id: u64,
+    /// The client-side span the request was submitted under (0 = root).
+    pub parent_span: u64,
+}
+
+impl TraceInfo {
+    fn to_value(self) -> Value {
+        Value::Obj(vec![
+            (
+                "id".into(),
+                Value::from(lvf2_obs::trace_id_hex(self.trace_id)),
+            ),
+            ("parent".into(), Value::from(self.parent_span)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<TraceInfo, ProtoError> {
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .and_then(lvf2_obs::parse_trace_id)
+            .ok_or_else(|| ProtoError::Malformed("trace: missing or invalid `id`".into()))?;
+        let parent = match v.get("parent") {
+            None => 0,
+            Some(p) => p
+                .as_f64()
+                .filter(|n| *n >= 0.0 && *n == n.trunc())
+                .ok_or_else(|| ProtoError::Malformed("trace: invalid `parent`".into()))?
+                as u64,
+        };
+        Ok(TraceInfo {
+            trace_id: id,
+            parent_span: parent,
+        })
+    }
+}
+
 /// A decoded request envelope: the client-chosen `id` plus the raw `job`
 /// object (decoded further by [`crate::request::JobRequest::from_json`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -106,26 +149,32 @@ pub struct Envelope {
     pub id: u64,
     /// The `job` object.
     pub job: Value,
+    /// Optional trace context; the server threads it onto the worker that
+    /// executes the job so server-side spans carry the client's trace id.
+    pub trace: Option<TraceInfo>,
 }
 
 impl Envelope {
     /// Encodes a request envelope to JSON bytes.
     pub fn encode(&self) -> Vec<u8> {
-        Value::Obj(vec![
+        let mut pairs = vec![
             ("v".into(), Value::from(PROTOCOL_VERSION)),
             ("id".into(), Value::from(self.id)),
             ("job".into(), self.job.clone()),
-        ])
-        .to_json()
-        .into_bytes()
+        ];
+        if let Some(trace) = self.trace {
+            pairs.push(("trace".into(), trace.to_value()));
+        }
+        Value::Obj(pairs).to_json().into_bytes()
     }
 
     /// Decodes a request envelope from JSON bytes.
     ///
     /// # Errors
     ///
-    /// [`ProtoError::Malformed`] for non-JSON payloads, missing fields, or a
-    /// version other than [`PROTOCOL_VERSION`].
+    /// [`ProtoError::Malformed`] for non-JSON payloads, missing fields, a
+    /// version other than [`PROTOCOL_VERSION`], or a malformed `trace`
+    /// object (absence is fine — tracing is optional).
     pub fn decode(payload: &[u8]) -> Result<Envelope, ProtoError> {
         let text = std::str::from_utf8(payload)
             .map_err(|e| ProtoError::Malformed(format!("non-UTF-8 payload: {e}")))?;
@@ -147,7 +196,15 @@ impl Envelope {
             .get("job")
             .cloned()
             .ok_or_else(|| ProtoError::Malformed("missing `job`".into()))?;
-        Ok(Envelope { id: id as u64, job })
+        let trace = match v.get("trace") {
+            None => None,
+            Some(t) => Some(TraceInfo::from_value(t)?),
+        };
+        Ok(Envelope {
+            id: id as u64,
+            job,
+            trace,
+        })
     }
 }
 
@@ -221,8 +278,37 @@ mod tests {
         let env = Envelope {
             id: 42,
             job: json::parse(r#"{"type":"ping"}"#).unwrap(),
+            trace: None,
         };
         assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn traced_envelopes_round_trip() {
+        let env = Envelope {
+            id: 7,
+            job: json::parse(r#"{"type":"ping"}"#).unwrap(),
+            trace: Some(TraceInfo {
+                trace_id: 0xdead_beef_0123_4567,
+                parent_span: 9,
+            }),
+        };
+        let bytes = env.encode();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.contains("deadbeef01234567"), "{text}");
+        assert_eq!(Envelope::decode(&bytes).unwrap(), env);
+        // `parent` is optional on the wire; a bad id is rejected.
+        let no_parent = br#"{"v":1,"id":1,"job":{},"trace":{"id":"ab"}}"#;
+        let env = Envelope::decode(no_parent).unwrap();
+        assert_eq!(
+            env.trace,
+            Some(TraceInfo {
+                trace_id: 0xab,
+                parent_span: 0
+            })
+        );
+        assert!(Envelope::decode(br#"{"v":1,"id":1,"job":{},"trace":{"id":"zz"}}"#).is_err());
+        assert!(Envelope::decode(br#"{"v":1,"id":1,"job":{},"trace":{}}"#).is_err());
     }
 
     #[test]

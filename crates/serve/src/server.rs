@@ -19,10 +19,13 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use lvf2_obs::{info, warn, Obs};
+use lvf2_obs::json::Value;
+use lvf2_obs::{info, warn, Obs, TraceContext};
 use lvf2_parallel::Parallelism;
 
-use crate::proto::{encode_err, encode_ok, read_frame, write_frame, Envelope, ProtoError};
+use crate::proto::{
+    encode_err, encode_ok, read_frame, write_frame, Envelope, ProtoError, TraceInfo,
+};
 use crate::request::JobRequest;
 use crate::service::Service;
 
@@ -99,6 +102,7 @@ impl ServerConfig {
 struct QueuedJob {
     id: u64,
     req: JobRequest,
+    trace: Option<TraceInfo>,
     reply: mpsc::Sender<Vec<u8>>,
 }
 
@@ -316,10 +320,12 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         let queued = QueuedJob {
             id: env.id,
             req,
+            trace: env.trace,
             reply: tx,
         };
         let response = match shared.queue.push(queued) {
             Some(depth) => {
+                obs.inc("serve.queue.enqueued", 1);
                 obs.observe("serve.queue.depth", depth as f64);
                 match rx.recv() {
                     Ok(bytes) => bytes,
@@ -342,12 +348,74 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
+    let obs = Obs::current();
     while let Some(job) = shared.queue.pop() {
-        let bytes = match shared.service.execute(&job.req) {
-            Ok((result, stats)) => encode_ok(job.id, result, stats),
+        obs.inc("serve.queue.dequeued", 1);
+        // Install the client's trace context so every span this job opens —
+        // here and on `lvf2-parallel` pool workers — carries its trace id,
+        // and capture the spans that close on this thread to echo their
+        // timings back in the response.
+        let trace = job.trace.unwrap_or_default();
+        lvf2_obs::set_span_context(TraceContext {
+            trace_id: trace.trace_id,
+            span_id: trace.parent_span,
+        });
+        lvf2_obs::begin_span_collection();
+        let outcome = {
+            let _request_span = obs.span("serve.request");
+            shared.service.execute(&job.req)
+        };
+        let spans = lvf2_obs::take_collected_spans();
+        lvf2_obs::set_span_context(TraceContext::default());
+        obs.inc("serve.jobs.done", 1);
+        let bytes = match outcome {
+            Ok((result, stats)) => {
+                encode_ok(job.id, result, with_trace_echo(stats, job.trace, &spans))
+            }
             Err(e) => encode_err(job.id, e.kind(), &e.to_string()),
         };
         // A vanished client is not a worker error; drop the reply.
         let _ = job.reply.send(bytes);
     }
+}
+
+/// Appends a `trace` block to a successful job's `stats`: the echoed trace
+/// id plus the server-side spans that closed on the worker thread
+/// (innermost first), so clients see where their wall time went without
+/// scraping the daemon's trace file.
+fn with_trace_echo(
+    stats: Value,
+    trace: Option<TraceInfo>,
+    spans: &[lvf2_obs::CollectedSpan],
+) -> Value {
+    let Some(trace) = trace else { return stats };
+    let mut pairs = match stats {
+        Value::Obj(pairs) => pairs,
+        other => vec![("stats".into(), other)],
+    };
+    let spans = spans
+        .iter()
+        .map(|s| {
+            let mut p = vec![
+                ("name".into(), Value::from(s.name.as_str())),
+                ("us".into(), Value::from(s.us)),
+                ("span_id".into(), Value::from(s.span_id)),
+            ];
+            if s.parent_id != 0 {
+                p.push(("parent".into(), Value::from(s.parent_id)));
+            }
+            Value::Obj(p)
+        })
+        .collect();
+    pairs.push((
+        "trace".into(),
+        Value::Obj(vec![
+            (
+                "id".into(),
+                Value::from(lvf2_obs::trace_id_hex(trace.trace_id)),
+            ),
+            ("spans".into(), Value::Arr(spans)),
+        ]),
+    ));
+    Value::Obj(pairs)
 }

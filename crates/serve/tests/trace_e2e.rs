@@ -1,0 +1,136 @@
+//! End-to-end trace propagation: a client-minted trace id travels the wire,
+//! is installed on the daemon's worker thread, fans out to the
+//! `lvf2-parallel` pool, and lands on **every** server-side span in the
+//! JSONL trace — and the same file round-trips through the Chrome
+//! trace_event exporter and its validator.
+//!
+//! One `#[test]` because the Obs session (trace sink + metrics registry) is
+//! process-global; a concurrent test would interleave foreign span records
+//! into the trace file this test asserts line by line.
+
+use std::fs;
+
+use lvf2_obs::json::{self, Value};
+use lvf2_obs::trace_export::{parse_spans, to_chrome_trace, to_collapsed, validate_chrome_trace};
+use lvf2_obs::{trace_id_hex, Obs, ObsConfig};
+use lvf2_serve::{Client, Server, ServerConfig};
+
+#[test]
+fn every_server_side_span_carries_the_clients_trace_id() {
+    let dir = std::env::temp_dir().join(format!("lvf2_trace_e2e_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.jsonl");
+    let guard = Obs::install(&ObsConfig {
+        metrics: true,
+        trace_path: Some(trace_path.to_str().unwrap().to_string()),
+        ..ObsConfig::off()
+    })
+    .unwrap();
+
+    let server = Server::spawn(
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_workers(2),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // One traced job; shutdown is answered in the connection loop and opens
+    // no spans, so afterwards the trace file holds exactly this request.
+    let job = json::parse(
+        r#"{"type":"characterize","cells":["INV"],
+            "options":{"samples":256,"grid":"3x3"}}"#,
+    )
+    .unwrap();
+    let resp = client.call(job).unwrap();
+    assert_ne!(
+        client.last_trace_id(),
+        0,
+        "client mints a non-zero trace id"
+    );
+    let trace_hex = trace_id_hex(client.last_trace_id());
+    assert_eq!(trace_hex.len(), 16);
+
+    // The response echoes the trace id and the worker-thread span timings.
+    let echo = resp.stats.get("trace").expect("stats carry a trace echo");
+    assert_eq!(
+        echo.get("id").and_then(Value::as_str),
+        Some(trace_hex.as_str()),
+        "echoed trace id matches the client's"
+    );
+    let Some(Value::Arr(echoed)) = echo.get("spans") else {
+        panic!("trace echo carries a spans array, got {echo:?}");
+    };
+    let names: Vec<&str> = echoed
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(names.contains(&"serve.request"), "echoed spans: {names:?}");
+    assert!(
+        names.contains(&"serve.job.characterize"),
+        "echoed spans: {names:?}"
+    );
+    // The job span is parented into the request span.
+    let by_name = |n: &str| {
+        echoed
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some(n))
+            .unwrap()
+    };
+    assert_eq!(
+        by_name("serve.job.characterize").get("parent"),
+        by_name("serve.request").get("span_id"),
+        "job span must be a child of the request span"
+    );
+
+    client.shutdown().unwrap();
+    server.join();
+    drop(guard); // flush the trace sink
+
+    // Every span record in the file — worker thread and parallel pool alike —
+    // carries this request's trace id.
+    let text = fs::read_to_string(&trace_path).unwrap();
+    let mut span_lines = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let rec = json::parse(line).unwrap();
+        if rec.get("type").and_then(Value::as_str) != Some("span") {
+            continue;
+        }
+        span_lines += 1;
+        assert_eq!(
+            rec.get("trace").and_then(Value::as_str),
+            Some(trace_hex.as_str()),
+            "span without the client's trace id: {line}"
+        );
+    }
+    assert!(
+        span_lines >= 3,
+        "expected request + job + inner spans, got {span_lines}"
+    );
+
+    // The same file round-trips through the Chrome exporter + validator,
+    // including the strict "every event on this trace" check.
+    let events = parse_spans(&text);
+    assert_eq!(events.len(), span_lines);
+    let chrome = to_chrome_trace(&events);
+    let n = validate_chrome_trace(&chrome, Some(&trace_hex)).expect("chrome export validates");
+    assert_eq!(n, events.len());
+    let reparsed = json::parse(&chrome.to_json()).unwrap();
+    assert_eq!(
+        validate_chrome_trace(&reparsed, Some(&trace_hex)).unwrap(),
+        n,
+        "export survives its own serializer"
+    );
+
+    // And the flamegraph view nests the job under the request.
+    let folded = to_collapsed(&events);
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("serve.request;serve.job.characterize")),
+        "collapsed stacks:\n{folded}"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
