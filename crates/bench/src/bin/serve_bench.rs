@@ -11,7 +11,13 @@
 //! - `speedup` — `cold_ms / warm_ms` (higher better; asserted ≥ 10);
 //! - `hit_rate` — warm-phase cache hits / lookups (asserted = 1);
 //! - `bit_identical` — 1.0 iff every warm library matches the cold one
-//!   byte for byte (asserted).
+//!   byte for byte (asserted);
+//! - `warm_restart_ms` — the same job against a **freshly restarted**
+//!   daemon whose cache was replayed from the persistent store (lower
+//!   better) — the crash-recovery answer to `cold_ms`;
+//! - `speedup_restart` — `cold_ms / warm_restart_ms` (higher better;
+//!   asserted ≥ 10: a restart must behave like a warm cache, not a cold
+//!   one — zero MC draws, zero EM runs, bit-identical bytes).
 //!
 //! Flags: `--samples`, `--grid 8x8|3x3`, `--warm-repeats`, `--workers`,
 //! plus the shared observability/bench flags (`--bench-json`,
@@ -43,12 +49,18 @@ fn main() {
     ))
     .expect("job literal parses");
 
-    let server = Server::spawn(
-        ServerConfig::default()
-            .with_addr("127.0.0.1:0")
-            .with_workers(workers),
-    )
-    .expect("daemon binds a loopback port");
+    let store_dir = std::env::temp_dir().join(format!("lvf2-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let spawn = || {
+        Server::spawn(
+            ServerConfig::default()
+                .with_addr("127.0.0.1:0")
+                .with_workers(workers)
+                .with_store_dir(store_dir.to_str().expect("utf-8 temp path")),
+        )
+        .expect("daemon binds a loopback port")
+    };
+    let server = spawn();
     let addr = server.addr().to_string();
     let mut client = Client::connect(&addr).expect("loopback connect");
 
@@ -94,7 +106,45 @@ fn main() {
     client.shutdown().expect("daemon acknowledges shutdown");
     server.join();
 
+    // Phase 3 — warm restart: a brand-new daemon process state (fresh
+    // in-memory cache) replays the persistent store and must serve the
+    // same job with zero recomputation — the crash-safety contract.
+    let mc_before = lvf2_obs::Obs::current()
+        .snapshot()
+        .map_or(0, |s| s.counter("cells.mc_samples"));
+    let server = spawn();
+    let mut client = Client::connect(&server.addr().to_string()).expect("loopback reconnect");
+    let t2 = Instant::now();
+    let restart = client.call(job.clone()).expect("restart job succeeds");
+    let warm_restart_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let restart_identical =
+        restart.result.get("library").and_then(Value::as_str) == Some(cold_lib.as_str());
+    assert_eq!(
+        stat(&restart, "cache_misses"),
+        0.0,
+        "restart must replay every arc from the store"
+    );
+    let mc_after = lvf2_obs::Obs::current()
+        .snapshot()
+        .map_or(0, |s| s.counter("cells.mc_samples"));
+    assert_eq!(mc_after, mc_before, "restart must draw zero MC samples");
+    let speedup_restart = cold_ms / warm_restart_ms;
+    client
+        .shutdown()
+        .expect("restarted daemon acknowledges shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     assert!(bit_identical, "warm libraries drifted from the cold one");
+    assert!(
+        restart_identical,
+        "restart-from-store library drifted from the cold one"
+    );
+    assert!(
+        speedup_restart >= 10.0,
+        "restart must serve warm, got {speedup_restart:.1}x \
+         (cold {cold_ms:.2} ms, restart {warm_restart_ms:.2} ms)"
+    );
     assert!(
         (hit_rate - 1.0).abs() < f64::EPSILON,
         "warm phase must be all hits, got {hit_rate}"
@@ -108,11 +158,17 @@ fn main() {
     println!("workload: 3 cells x {arcs:.0} arcs, {samples} samples/condition, {grid} grid");
     println!("cold    {cold_ms:9.2} ms  (cache empty: MC + EM per arc)");
     println!("warm    {warm_ms:9.2} ms  (min of {warm_repeats}; all arcs from cache)");
-    println!("speedup {speedup:8.1}x   hit rate {:.0}%", hit_rate * 100.0);
+    println!("restart {warm_restart_ms:9.2} ms  (fresh daemon, cache replayed from store)");
+    println!(
+        "speedup {speedup:8.1}x   restart {speedup_restart:.1}x   hit rate {:.0}%",
+        hit_rate * 100.0
+    );
 
     report.quality("cold_ms", cold_ms);
     report.quality("warm_ms", warm_ms);
+    report.quality("warm_restart_ms", warm_restart_ms);
     report.quality("speedup", speedup);
+    report.quality("speedup_restart", speedup_restart);
     report.quality("hit_rate", hit_rate);
     report.quality("bit_identical", f64::from(bit_identical));
     // Server-side job latency percentiles from the daemon's own timing

@@ -36,9 +36,11 @@ USAGE:
                [--sigma-scale K] [--mc-mode lhs|is] [--is-target-sigma K]
                [--tail-samples N] [--threads N] [--chunk-size N] --out FILE
   lvf2 serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]
-             [--threads N] [--chunk-size N] [--port-file PATH]
+             [--threads N] [--chunk-size N] [--port-file PATH] [--store DIR]
+             [--deadline-ms N] [--io-timeout-ms N]
   lvf2 submit ping|metrics|shutdown [--addr HOST:PORT]
   lvf2 submit --job FILE|- [--addr HOST:PORT] [--out FILE]
+              [--retries N] [--timeout-ms N] [--deadline-ms N]
   lvf2 top [--addr HOST:PORT] [--interval MS] [--once] [--json]
   lvf2 trace export FILE [--format chrome|collapsed] [--out FILE]
   lvf2 trace check FILE [--trace-id HEX]
@@ -64,7 +66,13 @@ LVF2_THREADS environment variable supplies a default when --threads is absent.
 
 `lvf2 serve` runs the characterization daemon (length-prefixed JSON over TCP,
 content-addressed arc cache); `lvf2 submit` sends it one job and prints the
-result. `lvf2 top` polls a running daemon and renders queue depth, cache hit
+result. `serve --store DIR` persists fitted models to a crash-safe append-only
+log, so a restarted daemon serves repeat jobs without recomputing;
+`--deadline-ms` sets a default per-job budget and `--io-timeout-ms` the socket
+read/write timeout. `submit --retries N` retries retryable failures (timeouts,
+overload) with exponential backoff, `--timeout-ms` bounds each socket wait,
+and `--deadline-ms` attaches a job budget enforced by the server. See
+docs/ROBUSTNESS.md for the failure model. `lvf2 top` polls a running daemon and renders queue depth, cache hit
 rate, jobs in flight, and per-job-type latency percentiles (`--once --json`
 for scripting). `lvf2 trace export` converts a --trace-json JSONL file to
 Chrome trace_event JSON (Perfetto) or collapsed stacks (flamegraphs), and
@@ -325,9 +333,16 @@ pub fn serve(args: &[String]) -> CliResult {
         .with_workers(opts.get_or("workers", 2)?)
         .with_queue_capacity(opts.get_or("queue", 16)?)
         .with_cache_capacity(opts.get_or("cache-cap", 4096)?)
+        .with_io_timeout_ms(opts.get_or("io-timeout-ms", 300_000)?)
         .with_parallelism(par);
     if let Some(path) = opts.get("port-file") {
         cfg = cfg.with_port_file(path);
+    }
+    if let Some(dir) = opts.get("store") {
+        cfg = cfg.with_store_dir(dir);
+    }
+    if opts.get("deadline-ms").is_some() {
+        cfg = cfg.with_default_deadline_ms(opts.get_or("deadline-ms", 0)?);
     }
     let server = lvf2_serve::Server::spawn(cfg)?;
     println!("lvf2-serve listening on {}", server.addr());
@@ -363,9 +378,22 @@ pub fn submit(args: &[String]) -> CliResult {
         return Err("provide a job: `lvf2 submit ping|metrics|shutdown` or `--job FILE|-`".into());
     };
     let job = json::parse(&job_text).map_err(|e| format!("invalid job JSON: {e}"))?;
-    let mut client = lvf2_serve::Client::connect(addr)
+    let timeout_ms = opts.get_or("timeout-ms", lvf2_serve::client::DEFAULT_IO_TIMEOUT_MS)?;
+    let mut client = lvf2_serve::Client::connect_with_timeout(addr, timeout_ms)
         .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
-    let resp = client.call(job)?;
+    if opts.get("deadline-ms").is_some() {
+        client.set_deadline_ms(Some(opts.get_or("deadline-ms", 0)?));
+    }
+    let retries: u32 = opts.get_or("retries", 0)?;
+    let resp = if retries > 0 {
+        let policy = lvf2_serve::RetryPolicy {
+            max_attempts: retries + 1,
+            ..lvf2_serve::RetryPolicy::default()
+        };
+        client.call_with_retry(job, &policy)?
+    } else {
+        client.call(job)?
+    };
     info!(Obs::current(), "job stats: {}", resp.stats.to_json());
     if let Some(out) = opts.get("out") {
         // Characterize responses carry Liberty text; unwrap it so the file

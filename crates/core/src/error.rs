@@ -44,6 +44,44 @@ pub enum Lvf2Error {
         /// Human-readable cause.
         why: String,
     },
+    /// A socket read or write exceeded its configured timeout. Distinct
+    /// from [`Lvf2Error::DeadlineExceeded`]: a timeout is a transport-level
+    /// stall (the peer went quiet), a deadline is a request-level budget.
+    Timeout {
+        /// What was being waited on (`read`, `write`, `connect`).
+        what: &'static str,
+        /// The timeout that elapsed, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A request's `deadline_ms` budget ran out before the job finished.
+    /// Checked at dequeue and between arcs, so a partially executed job
+    /// stops promptly instead of computing results nobody will read.
+    DeadlineExceeded {
+        /// The request's budget, in milliseconds.
+        deadline_ms: u64,
+        /// Where the budget ran out (`queue`, `execute`).
+        stage: &'static str,
+    },
+    /// The server shed the request because its bounded queue was full.
+    /// Callers should back off for at least `retry_after_ms` and retry —
+    /// this is the load-shedding alternative to blocking the accept loop.
+    Overloaded {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A worker panicked while executing the job. The panic was caught at
+    /// the job boundary, the job was requeued once, and it panicked again —
+    /// the worker pool itself stays alive.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The persistent arc-cache store failed (I/O, or corruption beyond
+    /// what recovery handles).
+    Store {
+        /// Human-readable cause.
+        why: String,
+    },
 }
 
 impl Lvf2Error {
@@ -55,6 +93,11 @@ impl Lvf2Error {
         }
     }
 
+    /// Constructs an [`Lvf2Error::Store`].
+    pub fn store(why: impl Into<String>) -> Self {
+        Lvf2Error::Store { why: why.into() }
+    }
+
     /// A stable machine-readable tag for each variant — the `error.kind`
     /// field of the `lvf2-serve` wire protocol (see `docs/SERVER.md`).
     pub fn kind(&self) -> &'static str {
@@ -64,7 +107,24 @@ impl Lvf2Error {
             Lvf2Error::Liberty(_) => "liberty",
             Lvf2Error::Ssta(_) => "ssta",
             Lvf2Error::InvalidConfig { .. } => "invalid_config",
+            Lvf2Error::Timeout { .. } => "timeout",
+            Lvf2Error::DeadlineExceeded { .. } => "deadline_exceeded",
+            Lvf2Error::Overloaded { .. } => "overloaded",
+            Lvf2Error::WorkerPanic { .. } => "worker_panic",
+            Lvf2Error::Store { .. } => "store",
         }
+    }
+
+    /// Whether retrying the same request later can reasonably succeed —
+    /// the server-reported kinds the `lvf2-serve` client retry policy acts
+    /// on. Transport-level failures are judged separately by the client.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Lvf2Error::Timeout { .. }
+                | Lvf2Error::DeadlineExceeded { .. }
+                | Lvf2Error::Overloaded { .. }
+        )
     }
 }
 
@@ -78,6 +138,19 @@ impl fmt::Display for Lvf2Error {
             Lvf2Error::InvalidConfig { field, why } => {
                 write!(f, "invalid `{field}`: {why}")
             }
+            Lvf2Error::Timeout { what, timeout_ms } => {
+                write!(f, "{what} timed out after {timeout_ms} ms")
+            }
+            Lvf2Error::DeadlineExceeded { deadline_ms, stage } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded during {stage}")
+            }
+            Lvf2Error::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
+            Lvf2Error::WorkerPanic { message } => {
+                write!(f, "worker panicked while executing the job: {message}")
+            }
+            Lvf2Error::Store { why } => write!(f, "arc-cache store failed: {why}"),
         }
     }
 }
@@ -89,7 +162,12 @@ impl std::error::Error for Lvf2Error {
             Lvf2Error::Fit(e) => Some(e),
             Lvf2Error::Liberty(e) => Some(e),
             Lvf2Error::Ssta(e) => Some(e),
-            Lvf2Error::InvalidConfig { .. } => None,
+            Lvf2Error::InvalidConfig { .. }
+            | Lvf2Error::Timeout { .. }
+            | Lvf2Error::DeadlineExceeded { .. }
+            | Lvf2Error::Overloaded { .. }
+            | Lvf2Error::WorkerPanic { .. }
+            | Lvf2Error::Store { .. } => None,
         }
     }
 }
@@ -148,6 +226,43 @@ mod tests {
         assert_eq!(e.kind(), "invalid_config");
         assert!(e.to_string().contains("`samples`"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn robustness_variants_have_stable_kinds() {
+        let t = Lvf2Error::Timeout {
+            what: "read",
+            timeout_ms: 250,
+        };
+        assert_eq!(t.kind(), "timeout");
+        assert!(t.to_string().contains("250 ms"));
+        assert!(t.is_retryable());
+
+        let d = Lvf2Error::DeadlineExceeded {
+            deadline_ms: 100,
+            stage: "queue",
+        };
+        assert_eq!(d.kind(), "deadline_exceeded");
+        assert!(d.to_string().contains("queue"));
+        assert!(d.is_retryable());
+
+        let o = Lvf2Error::Overloaded { retry_after_ms: 50 };
+        assert_eq!(o.kind(), "overloaded");
+        assert!(o.to_string().contains("50 ms"));
+        assert!(o.is_retryable());
+
+        let p = Lvf2Error::WorkerPanic {
+            message: "boom".into(),
+        };
+        assert_eq!(p.kind(), "worker_panic");
+        assert!(!p.is_retryable(), "a deterministic panic will repeat");
+
+        let s = Lvf2Error::store("torn record");
+        assert_eq!(s.kind(), "store");
+        assert!(!s.is_retryable());
+        for e in [&t, &d, &o, &p, &s] {
+            assert!(std::error::Error::source(e).is_none());
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ USAGE:
   obs-check [--metrics FILE]... [--trace FILE]... [--bench FILE]...
             [--bench-compare BASELINE CURRENT]...
             [--counter-at-least FILE NAME MIN]...
+            [--counter-at-most FILE NAME MAX]...
             [--quantile-at-most FILE METRIC P MAX]...
             [--wall-tol X] [--acc-tol X] [--diff-out FILE]
 
@@ -36,6 +37,11 @@ BENCH_*.json summaries against the schemas in docs/OBSERVABILITY.md.
 --counter-at-least validates FILE as lvf2-metrics-v1 and fails unless its
 counter NAME is present with a value of at least MIN (CI uses this to gate
 the daemon's cache hit-rate).
+
+--counter-at-most is the inverse gate: it fails when counter NAME exceeds
+MAX. An absent counter passes with MAX 0 semantics — the chaos-smoke job
+uses `--counter-at-most metrics.json cells.mc_samples 0` to prove a warm
+restart from the persistent store performs zero Monte-Carlo draws.
 
 --quantile-at-most reads histogram METRIC from FILE — either an
 lvf2-metrics-v1 document or an lvf2-bench-v1 summary with embedded metrics
@@ -51,6 +57,7 @@ enum Job {
     Check(&'static str, String),
     Compare(String, String),
     CounterAtLeast(String, String, u64),
+    CounterAtMost(String, String, u64),
     QuantileAtMost(String, String, String, f64),
 }
 
@@ -96,6 +103,25 @@ fn check_counter(path: &str, name: &str, min: u64) -> Result<String, String> {
         ));
     }
     Ok(format!("ok: {path} ({name} = {value} >= {min})"))
+}
+
+fn check_counter_at_most(path: &str, name: &str, max: u64) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    schema::check_metrics(&doc).map_err(|e| format!("{path}: {e}"))?;
+    // A counter that never incremented may be absent entirely; that is the
+    // strongest possible pass for an upper bound.
+    let value = doc
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(json::Value::as_f64)
+        .unwrap_or(0.0);
+    if value > max as f64 {
+        return Err(format!(
+            "{path}: counter `{name}` is {value}, expected at most {max}"
+        ));
+    }
+    Ok(format!("ok: {path} ({name} = {value} <= {max})"))
 }
 
 fn check_quantile(path: &str, metric: &str, p: &str, max: f64) -> Result<String, String> {
@@ -189,17 +215,22 @@ fn main() -> ExitCode {
                 }
                 continue;
             }
-            "--counter-at-least" => {
+            "--counter-at-least" | "--counter-at-most" => {
+                let flag = a.as_str();
                 match (it.next(), it.next(), it.next()) {
-                    (Some(path), Some(name), Some(min)) => {
-                        let Ok(min) = min.parse::<u64>() else {
-                            eprintln!("error: invalid minimum `{min}` for --counter-at-least");
+                    (Some(path), Some(name), Some(bound)) => {
+                        let Ok(bound) = bound.parse::<u64>() else {
+                            eprintln!("error: invalid bound `{bound}` for {flag}");
                             return ExitCode::FAILURE;
                         };
-                        jobs.push(Job::CounterAtLeast(path.clone(), name.clone(), min));
+                        jobs.push(if flag == "--counter-at-least" {
+                            Job::CounterAtLeast(path.clone(), name.clone(), bound)
+                        } else {
+                            Job::CounterAtMost(path.clone(), name.clone(), bound)
+                        });
                     }
                     _ => {
-                        eprintln!("error: --counter-at-least requires FILE NAME MIN");
+                        eprintln!("error: {flag} requires FILE NAME and a bound");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -277,6 +308,7 @@ fn main() -> ExitCode {
             Job::Check(kind, path) => check_file(kind, path),
             Job::Compare(base, cur) => run_compare(base, cur, &cfg, diff_out.as_deref()),
             Job::CounterAtLeast(path, name, min) => check_counter(path, name, *min),
+            Job::CounterAtMost(path, name, max) => check_counter_at_most(path, name, *max),
             Job::QuantileAtMost(path, metric, p, max) => check_quantile(path, metric, p, *max),
         };
         match outcome {

@@ -34,7 +34,7 @@
 //! with insertion-order eviction of completed entries.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use lvf2::cells::TimingArcSpec;
 use lvf2::flow::FlowOptions;
@@ -210,6 +210,27 @@ pub struct SingleFlightCache<V> {
     capacity: usize,
 }
 
+/// Removes the pending slot (and wakes waiters) if a computation unwinds
+/// instead of returning — without this, a panicking `compute` would leave
+/// `Slot::Pending` behind forever and every later caller of the same key
+/// would block on the condvar. Defused on the success and error paths.
+struct PendingGuard<'a, V> {
+    cache: &'a SingleFlightCache<V>,
+    key: u64,
+    armed: bool,
+}
+
+impl<V> Drop for PendingGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.lock();
+            inner.map.remove(&self.key);
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
 impl<V> SingleFlightCache<V> {
     /// An empty cache holding at most `capacity` completed entries.
     ///
@@ -252,7 +273,7 @@ impl<V> SingleFlightCache<V> {
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<(Arc<V>, bool), E> {
         {
-            let mut inner = self.inner.lock().expect("cache poisoned");
+            let mut inner = self.lock();
             loop {
                 match inner.map.get(&key) {
                     Some(Slot::Ready(v)) => {
@@ -262,7 +283,10 @@ impl<V> SingleFlightCache<V> {
                     }
                     Some(Slot::Pending) => {
                         inner.waits += 1;
-                        inner = self.ready.wait(inner).expect("cache poisoned");
+                        inner = self
+                            .ready
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
                         // Loop: the computation may have failed (slot gone)
                         // — in that case fall through and compute ourselves.
                         if !inner.map.contains_key(&key) {
@@ -276,10 +300,16 @@ impl<V> SingleFlightCache<V> {
             inner.map.insert(key, Slot::Pending);
         }
 
+        let mut guard = PendingGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
         match compute() {
             Ok(v) => {
+                guard.armed = false;
                 let v = Arc::new(v);
-                let mut inner = self.inner.lock().expect("cache poisoned");
+                let mut inner = self.lock();
                 inner.map.insert(key, Slot::Ready(Arc::clone(&v)));
                 inner.tags.insert(key, tag);
                 inner.order.push(key);
@@ -296,7 +326,8 @@ impl<V> SingleFlightCache<V> {
                 Ok((v, false))
             }
             Err(e) => {
-                let mut inner = self.inner.lock().expect("cache poisoned");
+                guard.armed = false;
+                let mut inner = self.lock();
                 inner.map.remove(&key);
                 drop(inner);
                 self.ready.notify_all();
@@ -305,11 +336,43 @@ impl<V> SingleFlightCache<V> {
         }
     }
 
+    /// Inserts an already-computed value for `key` (warm-restart replay
+    /// from the persistent store). Does nothing when the key is present or
+    /// in flight; counts as neither hit nor miss. Returns whether the
+    /// entry was inserted.
+    pub fn seed(&self, key: u64, tag: &'static str, value: V) -> bool {
+        let mut inner = self.lock();
+        if inner.map.contains_key(&key) {
+            return false;
+        }
+        inner.map.insert(key, Slot::Ready(Arc::new(value)));
+        inner.tags.insert(key, tag);
+        inner.order.push(key);
+        while inner.order.len() > self.capacity {
+            let victim = inner.order.remove(0);
+            if victim != key {
+                inner.map.remove(&victim);
+                inner.tags.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        true
+    }
+
+    /// Locks the cache, recovering from a poisoned mutex: every mutation
+    /// below is a complete state transition while the lock is held, so a
+    /// panicking *holder* cannot leave partial state behind and the poison
+    /// flag carries no information here. (Compute closures run without the
+    /// lock; their panics are handled by [`PendingGuard`].)
+    fn lock(&self) -> MutexGuard<'_, Inner<V>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Drops every completed entry. In-flight computations finish and
     /// re-insert (they hold no lock while computing), so this is advisory
     /// for pending keys.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.lock();
         let keys: Vec<u64> = inner.order.drain(..).collect();
         for k in keys {
             inner.map.remove(&k);
@@ -320,7 +383,7 @@ impl<V> SingleFlightCache<V> {
     /// Drops completed entries whose tag equals `tag` (one cell's arcs).
     /// Returns how many entries were dropped.
     pub fn invalidate_tag(&self, tag: &str) -> usize {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.lock();
         let victims: Vec<u64> = inner
             .tags
             .iter()
@@ -337,7 +400,7 @@ impl<V> SingleFlightCache<V> {
 
     /// Point-in-time statistics.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let inner = self.lock();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

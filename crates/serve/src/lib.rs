@@ -47,16 +47,19 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod proto;
 pub mod request;
 pub mod server;
 pub mod service;
+pub mod store;
 
 pub use cache::{arc_cache_key, tail_cache_key, CacheStats, KeyHasher, SingleFlightCache};
-pub use client::{Client, ClientError, Response};
+pub use client::{Client, ClientError, Response, RetryPolicy};
 pub use proto::{
     read_frame, write_frame, Envelope, ProtoError, TraceInfo, MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use request::{BinJob, CharacterizeJob, FitJob, JobRequest, TailYieldJob};
 pub use server::{Server, ServerConfig};
-pub use service::Service;
+pub use service::{Deadline, Service};
+pub use store::{RecoveryReport, Store, StoreConfig, StoreStats};

@@ -11,9 +11,12 @@
 //! ```
 //!
 //! `id` is chosen by the client and echoed verbatim; `error.kind` carries
-//! [`lvf2::Lvf2Error::kind`]'s stable tags plus the transport-level kinds
-//! `bad_request` and `queue_full`. The full schema lives in
-//! `docs/SERVER.md`.
+//! [`lvf2::Lvf2Error::kind`]'s stable tags plus the transport-level kind
+//! `bad_request`. An `overloaded` error additionally carries
+//! `retry_after_ms`, the server's suggested backoff floor. Requests may
+//! carry `deadline_ms`, a relative budget the server enforces at dequeue
+//! and between arcs. The full schema lives in `docs/SERVER.md`; failure
+//! semantics in `docs/ROBUSTNESS.md`.
 
 use std::io::{Read, Write};
 
@@ -152,6 +155,9 @@ pub struct Envelope {
     /// Optional trace context; the server threads it onto the worker that
     /// executes the job so server-side spans carry the client's trace id.
     pub trace: Option<TraceInfo>,
+    /// Optional request budget in milliseconds, measured from enqueue. The
+    /// server answers `deadline_exceeded` instead of finishing late work.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Envelope {
@@ -164,6 +170,9 @@ impl Envelope {
         ];
         if let Some(trace) = self.trace {
             pairs.push(("trace".into(), trace.to_value()));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            pairs.push(("deadline_ms".into(), Value::from(deadline)));
         }
         Value::Obj(pairs).to_json().into_bytes()
     }
@@ -200,10 +209,20 @@ impl Envelope {
             None => None,
             Some(t) => Some(TraceInfo::from_value(t)?),
         };
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => Some(
+                d.as_f64()
+                    .filter(|n| *n > 0.0 && *n == n.trunc())
+                    .ok_or_else(|| ProtoError::Malformed("invalid `deadline_ms`".into()))?
+                    as u64,
+            ),
+        };
         Ok(Envelope {
             id: id as u64,
             job,
             trace,
+            deadline_ms,
         })
     }
 }
@@ -222,19 +241,26 @@ pub fn encode_ok(id: u64, result: Value, stats: Value) -> Vec<u8> {
 }
 
 /// Encodes an error response. `kind` is a stable machine-readable tag:
-/// [`lvf2::Lvf2Error::kind`]'s values, `bad_request`, or `queue_full`.
+/// [`lvf2::Lvf2Error::kind`]'s values or `bad_request`.
 pub fn encode_err(id: u64, kind: &str, message: &str) -> Vec<u8> {
+    encode_err_with(id, kind, message, None)
+}
+
+/// As [`encode_err`], optionally attaching `retry_after_ms` — the backoff
+/// floor an `overloaded` response suggests to retrying clients.
+pub fn encode_err_with(id: u64, kind: &str, message: &str, retry_after_ms: Option<u64>) -> Vec<u8> {
+    let mut error = vec![
+        ("kind".into(), Value::from(kind)),
+        ("message".into(), Value::from(message)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        error.push(("retry_after_ms".into(), Value::from(ms)));
+    }
     Value::Obj(vec![
         ("v".into(), Value::from(PROTOCOL_VERSION)),
         ("id".into(), Value::from(id)),
         ("ok".into(), Value::Bool(false)),
-        (
-            "error".into(),
-            Value::Obj(vec![
-                ("kind".into(), Value::from(kind)),
-                ("message".into(), Value::from(message)),
-            ]),
-        ),
+        ("error".into(), Value::Obj(error)),
     ])
     .to_json()
     .into_bytes()
@@ -279,8 +305,36 @@ mod tests {
             id: 42,
             job: json::parse(r#"{"type":"ping"}"#).unwrap(),
             trace: None,
+            deadline_ms: None,
         };
         assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn deadline_round_trips_and_rejects_nonsense() {
+        let env = Envelope {
+            id: 1,
+            job: json::parse(r#"{"type":"ping"}"#).unwrap(),
+            trace: None,
+            deadline_ms: Some(1500),
+        };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+        assert!(Envelope::decode(br#"{"v":1,"id":1,"job":{},"deadline_ms":0}"#).is_err());
+        assert!(Envelope::decode(br#"{"v":1,"id":1,"job":{},"deadline_ms":1.5}"#).is_err());
+        assert!(Envelope::decode(br#"{"v":1,"id":1,"job":{},"deadline_ms":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn overloaded_errors_carry_retry_after() {
+        let bytes = encode_err_with(2, "overloaded", "queue at capacity", Some(40));
+        let v = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(err.get("retry_after_ms").unwrap().as_f64(), Some(40.0));
+        // Plain errors omit the field entirely.
+        let plain = encode_err(3, "fit", "boom");
+        let v = json::parse(std::str::from_utf8(&plain).unwrap()).unwrap();
+        assert!(v.get("error").unwrap().get("retry_after_ms").is_none());
     }
 
     #[test]
@@ -292,6 +346,7 @@ mod tests {
                 trace_id: 0xdead_beef_0123_4567,
                 parent_span: 9,
             }),
+            deadline_ms: None,
         };
         let bytes = env.encode();
         let text = std::str::from_utf8(&bytes).unwrap();

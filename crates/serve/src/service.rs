@@ -6,6 +6,7 @@
 //! own math — so a served result is bit-identical to a batch run with the
 //! same options.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use lvf2::binning::BinSet;
@@ -18,11 +19,49 @@ use lvf2::liberty::write_library;
 use lvf2::stats::Distribution;
 use lvf2::{fit_model, Lvf2Error};
 use lvf2_obs::json::Value;
-use lvf2_obs::Obs;
+use lvf2_obs::{warn, Obs};
 use lvf2_parallel::Parallelism;
 
 use crate::cache::{arc_cache_key, tail_cache_key, CacheStats, SingleFlightCache};
+use crate::fault::{self, FaultAction};
 use crate::request::{BinJob, CharacterizeJob, FitJob, JobRequest, TailYieldJob};
+use crate::store::{
+    encode_arc_models, encode_tail_yields, RecoveredRecord, Store, StoredValue, KIND_ARC_MODELS,
+    KIND_TAIL_YIELD,
+};
+
+/// A request's execution budget: when it expires and how large it was
+/// (the latter echoed in the `deadline_exceeded` error).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    /// The instant the budget runs out.
+    pub at: Instant,
+    /// The original budget in milliseconds.
+    pub budget_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget_ms` from `start`.
+    pub fn new(start: Instant, budget_ms: u64) -> Self {
+        Deadline {
+            at: start + std::time::Duration::from_millis(budget_ms),
+            budget_ms,
+        }
+    }
+
+    /// The typed error if the deadline has passed at `stage`.
+    fn check(self, stage: &'static str) -> Result<(), Lvf2Error> {
+        if Instant::now() >= self.at {
+            Obs::current().inc("serve.deadline_exceeded", 1);
+            Err(Lvf2Error::DeadlineExceeded {
+                deadline_ms: self.budget_ms,
+                stage,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// Executes jobs against the shared caches. One per server, shared by all
 /// workers.
@@ -31,6 +70,7 @@ pub struct Service {
     models: SingleFlightCache<ArcModelGrids>,
     tails: SingleFlightCache<Vec<ConditionTailYield>>,
     parallelism: Parallelism,
+    store: Option<Arc<Store>>,
 }
 
 /// Per-job cache accounting, reported in the response `stats` object.
@@ -48,6 +88,54 @@ impl Service {
             models: SingleFlightCache::new(cache_capacity),
             tails: SingleFlightCache::new(cache_capacity),
             parallelism,
+            store: None,
+        }
+    }
+
+    /// Attaches the persistent store: every cache miss is appended to it,
+    /// and [`Service::replay`] seeds the caches from its recovered records.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Seeds the caches from records recovered by [`Store::open`] — the
+    /// warm-restart path. Returns how many entries were seeded.
+    pub fn replay(&self, records: Vec<RecoveredRecord>) -> usize {
+        let mut seeded = 0;
+        for rec in records {
+            let tag = rec.value.tag();
+            let inserted = match rec.value {
+                StoredValue::ArcModels(m) => self.models.seed(rec.key, tag, *m),
+                StoredValue::TailYield(t) => self.tails.seed(rec.key, tag, t),
+            };
+            seeded += usize::from(inserted);
+        }
+        Obs::current().inc("store.seeded_entries", seeded as u64);
+        seeded
+    }
+
+    /// Flushes and fsyncs the store, when one is attached — the shutdown
+    /// barrier ([`crate::Server::join`] calls this after workers drain).
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures.
+    pub fn sync_store(&self) -> Result<(), Lvf2Error> {
+        match &self.store {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends a freshly computed entry to the store; a store failure is a
+    /// warning, never a job failure — the store is a cache, not a source
+    /// of truth.
+    fn persist(&self, obs: &Obs, kind: u8, key: u64, payload: &[u8]) {
+        let Some(store) = &self.store else { return };
+        if let Err(e) = store.append(kind, key, payload) {
+            obs.inc("store.append_errors", 1);
+            warn!(obs, "store append failed (entry stays in memory): {e}");
         }
     }
 
@@ -72,6 +160,21 @@ impl Service {
     ///
     /// [`Lvf2Error`], serialized by the server as `{kind, message}`.
     pub fn execute(&self, req: &JobRequest) -> Result<(Value, Value), Lvf2Error> {
+        self.execute_with_deadline(req, None)
+    }
+
+    /// As [`Service::execute`], enforcing `deadline` between arcs: a job
+    /// whose budget runs out mid-library stops with `deadline_exceeded`
+    /// instead of computing results nobody will read.
+    ///
+    /// # Errors
+    ///
+    /// [`Lvf2Error`], serialized by the server as `{kind, message}`.
+    pub fn execute_with_deadline(
+        &self,
+        req: &JobRequest,
+        deadline: Option<Deadline>,
+    ) -> Result<(Value, Value), Lvf2Error> {
         let obs = Obs::current();
         obs.inc("serve.jobs", 1);
         let start = Instant::now();
@@ -85,12 +188,12 @@ impl Service {
             JobRequest::Characterize(job) => {
                 let _span = obs.span("serve.job.characterize");
                 obs.inc("serve.jobs.characterize", 1);
-                self.characterize(job, &obs, &mut cache)?
+                self.characterize(job, &obs, &mut cache, deadline)?
             }
             JobRequest::TailYield(job) => {
                 let _span = obs.span("serve.job.tail_yield");
                 obs.inc("serve.jobs.tail_yield", 1);
-                self.tail_yield(job, &obs, &mut cache)?
+                self.tail_yield(job, &obs, &mut cache, deadline)?
             }
             JobRequest::Fit(job) => {
                 let _span = obs.span("serve.job.fit");
@@ -122,21 +225,38 @@ impl Service {
         opts
     }
 
+    /// Sleeps if the `exec.hold` fault site fires, then checks `deadline`.
+    /// One shared per-arc boundary for both cached job kinds.
+    fn arc_boundary(deadline: Option<Deadline>) -> Result<(), Lvf2Error> {
+        if let Some(FaultAction::Delay(d)) = fault::check("exec.hold") {
+            std::thread::sleep(d);
+        }
+        match deadline {
+            Some(d) => d.check("execute"),
+            None => Ok(()),
+        }
+    }
+
     fn characterize(
         &self,
         job: &CharacterizeJob,
         obs: &Obs,
         cache: &mut JobCacheStats,
+        deadline: Option<Deadline>,
     ) -> Result<Value, Lvf2Error> {
         let mut models: Vec<ArcModelGrids> = Vec::new();
         for &cell in &job.cells {
             let opts = self.effective(&job.options_for(cell));
             for spec in arc_jobs(&[cell], &opts) {
+                Self::arc_boundary(deadline)?;
                 let key = arc_cache_key(&spec, &opts);
                 let (model, hit) = self
                     .models
                     .get_or_compute(key, cell.name(), || characterize_arc_models(&spec, &opts))?;
                 Self::account(obs, cache, hit);
+                if !hit {
+                    self.persist(obs, KIND_ARC_MODELS, key, &encode_arc_models(&model));
+                }
                 models.push((*model).clone());
             }
         }
@@ -154,6 +274,7 @@ impl Service {
         job: &TailYieldJob,
         obs: &Obs,
         cache: &mut JobCacheStats,
+        deadline: Option<Deadline>,
     ) -> Result<Value, Lvf2Error> {
         let req = &job.request;
         req.options.validate()?;
@@ -161,11 +282,15 @@ impl Service {
         for &cell in &req.cells {
             let opts = self.effective(&req.options);
             for spec in arc_jobs(&[cell], &opts) {
+                Self::arc_boundary(deadline)?;
                 let key = tail_cache_key(&spec, &opts);
                 let (tails, hit) = self.tails.get_or_compute(key, cell.name(), || {
                     Ok::<_, Lvf2Error>(tail_yield_arc_models(&spec, &opts))
                 })?;
                 Self::account(obs, cache, hit);
+                if !hit {
+                    self.persist(obs, KIND_TAIL_YIELD, key, &encode_tail_yields(&tails));
+                }
                 arcs.push(Value::Obj(vec![
                     ("cell".into(), Value::from(cell.name())),
                     ("arc".into(), Value::from(spec.id.index)),
@@ -373,6 +498,59 @@ mod tests {
         assert_eq!(probs.len(), 3);
         let total: f64 = probs.iter().map(|p| p.as_f64().unwrap()).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_before_computing() {
+        let svc = service();
+        let req = job(
+            r#"{"type":"characterize","cells":["INV"],"options":{"samples":400,"grid":"3x3"}}"#,
+        );
+        let past = Instant::now() - std::time::Duration::from_millis(50);
+        let deadline = Deadline::new(past, 10);
+        let err = svc.execute_with_deadline(&req, Some(deadline)).unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(err.to_string().contains("execute"));
+        // Nothing was computed: the next run is a full miss, not a hit.
+        let (_, stats) = svc.execute(&req).unwrap();
+        assert_eq!(stats.get("cache_misses").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn store_backed_service_restarts_warm_and_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("lvf2-svc-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = job(
+            r#"{"type":"characterize","cells":["INV"],"options":{"samples":400,"grid":"3x3"}}"#,
+        );
+        let cold_library;
+        {
+            let (store, recovered) =
+                Store::open(crate::store::StoreConfig::new(&dir)).expect("open");
+            let svc = service().with_store(Arc::new(store));
+            assert_eq!(svc.replay(recovered), 0);
+            let (res, stats) = svc.execute(&req).unwrap();
+            assert_eq!(stats.get("cache_misses").unwrap().as_f64(), Some(1.0));
+            cold_library = res.get("library").unwrap().as_str().unwrap().to_string();
+            svc.sync_store().unwrap();
+        }
+        // "Restart": a brand-new service seeded purely from disk.
+        let (store, recovered) = Store::open(crate::store::StoreConfig::new(&dir)).expect("open");
+        let svc = service().with_store(Arc::new(store));
+        assert_eq!(svc.replay(recovered), 1);
+        let (res, stats) = svc.execute(&req).unwrap();
+        assert_eq!(
+            stats.get("cache_misses").unwrap().as_f64(),
+            Some(0.0),
+            "warm restart must not recompute"
+        );
+        assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            res.get("library").unwrap().as_str().unwrap(),
+            cold_library,
+            "replayed model must serve byte-identical Liberty text"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,1092 @@
+//! The persistent arc-cache store: an append-only, checksummed segment log.
+//!
+//! A daemon restart used to throw away every characterized arc model and
+//! re-pay the full MC + EM cost the cache exists to amortize. The store
+//! writes each completed cache entry to disk as it is computed and replays
+//! the surviving records on the next open — a warm restart serves a
+//! repeated library job with **zero MC draws, zero EM runs, and
+//! bit-identical Liberty text**.
+//!
+//! # On-disk format (`lvf2-store-v1`)
+//!
+//! A store directory holds numbered segment files `seg-NNNNNNNN.log`, each
+//! a concatenation of records:
+//!
+//! ```text
+//! len:      u32 LE   — length of kind + key + payload (9 + payload bytes)
+//! kind:     u8       — 1 = ArcModelGrids, 2 = Vec<ConditionTailYield>
+//! key:      u64 LE   — the content-addressed cache key (cache.rs)
+//! payload:  [u8]     — versioned binary codec, every f64 via to_bits LE
+//! checksum: u64 LE   — FNV-1a over len ‖ kind ‖ key ‖ payload
+//! ```
+//!
+//! Floats round-trip through [`f64::to_bits`], never through decimal text,
+//! so a replayed model is bit-identical to the one computed — the same
+//! contract the in-memory cache keys rely on.
+//!
+//! # Recovery semantics (valid-prefix)
+//!
+//! [`Store::open`] scans segments in order and validates every record
+//! (length sanity, checksum, payload decode). At the first torn or corrupt
+//! record the segment is **truncated at that offset** and every later
+//! segment is dropped — everything before the failure point is replayed,
+//! everything after is discarded. A `kill -9` mid-append therefore costs at
+//! most the record being written. Corrupt payloads are never replayed into
+//! the cache: the checksum and the validating decoder both have to accept.
+//!
+//! # Rotation and compaction
+//!
+//! The active segment rotates once it exceeds
+//! [`StoreConfig::max_segment_bytes`]. When the number of sealed segments
+//! reaches [`StoreConfig::compact_after_segments`], they are compacted:
+//! the latest record per `(kind, key)` is rewritten into a single fresh
+//! segment (crash-safely: the replacement is fully written and synced
+//! before the inputs are removed), bounding disk usage under key churn.
+//!
+//! Full failure model and format rationale: `docs/ROBUSTNESS.md`.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use lvf2::cells::{CellType, ConditionTailYield, Edge, TimingArcSpec};
+use lvf2::flow::ArcModelGrids;
+use lvf2::liberty::{BaseKind, TimingModelGrid};
+use lvf2::stats::{Lvf2, SkewNormal};
+use lvf2::Lvf2Error;
+use lvf2_obs::Obs;
+
+use crate::cache::KeyHasher;
+use crate::fault::{self, FaultAction};
+
+/// Record kind tag for a characterized arc's model grids.
+pub const KIND_ARC_MODELS: u8 = 1;
+/// Record kind tag for an arc's per-condition tail-yield table.
+pub const KIND_TAIL_YIELD: u8 = 2;
+
+/// Fixed bytes per record besides the payload: kind + key.
+const RECORD_HEADER: usize = 1 + 8;
+/// Upper bound on a record's `len` field — anything larger is corrupt.
+const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+/// Payload codec version byte (leading byte of every payload).
+const PAYLOAD_VERSION: u8 = 1;
+
+/// Tuning knobs of the store; defaults suit the daemon.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the segment files (created if missing).
+    pub dir: PathBuf,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub max_segment_bytes: u64,
+    /// Compact sealed segments once this many accumulate.
+    pub compact_after_segments: usize,
+    /// `fsync` after every append (durability) vs only on rotate/flush.
+    pub sync_each_append: bool,
+}
+
+impl StoreConfig {
+    /// Defaults rooted at `dir`: 8 MiB segments, compact at 4 sealed
+    /// segments, fsync on every append.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            max_segment_bytes: 8 * 1024 * 1024,
+            compact_after_segments: 4,
+            sync_each_append: true,
+        }
+    }
+}
+
+/// One recovered record, replayed to the caller on open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredRecord {
+    /// Record kind ([`KIND_ARC_MODELS`] or [`KIND_TAIL_YIELD`]).
+    pub kind: u8,
+    /// The content-addressed cache key.
+    pub key: u64,
+    /// The decoded payload.
+    pub value: StoredValue,
+}
+
+/// A decoded store payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredValue {
+    /// A characterized arc (delay + transition grids). Boxed: grids are
+    /// two orders of magnitude larger than a tail-yield header.
+    ArcModels(Box<ArcModelGrids>),
+    /// A tail-yield table for one arc.
+    TailYield(Vec<ConditionTailYield>),
+}
+
+impl StoredValue {
+    /// The invalidation tag of the entry — the owning cell's static name.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StoredValue::ArcModels(m) => m.spec.id.cell.name(),
+            StoredValue::TailYield(_) => "",
+        }
+    }
+}
+
+/// What recovery found, for logging and the chaos tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Records successfully replayed.
+    pub replayed: u64,
+    /// Bytes truncated off the segment where corruption was found.
+    pub truncated_bytes: u64,
+    /// Whole segments dropped because they followed the corruption point.
+    pub dropped_segments: u64,
+    /// Segments scanned.
+    pub segments: u64,
+}
+
+/// Point-in-time store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Payload + framing bytes appended since open.
+    pub append_bytes: u64,
+    /// Active-segment rotations since open.
+    pub rotations: u64,
+    /// Compactions since open.
+    pub compactions: u64,
+    /// Segment files currently on disk.
+    pub segments: u64,
+}
+
+struct StoreInner {
+    active: File,
+    active_path: PathBuf,
+    active_len: u64,
+    /// Sequence number of the active segment.
+    seq: u64,
+    /// Sealed (rotated-out) segment paths, oldest first.
+    sealed: Vec<PathBuf>,
+    stats: StoreStats,
+}
+
+/// The append-only persistent arc-cache store. See the module docs.
+pub struct Store {
+    cfg: StoreConfig,
+    inner: Mutex<StoreInner>,
+    recovery: RecoveryReport,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.cfg.dir)
+            .field("recovery", &self.recovery)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Lvf2Error {
+    Lvf2Error::store(format!("{what} {}: {e}", path.display()))
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:08}.log"))
+}
+
+fn parse_segment_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    digits.parse().ok()
+}
+
+fn record_checksum(len: u32, body: &[u8]) -> u64 {
+    let mut h = KeyHasher::new();
+    h.bytes(&len.to_le_bytes()).bytes(body);
+    h.finish()
+}
+
+/// Frames `kind + key + payload` into a complete record (len … checksum).
+pub fn encode_record(kind: u8, key: u64, payload: &[u8]) -> Vec<u8> {
+    let len = (RECORD_HEADER + payload.len()) as u32;
+    let mut rec = Vec::with_capacity(4 + len as usize + 8);
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.push(kind);
+    rec.extend_from_slice(&key.to_le_bytes());
+    rec.extend_from_slice(payload);
+    let checksum = record_checksum(len, &rec[4..]);
+    rec.extend_from_slice(&checksum.to_le_bytes());
+    rec
+}
+
+/// Outcome of scanning one record at some offset of a segment.
+enum Scan {
+    /// A fully valid record: kind, key, payload, and total framed length.
+    Ok {
+        kind: u8,
+        key: u64,
+        payload: Vec<u8>,
+        framed_len: usize,
+    },
+    /// Clean end of segment (offset == segment length).
+    Eof,
+    /// Torn or corrupt data at this offset; the valid prefix ends here.
+    Bad,
+}
+
+fn scan_record(buf: &[u8], offset: usize) -> Scan {
+    let rest = &buf[offset..];
+    if rest.is_empty() {
+        return Scan::Eof;
+    }
+    if rest.len() < 4 {
+        return Scan::Bad;
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+    if len < RECORD_HEADER as u32 || len > MAX_RECORD_BYTES {
+        return Scan::Bad;
+    }
+    let framed_len = 4 + len as usize + 8;
+    if rest.len() < framed_len {
+        return Scan::Bad;
+    }
+    let body = &rest[4..4 + len as usize];
+    let stored = u64::from_le_bytes(
+        rest[4 + len as usize..framed_len]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if record_checksum(len, body) != stored {
+        return Scan::Bad;
+    }
+    Scan::Ok {
+        kind: body[0],
+        key: u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+        payload: body[9..].to_vec(),
+        framed_len,
+    }
+}
+
+impl Store {
+    /// Opens (or creates) the store at `cfg.dir`, runs valid-prefix
+    /// recovery, and returns the store plus every surviving record in
+    /// replay order (later records of the same key supersede earlier ones;
+    /// [`recovered`](fn@Store::open) already deduplicates last-wins).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or reading/truncating segments.
+    /// Corruption is *not* an error — it is truncated away and counted in
+    /// the [`RecoveryReport`].
+    pub fn open(cfg: StoreConfig) -> Result<(Store, Vec<RecoveredRecord>), Lvf2Error> {
+        let obs = Obs::current();
+        let _span = obs.span("store.recover");
+        fs::create_dir_all(&cfg.dir).map_err(|e| io_err("create store dir", &cfg.dir, e))?;
+
+        let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(&cfg.dir)
+            .map_err(|e| io_err("read store dir", &cfg.dir, e))?
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                parse_segment_seq(&path).map(|seq| (seq, path))
+            })
+            .collect();
+        segments.sort_by_key(|(seq, _)| *seq);
+
+        let mut report = RecoveryReport {
+            segments: segments.len() as u64,
+            ..RecoveryReport::default()
+        };
+        // Last-wins per (kind, key), preserving first-seen replay order.
+        let mut latest: HashMap<(u8, u64), usize> = HashMap::new();
+        let mut replayed: Vec<Option<RecoveredRecord>> = Vec::new();
+        let mut valid_prefix: Vec<(u64, PathBuf, u64)> = Vec::new(); // (seq, path, valid_len)
+        let mut corrupted = false;
+
+        for (seq, path) in &segments {
+            if corrupted {
+                report.dropped_segments += 1;
+                fs::remove_file(path).map_err(|e| io_err("drop segment", path, e))?;
+                continue;
+            }
+            let mut buf = Vec::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_end(&mut buf))
+                .map_err(|e| io_err("read segment", path, e))?;
+            let mut offset = 0usize;
+            loop {
+                match scan_record(&buf, offset) {
+                    Scan::Ok {
+                        kind,
+                        key,
+                        payload,
+                        framed_len,
+                    } => match decode_payload(kind, &payload) {
+                        Some(value) => {
+                            offset += framed_len;
+                            let rec = RecoveredRecord { kind, key, value };
+                            match latest.entry((kind, key)) {
+                                std::collections::hash_map::Entry::Occupied(slot) => {
+                                    replayed[*slot.get()] = Some(rec);
+                                }
+                                std::collections::hash_map::Entry::Vacant(slot) => {
+                                    slot.insert(replayed.len());
+                                    replayed.push(Some(rec));
+                                }
+                            }
+                        }
+                        // Checksum passed but the payload does not decode:
+                        // treat exactly like corruption — never replay it.
+                        None => {
+                            corrupted = true;
+                            break;
+                        }
+                    },
+                    Scan::Eof => break,
+                    Scan::Bad => {
+                        corrupted = true;
+                        break;
+                    }
+                }
+            }
+            if corrupted {
+                report.truncated_bytes += (buf.len() - offset) as u64;
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| io_err("open segment for truncate", path, e))?;
+                f.set_len(offset as u64)
+                    .map_err(|e| io_err("truncate segment", path, e))?;
+                f.sync_all().map_err(|e| io_err("sync segment", path, e))?;
+            }
+            valid_prefix.push((*seq, path.clone(), offset as u64));
+        }
+
+        let recovered: Vec<RecoveredRecord> = replayed.into_iter().flatten().collect();
+        report.replayed = recovered.len() as u64;
+        obs.inc("store.recovered_records", report.replayed);
+        obs.inc("store.truncated_bytes", report.truncated_bytes);
+        obs.inc("store.dropped_segments", report.dropped_segments);
+
+        // The active segment is the last surviving one (reopened for
+        // append), or a fresh seg-00000001.log for an empty store.
+        let (seq, active_path, active_len, sealed) = match valid_prefix.last() {
+            Some((seq, path, len)) => {
+                let sealed = valid_prefix[..valid_prefix.len() - 1]
+                    .iter()
+                    .map(|(_, p, _)| p.clone())
+                    .collect();
+                (*seq, path.clone(), *len, sealed)
+            }
+            None => (1, segment_path(&cfg.dir, 1), 0, Vec::new()),
+        };
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)
+            .map_err(|e| io_err("open active segment", &active_path, e))?;
+
+        let segments_on_disk = sealed.len() as u64 + 1;
+        let store = Store {
+            cfg,
+            inner: Mutex::new(StoreInner {
+                active,
+                active_path,
+                active_len,
+                seq,
+                sealed,
+                stats: StoreStats {
+                    segments: segments_on_disk,
+                    ..StoreStats::default()
+                },
+            }),
+            recovery: report,
+        };
+        Ok((store, recovered))
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one already-encoded payload under `(kind, key)`, rotating
+    /// and compacting as configured.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures. The store is a cache, not a source of truth — callers
+    /// log-and-continue rather than failing the job.
+    pub fn append(&self, kind: u8, key: u64, payload: &[u8]) -> Result<(), Lvf2Error> {
+        let mut rec = encode_record(kind, key, payload);
+        // Fault sites simulating a crash mid-write (torn tail) and silent
+        // media corruption. Recovery must truncate/reject both.
+        if let Some(FaultAction::Fire) = fault::check("store.torn_tail") {
+            rec.truncate(rec.len() / 2);
+        }
+        if let Some(FaultAction::Fire) = fault::check("store.corrupt") {
+            let mid = rec.len() / 2;
+            rec[mid] ^= 0x40;
+        }
+        let obs = Obs::current();
+        let mut inner = self.lock();
+        inner
+            .active
+            .write_all(&rec)
+            .map_err(|e| io_err("append to", &inner.active_path, e))?;
+        if self.cfg.sync_each_append {
+            inner
+                .active
+                .sync_data()
+                .map_err(|e| io_err("sync", &inner.active_path, e))?;
+        }
+        inner.active_len += rec.len() as u64;
+        inner.stats.appends += 1;
+        inner.stats.append_bytes += rec.len() as u64;
+        obs.inc("store.appends", 1);
+        obs.inc("store.append_bytes", rec.len() as u64);
+
+        if inner.active_len >= self.cfg.max_segment_bytes {
+            self.rotate(&mut inner)?;
+            if inner.sealed.len() >= self.cfg.compact_after_segments {
+                self.compact_locked(&mut inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn rotate(&self, inner: &mut StoreInner) -> Result<(), Lvf2Error> {
+        inner
+            .active
+            .sync_all()
+            .map_err(|e| io_err("sync", &inner.active_path, e))?;
+        inner.seq += 1;
+        let path = segment_path(&self.cfg.dir, inner.seq);
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open active segment", &path, e))?;
+        let old = std::mem::replace(&mut inner.active_path, path);
+        inner.sealed.push(old);
+        inner.active = active;
+        inner.active_len = 0;
+        inner.stats.rotations += 1;
+        inner.stats.segments += 1;
+        Obs::current().inc("store.rotations", 1);
+        Ok(())
+    }
+
+    /// Rewrites all sealed segments into one, keeping only the latest
+    /// record per `(kind, key)`. Crash-safe: the replacement segment is
+    /// fully written and synced before any input is removed; recovery
+    /// tolerates both old and new being present (last-wins replay).
+    fn compact_locked(&self, inner: &mut StoreInner) -> Result<(), Lvf2Error> {
+        if inner.sealed.len() < 2 {
+            return Ok(());
+        }
+        let obs = Obs::current();
+        let _span = obs.span("store.compact");
+        // Latest raw record bytes per (kind, key), in first-seen order.
+        let mut latest: HashMap<(u8, u64), usize> = HashMap::new();
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        for path in &inner.sealed {
+            let mut buf = Vec::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_end(&mut buf))
+                .map_err(|e| io_err("read segment", path, e))?;
+            let mut offset = 0usize;
+            while let Scan::Ok {
+                kind,
+                key,
+                framed_len,
+                ..
+            } = scan_record(&buf, offset)
+            {
+                let raw = buf[offset..offset + framed_len].to_vec();
+                match latest.entry((kind, key)) {
+                    std::collections::hash_map::Entry::Occupied(slot) => {
+                        records[*slot.get()] = raw;
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(records.len());
+                        records.push(raw);
+                    }
+                }
+                offset += framed_len;
+            }
+        }
+        // Write the merged segment *between* the sealed range and the
+        // active segment is impossible with monotone sequence numbers, so
+        // the merged segment takes the next number and the active segment
+        // moves one further — order on disk stays replay order.
+        inner.seq += 1;
+        let merged_path = segment_path(&self.cfg.dir, inner.seq);
+        let mut merged = File::create(&merged_path)
+            .map_err(|e| io_err("create compacted segment", &merged_path, e))?;
+        for rec in &records {
+            merged
+                .write_all(rec)
+                .map_err(|e| io_err("write compacted segment", &merged_path, e))?;
+        }
+        merged
+            .sync_all()
+            .map_err(|e| io_err("sync compacted segment", &merged_path, e))?;
+
+        // But the *active* segment now precedes the merged one in sequence
+        // order while containing newer data. Rotate the active file too so
+        // every later append lands after the merged segment.
+        inner
+            .active
+            .sync_all()
+            .map_err(|e| io_err("sync", &inner.active_path, e))?;
+        inner.seq += 1;
+        let new_active_path = segment_path(&self.cfg.dir, inner.seq);
+        let new_active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&new_active_path)
+            .map_err(|e| io_err("open active segment", &new_active_path, e))?;
+        let prev_active_path = std::mem::replace(&mut inner.active_path, new_active_path);
+        let prev_active_len = std::mem::replace(&mut inner.active_len, 0);
+        inner.active = new_active;
+
+        // Replay order after compaction: merged (oldest data) < previous
+        // active (newer) < new active. The previous active must therefore
+        // sort after the merged segment — it does not (its number is
+        // older), so rewrite it under a fresh number.
+        let mut prev_buf = Vec::new();
+        File::open(&prev_active_path)
+            .and_then(|mut f| f.read_to_end(&mut prev_buf))
+            .map_err(|e| io_err("read segment", &prev_active_path, e))?;
+        let mut sealed_after: Vec<PathBuf> = vec![merged_path];
+        if prev_active_len > 0 {
+            inner.seq += 1;
+            // Renumber by moving new-active forward: simpler — copy the
+            // previous active's bytes into a fresh sealed segment that
+            // sorts between merged and the new active.
+            let carried_path = segment_path(&self.cfg.dir, inner.seq);
+            let mut carried = File::create(&carried_path)
+                .map_err(|e| io_err("create carried segment", &carried_path, e))?;
+            carried
+                .write_all(&prev_buf)
+                .map_err(|e| io_err("write carried segment", &carried_path, e))?;
+            carried
+                .sync_all()
+                .map_err(|e| io_err("sync carried segment", &carried_path, e))?;
+            sealed_after.push(carried_path);
+        }
+
+        // Inputs (old sealed segments + the superseded active file) go
+        // last, only after their replacements are durable.
+        for path in inner.sealed.drain(..) {
+            fs::remove_file(&path).map_err(|e| io_err("remove segment", &path, e))?;
+        }
+        fs::remove_file(&prev_active_path)
+            .map_err(|e| io_err("remove segment", &prev_active_path, e))?;
+
+        inner.sealed = sealed_after;
+        inner.stats.compactions += 1;
+        inner.stats.segments = inner.sealed.len() as u64 + 1;
+        obs.inc("store.compactions", 1);
+        Ok(())
+    }
+
+    /// Forces a compaction of all sealed segments (test/tooling hook).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; see [`Store::append`].
+    pub fn compact(&self) -> Result<(), Lvf2Error> {
+        let mut inner = self.lock();
+        // Seal the active segment first so everything participates.
+        if inner.active_len > 0 {
+            self.rotate(&mut inner)?;
+        }
+        self.compact_locked(&mut inner)
+    }
+
+    /// Flushes and fsyncs the active segment — the shutdown barrier.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&self) -> Result<(), Lvf2Error> {
+        let inner = self.lock();
+        inner
+            .active
+            .sync_all()
+            .map_err(|e| io_err("sync", &inner.active_path, e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec: versioned, fixed-order, every f64 via to_bits LE.
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc {
+            buf: vec![PAYLOAD_VERSION],
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.u64(xs.len() as u64);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Option<Self> {
+        let mut d = Dec { buf, pos: 0 };
+        (d.u8()? == PAYLOAD_VERSION).then_some(())?;
+        Some(d)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+    fn len(&mut self) -> Option<usize> {
+        let n = self.u64()?;
+        // Reject absurd lengths before allocating (corrupt length fields).
+        (n <= (MAX_RECORD_BYTES as u64) / 8).then_some(n as usize)
+    }
+    fn f64s(&mut self) -> Option<Vec<f64>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_spec(e: &mut Enc, spec: &TimingArcSpec) {
+    let cell_index = CellType::ALL
+        .iter()
+        .position(|c| *c == spec.id.cell)
+        .expect("cell in CellType::ALL");
+    e.u8(cell_index as u8);
+    e.u64(spec.id.index as u64);
+    e.u64(spec.input_pin as u64);
+    e.u8(match spec.edge {
+        Edge::Rise => 0,
+        Edge::Fall => 1,
+    });
+    e.u8(spec.drive);
+}
+
+fn decode_spec(d: &mut Dec<'_>) -> Option<TimingArcSpec> {
+    let cell = *CellType::ALL.get(d.u8()? as usize)?;
+    let index = d.u64()? as usize;
+    let input_pin = d.u64()? as usize;
+    let edge = match d.u8()? {
+        0 => Edge::Rise,
+        1 => Edge::Fall,
+        _ => return None,
+    };
+    let drive = d.u8()?;
+    Some(TimingArcSpec {
+        id: lvf2::cells::ArcId { cell, index },
+        input_pin,
+        edge,
+        drive,
+    })
+}
+
+fn encode_grid(e: &mut Enc, g: &TimingModelGrid) {
+    let base_index = BaseKind::ALL
+        .iter()
+        .position(|b| *b == g.base)
+        .expect("base in BaseKind::ALL");
+    e.u8(base_index as u8);
+    e.f64s(&g.index_1);
+    e.f64s(&g.index_2);
+    e.u64(g.nominal.len() as u64);
+    for row in &g.nominal {
+        e.f64s(row);
+    }
+    e.u64(g.models.len() as u64);
+    for row in &g.models {
+        e.u64(row.len() as u64);
+        for m in row {
+            e.f64(m.lambda());
+            for sn in [m.first(), m.second()] {
+                e.f64(sn.xi());
+                e.f64(sn.omega());
+                e.f64(sn.alpha());
+            }
+        }
+    }
+}
+
+fn decode_grid(d: &mut Dec<'_>) -> Option<TimingModelGrid> {
+    let base = *BaseKind::ALL.get(d.u8()? as usize)?;
+    let index_1 = d.f64s()?;
+    let index_2 = d.f64s()?;
+    let rows = d.len()?;
+    let nominal: Vec<Vec<f64>> = (0..rows).map(|_| d.f64s()).collect::<Option<_>>()?;
+    let rows = d.len()?;
+    let mut models = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let cols = d.len()?;
+        let mut row = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            let lambda = d.f64()?;
+            let mut sns = [None, None];
+            for slot in &mut sns {
+                let (xi, omega, alpha) = (d.f64()?, d.f64()?, d.f64()?);
+                // The validating constructor is the corruption firewall:
+                // bit patterns that decode to NaN/∞/ω≤0 are rejected here
+                // even if they slipped past the checksum.
+                *slot = Some(SkewNormal::new(xi, omega, alpha).ok()?);
+            }
+            row.push(Lvf2::new(lambda, sns[0].take()?, sns[1].take()?).ok()?);
+        }
+        models.push(row);
+    }
+    Some(TimingModelGrid {
+        base,
+        index_1,
+        index_2,
+        nominal,
+        models,
+    })
+}
+
+/// Encodes a characterized arc as a [`KIND_ARC_MODELS`] payload.
+pub fn encode_arc_models(m: &ArcModelGrids) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_spec(&mut e, &m.spec);
+    encode_grid(&mut e, &m.delay);
+    encode_grid(&mut e, &m.transition);
+    e.u64(m.entry_fits as u64);
+    e.u64(m.nonconverged_fits as u64);
+    e.buf
+}
+
+/// Decodes a [`KIND_ARC_MODELS`] payload; `None` on any malformation.
+pub fn decode_arc_models(payload: &[u8]) -> Option<ArcModelGrids> {
+    let mut d = Dec::new(payload)?;
+    let spec = decode_spec(&mut d)?;
+    let delay = decode_grid(&mut d)?;
+    let transition = decode_grid(&mut d)?;
+    let entry_fits = d.u64()? as usize;
+    let nonconverged_fits = d.u64()? as usize;
+    d.finished().then_some(ArcModelGrids {
+        spec,
+        delay,
+        transition,
+        entry_fits,
+        nonconverged_fits,
+    })
+}
+
+/// Encodes a tail-yield table as a [`KIND_TAIL_YIELD`] payload.
+pub fn encode_tail_yields(rows: &[ConditionTailYield]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(rows.len() as u64);
+    for r in rows {
+        e.u64(r.slew_index as u64);
+        e.u64(r.load_index as u64);
+        e.f64(r.slew);
+        e.f64(r.load);
+        e.f64(r.threshold);
+        e.f64(r.tail_probability);
+        e.f64(r.std_error);
+        e.f64(r.ess);
+        e.u64(r.evaluator_calls as u64);
+        e.u8(r.floored as u8);
+    }
+    e.buf
+}
+
+/// Decodes a [`KIND_TAIL_YIELD`] payload; `None` on any malformation.
+pub fn decode_tail_yields(payload: &[u8]) -> Option<Vec<ConditionTailYield>> {
+    let mut d = Dec::new(payload)?;
+    let n = d.len()?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(ConditionTailYield {
+            slew_index: d.u64()? as usize,
+            load_index: d.u64()? as usize,
+            slew: d.f64()?,
+            load: d.f64()?,
+            threshold: d.f64()?,
+            tail_probability: d.f64()?,
+            std_error: d.f64()?,
+            ess: d.f64()?,
+            evaluator_calls: d.u64()? as usize,
+            floored: match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        });
+    }
+    d.finished().then_some(rows)
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Option<StoredValue> {
+    match kind {
+        KIND_ARC_MODELS => decode_arc_models(payload).map(|m| StoredValue::ArcModels(Box::new(m))),
+        KIND_TAIL_YIELD => decode_tail_yields(payload).map(StoredValue::TailYield),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvf2::flow::{characterize_arc_models, FlowOptions};
+
+    fn small_opts() -> FlowOptions {
+        FlowOptions::builder()
+            .samples(64)
+            .build()
+            .expect("valid options")
+    }
+
+    fn one_model() -> ArcModelGrids {
+        let opts = small_opts();
+        let spec = TimingArcSpec::of(CellType::Inv, 0);
+        characterize_arc_models(&spec, &opts).expect("characterize")
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lvf2-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn arc_models_round_trip_bit_identically() {
+        let m = one_model();
+        let payload = encode_arc_models(&m);
+        let back = decode_arc_models(&payload).expect("decode");
+        assert_eq!(back, m, "codec must be lossless (f64 bit patterns)");
+    }
+
+    #[test]
+    fn tail_yields_round_trip() {
+        let rows = vec![ConditionTailYield {
+            slew_index: 1,
+            load_index: 2,
+            slew: 0.02,
+            load: 0.05,
+            threshold: 0.123456789,
+            tail_probability: 1.5e-7,
+            std_error: 2.5e-8,
+            ess: 412.0,
+            evaluator_calls: 9000,
+            floored: true,
+        }];
+        let payload = encode_tail_yields(&rows);
+        assert_eq!(decode_tail_yields(&payload).expect("decode"), rows);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_bit_identical_records() {
+        let dir = tmpdir("replay");
+        let m = one_model();
+        let payload = encode_arc_models(&m);
+        {
+            let (store, recovered) = Store::open(StoreConfig::new(&dir)).expect("open");
+            assert!(recovered.is_empty());
+            store.append(KIND_ARC_MODELS, 42, &payload).expect("append");
+            store.sync().expect("sync");
+        }
+        let (store, recovered) = Store::open(StoreConfig::new(&dir)).expect("reopen");
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].key, 42);
+        match &recovered[0].value {
+            StoredValue::ArcModels(back) => assert_eq!(**back, m),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert_eq!(store.recovery().replayed, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let dir = tmpdir("torn");
+        let payload = encode_tail_yields(&[]);
+        {
+            let (store, _) = Store::open(StoreConfig::new(&dir)).expect("open");
+            store.append(KIND_TAIL_YIELD, 1, &payload).expect("append");
+            store.append(KIND_TAIL_YIELD, 2, &payload).expect("append");
+        }
+        // Tear the tail: chop the last record mid-way (kill -9 mid-write).
+        let seg = segment_path(&dir, 1);
+        let bytes = fs::read(&seg).expect("read");
+        fs::write(&seg, &bytes[..bytes.len() - 5]).expect("tear");
+
+        let (store, recovered) = Store::open(StoreConfig::new(&dir)).expect("recover");
+        assert_eq!(recovered.len(), 1, "only the intact prefix survives");
+        assert_eq!(recovered[0].key, 1);
+        let report = store.recovery();
+        assert!(report.truncated_bytes > 0);
+        drop(store);
+        // After recovery the segment is clean: reopening finds no new loss.
+        let (store, recovered) = Store::open(StoreConfig::new(&dir)).expect("reopen");
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_drops_record_and_later_segments() {
+        let dir = tmpdir("corrupt");
+        let payload = encode_tail_yields(&[]);
+        let mut cfg = StoreConfig::new(&dir);
+        cfg.max_segment_bytes = 1; // rotate after every append
+        cfg.compact_after_segments = usize::MAX;
+        {
+            let (store, _) = Store::open(cfg.clone()).expect("open");
+            for key in 1..=3 {
+                store
+                    .append(KIND_TAIL_YIELD, key, &payload)
+                    .expect("append");
+            }
+        }
+        // Flip one byte in segment 2's record: segment 2 truncates to
+        // empty and segment 3 (later data) is dropped entirely.
+        let seg2 = segment_path(&dir, 2);
+        let mut bytes = fs::read(&seg2).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&seg2, &bytes).expect("corrupt");
+
+        let (store, recovered) = Store::open(cfg).expect("recover");
+        assert_eq!(recovered.len(), 1, "valid-prefix semantics");
+        assert_eq!(recovered[0].key, 1);
+        let report = store.recovery();
+        assert!(report.truncated_bytes > 0);
+        // Segment 3 (later data) and the empty active segment 4 both go.
+        assert_eq!(report.dropped_segments, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_replay_last_wins() {
+        let dir = tmpdir("lastwins");
+        let a = encode_tail_yields(&[]);
+        let b = encode_tail_yields(&[ConditionTailYield {
+            slew_index: 0,
+            load_index: 0,
+            slew: 0.01,
+            load: 0.02,
+            threshold: 1.0,
+            tail_probability: 0.5,
+            std_error: 0.1,
+            ess: 10.0,
+            evaluator_calls: 100,
+            floored: false,
+        }]);
+        {
+            let (store, _) = Store::open(StoreConfig::new(&dir)).expect("open");
+            store.append(KIND_TAIL_YIELD, 7, &a).expect("append");
+            store.append(KIND_TAIL_YIELD, 7, &b).expect("append");
+        }
+        let (_, recovered) = Store::open(StoreConfig::new(&dir)).expect("reopen");
+        assert_eq!(recovered.len(), 1, "deduplicated on replay");
+        match &recovered[0].value {
+            StoredValue::TailYield(rows) => assert_eq!(rows.len(), 1, "latest record wins"),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_compaction_preserve_replay() {
+        let dir = tmpdir("compact");
+        let payload = encode_tail_yields(&[]);
+        let mut cfg = StoreConfig::new(&dir);
+        cfg.max_segment_bytes = 1; // rotate after every append
+        cfg.compact_after_segments = 3;
+        let keys: Vec<u64> = (1..=9).collect();
+        {
+            let (store, _) = Store::open(cfg.clone()).expect("open");
+            for &key in &keys {
+                // Write each key twice so compaction has duplicates to drop.
+                store
+                    .append(KIND_TAIL_YIELD, key, &payload)
+                    .expect("append");
+                store
+                    .append(KIND_TAIL_YIELD, key, &payload)
+                    .expect("append");
+            }
+            let stats = store.stats();
+            assert!(stats.rotations > 0, "tiny segments must rotate");
+            assert!(stats.compactions > 0, "sealed segments must compact");
+        }
+        let (_, recovered) = Store::open(cfg).expect("reopen");
+        let mut got: Vec<u64> = recovered.iter().map(|r| r.key).collect();
+        got.sort_unstable();
+        assert_eq!(got, keys, "every key survives rotation + compaction");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_compact_shrinks_disk() {
+        let dir = tmpdir("explicit");
+        let payload = encode_tail_yields(&[]);
+        let mut cfg = StoreConfig::new(&dir);
+        cfg.max_segment_bytes = 1;
+        cfg.compact_after_segments = usize::MAX; // only explicit compaction
+        let (store, _) = Store::open(cfg.clone()).expect("open");
+        for _ in 0..8 {
+            store.append(KIND_TAIL_YIELD, 5, &payload).expect("append");
+        }
+        let before: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        store.compact().expect("compact");
+        let after: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert!(after < before, "8 duplicates collapse to 1 record");
+        drop(store);
+        let (_, recovered) = Store::open(cfg).expect("reopen");
+        assert_eq!(recovered.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

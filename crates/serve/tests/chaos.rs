@@ -1,0 +1,385 @@
+//! Chaos matrix: the daemon under injected faults — worker panics, held
+//! executions, frame corruption, socket stalls, overload, and torn store
+//! writes — with every scenario pinned to a deterministic fault plan
+//! (`P = 1` sites bounded by `skip`/`max` windows, which fire identically
+//! at any thread count; see `lvf2_serve::fault`).
+//!
+//! Everything lives in one `#[test]` because the Obs registry is
+//! process-global: scenarios assert counter *deltas*, and a second test
+//! running jobs concurrently would perturb them. Scenario order is part of
+//! the test.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lvf2_obs::json::{self, Value};
+use lvf2_obs::{Obs, ObsConfig};
+use lvf2_serve::fault::{self, FaultPlan};
+use lvf2_serve::{read_frame, Client, ClientError, RetryPolicy, Server, ServerConfig};
+
+fn ping() -> Value {
+    json::parse(r#"{"type":"ping"}"#).unwrap()
+}
+
+fn inv_job() -> Value {
+    json::parse(r#"{"type":"characterize","cells":["INV"],"options":{"samples":64,"grid":"3x3"}}"#)
+        .unwrap()
+}
+
+fn library_job() -> Value {
+    json::parse(
+        r#"{"type":"characterize","cells":["INV","NAND2"],
+            "options":{"samples":64,"grid":"3x3"}}"#,
+    )
+    .unwrap()
+}
+
+fn counter(name: &str) -> u64 {
+    Obs::current().snapshot().unwrap().counter(name)
+}
+
+/// Polls `cond` for up to 10 s. The chaos plans make *outcomes*
+/// deterministic; this only waits out benign scheduling latency
+/// (connection threads picking jobs up).
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "timed out waiting for {what}"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn install(spec: &str) {
+    fault::install(Some(FaultPlan::parse(spec).expect("valid fault spec")));
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lvf2-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stat(resp: &lvf2_serve::Response, name: &str) -> u64 {
+    resp.stats.get(name).and_then(Value::as_f64).unwrap_or(0.0) as u64
+}
+
+fn library_text(resp: &lvf2_serve::Response) -> String {
+    resp.result
+        .get("library")
+        .and_then(Value::as_str)
+        .expect("characterize returns liberty text")
+        .to_string()
+}
+
+#[test]
+fn daemon_survives_the_fault_matrix_deterministically() {
+    let _guard = Obs::install(&ObsConfig {
+        metrics: true,
+        ..ObsConfig::off()
+    })
+    .unwrap();
+
+    // ---- 1. worker panic: requeued once, job still succeeds ---------------
+    // Same plan, same outcome at every pool width: `P = 1` with `max=1`
+    // fires on exactly the first check regardless of which thread runs it.
+    for workers in [1usize, 2, 8] {
+        install("seed=42;worker.panic=1;worker.panic.max=1");
+        let panics = counter("serve.worker_panics");
+        let requeues = counter("serve.requeues");
+        let server = Server::spawn(
+            ServerConfig::default()
+                .with_addr("127.0.0.1:0")
+                .with_workers(workers),
+        )
+        .unwrap();
+        let mut c = Client::connect(&server.addr().to_string()).unwrap();
+        let resp = c.call(ping()).expect("requeued job must succeed");
+        assert_eq!(resp.result.get("pong").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            counter("serve.worker_panics") - panics,
+            1,
+            "workers={workers}: exactly one injected panic"
+        );
+        assert_eq!(counter("serve.requeues") - requeues, 1);
+
+        // A job that panics on the retry too is deterministic poison:
+        // typed failure, but the pool must stay alive.
+        install("seed=42;worker.panic=1");
+        match c.call(ping()).unwrap_err() {
+            ClientError::Server { kind, message, .. } => {
+                assert_eq!(kind, "worker_panic", "workers={workers}");
+                assert!(message.contains("injected"), "message: {message}");
+            }
+            other => panic!("expected typed worker_panic, got {other}"),
+        }
+        fault::install(None);
+        c.call(ping()).expect("pool must survive repeated panics");
+        c.shutdown().unwrap();
+        server.join();
+    }
+
+    // ---- 2. deadline exceeded while executing -----------------------------
+    // `exec.hold` sleeps 100 ms at the first arc boundary; a 30 ms budget
+    // cannot survive it.
+    install("exec.hold=1;exec.hold.ms=100");
+    let exceeded = counter("serve.deadline_exceeded");
+    let server = Server::spawn(
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_workers(1),
+    )
+    .unwrap();
+    let mut c = Client::connect(&server.addr().to_string()).unwrap();
+    c.set_deadline_ms(Some(30));
+    match c.call(inv_job()).unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "deadline_exceeded"),
+        other => panic!("expected deadline_exceeded, got {other}"),
+    }
+    assert_eq!(counter("serve.deadline_exceeded") - exceeded, 1);
+    c.set_deadline_ms(None);
+
+    // ---- 3. deadline exceeded while queued --------------------------------
+    // One worker holds a job for 300 ms; a 20 ms-budget job queued behind
+    // it is already dead at dequeue and must fail at the "queue" stage
+    // without executing.
+    install("exec.hold=1;exec.hold.ms=300");
+    let dequeued = counter("serve.queue.dequeued");
+    let addr = server.addr().to_string();
+    let holder = thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).unwrap().call(inv_job()).unwrap()
+    });
+    wait_until("holder job to start", || {
+        counter("serve.queue.dequeued") > dequeued
+    });
+    let mut late = Client::connect(&addr).unwrap();
+    late.set_deadline_ms(Some(20));
+    match late.call(ping()).unwrap_err() {
+        ClientError::Server { kind, message, .. } => {
+            assert_eq!(kind, "deadline_exceeded");
+            assert!(message.contains("queue"), "message: {message}");
+        }
+        other => panic!("expected deadline_exceeded, got {other}"),
+    }
+    holder.join().unwrap();
+    fault::install(None);
+    c.shutdown().unwrap();
+    server.join();
+
+    // ---- 4. overload: typed shedding, then retry to success ---------------
+    // workers=1, queue=1: one held job on the worker + one queued job =
+    // full. The third client must be shed with `overloaded` +
+    // `retry_after_ms`, and a retrying client must eventually get through.
+    install("exec.hold=1;exec.hold.ms=800;exec.hold.max=1");
+    let shed = counter("serve.shed");
+    let retries = counter("serve.retries");
+    let dequeued = counter("serve.queue.dequeued");
+    let server = Server::spawn(
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_workers(1)
+            .with_queue_capacity(1),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let holder = thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).unwrap().call(inv_job()).unwrap()
+    });
+    wait_until("held job to occupy the worker", || {
+        counter("serve.queue.dequeued") > dequeued
+    });
+    let enqueued = counter("serve.queue.enqueued");
+    let queued = thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).unwrap().call(ping()).unwrap()
+    });
+    wait_until("second job to fill the queue", || {
+        counter("serve.queue.enqueued") > enqueued
+    });
+    let mut c = Client::connect(&addr).unwrap();
+    match c.call(ping()).unwrap_err() {
+        e @ ClientError::Server { .. } => {
+            assert!(e.is_retryable(), "overloaded must be retryable");
+            let ClientError::Server {
+                kind,
+                retry_after_ms,
+                ..
+            } = e
+            else {
+                unreachable!()
+            };
+            assert_eq!(kind, "overloaded");
+            assert!(
+                retry_after_ms.is_some(),
+                "shed replies carry a backoff floor"
+            );
+        }
+        other => panic!("expected overloaded, got {other}"),
+    }
+    assert!(counter("serve.shed") > shed);
+    let policy = RetryPolicy {
+        max_attempts: 100,
+        base_backoff_ms: 20,
+        max_backoff_ms: 200,
+        jitter_seed: 7,
+        retry_non_idempotent: false,
+    };
+    c.call_with_retry(ping(), &policy)
+        .expect("retry must outlast the overload");
+    assert!(counter("serve.retries") > retries);
+    holder.join().unwrap();
+    queued.join().unwrap();
+    fault::install(None);
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.join();
+
+    // ---- 5. corrupt / truncated frames: typed reject, connection lives ----
+    for site in ["conn.frame_corrupt", "conn.frame_truncate"] {
+        install(&format!("{site}=1;{site}.max=1"));
+        let server = Server::spawn(ServerConfig::default().with_addr("127.0.0.1:0")).unwrap();
+        let mut c = Client::connect(&server.addr().to_string()).unwrap();
+        match c.call(ping()).unwrap_err() {
+            ClientError::Server { kind, .. } => assert_eq!(kind, "bad_request", "site {site}"),
+            other => panic!("{site}: expected bad_request, got {other}"),
+        }
+        c.call(ping())
+            .expect("one bad frame must not poison the connection");
+        fault::install(None);
+        c.shutdown().unwrap();
+        server.join();
+    }
+
+    // ---- 6. socket stalls time out typed on both ends ---------------------
+    // Server side: a client that connects and never sends is reaped after
+    // the I/O timeout with a typed `timeout` frame.
+    let io_timeouts = counter("serve.io_timeouts");
+    let server = Server::spawn(
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_io_timeout_ms(150),
+    )
+    .unwrap();
+    let mut silent = std::net::TcpStream::connect(server.addr()).unwrap();
+    let frame = read_frame(&mut silent)
+        .expect("server sends a typed timeout frame before reaping")
+        .expect("frame, not EOF");
+    assert!(String::from_utf8_lossy(&frame).contains("timeout"));
+    wait_until("server to count the reap", || {
+        counter("serve.io_timeouts") > io_timeouts
+    });
+    drop(silent);
+    Client::connect(&server.addr().to_string())
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    server.join();
+
+    // Client side: a daemon that accepts and stalls forever must not hang
+    // the client — the read times out typed and is retryable.
+    let stalled = TcpListener::bind("127.0.0.1:0").unwrap();
+    let stall_addr = stalled.local_addr().unwrap().to_string();
+    let hold = thread::spawn(move || {
+        // Accept and hold the socket open without ever replying.
+        let conn = stalled.accept().map(|(s, _)| s);
+        thread::sleep(Duration::from_millis(600));
+        drop(conn);
+    });
+    let mut c = Client::connect_with_timeout(&stall_addr, 100).unwrap();
+    match c.call(ping()).unwrap_err() {
+        e @ ClientError::Timeout { .. } => assert!(e.is_retryable()),
+        other => panic!("expected client-side timeout, got {other}"),
+    }
+    hold.join().unwrap();
+
+    // ---- 7. kill-and-restart: warm store, zero recompute, identical bytes -
+    let dir = tmpdir("store");
+    let cfg = || {
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_store_dir(dir.to_str().unwrap())
+    };
+    let server = Server::spawn(cfg()).unwrap();
+    let mut c = Client::connect(&server.addr().to_string()).unwrap();
+    let cold = c.call(library_job()).unwrap();
+    assert_eq!(stat(&cold, "cache_misses"), 2);
+    let cold_lib = library_text(&cold);
+    c.shutdown().unwrap();
+    server.join(); // flushes + fsyncs the store
+
+    let mc = counter("cells.mc_samples");
+    let em = counter("fit.em.runs");
+    let seeded = counter("store.seeded_entries");
+    let server = Server::spawn(cfg()).unwrap();
+    assert!(
+        counter("store.seeded_entries") - seeded >= 2,
+        "restart must replay both arcs from the store"
+    );
+    let mut c = Client::connect(&server.addr().to_string()).unwrap();
+    let warm = c.call(library_job()).unwrap();
+    assert_eq!(stat(&warm, "cache_hits"), 2, "warm restart: all hits");
+    assert_eq!(stat(&warm, "cache_misses"), 0);
+    assert_eq!(
+        library_text(&warm),
+        cold_lib,
+        "bit-identical across restart"
+    );
+    assert_eq!(
+        counter("cells.mc_samples"),
+        mc,
+        "zero MC draws after restart"
+    );
+    assert_eq!(counter("fit.em.runs"), em, "zero EM runs after restart");
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ---- 8. torn write at shutdown: recovery keeps the valid prefix -------
+    // The second of the two appends is torn mid-record (a kill -9 between
+    // write and sync). Recovery must replay the first arc, drop the torn
+    // one, and the recompute must reproduce the same bytes.
+    let dir = tmpdir("torn");
+    let cfg = || {
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_store_dir(dir.to_str().unwrap())
+    };
+    install("store.torn_tail=1;store.torn_tail.skip=1");
+    let server = Server::spawn(cfg()).unwrap();
+    let mut c = Client::connect(&server.addr().to_string()).unwrap();
+    let cold_lib = library_text(&c.call(library_job()).unwrap());
+    c.shutdown().unwrap();
+    server.join();
+    fault::install(None);
+
+    let recovered = counter("store.recovered_records");
+    let truncated = counter("store.truncated_bytes");
+    let server = Server::spawn(cfg()).unwrap();
+    assert_eq!(
+        counter("store.recovered_records") - recovered,
+        1,
+        "only the intact record survives the torn tail"
+    );
+    assert!(counter("store.truncated_bytes") > truncated);
+    let mut c = Client::connect(&server.addr().to_string()).unwrap();
+    let after = c.call(library_job()).unwrap();
+    assert_eq!(
+        stat(&after, "cache_hits"),
+        1,
+        "recovered arc is served warm"
+    );
+    assert_eq!(stat(&after, "cache_misses"), 1, "torn arc is recomputed");
+    assert_eq!(
+        library_text(&after),
+        cold_lib,
+        "no corrupt model is ever served: recompute matches bit for bit"
+    );
+    c.shutdown().unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -104,7 +104,7 @@ fn daemon_serves_overlapping_clients_from_cache_with_zero_recompute() {
     // ---- bad requests get a typed error and leave the connection usable ---
     let bad = json::parse(r#"{"type":"characterize","cells":["NOPE"]}"#).unwrap();
     match first.call(bad).unwrap_err() {
-        ClientError::Server { kind, message } => {
+        ClientError::Server { kind, message, .. } => {
             assert_eq!(kind, "invalid_config");
             assert!(message.contains("NOPE"), "message: {message}");
         }
