@@ -50,6 +50,8 @@ USAGE:
   lvf2 switch FILE|- --depth N [--threshold X]
   lvf2 yield FILE|- --target T [--draws N] [--model lvf|norm2|lvf2]
   lvf2 sta NETLIST --clock T [--samples N] [--slew S]
+  lvf2 ssta [--nodes N] [--depth D] [--width W] [--fanin K] [--reconv P]
+            [--seed N] [--family normal|lvf|lvf2] [--threads N] [--bench FILE]
   lvf2 scenario NAME [--samples N] [--seed N]
       NAME ∈ two-peaks | multi-peaks | saddle | minor-saddle | kurtosis
 
@@ -78,6 +80,13 @@ for scripting). `lvf2 trace export` converts a --trace-json JSONL file to
 Chrome trace_event JSON (Perfetto) or collapsed stacks (flamegraphs), and
 `lvf2 trace check` validates an exported Chrome trace. See docs/SERVER.md
 for the wire protocol and job schema.
+
+`lvf2 ssta` runs graph-scale wavefront SSTA: it generates a random netlist
+(`--nodes`, `--depth`, `--width`, `--fanin`, `--reconv`, `--seed`) or imports
+an ISCAS-style circuit (`--bench FILE`), assigns seeded synthetic delays in
+the chosen `--family`, propagates arrivals through the CSR engine (levelized,
+parallel, bit-identical at any thread count) and prints the wavefront shape,
+operator counts, throughput and the slowest endpoints. See docs/SSTA.md.
 
 `--mc-mode is` adds a tail-yield stage: per-condition `P(delay > μ + Kσ)` by
 mixture importance sampling (K from --is-target-sigma, default 3), printed with
@@ -881,6 +890,100 @@ pub fn sta(args: &[String]) -> CliResult {
             lvf.violation_probability,
             lvf2.violation_probability,
             golden
+        );
+    }
+    Ok(())
+}
+
+/// `lvf2 ssta`: graph-scale wavefront propagation over a generated random
+/// netlist or an imported ISCAS-style `.bench` circuit.
+pub fn ssta(args: &[String]) -> CliResult {
+    use lvf2::ssta::{parse_bench, CsrGraph, DelayFamily, NetlistGen, SyntheticDelays};
+    let opts = Opts::parse(args);
+    let seed: u64 = opts.get_or("seed", 42u64)?;
+    let family: DelayFamily = match opts.get("family") {
+        Some(s) => s.parse()?,
+        None => DelayFamily::Lvf2,
+    };
+    let topo = if let Some(path) = opts.get("bench") {
+        parse_bench(&std::fs::read_to_string(path)?)?
+    } else {
+        let nodes: usize = opts.get_or("nodes", 10_000)?;
+        let depth: usize = opts.get_or("depth", 0)?;
+        // Auto depth √N/4: both the level count and the level width grow
+        // with N (same default as ssta_bench).
+        let depth = if depth > 0 {
+            depth
+        } else {
+            ((nodes as f64).sqrt() / 4.0).round().clamp(8.0, 64.0) as usize
+        };
+        let mut gen = NetlistGen::with_nodes(nodes, depth);
+        if let Some(w) = opts.get("width") {
+            gen.width = w.parse::<usize>().map_err(|e| format!("--width: {e}"))?;
+        }
+        gen.max_fanin = opts.get_or("fanin", gen.max_fanin)?;
+        gen.reconvergence = opts.get_or("reconv", gen.reconvergence)?;
+        gen.seed = seed;
+        gen.generate()
+    };
+    let threads: usize = opts.get_or("threads", 0usize)?;
+    let par = Parallelism::auto().with_threads(threads);
+
+    let t0 = std::time::Instant::now();
+    let loaded = topo.timing_graph(&SyntheticDelays::new(family, seed))?;
+    let source = loaded.source;
+    let sinks = loaded.sinks;
+    let csr = CsrGraph::try_from(loaded.graph)?;
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    info!(
+        Obs::current(),
+        "{} nodes, {} edges, {} levels (peak width {}); {family:?} delays, seed {seed}",
+        csr.node_count(),
+        csr.edge_count(),
+        csr.level_count(),
+        csr.peak_level_width()
+    );
+
+    let t1 = std::time::Instant::now();
+    let prop = csr.propagate(source, &par)?;
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "graph: {} nodes, {} edges, {} levels, peak level width {}",
+        csr.node_count(),
+        csr.edge_count(),
+        csr.level_count(),
+        csr.peak_level_width()
+    );
+    println!(
+        "propagation: {} sums, {} maxes; build {:.1} ms, propagate {:.1} ms \
+         ({:.0} nodes/s, {} threads)",
+        prop.sums,
+        prop.maxes,
+        build_ms,
+        wall_ms,
+        csr.node_count() as f64 / (wall_ms / 1e3),
+        par.effective_threads()
+    );
+
+    // The slowest endpoints — the timing-critical sinks.
+    let mut arrived: Vec<(usize, f64, f64)> = sinks
+        .iter()
+        .filter_map(|&s| {
+            prop.arrivals[s]
+                .as_ref()
+                .map(|a| (s, a.mean(), a.std_dev()))
+        })
+        .collect();
+    arrived.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("{:<10} {:>12} {:>12}", "sink", "mean (ns)", "\u{3c3} (ns)");
+    for &(s, mean, sd) in arrived.iter().take(10) {
+        println!("{:<10} {:>12.5} {:>12.5}", s, mean, sd);
+    }
+    if arrived.len() < sinks.len() {
+        println!(
+            "({} sinks unreachable from the source)",
+            sinks.len() - arrived.len()
         );
     }
     Ok(())

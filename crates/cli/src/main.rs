@@ -7,6 +7,7 @@
 //! lvf2 select samples.txt --max-order 3                    # BIC order selection
 //! lvf2 switch samples.txt --depth 8                        # §3.4 LVF vs LVF²
 //! lvf2 scenario two-peaks --samples 50000                  # dump a Fig. 3 scenario
+//! lvf2 ssta --nodes 100000 --family lvf2                   # graph-scale wavefront SSTA
 //! lvf2 serve --addr 127.0.0.1:7272                         # characterization daemon
 //! lvf2 submit --job job.json --out out.lib                 # send it one job
 //! lvf2 top --once --json                                   # daemon status snapshot
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
         "scenario" => cmd::scenario(rest),
         "yield" => cmd::yield_cmd(rest),
         "sta" => cmd::sta(rest),
+        "ssta" => cmd::ssta(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmd::USAGE);
             Ok(())

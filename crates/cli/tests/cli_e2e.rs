@@ -28,6 +28,7 @@ fn help_lists_all_subcommands() {
         "scenario",
         "yield",
         "sta",
+        "ssta",
         "serve",
         "submit",
         "top",
@@ -207,6 +208,60 @@ fn sta_runs_on_the_example_netlist() {
         text.contains("SUM") && text.contains("COUT"),
         "sta output: {text}"
     );
+}
+
+#[test]
+fn ssta_propagates_a_generated_netlist() {
+    let out = lvf2()
+        .args([
+            "ssta",
+            "--nodes",
+            "500",
+            "--depth",
+            "8",
+            "--family",
+            "normal",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("ssta runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("levels") && text.contains("sums"),
+        "ssta output: {text}"
+    );
+    assert!(
+        text.contains("sink"),
+        "ssta output missing sink table: {text}"
+    );
+}
+
+#[test]
+fn ssta_imports_an_iscas_bench_circuit() {
+    let bench = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/netlists/c17.bench"
+    );
+    let out = lvf2()
+        .args(["ssta", "--bench", bench, "--family", "lvf"])
+        .output()
+        .expect("ssta runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // c17: 5 PIs + 6 NAND2 gates + virtual source = 12 nodes.
+    assert!(text.contains("12 nodes"), "ssta output: {text}");
 }
 
 #[test]

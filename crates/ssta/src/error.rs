@@ -22,6 +22,11 @@ pub enum SstaError {
         /// Offending node id.
         node: usize,
     },
+    /// A propagation was asked to start from a node outside the graph.
+    BadNode {
+        /// Offending node id.
+        node: usize,
+    },
     /// A netlist failed to parse or elaborate.
     Netlist {
         /// 1-based source line (0 for semantic errors).
@@ -43,6 +48,9 @@ impl fmt::Display for SstaError {
             }
             SstaError::GraphCycle => write!(f, "timing graph contains a cycle"),
             SstaError::BadEdge { node } => write!(f, "edge references unknown node {node}"),
+            SstaError::BadNode { node } => {
+                write!(f, "propagation source {node} is outside the graph")
+            }
             SstaError::Netlist { line, message } => {
                 if *line > 0 {
                     write!(f, "netlist error at line {line}: {message}")

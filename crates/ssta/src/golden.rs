@@ -25,12 +25,16 @@ pub fn max_samples(a: &[f64], b: &[f64]) -> Vec<f64> {
 
 /// Running cumulative sums along a path: entry `k` holds the golden samples
 /// of the path truncated after stage `k`.
-pub fn cumulative_path(stages: &[Vec<f64>]) -> Vec<Vec<f64>> {
+///
+/// Generic over the stage storage (`&[Vec<f64>]`, `&[&[f64]]`, …) so
+/// callers can pass borrowed sample slices without cloning each stage.
+pub fn cumulative_path<S: AsRef<[f64]>>(stages: &[S]) -> Vec<Vec<f64>> {
     let mut out: Vec<Vec<f64>> = Vec::with_capacity(stages.len());
     for stage in stages {
+        let stage = stage.as_ref();
         let next = match out.last() {
             Some(prev) => sum_samples(prev, stage),
-            None => stage.clone(),
+            None => stage.to_vec(),
         };
         out.push(next);
     }

@@ -2,6 +2,9 @@
 //! arrival-time propagation with `sum` along edges and `max` at merge
 //! points.
 
+use lvf2_parallel::Parallelism;
+
+use crate::csr::CsrGraph;
 use crate::dist::TimingDist;
 use crate::error::SstaError;
 use crate::reduce::ReductionStrategy;
@@ -76,6 +79,27 @@ impl TimingGraph {
         &self.edges
     }
 
+    /// Consumes the graph, returning the edge list (used by the consuming
+    /// [`CsrGraph`] conversion to move delay distributions instead of
+    /// cloning a multi-hundred-MB slab at graph scale).
+    pub fn into_edges(self) -> Vec<TimingEdge> {
+        self.edges
+    }
+
+    /// The mixture-reduction strategy used at sums and maxes.
+    pub fn strategy(&self) -> ReductionStrategy {
+        self.strategy
+    }
+
+    /// Compiles this graph into its CSR/levelized form (see [`CsrGraph`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SstaError::GraphCycle`] on cyclic graphs.
+    pub fn csr(&self) -> Result<CsrGraph, SstaError> {
+        CsrGraph::from_graph(self)
+    }
+
     /// Adds a delay edge.
     ///
     /// # Errors
@@ -121,53 +145,82 @@ impl TimingGraph {
     /// from the source (the source itself gets `None`, meaning arrival 0 —
     /// as does any unreachable node).
     ///
+    /// Compiles the edge list to [`CsrGraph`] and runs the serial levelized
+    /// propagation — O(V+E) instead of the old O(V·E) edge re-scan. For
+    /// repeated propagations or parallel wavefronts, build the [`CsrGraph`]
+    /// once via [`TimingGraph::csr`] and call
+    /// [`CsrGraph::propagate`](crate::csr::CsrGraph::propagate) directly.
+    ///
     /// # Errors
     ///
+    /// [`SstaError::BadNode`] when `source` is outside the graph,
     /// [`SstaError::GraphCycle`] on cyclic graphs, plus any family/fit error
     /// from the statistical operators.
     pub fn arrival_times(&self, source: usize) -> Result<Vec<Option<TimingDist>>, SstaError> {
+        self.arrival_times_par(source, &Parallelism::serial())
+    }
+
+    /// [`arrival_times`](Self::arrival_times) with levelized parallel
+    /// wavefront propagation — bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`arrival_times`](Self::arrival_times).
+    pub fn arrival_times_par(
+        &self,
+        source: usize,
+        par: &Parallelism,
+    ) -> Result<Vec<Option<TimingDist>>, SstaError> {
         let obs = lvf2_obs::Obs::current();
         let _span = obs.span("ssta.arrival_times");
+        Ok(self.csr()?.propagate(source, par)?.arrivals)
+    }
+
+    /// Serial reference propagation over the raw edge list — the
+    /// `ScalarReference`-style path the CSR engine is equivalence-tested
+    /// against.
+    ///
+    /// Scans the whole edge `Vec` per node (O(V·E)): deliberately naive, no
+    /// shared code with [`CsrGraph`], but the identical fold contract —
+    /// fan-in edges in insertion order, first reached edge seeds the fold,
+    /// later ones merge with the statistical max — so the results are
+    /// bit-identical to [`CsrGraph::propagate`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`arrival_times`](Self::arrival_times).
+    pub fn arrival_times_reference(
+        &self,
+        source: usize,
+    ) -> Result<Vec<Option<TimingDist>>, SstaError> {
+        if source >= self.nodes {
+            return Err(SstaError::BadNode { node: source });
+        }
         let order = self.topo_order()?;
         let mut arrival: Vec<Option<TimingDist>> = vec![None; self.nodes];
         let mut reached = vec![false; self.nodes];
-        // Propagation depth per node (edges on the longest path from the
-        // source) and statistical-operator counts, for telemetry.
-        let mut depth = vec![0usize; self.nodes];
-        let (mut sums, mut maxes) = (0u64, 0u64);
-        if source < self.nodes {
-            reached[source] = true;
-        }
+        reached[source] = true;
         for &n in &order {
-            if !reached[n] {
-                continue;
-            }
-            for e in self.edges.iter().filter(|e| e.from == n) {
-                // Arrival through this edge: arrival(n) + delay.
-                let through = match &arrival[n] {
-                    Some(a) => {
-                        sums += 1;
-                        a.sum_with(&e.delay, self.strategy)?
-                    }
+            let mut acc: Option<TimingDist> = None;
+            // Pull fan-in in edge-insertion order (the filter preserves it).
+            for e in self.edges.iter().filter(|e| e.to == n) {
+                if !reached[e.from] {
+                    continue;
+                }
+                let through = match &arrival[e.from] {
+                    Some(a) => a.sum_with(&e.delay, self.strategy)?,
                     None => e.delay.clone(),
                 };
-                reached[e.to] = true;
-                depth[e.to] = depth[e.to].max(depth[n] + 1);
-                arrival[e.to] = Some(match arrival[e.to].take() {
-                    Some(existing) => {
-                        maxes += 1;
-                        existing.max_with(&through, self.strategy)?
-                    }
+                acc = Some(match acc {
+                    Some(existing) => existing.max_with(&through, self.strategy)?,
                     None => through,
                 });
             }
+            if acc.is_some() {
+                reached[n] = true;
+                arrival[n] = acc;
+            }
         }
-        obs.inc("ssta.ops.sum", sums);
-        obs.inc("ssta.ops.max", maxes);
-        obs.observe(
-            "ssta.depth",
-            depth.iter().copied().max().unwrap_or(0) as f64,
-        );
         Ok(arrival)
     }
 }
@@ -229,6 +282,50 @@ mod tests {
         g.add_edge(1, 2, nd(0.1)).unwrap();
         let a = g.arrival_times(0).unwrap();
         assert!(a[1].is_none() && a[2].is_none());
+    }
+
+    #[test]
+    fn out_of_range_source_is_a_typed_error() {
+        let mut g = TimingGraph::new(2);
+        g.add_edge(0, 1, nd(0.1)).unwrap();
+        // Used to silently return all-`None`; now a typed error, from every
+        // propagation entry point.
+        assert!(matches!(
+            g.arrival_times(2),
+            Err(SstaError::BadNode { node: 2 })
+        ));
+        assert!(matches!(
+            g.arrival_times_par(7, &Parallelism::serial()),
+            Err(SstaError::BadNode { node: 7 })
+        ));
+        assert!(matches!(
+            g.arrival_times_reference(2),
+            Err(SstaError::BadNode { node: 2 })
+        ));
+    }
+
+    #[test]
+    fn reference_matches_csr_bitwise() {
+        // Multi-way merge with shuffled edge insertion: the fold order is
+        // pinned by edge id, so both engines must agree bit-for-bit.
+        let mut g = TimingGraph::new(6);
+        g.add_edge(2, 5, nd(0.31)).unwrap();
+        g.add_edge(0, 1, nd(0.10)).unwrap();
+        g.add_edge(0, 3, nd(0.12)).unwrap();
+        g.add_edge(1, 5, nd(0.27)).unwrap();
+        g.add_edge(0, 2, nd(0.50)).unwrap();
+        g.add_edge(3, 5, nd(0.09)).unwrap();
+        g.add_edge(1, 4, nd(0.05)).unwrap();
+        g.add_edge(4, 5, nd(0.22)).unwrap();
+        let reference = g.arrival_times_reference(0).unwrap();
+        for threads in [1, 2, 8] {
+            let par = Parallelism::auto().with_threads(threads);
+            assert_eq!(
+                g.arrival_times_par(0, &par).unwrap(),
+                reference,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   strategy for the ablation bench;
 //! - [`graph::TimingGraph`]: block-based propagation over a DAG
 //!   (Devgan–Kashyap, ref \[20\]);
+//! - [`csr::CsrGraph`]: the graph-scale engine — arena/CSR representation
+//!   with Kahn-levelized parallel wavefront propagation on `lvf2-parallel`,
+//!   bit-identical at any thread count (see `docs/SSTA.md`);
+//! - [`netlist::NetlistGen`] / [`netlist::parse_bench`]: the parameterized
+//!   random-netlist generator and the ISCAS-style `.bench` importer, both
+//!   loading through one [`netlist::Topology`] → [`TimingGraph`] path;
 //! - [`golden`]: sample-level golden propagation;
 //! - [`circuits`]: the benchmark generators — FO4 inverter chain, the
 //!   16-bit carry adder critical path (≈30 FO4) and the 6-stage H-tree with
@@ -42,6 +48,7 @@
 
 pub mod circuits;
 pub mod clt;
+pub mod csr;
 pub mod dist;
 pub mod error;
 pub mod golden;
@@ -53,8 +60,12 @@ pub mod reduce;
 pub mod slack;
 
 pub use circuits::Stage;
+pub use csr::{CsrGraph, Propagation};
 pub use dist::TimingDist;
 pub use error::SstaError;
 pub use graph::TimingGraph;
-pub use netlist::{parse_netlist, run_sta, Netlist, StaOptions, StaReport};
+pub use netlist::{
+    parse_bench, parse_netlist, run_sta, DelayFamily, LoadedGraph, Netlist, NetlistGen, StaOptions,
+    StaReport, SyntheticDelays, Topology,
+};
 pub use reduce::ReductionStrategy;

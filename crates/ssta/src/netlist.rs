@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use lvf2_cells::{CellLibrary, CellType, TimingArcSpec};
 use lvf2_fit::{fit_lvf, fit_lvf2, FitConfig};
 use lvf2_mc::{McEngine, VariationSpace};
+use lvf2_parallel::chunk_seed;
 
 use crate::dist::TimingDist;
 use crate::error::SstaError;
@@ -390,6 +391,565 @@ pub fn full_adder_netlist() -> Netlist {
     .expect("built-in netlist is valid")
 }
 
+// ---------------------------------------------------------------------------
+// Graph-scale topologies: random-netlist generator + ISCAS-style importer,
+// sharing one Topology → TimingGraph loader with synthetic delay models.
+// ---------------------------------------------------------------------------
+
+/// One gate of a [`Topology`]: a library cell plus its fan-in node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoGate {
+    /// Library cell type (arity matches `fanin.len()`).
+    pub cell: CellType,
+    /// Fan-in node ids, in pin order (`0..n_inputs` are primary inputs,
+    /// `n_inputs + g` is gate `g`'s output).
+    pub fanin: Vec<u32>,
+}
+
+/// An integer-indexed gate-level topology — the common product of the
+/// random-netlist generator ([`NetlistGen`]) and the ISCAS-style `.bench`
+/// importer ([`parse_bench`]), consumed by the one shared loader
+/// ([`Topology::timing_graph`]).
+///
+/// Node numbering: primary inputs are `0..n_inputs`; gate `g` drives node
+/// `n_inputs + g`. No strings, no hash maps — at 10⁶ gates the name-based
+/// [`Netlist`] representation would cost hundreds of MB before the first
+/// edge is propagated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of primary inputs.
+    pub n_inputs: usize,
+    /// Gate instances; gate `g` drives node `n_inputs + g`.
+    pub gates: Vec<TopoGate>,
+    /// Primary-output node ids (timing endpoints).
+    pub outputs: Vec<u32>,
+}
+
+impl Topology {
+    /// Total nodes (primary inputs + gate outputs), excluding the virtual
+    /// source the loader adds.
+    pub fn node_count(&self) -> usize {
+        self.n_inputs + self.gates.len()
+    }
+
+    /// Total timing edges the loader will create (gate fan-ins plus one
+    /// virtual-source edge per primary input).
+    pub fn edge_count(&self) -> usize {
+        self.n_inputs + self.gates.iter().map(|g| g.fanin.len()).sum::<usize>()
+    }
+
+    /// Builds the timing graph with synthetic per-edge delays — the shared
+    /// loader both the generator and the `.bench` importer feed.
+    ///
+    /// Node `0` is a virtual source; topology node `k` becomes graph node
+    /// `k + 1`. Each primary input hangs off the source with a numerically
+    /// zero delay (in-family, so the statistical operators apply), and each
+    /// gate fan-in pin becomes one delay edge.
+    ///
+    /// # Errors
+    ///
+    /// [`SstaError::Netlist`] when a gate references a node id outside the
+    /// topology or a gate's fan-in count differs from its cell's arity;
+    /// stats errors if a synthetic delay is degenerate (never, for the
+    /// built-in models).
+    pub fn timing_graph(&self, delays: &SyntheticDelays) -> Result<LoadedGraph, SstaError> {
+        let n_nodes = self.node_count();
+        let mut graph = TimingGraph::new(n_nodes + 1);
+        for pi in 0..self.n_inputs {
+            graph.add_edge(0, pi + 1, delays.source_delay()?)?;
+        }
+        for (g, gate) in self.gates.iter().enumerate() {
+            if gate.fanin.len() != gate.cell.input_count() {
+                return Err(parse_err(
+                    0,
+                    format!(
+                        "gate {g}: {} takes {} inputs, got {}",
+                        gate.cell.name(),
+                        gate.cell.input_count(),
+                        gate.fanin.len()
+                    ),
+                ));
+            }
+            let out = self.n_inputs + g + 1;
+            for (pin, &src) in gate.fanin.iter().enumerate() {
+                if src as usize >= n_nodes {
+                    return Err(parse_err(
+                        0,
+                        format!("gate {g} pin {pin} references unknown node {src}"),
+                    ));
+                }
+                graph.add_edge(src as usize + 1, out, delays.gate_delay(g, pin, gate.cell)?)?;
+            }
+        }
+        let sinks = self.outputs.iter().map(|&o| o as usize + 1).collect();
+        Ok(LoadedGraph {
+            graph,
+            source: 0,
+            sinks,
+        })
+    }
+}
+
+/// A [`Topology`] elaborated into a propagation-ready [`TimingGraph`].
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The timing graph (virtual source + one node per topology node).
+    pub graph: TimingGraph,
+    /// The virtual source node (always 0).
+    pub source: usize,
+    /// Graph node ids of the primary outputs.
+    pub sinks: Vec<usize>,
+}
+
+/// Which model family the synthetic delay generator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayFamily {
+    /// Plain Gaussians — the cheapest operators, for raw graph throughput.
+    Normal,
+    /// Single skew-normals (the LVF industry standard).
+    Lvf,
+    /// The paper's two-skew-normal mixture — the heaviest, most realistic
+    /// workload (mixture sums/maxes + 4→2 reduction at every merge).
+    #[default]
+    Lvf2,
+}
+
+impl std::str::FromStr for DelayFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "normal" => Ok(DelayFamily::Normal),
+            "lvf" => Ok(DelayFamily::Lvf),
+            "lvf2" => Ok(DelayFamily::Lvf2),
+            other => Err(format!(
+                "unknown delay family `{other}` (normal, lvf, lvf2)"
+            )),
+        }
+    }
+}
+
+/// Seeded synthetic per-edge delay models for graph-scale propagation.
+///
+/// Every delay is a pure function of `(seed, gate, pin)` via SplitMix64
+/// mixing — no sequential RNG stream, so delay assignment is independent of
+/// construction order (and could itself be parallelized). Means scale with
+/// the cell's arity; each instance gets a ±10% "layout" jitter, an ~8%
+/// sigma, and family-specific shape (skew for LVF, a bimodal split for
+/// LVF²).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticDelays {
+    /// Model family of every generated delay.
+    pub family: DelayFamily,
+    /// Base seed; different seeds give a different "layout".
+    pub seed: u64,
+}
+
+impl SyntheticDelays {
+    /// A delay model with the given family and seed.
+    pub fn new(family: DelayFamily, seed: u64) -> Self {
+        SyntheticDelays { family, seed }
+    }
+
+    /// A uniform in `[0, 1)` derived from this model's seed and `key`.
+    fn uniform(&self, key: u64, salt: u64) -> f64 {
+        let h = chunk_seed(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15), key);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The numerically-zero virtual-source delay, in-family.
+    fn source_delay(&self) -> Result<TimingDist, SstaError> {
+        let sn = lvf2_stats::SkewNormal::new(1e-9, 1e-12, 0.0)?;
+        Ok(match self.family {
+            DelayFamily::Normal => TimingDist::Normal(lvf2_stats::Normal::new(1e-9, 1e-12)?),
+            DelayFamily::Lvf => TimingDist::Lvf(sn),
+            DelayFamily::Lvf2 => TimingDist::Lvf2(lvf2_stats::Lvf2::from_lvf(sn)),
+        })
+    }
+
+    /// The delay of gate `gate`'s pin `pin` (cell `cell`).
+    fn gate_delay(&self, gate: usize, pin: usize, cell: CellType) -> Result<TimingDist, SstaError> {
+        let key = (gate as u64) << 3 | pin as u64;
+        let jitter = 0.90 + 0.20 * self.uniform(key, 1);
+        let mean = (0.020 + 0.008 * cell.input_count() as f64) * jitter;
+        let sd = 0.08 * mean;
+        Ok(match self.family {
+            DelayFamily::Normal => TimingDist::Normal(lvf2_stats::Normal::new(mean, sd)?),
+            DelayFamily::Lvf => {
+                let skew = 0.15 + 0.45 * self.uniform(key, 2);
+                TimingDist::Lvf(lvf2_stats::SkewNormal::from_moments(
+                    lvf2_stats::Moments::new(mean, sd, skew),
+                )?)
+            }
+            DelayFamily::Lvf2 => {
+                // Two process regimes: a fast mode and a slow mode ±4%
+                // around the nominal, mixed 35–65%.
+                let lambda = 0.35 + 0.30 * self.uniform(key, 3);
+                let split = 0.04 * mean;
+                let skew_a = 0.10 + 0.30 * self.uniform(key, 4);
+                let skew_b = -0.10 - 0.30 * self.uniform(key, 5);
+                let a = lvf2_stats::SkewNormal::from_moments(lvf2_stats::Moments::new(
+                    mean - split,
+                    sd,
+                    skew_a,
+                ))?;
+                let b = lvf2_stats::SkewNormal::from_moments(lvf2_stats::Moments::new(
+                    mean + split,
+                    sd,
+                    skew_b,
+                ))?;
+                TimingDist::Lvf2(lvf2_stats::Lvf2::new(lambda, a, b)?)
+            }
+        })
+    }
+}
+
+/// Parameterized random-netlist generator for graph-scale SSTA.
+///
+/// Produces a layered DAG: `width` primary inputs feeding `depth` ranks of
+/// `width` gates. Every gate keeps a "spine" edge to the same column of the
+/// previous rank (so the longest path really is `depth` levels), draws its
+/// remaining fan-in uniformly from the previous rank (local reconvergence),
+/// and with probability `reconvergence` adds one long-range edge from a
+/// uniformly chosen earlier rank (deep reconvergence — the structure that
+/// stresses the statistical max).
+///
+/// All structure is a pure function of `(seed, rank, column)` — the same
+/// SplitMix64 mixing as the delay models — so generation is deterministic
+/// and order-free.
+///
+/// # Example
+///
+/// ```
+/// use lvf2_ssta::{DelayFamily, NetlistGen, SyntheticDelays};
+///
+/// let topo = NetlistGen::with_nodes(500, 10).generate();
+/// assert!(topo.node_count() >= 500);
+/// let loaded = topo
+///     .timing_graph(&SyntheticDelays::new(DelayFamily::Normal, 7))
+///     .unwrap();
+/// let arrivals = loaded.graph.arrival_times(loaded.source).unwrap();
+/// assert!(loaded.sinks.iter().all(|&s| arrivals[s].is_some()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetlistGen {
+    /// Gate ranks (logic depth).
+    pub depth: usize,
+    /// Gates per rank (and primary inputs).
+    pub width: usize,
+    /// Maximum fan-in per gate, clamped to `1..=4` (the library's widest
+    /// cell); actual per-gate fan-in varies in `1..=max_fanin`.
+    pub max_fanin: usize,
+    /// Probability of one extra long-range fan-in from an earlier rank.
+    pub reconvergence: f64,
+    /// Structure seed.
+    pub seed: u64,
+}
+
+impl Default for NetlistGen {
+    fn default() -> Self {
+        NetlistGen {
+            depth: 16,
+            width: 64,
+            max_fanin: 3,
+            reconvergence: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+impl NetlistGen {
+    /// A generator sized to roughly `nodes` total nodes at the given logic
+    /// depth (`width = ceil(nodes / (depth + 1))`, one rank of PIs plus
+    /// `depth` gate ranks).
+    pub fn with_nodes(nodes: usize, depth: usize) -> Self {
+        let depth = depth.max(1);
+        NetlistGen {
+            depth,
+            width: nodes.div_ceil(depth + 1).max(1),
+            ..NetlistGen::default()
+        }
+    }
+
+    fn uniform(&self, rank: usize, col: usize, salt: u64) -> f64 {
+        let key = ((rank as u64) << 32 | col as u64).wrapping_add(salt << 56);
+        let h = chunk_seed(self.seed ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9), key);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn pick(&self, rank: usize, col: usize, salt: u64, n: usize) -> usize {
+        (self.uniform(rank, col, salt) * n as f64) as usize % n.max(1)
+    }
+
+    /// Generates the topology.
+    pub fn generate(&self) -> Topology {
+        let width = self.width.max(1);
+        let depth = self.depth.max(1);
+        let max_fanin = self.max_fanin.clamp(1, 4);
+        // Cells by arity; the pick below indexes these with a hash.
+        const BY_ARITY: [&[CellType]; 4] = [
+            &[CellType::Inv, CellType::Buff],
+            &[
+                CellType::Nand2,
+                CellType::Nor2,
+                CellType::And2,
+                CellType::Or2,
+                CellType::Xor2,
+                CellType::Xnor2,
+            ],
+            &[
+                CellType::Nand3,
+                CellType::Nor3,
+                CellType::And3,
+                CellType::Or3,
+                CellType::Xor3,
+                CellType::Xnor3,
+            ],
+            &[
+                CellType::Nand4,
+                CellType::Nor4,
+                CellType::And4,
+                CellType::Or4,
+                CellType::Xor4,
+                CellType::Xnor4,
+            ],
+        ];
+        // rank -1 = primary inputs; gate rank r, column c = (r + 1)·width + c.
+        let node_of = |rank: isize, col: usize| -> u32 {
+            ((rank + 1) * width as isize + col as isize) as u32
+        };
+        let mut gates = Vec::with_capacity(depth * width);
+        for r in 0..depth {
+            for c in 0..width {
+                let spine = node_of(r as isize - 1, c);
+                let mut fanin = vec![spine];
+                let extra = self.pick(r, c, 11, max_fanin); // 0..max_fanin-1 extras
+                for k in 0..extra {
+                    let j = self.pick(r, c, 13 + k as u64, width);
+                    fanin.push(node_of(r as isize - 1, j));
+                }
+                if fanin.len() < 4 && self.uniform(r, c, 29) < self.reconvergence {
+                    // Long-range edge from a uniformly chosen earlier rank
+                    // (possibly the PIs).
+                    let back = self.pick(r, c, 31, r + 1); // 0..=r earlier ranks
+                    let j = self.pick(r, c, 37, width);
+                    fanin.push(node_of(r as isize - 1 - back as isize, j));
+                }
+                let cell_set = BY_ARITY[fanin.len() - 1];
+                let cell = cell_set[self.pick(r, c, 41, cell_set.len())];
+                gates.push(TopoGate { cell, fanin });
+            }
+        }
+        let outputs = (0..width).map(|c| node_of(depth as isize - 1, c)).collect();
+        Topology {
+            n_inputs: width,
+            gates,
+            outputs,
+        }
+    }
+}
+
+/// Parses an ISCAS-style `.bench` netlist into a [`Topology`].
+///
+/// The classic format of the ISCAS-85/89 benchmark suites:
+///
+/// ```text
+/// # c17
+/// INPUT(G1)
+/// OUTPUT(G22)
+/// G10 = NAND(G1, G3)
+/// G22 = NAND(G10, G16)
+/// ```
+///
+/// Supported gate functions: `NAND`, `AND`, `NOR`, `OR`, `XOR`, `XNOR`
+/// (arity 2–4 map straight onto the library; wider gates are decomposed
+/// into a chain of 2-input reductions plus one final gate of the original
+/// type), `NOT`/`INV`, `BUF`/`BUFF`, and `DFF`: flip-flops break timing
+/// paths the standard way — the DFF output becomes a pseudo primary input
+/// and its data pin a timing endpoint, so sequential ISCAS-89 circuits
+/// import as their combinational core.
+///
+/// # Errors
+///
+/// [`SstaError::Netlist`] with a line number for malformed lines, unknown
+/// gate functions, or references to undefined signals.
+pub fn parse_bench(text: &str) -> Result<Topology, SstaError> {
+    struct Assign<'a> {
+        line: usize,
+        out: &'a str,
+        func: &'a str,
+        args: Vec<&'a str>,
+    }
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut outputs: Vec<&str> = Vec::new();
+    let mut assigns: Vec<Assign<'_>> = Vec::new();
+    let mut dff_sinks: Vec<&str> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((out, rhs)) = line.split_once('=') {
+            let out = out.trim();
+            let (func, args) = parse_call(rhs.trim())
+                .ok_or_else(|| parse_err(line_no, format!("malformed gate `{line}`")))?;
+            if args.is_empty() {
+                return Err(parse_err(line_no, format!("`{out}` has no inputs")));
+            }
+            if func.eq_ignore_ascii_case("DFF") {
+                // Timing break: Q is a launch point, D a capture point.
+                inputs.push(out);
+                dff_sinks.push(args[0]);
+            } else {
+                assigns.push(Assign {
+                    line: line_no,
+                    out,
+                    func,
+                    args,
+                });
+            }
+        } else if let Some((kw, args)) = parse_call(line) {
+            let name = *args
+                .first()
+                .ok_or_else(|| parse_err(line_no, format!("`{kw}` needs a signal")))?;
+            if kw.eq_ignore_ascii_case("INPUT") {
+                inputs.push(name);
+            } else if kw.eq_ignore_ascii_case("OUTPUT") {
+                outputs.push(name);
+            } else {
+                return Err(parse_err(line_no, format!("unknown directive `{kw}`")));
+            }
+        } else {
+            return Err(parse_err(line_no, format!("unparseable line `{line}`")));
+        }
+    }
+
+    // Gate count per assignment is deterministic (wide gates decompose into
+    // (arity - 2) two-input reductions plus the final gate), so every
+    // signal's node id can be assigned before any gate is built — `.bench`
+    // files reference signals defined later in the file.
+    let n_inputs = inputs.len();
+    let mut node_of: HashMap<&str, u32> = HashMap::with_capacity(n_inputs + assigns.len());
+    for (i, name) in inputs.iter().enumerate() {
+        if node_of.insert(name, i as u32).is_some() {
+            return Err(parse_err(0, format!("signal `{name}` defined twice")));
+        }
+    }
+    let mut next_gate = 0usize;
+    for a in &assigns {
+        let extra = a.args.len().saturating_sub(2).saturating_sub(2); // reductions for arity > 4
+        next_gate += extra;
+        let id = (n_inputs + next_gate) as u32;
+        next_gate += 1;
+        if node_of.insert(a.out, id).is_some() {
+            return Err(parse_err(
+                a.line,
+                format!("signal `{}` defined twice", a.out),
+            ));
+        }
+    }
+
+    let mut gates: Vec<TopoGate> = Vec::with_capacity(next_gate);
+    for a in &assigns {
+        let mut fanin = Vec::with_capacity(a.args.len());
+        for arg in &a.args {
+            fanin.push(*node_of.get(arg).ok_or_else(|| {
+                parse_err(
+                    a.line,
+                    format!("`{}` references undefined signal `{arg}`", a.out),
+                )
+            })?);
+        }
+        let f = a.func.to_ascii_uppercase();
+        // Reduce wide gates with the base associative op until ≤ 4 inputs
+        // remain, then close with one gate of the original type.
+        if fanin.len() > 4 {
+            let base = match f.as_str() {
+                "NAND" | "AND" => CellType::And2,
+                "NOR" | "OR" => CellType::Or2,
+                "XNOR" | "XOR" => CellType::Xor2,
+                _ => {
+                    return Err(parse_err(
+                        a.line,
+                        format!("`{}` cannot take {} inputs", a.func, fanin.len()),
+                    ))
+                }
+            };
+            while fanin.len() > 4 {
+                let x = fanin.remove(0);
+                let y = fanin.remove(0);
+                let id = (n_inputs + gates.len()) as u32;
+                gates.push(TopoGate {
+                    cell: base,
+                    fanin: vec![x, y],
+                });
+                fanin.insert(0, id);
+            }
+        }
+        let cell = cell_for(&f, fanin.len())
+            .ok_or_else(|| parse_err(a.line, format!("unknown gate function `{}`", a.func)))?;
+        debug_assert_eq!(node_of[a.out], (n_inputs + gates.len()) as u32);
+        gates.push(TopoGate { cell, fanin });
+    }
+
+    let mut sink_ids = Vec::with_capacity(outputs.len() + dff_sinks.len());
+    for name in outputs.iter().chain(&dff_sinks) {
+        sink_ids.push(*node_of.get(name).ok_or_else(|| {
+            parse_err(0, format!("output `{name}` references an undefined signal"))
+        })?);
+    }
+    Ok(Topology {
+        n_inputs,
+        gates,
+        outputs: sink_ids,
+    })
+}
+
+/// Splits `NAND(a, b)` into `("NAND", ["a", "b"])`.
+fn parse_call(s: &str) -> Option<(&str, Vec<&str>)> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    let func = s[..open].trim();
+    let args = s[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .collect();
+    Some((func, args))
+}
+
+/// Library cell for a `.bench` gate function at a given arity, if any.
+fn cell_for(func: &str, arity: usize) -> Option<CellType> {
+    Some(match (func, arity) {
+        ("NOT" | "INV", 1) => CellType::Inv,
+        ("BUF" | "BUFF", 1) => CellType::Buff,
+        // Single-input reductions degenerate to a buffer (NAND(x) = NOT(x)).
+        ("NAND" | "NOR" | "XNOR", 1) => CellType::Inv,
+        ("AND" | "OR" | "XOR", 1) => CellType::Buff,
+        ("NAND", 2) => CellType::Nand2,
+        ("NAND", 3) => CellType::Nand3,
+        ("NAND", 4) => CellType::Nand4,
+        ("AND", 2) => CellType::And2,
+        ("AND", 3) => CellType::And3,
+        ("AND", 4) => CellType::And4,
+        ("NOR", 2) => CellType::Nor2,
+        ("NOR", 3) => CellType::Nor3,
+        ("NOR", 4) => CellType::Nor4,
+        ("OR", 2) => CellType::Or2,
+        ("OR", 3) => CellType::Or3,
+        ("OR", 4) => CellType::Or4,
+        ("XOR", 2) => CellType::Xor2,
+        ("XOR", 3) => CellType::Xor3,
+        ("XOR", 4) => CellType::Xor4,
+        ("XNOR", 2) => CellType::Xnor2,
+        ("XNOR", 3) => CellType::Xnor3,
+        ("XNOR", 4) => CellType::Xnor4,
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,5 +1042,146 @@ mod tests {
         let a = run_sta(&nl, &opts).unwrap();
         let b = run_sta(&nl, &opts).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generator_hits_requested_shape() {
+        let gen = NetlistGen {
+            depth: 12,
+            width: 20,
+            max_fanin: 3,
+            reconvergence: 0.3,
+            seed: 9,
+        };
+        let topo = gen.generate();
+        assert_eq!(topo.n_inputs, 20);
+        assert_eq!(topo.gates.len(), 12 * 20);
+        assert_eq!(topo.outputs.len(), 20);
+        // Fan-in bounds hold (reconvergence may add one beyond max_fanin,
+        // capped at the library's widest cell).
+        for g in &topo.gates {
+            assert!(!g.fanin.is_empty() && g.fanin.len() <= 4);
+            assert_eq!(g.fanin.len(), g.cell.input_count());
+        }
+        // Deterministic and seed-sensitive.
+        assert_eq!(gen.generate(), topo);
+        assert_ne!(NetlistGen { seed: 10, ..gen }.generate(), topo);
+    }
+
+    #[test]
+    fn generated_topology_levelizes_to_its_depth() {
+        let topo = NetlistGen {
+            depth: 9,
+            width: 8,
+            max_fanin: 3,
+            reconvergence: 0.4,
+            seed: 3,
+        }
+        .generate();
+        let loaded = topo
+            .timing_graph(&SyntheticDelays::new(DelayFamily::Lvf2, 3))
+            .unwrap();
+        let csr = loaded.graph.csr().unwrap();
+        // Virtual source + PI rank + 9 gate ranks: the spine edges force
+        // exactly depth+2 levels.
+        assert_eq!(csr.level_count(), 11);
+        let arrivals = loaded.graph.arrival_times(loaded.source).unwrap();
+        for &s in &loaded.sinks {
+            let a = arrivals[s].as_ref().expect("sink unreachable");
+            // 9 gate stages at ≥ ~20 ps each.
+            assert!(a.mean() > 0.15, "sink mean {}", a.mean());
+        }
+    }
+
+    #[test]
+    fn with_nodes_sizes_the_generator() {
+        let gen = NetlistGen::with_nodes(10_000, 24);
+        let topo = gen.generate();
+        assert!(topo.node_count() >= 10_000);
+        assert!(topo.node_count() < 11_000);
+    }
+
+    #[test]
+    fn bench_importer_handles_c17() {
+        let topo = parse_bench(
+            "# ISCAS-85 c17\n\
+             INPUT(G1)\nINPUT(G2)\nINPUT(G3)\nINPUT(G6)\nINPUT(G7)\n\
+             OUTPUT(G22)\nOUTPUT(G23)\n\
+             G10 = NAND(G1, G3)\n\
+             G11 = NAND(G3, G6)\n\
+             G16 = NAND(G2, G11)\n\
+             G19 = NAND(G11, G7)\n\
+             G22 = NAND(G10, G16)\n\
+             G23 = NAND(G16, G19)\n",
+        )
+        .unwrap();
+        assert_eq!(topo.n_inputs, 5);
+        assert_eq!(topo.gates.len(), 6);
+        assert_eq!(topo.outputs.len(), 2);
+        let loaded = topo
+            .timing_graph(&SyntheticDelays::new(DelayFamily::Lvf, 1))
+            .unwrap();
+        let arrivals = loaded.graph.arrival_times(loaded.source).unwrap();
+        for &s in &loaded.sinks {
+            assert!(arrivals[s].is_some());
+        }
+    }
+
+    #[test]
+    fn bench_importer_breaks_paths_at_dffs() {
+        // q = DFF(d): q becomes a pseudo-PI, d a timing endpoint.
+        let topo = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\n\
+             q = DFF(d)\n\
+             d = AND(a, q)\n\
+             y = NOT(q)\n",
+        )
+        .unwrap();
+        assert_eq!(topo.n_inputs, 2); // a + pseudo-input q
+        assert_eq!(topo.gates.len(), 2);
+        // Endpoints: y plus the DFF data pin d.
+        assert_eq!(topo.outputs.len(), 2);
+        let loaded = topo
+            .timing_graph(&SyntheticDelays::new(DelayFamily::Normal, 1))
+            .unwrap();
+        // The q → d → q "loop" must be broken: graph is acyclic.
+        assert!(loaded.graph.csr().is_ok());
+    }
+
+    #[test]
+    fn bench_importer_decomposes_wide_gates() {
+        let topo = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n\
+             OUTPUT(y)\n\
+             y = NAND(a, b, c, d, e, f)\n",
+        )
+        .unwrap();
+        // 6-input NAND → 2 AND2 reductions + final NAND4.
+        assert_eq!(topo.gates.len(), 3);
+        assert_eq!(topo.gates[0].cell, CellType::And2);
+        assert_eq!(topo.gates[1].cell, CellType::And2);
+        assert_eq!(topo.gates[2].cell, CellType::Nand4);
+        let y = topo.outputs[0] as usize - topo.n_inputs;
+        assert_eq!(y, 2, "OUTPUT(y) must map to the final gate");
+    }
+
+    #[test]
+    fn bench_importer_rejects_garbage() {
+        assert!(parse_bench("G1 = FROB(G2)\nINPUT(G2)").is_err());
+        assert!(parse_bench("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)").is_err());
+        assert!(parse_bench("wat").is_err());
+    }
+
+    #[test]
+    fn delay_families_parse_and_differ() {
+        use std::str::FromStr;
+        assert_eq!(DelayFamily::from_str("LVF2").unwrap(), DelayFamily::Lvf2);
+        assert!(DelayFamily::from_str("cauchy").is_err());
+        let d = SyntheticDelays::new(DelayFamily::Lvf2, 5);
+        let a = d.gate_delay(0, 0, CellType::Nand2).unwrap();
+        let b = d.gate_delay(0, 1, CellType::Nand2).unwrap();
+        assert_ne!(a, b, "per-pin delays must differ");
+        assert_eq!(a, d.gate_delay(0, 0, CellType::Nand2).unwrap());
+        assert!(matches!(a, TimingDist::Lvf2(_)));
     }
 }

@@ -60,7 +60,7 @@ pub fn propagate_path(
     let obs = lvf2_obs::Obs::current();
     let _span = obs.span("ssta.propagate_path");
     obs.inc("ssta.stages", stages.len() as u64);
-    let sample_stages: Vec<Vec<f64>> = stages.iter().map(|s| s.delays.clone()).collect();
+    let sample_stages: Vec<&[f64]> = stages.iter().map(|s| s.delays.as_slice()).collect();
     let golden_cum = cumulative_path(&sample_stages);
 
     let mut acc: Option<(TimingDist, TimingDist, TimingDist, TimingDist)> = None;
